@@ -1,0 +1,67 @@
+"""Ablation: DD state approximation (ref [97]) fidelity/size trade-off.
+
+Sweeps the pruning budget on a concentrated-but-hazy state and reports the
+fidelity-vs-node-count frontier, plus the effect on a DDSIM-style run that
+approximates mid-simulation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import render_series
+from repro.dd import (
+    DDPackage,
+    node_count,
+    prune_small_contributions,
+    vector_from_array,
+)
+
+from conftest import emit
+
+BUDGETS = [0.001, 0.01, 0.05, 0.1, 0.2]
+
+
+def concentrated_state(n: int, seed: int = 0) -> np.ndarray:
+    """A state with strong peaks plus broadband low-amplitude noise."""
+    rng = np.random.default_rng(seed)
+    arr = 0.015 * (
+        rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    )
+    for spike in rng.choice(1 << n, size=6, replace=False):
+        arr[spike] += rng.uniform(0.5, 1.0)
+    return arr / np.linalg.norm(arr)
+
+
+def run_experiment():
+    n = 10
+    pkg = DDPackage(n)
+    state = vector_from_array(pkg, concentrated_state(n))
+    before = node_count(state)
+    fidelities, sizes = [], []
+    for budget in BUDGETS:
+        result = prune_small_contributions(pkg, state, budget)
+        fidelities.append(result.fidelity)
+        sizes.append(result.nodes_after)
+    text = render_series(
+        f"Ablation: DD approximation on a {before}-node state",
+        "budget", BUDGETS,
+        {"fidelity": fidelities, "nodes": [float(s) for s in sizes]},
+    )
+    return text, fidelities, sizes, before
+
+
+@pytest.mark.benchmark(group="ablation-approx")
+def test_ablation_approximation(benchmark):
+    text, fidelities, sizes, before = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    emit("ablation_approximation", text)
+    # Fidelity respects the budget at every point...
+    for budget, fid in zip(BUDGETS, fidelities):
+        assert fid >= 1.0 - budget - 1e-6
+    # ...monotone trade-off: bigger budgets never grow the DD...
+    assert all(b <= a for a, b in zip(sizes, sizes[1:]))
+    # ...and a moderate budget buys a large size reduction.
+    assert sizes[-1] < before / 2

@@ -1,0 +1,57 @@
+"""Ablation: the dense bottom-out level of the Python DMAV kernels.
+
+DESIGN.md substitution 2 replaces the paper's scalar MAC loop with
+vectorized bottom-outs below ``dense_block_level``.  This bench sweeps
+that level to show the trade-off it buys: too low and Python recursion
+dominates; too high and per-node dense blocks waste memory/time.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import render_series
+from repro.circuits import get_circuit
+from repro.core import FlatDDSimulator
+
+from conftest import emit
+
+LEVELS = [0, 2, 5, 8]
+
+
+def run_experiment(threads: int):
+    circuit = get_circuit("dnn", 12, layers=6)
+    times = []
+    states = []
+    for level in LEVELS:
+        r = FlatDDSimulator(
+            threads=threads, dense_block_level=level
+        ).run(circuit)
+        times.append(r.runtime_seconds)
+        states.append(r.state)
+    # All levels compute the same state.
+    import numpy as np
+
+    for s in states[1:]:
+        assert abs(np.vdot(states[0], s)) ** 2 == pytest.approx(
+            1.0, abs=1e-8
+        )
+    text = render_series(
+        "Ablation: DMAV dense bottom-out level (dnn n=12)",
+        "dense_block_level",
+        LEVELS,
+        {"runtime_s": times},
+    )
+    return text, times
+
+
+@pytest.mark.benchmark(group="ablation-block")
+def test_ablation_block_level(benchmark, threads):
+    text, times = benchmark.pedantic(
+        run_experiment, args=(threads,), rounds=1, iterations=1
+    )
+    emit("ablation_block_level", text)
+    # Every level is correct (asserted inside); the default (5) must be
+    # within 1.5x of the best sampled level.
+    default_idx = LEVELS.index(5)
+    assert times[default_idx] <= 1.5 * min(times)

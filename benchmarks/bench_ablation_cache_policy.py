@@ -1,0 +1,70 @@
+"""Ablation: cost-model-gated caching vs always / never caching.
+
+Section 3.2.3's point is that caching helps some gates and hurts others,
+so the decision must be per gate.  This bench compares the three policies
+on modeled cost over the deep fused workloads.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.circuits import get_circuit
+from repro.core import FlatDDSimulator
+
+from conftest import emit
+
+CIRCUITS = [
+    ("dnn", 12, {"layers": 8}),
+    ("supremacy", 12, {"cycles": 16}),
+]
+POLICIES = ["auto", "always", "never"]
+
+
+def modeled_cost(result, policy: str) -> float:
+    total = 0.0
+    for _, c1, c2, _ in result.metadata["dmav_gate_costs"]:
+        if policy == "always":
+            total += c2
+        elif policy == "never":
+            total += c1
+        else:
+            total += min(c1, c2)
+    return total
+
+
+def run_experiment(threads: int):
+    rows = []
+    costs = {}
+    for family, n, kwargs in CIRCUITS:
+        circuit = get_circuit(family, n, **kwargs)
+        r = FlatDDSimulator(threads=threads, fusion="cost").run(circuit)
+        for policy in POLICIES:
+            c = modeled_cost(r, policy)
+            costs[(circuit.name, policy)] = c
+            rows.append([circuit.name, policy, f"{c:.4g}"])
+    table = render_table(
+        "Ablation: DMAV cache policy (modeled cost, Section 3.2.3 units)",
+        ["circuit", "policy", "total cost"],
+        rows,
+    )
+    return table, costs
+
+
+@pytest.mark.benchmark(group="ablation-cache")
+def test_ablation_cache_policy(benchmark, threads):
+    table, costs = benchmark.pedantic(
+        run_experiment, args=(threads,), rounds=1, iterations=1
+    )
+    emit("ablation_cache_policy", table)
+    for family, n, kwargs in CIRCUITS:
+        name = get_circuit(family, n, **kwargs).name
+        auto = costs[(name, "auto")]
+        always = costs[(name, "always")]
+        never = costs[(name, "never")]
+        # The per-gate decision is at least as good as either blanket
+        # policy, and strictly better than at least one of them.
+        assert auto <= always + 1e-9
+        assert auto <= never + 1e-9
+        assert auto < max(always, never)

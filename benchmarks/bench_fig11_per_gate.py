@@ -1,0 +1,76 @@
+"""Figure 11: per-gate runtime, FlatDD vs DDSIM vs Quantum++.
+
+The paper plots per-gate runtime on DNN and supremacy circuits: DDSIM's
+per-gate cost explodes at the irregularity turning point, Quantum++ is flat
+throughout, and FlatDD follows DDSIM early (cheap DD gates), then converts
+and stays flat.  This bench reproduces both panels at scaled sizes and
+checks those three curve shapes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import DDSimulator, StatevectorSimulator
+from repro.bench.tables import render_series
+from repro.circuits import get_circuit
+from repro.core import FlatDDSimulator
+
+from conftest import emit
+
+PANELS = [
+    ("dnn", 10, {"layers": 4}),
+    ("supremacy", 10, {"cycles": 8}),
+]
+
+
+def run_panel(family: str, n: int, kwargs: dict, threads: int):
+    circuit = get_circuit(family, n, **kwargs)
+    flatdd = FlatDDSimulator(threads=threads).run(circuit)
+    ddsim = DDSimulator().run(circuit, max_seconds=60)
+    qpp = StatevectorSimulator(threads=threads).run(circuit)
+    gates = min(len(r.gate_trace) for r in (flatdd, ddsim, qpp))
+    series = {
+        "flatdd": [g.seconds for g in flatdd.gate_trace[:gates]],
+        "ddsim": [g.seconds for g in ddsim.gate_trace[:gates]],
+        "quantumpp": [g.seconds for g in qpp.gate_trace[:gates]],
+    }
+    text = render_series(
+        f"Figure 11 ({family} n={n}): per-gate runtime (s)",
+        "gate",
+        list(range(gates)),
+        series,
+    )
+    return text, flatdd, ddsim, qpp
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("family,n,kwargs", PANELS, ids=[p[0] for p in PANELS])
+def test_fig11_per_gate(benchmark, threads, family, n, kwargs):
+    text, flatdd, ddsim, qpp = benchmark.pedantic(
+        run_panel, args=(family, n, kwargs, threads), rounds=1, iterations=1
+    )
+    emit(f"fig11_per_gate_{family}", text)
+
+    conv = flatdd.metadata["conversion_gate_index"]
+    assert conv is not None
+
+    dd_times = np.array([g.seconds for g in ddsim.gate_trace])
+    flat_times = np.array([g.seconds for g in flatdd.gate_trace])
+    qpp_times = np.array([g.seconds for g in qpp.gate_trace])
+
+    # DDSIM's late gates are far costlier than its early gates.
+    early = dd_times[: max(conv // 2, 1)].mean()
+    late = dd_times[-10:].mean()
+    assert late > 10 * early
+
+    # FlatDD's DMAV tail is flat: its late gates stay near its own median.
+    flat_late = flat_times[-10:].mean()
+    assert flat_late < 5 * np.median(flat_times)
+
+    # After the turning point FlatDD's per-gate cost is below DDSIM's.
+    assert flat_times[conv + 1:].mean() < dd_times[conv + 1:].mean()
+
+    # Quantum++ is flat throughout (no turning point).
+    assert qpp_times[-10:].mean() < 5 * np.median(qpp_times)

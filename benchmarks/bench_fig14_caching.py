@@ -1,0 +1,112 @@
+"""Figure 14: DMAV caching -- cost reduction and speed-up vs thread count.
+
+The paper plots, across the six largest circuits (DNN and supremacy
+triples), the percentage reduction in computational cost and in runtime
+that DMAV-with-caching achieves over DMAV-without-caching, at 1..16
+threads, with caching chosen per gate by the cost model.
+
+Reproduced here with the paper's own cost model evaluated on the real
+DMAV-phase gate DDs of each run (gate fusion enabled, as caching pays off
+on the dense fused gates -- Section 4.5 evaluates the six *largest*
+workloads where fusion-phase DMAVs dominate).  Shape targets: reduction
+>= 0 everywhere, growing with t, in the paper's ~5-20% band at saturation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import render_series
+from repro.circuits import get_circuit
+from repro.core import FlatDDSimulator
+from repro.core.cost_model import CostModel
+
+from conftest import emit
+
+# The paper runs t up to 16 at n = 16-26, i.e. log2(t)/n <= 0.25.  At the
+# scaled n = 10-14, t = 16 would push Algorithm 2's border level so deep
+# that border sub-matrices lose their shared structure -- an artifact of
+# the scaling, not of the technique -- so the sweep stops at t = 8 (the
+# same border-depth ratio as the paper's t = 16).
+THREADS = [1, 2, 4, 8]
+CIRCUITS = [
+    ("dnn", 10, {"layers": 8}),
+    ("dnn", 12, {"layers": 8}),
+    ("dnn", 14, {"layers": 8}),
+    ("supremacy", 10, {"cycles": 16}),
+    ("supremacy", 12, {"cycles": 16}),
+    ("supremacy", 14, {"cycles": 16}),
+]
+
+
+def run_experiment():
+    reductions = {t: [] for t in THREADS}
+    for family, n, kwargs in CIRCUITS:
+        circuit = get_circuit(family, n, **kwargs)
+        result = FlatDDSimulator(threads=4, fusion="cost").run(
+            circuit, keep_internals=True
+        )
+        pkg = result.metadata["package"]
+        edges = result.metadata.get("dmav_edges", [])
+        for t in THREADS:
+            model = CostModel(t)
+            nocache = 0.0
+            chosen = 0.0
+            for e in edges:
+                cost = model.evaluate(pkg, e)
+                nocache += cost.cost_nocache
+                chosen += cost.cost
+            reduction = 100.0 * (1.0 - chosen / nocache) if nocache else 0.0
+            reductions[t].append(reduction)
+    avg = [sum(reductions[t]) / len(reductions[t]) for t in THREADS]
+    lo = [min(reductions[t]) for t in THREADS]
+    hi = [max(reductions[t]) for t in THREADS]
+    text = render_series(
+        "Figure 14: DMAV caching cost reduction (%) over 6 largest circuits",
+        "threads",
+        THREADS,
+        {"avg_reduction_%": avg, "min_%": lo, "max_%": hi},
+    )
+    return text, avg, reductions
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14_caching(benchmark):
+    text, avg, reductions = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    emit("fig14_caching", text)
+    # Cost-model-gated caching can never increase cost.
+    assert all(r >= -1e-9 for rs in reductions.values() for r in rs)
+    # The benefit grows from the serial case (where caching cannot help)
+    # to multi-threaded runs (the paper's core observation)...
+    assert avg[-1] > avg[0]
+    # ...and is material (paper: 13.53% cost reduction at saturation).
+    assert max(avg) > 10.0
+    assert avg[-1] > 5.0
+
+
+@pytest.mark.benchmark(group="fig14-micro")
+@pytest.mark.parametrize("variant", ["cached", "nocache"])
+def test_fig14_micro_dmav(benchmark, variant, threads):
+    """Micro-benchmark: one dense fused gate where caching pays off."""
+    import numpy as np
+
+    from repro.core.dmav import dmav_cached, dmav_nocache
+    from repro.dd import DDPackage, mm_multiply, single_qubit_gate
+
+    n = 12
+    pkg = DDPackage(n)
+    h = np.array([[1, 1], [1, -1]]) / np.sqrt(2)
+    gate = pkg.identity_edge(n - 1)
+    for q in (n - 1, n - 2, n - 3):
+        gate = mm_multiply(pkg, single_qubit_gate(pkg, h, q), gate)
+    rng = np.random.default_rng(1)
+    v = rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    v /= np.linalg.norm(v)
+
+    fn = dmav_cached if variant == "cached" else dmav_nocache
+    w, _ = benchmark(fn, pkg, gate, v, threads)
+    from repro.dd import matrix_to_dense
+
+    np.testing.assert_allclose(w, matrix_to_dense(pkg, gate) @ v, atol=1e-9)

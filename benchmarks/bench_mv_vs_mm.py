@@ -1,0 +1,80 @@
+"""Matrix-vector vs matrix-matrix DD simulation (Zulehner & Wille [100]).
+
+Reference [100] -- the source of the k-operations baseline -- asks when
+accumulating the circuit as one DD operator (MM) beats applying gates to
+the state (MV).  This bench reruns that comparison on this substrate:
+operator-friendly circuits (GHZ, adder) vs state-friendly ones (random /
+supremacy), reporting runtime and final DD sizes.
+
+Expected shape (as in [100]): MM's accumulated operator stays compact on
+structured circuits and explodes on irregular ones, where MV's state DD
+(and ultimately FlatDD's flat array) is the right representation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.backends import DDMatrixSimulator, DDSimulator
+from repro.bench.tables import render_table
+from repro.circuits import get_circuit
+
+from conftest import emit
+
+CASES = [
+    ("ghz", 14, {}, "structured"),
+    ("adder", 14, {}, "structured"),
+    ("wstate", 12, {}, "structured"),
+    ("supremacy", 8, {"cycles": 8}, "irregular"),
+    ("dnn", 8, {"layers": 3}, "irregular"),
+]
+
+
+def run_experiment():
+    rows = []
+    stats = {}
+    for family, n, kwargs, kind in CASES:
+        circuit = get_circuit(family, n, **kwargs)
+        mv = DDSimulator().run(circuit, max_seconds=30)
+        mm = DDMatrixSimulator().run(circuit, max_seconds=30)
+        assert not mv.metadata["timed_out"]
+        if not mm.metadata["timed_out"]:
+            fid = mv.fidelity(mm)
+            assert fid == pytest.approx(1.0, abs=1e-8), family
+        stats[family] = (kind, mv, mm)
+        rows.append(
+            [
+                f"{family}_n{n}",
+                kind,
+                f"{mv.runtime_seconds:.3f}",
+                mv.metadata["final_dd_size"],
+                ("> 30" if mm.metadata["timed_out"]
+                 else f"{mm.runtime_seconds:.3f}"),
+                mm.metadata["operator_dd_size"],
+            ]
+        )
+    table = render_table(
+        "MV vs MM DD simulation (per ref [100])",
+        ["circuit", "structure", "MV time (s)", "state DD",
+         "MM time (s)", "operator DD"],
+        rows,
+    )
+    return table, stats
+
+
+@pytest.mark.benchmark(group="mv-vs-mm")
+def test_mv_vs_mm(benchmark):
+    table, stats = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("mv_vs_mm", table)
+    # Structured circuits: the whole-circuit operator stays compact.
+    for family in ("ghz", "adder"):
+        _, mv, mm = stats[family]
+        assert mm.metadata["operator_dd_size"] < 2000
+    # Irregular circuits: the operator dwarfs the state DD.
+    for family in ("supremacy", "dnn"):
+        _, mv, mm = stats[family]
+        assert (
+            mm.metadata["timed_out"]
+            or mm.metadata["operator_dd_size"]
+            > 3 * mv.metadata["final_dd_size"]
+        )

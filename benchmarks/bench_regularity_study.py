@@ -1,0 +1,106 @@
+"""Regularity study: entanglement entropy vs DD size vs conversion point.
+
+An analysis bench beyond the paper's figures that quantifies its central
+claim.  Along a DNN circuit's execution we track (a) the state DD's node
+count (what the EWMA monitor sees), and (b) the mid-cut entanglement
+entropy (the physics behind it).  The conversion trigger should fire while
+entropy is climbing towards its Page-value plateau, and DD size should
+correlate with entropy across circuit families.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import StatevectorSimulator
+from repro.bench.tables import render_series, render_table
+from repro.circuits import get_circuit
+from repro.core import FlatDDSimulator
+from repro.dd import DDPackage, entanglement_entropy, node_count, vector_from_array
+
+from conftest import emit
+
+
+def trace_entropy_and_size(family: str, n: int, kwargs: dict, stride: int):
+    circuit = get_circuit(family, n, **kwargs)
+    sv = StatevectorSimulator()
+    checkpoints = list(range(stride, len(circuit) + 1, stride))
+    entropies, sizes = [], []
+    for stop in checkpoints:
+        arr = sv.run(circuit[:stop]).state
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, arr)
+        entropies.append(entanglement_entropy(pkg, state, n // 2))
+        sizes.append(node_count(state))
+    return circuit, checkpoints, entropies, sizes
+
+
+def run_experiment():
+    n = 10
+    circuit, checkpoints, entropies, sizes = trace_entropy_and_size(
+        "dnn", n, {"layers": 4}, stride=8
+    )
+    flat = FlatDDSimulator(threads=2).run(circuit)
+    conv = flat.metadata["conversion_gate_index"]
+    text = render_series(
+        f"Regularity study (dnn n={n}): mid-cut entropy and DD size per "
+        f"gate checkpoint (FlatDD converted at gate {conv})",
+        "gate",
+        checkpoints,
+        {
+            "entropy_ebits": entropies,
+            "dd_nodes": [float(s) for s in sizes],
+        },
+    )
+    # Cross-family snapshot at the final state.
+    rows = []
+    finals = {}
+    for family, kwargs in (
+        ("ghz", {}), ("adder", {}), ("qft", {}),
+        ("dnn", {"layers": 4}), ("supremacy", {"cycles": 10}),
+    ):
+        c = get_circuit(family, n, **kwargs)
+        arr = StatevectorSimulator().run(c).state
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, arr)
+        s = entanglement_entropy(pkg, state, n // 2)
+        size = node_count(state)
+        finals[family] = (s, size)
+        rows.append([family, f"{s:.3f}", size])
+    text += "\n" + render_table(
+        "Final-state mid-cut entropy vs DD size across families",
+        ["family", "entropy (ebits)", "dd nodes"],
+        rows,
+    )
+    return text, entropies, sizes, conv, checkpoints, finals
+
+
+@pytest.mark.benchmark(group="regularity")
+def test_regularity_study(benchmark):
+    text, entropies, sizes, conv, checkpoints, finals = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    emit("regularity_study", text)
+
+    # Entropy and DD size both grow along the circuit...
+    assert entropies[-1] > entropies[0] + 1.0
+    assert sizes[-1] > 4 * sizes[0]
+    # ...and they are strongly rank-correlated.
+    order_e = np.argsort(entropies)
+    order_s = np.argsort(sizes)
+    agreement = np.mean(order_e == order_s)
+    corr = np.corrcoef(entropies, sizes)[0, 1]
+    assert corr > 0.7 or agreement > 0.6
+
+    # The EWMA trigger fired before the state reached its entropy plateau
+    # (that is the point of converting early).
+    assert conv is not None and conv < checkpoints[-1]
+
+    # Cross-family: entangled-but-regular GHZ has 1 ebit and a tiny DD;
+    # irregular families have high entropy AND wide DDs.
+    assert finals["ghz"][0] == pytest.approx(1.0, abs=1e-6)
+    assert finals["ghz"][1] < 30
+    for family in ("dnn", "supremacy"):
+        assert finals[family][0] > 3.0
+        assert finals[family][1] > 500

@@ -1,0 +1,85 @@
+"""Weak vs strong simulation sampling (ref [36] of the paper).
+
+Compares drawing K samples from a regular state via (a) DD-native weak
+simulation (O(n) per shot, no amplitude vector) against (b) full
+conversion + array sampling.  On regular states the weak path avoids the
+entire 2**n expansion; on irregular states conversion amortizes across
+many shots.  Both shapes are asserted.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.backends import DDSimulator
+from repro.bench.tables import render_table
+from repro.circuits import get_circuit
+from repro.core.conversion import convert_parallel
+from repro.sampling import sample_counts, sample_from_dd
+
+from conftest import emit
+
+SHOTS = 512
+
+
+def run_case(family: str, n: int, kwargs: dict):
+    result = DDSimulator().run(get_circuit(family, n, **kwargs), keep_dd=True)
+    pkg = result.metadata["package"]
+    state = result.metadata["state_dd"]
+    rng = np.random.default_rng(0)
+
+    t0 = time.perf_counter()
+    weak = sample_from_dd(pkg, state, SHOTS, rng)
+    weak_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    arr, _ = convert_parallel(pkg, state, threads=4)
+    strong = sample_counts(arr, SHOTS, np.random.default_rng(0))
+    strong_seconds = time.perf_counter() - t0
+
+    # Distributions agree on the dominant outcomes.
+    for bits, count in weak.most_common(3):
+        p_weak = count / SHOTS
+        p_strong = strong.get(bits, 0) / SHOTS
+        assert abs(p_weak - p_strong) < 0.12, (family, bits)
+    return weak_seconds, strong_seconds
+
+
+def run_experiment():
+    cases = [
+        ("ghz", 20, {}, "regular"),
+        ("adder", 20, {}, "regular"),
+        ("wstate", 16, {}, "regular"),
+        ("supremacy", 12, {"cycles": 10}, "irregular"),
+    ]
+    rows = []
+    timings = {}
+    for family, n, kwargs, kind in cases:
+        weak_s, strong_s = run_case(family, n, kwargs)
+        timings[family] = (kind, weak_s, strong_s)
+        rows.append(
+            [f"{family}_n{n}", kind, f"{weak_s * 1e3:.2f}",
+             f"{strong_s * 1e3:.2f}", f"{strong_s / weak_s:.2f}x"]
+        )
+    table = render_table(
+        f"Weak (DD-native) vs strong (convert + sample) sampling, "
+        f"{SHOTS} shots",
+        ["circuit", "structure", "weak (ms)", "convert+sample (ms)",
+         "weak advantage"],
+        rows,
+    )
+    return table, timings
+
+
+@pytest.mark.benchmark(group="weak-sampling")
+def test_weak_sampling(benchmark):
+    table, timings = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+    emit("weak_sampling", table)
+    # On large regular states, skipping the 2**n expansion wins clearly.
+    kind, weak_s, strong_s = timings["ghz"]
+    assert strong_s > 2 * weak_s
+    kind, weak_s, strong_s = timings["adder"]
+    assert strong_s > 2 * weak_s

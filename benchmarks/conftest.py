@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark suite.
+
+Every experiment bench renders the paper-style table/series it reproduces,
+prints it (visible with ``pytest -s``), and writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artifacts.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+
+
+def emit(name: str, text: str) -> None:
+    """Print and persist one experiment's rendered output."""
+    from repro.bench.tables import write_result
+
+    path = write_result(name, text)
+    # Write to the real stdout so the table is visible even when pytest
+    # captures test output.
+    sys.stdout.write(f"\n{text}\n[written to {path}]\n")
+
+
+@pytest.fixture(scope="session")
+def threads() -> int:
+    """Thread count used by the experiments (paper: 16; scaled here)."""
+    return 4

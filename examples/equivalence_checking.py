@@ -1,0 +1,90 @@
+"""Verifying circuit optimizations with DD-based equivalence checking.
+
+A compiler that fuses, reorders, or resynthesizes gates must not change
+the circuit's unitary.  This example "optimizes" a QFT circuit two ways --
+one correct, one subtly broken -- and uses the DD miter check (after
+Burgholzer & Wille, reference [11] of the FlatDD paper) to catch the bug
+that random testing on |0...0> alone would miss.
+
+Run:  python examples/equivalence_checking.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import Circuit, StatevectorSimulator, get_circuit
+from repro.verify import check_equivalence, check_equivalence_stimuli
+
+
+def correct_rewrite(circuit: Circuit) -> Circuit:
+    """Replace each H-X-H sandwich... here: commute adjacent cp gates
+    acting on disjoint qubit pairs (a legal reorder)."""
+    gates = list(circuit.gates)
+    out = Circuit(circuit.num_qubits, name=f"{circuit.name}_opt")
+    i = 0
+    while i < len(gates):
+        if (
+            i + 1 < len(gates)
+            and not set(gates[i].qubits) & set(gates[i + 1].qubits)
+        ):
+            out.append(gates[i + 1])
+            out.append(gates[i])
+            i += 2
+        else:
+            out.append(gates[i])
+            i += 1
+    return out
+
+
+def buggy_rewrite(circuit: Circuit) -> Circuit:
+    """A typical off-by-one compiler bug: one rotation angle halved."""
+    out = Circuit(circuit.num_qubits, name=f"{circuit.name}_buggy")
+    touched = False
+    for g in circuit.gates:
+        if not touched and g.base_name == "p" and g.controls:
+            from repro import Gate
+
+            out.append(
+                Gate(g.name, g.targets, g.controls, (g.params[0] / 2,))
+            )
+            touched = True
+        else:
+            out.append(g)
+    return out
+
+
+def main() -> None:
+    original = get_circuit("qft", 6)
+    good = correct_rewrite(original)
+    bad = buggy_rewrite(original)
+
+    print(f"original: {original}")
+    print(f"reordered: {good}")
+    print(f"buggy:     {bad}\n")
+
+    res = check_equivalence(original, good)
+    print(f"original vs reordered: "
+          f"{'EQUIVALENT' if res.equivalent else 'NOT EQUIVALENT'} "
+          f"(peak miter nodes {res.peak_nodes})")
+
+    res = check_equivalence(original, bad)
+    print(f"original vs buggy:     "
+          f"{'EQUIVALENT' if res.equivalent else 'NOT EQUIVALENT'}")
+
+    # Why simulation from |0...0> is not enough: QFT maps |0..0> to the
+    # uniform superposition regardless of the broken phase.
+    s_orig = StatevectorSimulator().run(original).state
+    s_bad = StatevectorSimulator().run(bad).state
+    fid = abs(np.vdot(s_orig, s_bad)) ** 2
+    print(f"\n|<orig|buggy>|^2 from the |0...0> input alone: {fid:.6f} "
+          "(the bug is invisible!)")
+
+    res = check_equivalence_stimuli(original, bad, num_stimuli=4)
+    print("random-stimuli check: "
+          f"{'EQUIVALENT' if res.equivalent else 'NOT EQUIVALENT'} "
+          "(random product states expose it)")
+
+
+if __name__ == "__main__":
+    main()

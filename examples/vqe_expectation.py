@@ -1,0 +1,81 @@
+"""VQE-style energy evaluation of a transverse-field Ising Hamiltonian.
+
+Evaluates <psi(theta)| H |psi(theta)> for a hardware-efficient ansatz,
+where H = -J sum Z_i Z_{i+1} - h sum X_i, and runs a small random-search
+parameter update loop.  Expectation values are computed directly from the
+simulator's exact state, demonstrating library use beyond plain
+simulation.  VQE ansatz states are irregular (Figure 1), so FlatDD's
+hybrid pipeline is the right engine.
+
+Run:  python examples/vqe_expectation.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import Circuit, FlatDDSimulator
+
+
+def ansatz(n: int, params: np.ndarray) -> Circuit:
+    """Hardware-efficient ansatz: RY columns + CZ ring, two layers."""
+    c = Circuit(n, name="vqe_ansatz")
+    k = 0
+    for _ in range(2):
+        for q in range(n):
+            c.ry(float(params[k]), q)
+            k += 1
+        for q in range(n):
+            c.cz(q, (q + 1) % n)
+    return c
+
+
+def ising_energy(state: np.ndarray, n: int, j: float, h: float) -> float:
+    """<H> for H = -J sum Z_i Z_{i+1} - h sum X_i (exact, vectorized)."""
+    probs = np.abs(state) ** 2
+    idx = np.arange(state.size)
+    energy = 0.0
+    for q in range(n):
+        z_q = 1 - 2 * ((idx >> q) & 1)
+        z_next = 1 - 2 * ((idx >> ((q + 1) % n)) & 1)
+        energy += -j * float(np.sum(probs * z_q * z_next))
+        # <X_q>: overlap of the state with itself bit-flipped at q.
+        energy += -h * float(np.real(np.vdot(state, state[idx ^ (1 << q)])))
+    return energy
+
+
+def main() -> None:
+    n, j, h = 8, 1.0, 0.7
+    rng = np.random.default_rng(3)
+    params = rng.uniform(0, 2 * math.pi, size=2 * n)
+    sim = FlatDDSimulator(threads=4)
+
+    best = float("inf")
+    print(f"random-search VQE on {n}-qubit transverse-field Ising "
+          f"(J={j}, h={h})")
+    for step in range(25):
+        trial = params + rng.normal(scale=0.3, size=params.size)
+        state = sim.run(ansatz(n, trial)).state
+        energy = ising_energy(state, n, j, h)
+        if energy < best:
+            best, params = energy, trial
+            print(f"  step {step:2d}: E = {energy:+.5f}  (improved)")
+
+    # Exact ground state for reference (dense diagonalization).
+    dim = 1 << n
+    ham = np.zeros((dim, dim))
+    idx = np.arange(dim)
+    for q in range(n):
+        z_q = 1 - 2 * ((idx >> q) & 1)
+        z_n = 1 - 2 * ((idx >> ((q + 1) % n)) & 1)
+        ham[idx, idx] += -j * z_q * z_n
+        ham[idx ^ (1 << q), idx] += -h
+    exact = float(np.linalg.eigvalsh(ham)[0])
+    print(f"\nbest ansatz energy: {best:+.5f}")
+    print(f"exact ground state: {exact:+.5f}")
+    print(f"relative gap: {abs(best - exact) / abs(exact):.2%} "
+          "(random search, few iterations -- a real optimizer closes this)")
+
+
+if __name__ == "__main__":
+    main()

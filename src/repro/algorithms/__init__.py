@@ -1,0 +1,14 @@
+"""Variational algorithms built on the simulators: VQE and QAOA."""
+
+from repro.algorithms.ansatz import HardwareEfficientAnsatz, QAOAAnsatz
+from repro.algorithms.qaoa import QAOA, QAOAResult
+from repro.algorithms.vqe import VQE, VQEResult
+
+__all__ = [
+    "HardwareEfficientAnsatz",
+    "QAOA",
+    "QAOAAnsatz",
+    "QAOAResult",
+    "VQE",
+    "VQEResult",
+]

@@ -1,0 +1,120 @@
+"""Parameterized ansatz circuits for the variational algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.common.errors import CircuitError
+from repro.observables.pauli import PauliString, PauliSum
+
+__all__ = ["HardwareEfficientAnsatz", "QAOAAnsatz"]
+
+
+@dataclass(frozen=True)
+class HardwareEfficientAnsatz:
+    """RY+RZ rotation columns with a CZ entangler ring, ``layers`` deep.
+
+    Parameter layout: per layer, first all RY angles (qubit order), then
+    all RZ angles -- ``2 * n * layers`` parameters total.
+    """
+
+    num_qubits: int
+    layers: int = 2
+
+    def __post_init__(self) -> None:
+        if self.num_qubits < 2:
+            raise CircuitError("ansatz needs at least 2 qubits")
+        if self.layers < 1:
+            raise CircuitError("ansatz needs at least 1 layer")
+
+    @property
+    def num_parameters(self) -> int:
+        return 2 * self.num_qubits * self.layers
+
+    def build(self, params: np.ndarray) -> Circuit:
+        params = np.asarray(params, dtype=float)
+        if params.shape != (self.num_parameters,):
+            raise CircuitError(
+                f"expected {self.num_parameters} parameters, "
+                f"got shape {params.shape}"
+            )
+        n = self.num_qubits
+        c = Circuit(n, name=f"hea_n{n}_l{self.layers}")
+        k = 0
+        for _ in range(self.layers):
+            for q in range(n):
+                c.ry(float(params[k]), q)
+                k += 1
+            for q in range(n):
+                c.rz(float(params[k]), q)
+                k += 1
+            for q in range(n):
+                c.cz(q, (q + 1) % n)
+        return c
+
+    #: Which parameters are rotation angles eligible for the parameter-shift
+    #: rule (all of them, for this ansatz).
+    def shift_eligible(self) -> np.ndarray:
+        return np.ones(self.num_parameters, dtype=bool)
+
+
+@dataclass(frozen=True)
+class QAOAAnsatz:
+    """QAOA ansatz for a diagonal (Z-only) cost Hamiltonian.
+
+    Alternates ``p`` rounds of cost evolution exp(-i gamma H_C) -- exact
+    for Z/ZZ terms via rz / rzz gates -- and mixer evolution
+    exp(-i beta sum X) via rx columns.  Parameters: [gamma_1, beta_1, ...,
+    gamma_p, beta_p].
+    """
+
+    cost: PauliSum
+    num_qubits: int
+    rounds: int = 1
+
+    def __post_init__(self) -> None:
+        if self.rounds < 1:
+            raise CircuitError("QAOA needs at least one round")
+        for term in self.cost:
+            if any(op != "Z" for _, op in term.paulis):
+                raise CircuitError(
+                    "QAOA cost Hamiltonian must be diagonal (Z/ZZ terms)"
+                )
+            if term.weight > 2:
+                raise CircuitError(
+                    "only 1- and 2-local cost terms are supported"
+                )
+
+    @property
+    def num_parameters(self) -> int:
+        return 2 * self.rounds
+
+    def build(self, params: np.ndarray) -> Circuit:
+        params = np.asarray(params, dtype=float)
+        if params.shape != (self.num_parameters,):
+            raise CircuitError(
+                f"expected {self.num_parameters} parameters, "
+                f"got shape {params.shape}"
+            )
+        n = self.num_qubits
+        c = Circuit(n, name=f"qaoa_n{n}_p{self.rounds}")
+        for q in range(n):
+            c.h(q)
+        for r in range(self.rounds):
+            gamma, beta = params[2 * r], params[2 * r + 1]
+            for term in self.cost:
+                coeff = term.coefficient.real
+                if term.weight == 0:
+                    continue  # identity: global phase only
+                if term.weight == 1:
+                    q = term.paulis[0][0]
+                    c.rz(2.0 * gamma * coeff, q)
+                else:
+                    (a, _), (b, _) = term.paulis
+                    c.add("rzz", a, b, params=(2.0 * gamma * coeff,))
+            for q in range(n):
+                c.rx(2.0 * beta, q)
+        return c

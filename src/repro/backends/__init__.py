@@ -1,0 +1,19 @@
+"""Baseline simulators: array-based (Quantum++) and DD-based (DDSIM)."""
+
+from repro.backends.base import GateRecord, SimulationResult, Simulator
+from repro.backends.ddmm import DDMatrixSimulator
+from repro.backends.ddsim import DDSimulator
+from repro.backends.gatecache import GateDDCache, build_gate_dd
+from repro.backends.statevector import StatevectorSimulator, apply_gate_array
+
+__all__ = [
+    "DDMatrixSimulator",
+    "DDSimulator",
+    "GateDDCache",
+    "GateRecord",
+    "SimulationResult",
+    "Simulator",
+    "StatevectorSimulator",
+    "apply_gate_array",
+    "build_gate_dd",
+]

@@ -1,0 +1,53 @@
+"""Gate-matrix DD construction and caching shared by DDSIM and FlatDD.
+
+Gate DDs depend only on the gate's signature (base name, qubits, params),
+so repeated gates -- ubiquitous in the benchmark circuits -- reuse one DD.
+The cached edges also act as garbage-collection roots for the package.
+"""
+
+from __future__ import annotations
+
+from repro.circuits.gates import Gate
+from repro.dd.matrix import controlled_gate, single_qubit_gate, two_qubit_gate
+from repro.dd.node import Edge
+from repro.dd.package import DDPackage
+
+__all__ = ["GateDDCache", "build_gate_dd"]
+
+
+def build_gate_dd(pkg: DDPackage, gate: Gate) -> Edge:
+    """Construct the full ``2**n x 2**n`` DD of one circuit gate."""
+    u = gate.matrix()
+    if gate.controls:
+        return controlled_gate(pkg, u, gate.targets, gate.controls)
+    if len(gate.targets) == 1:
+        return single_qubit_gate(pkg, u, gate.targets[0])
+    return two_qubit_gate(pkg, u, gate.targets[0], gate.targets[1])
+
+
+class GateDDCache:
+    """Signature-keyed cache of gate matrix DDs for one package."""
+
+    def __init__(self, pkg: DDPackage) -> None:
+        self.pkg = pkg
+        self._cache: dict[tuple, Edge] = {}
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, gate: Gate) -> Edge:
+        key = gate.signature
+        edge = self._cache.get(key)
+        if edge is None:
+            self.misses += 1
+            edge = build_gate_dd(self.pkg, gate)
+            self._cache[key] = edge
+        else:
+            self.hits += 1
+        return edge
+
+    def roots(self) -> list[Edge]:
+        """All cached edges (keep-alive roots for garbage collection)."""
+        return list(self._cache.values())
+
+    def __len__(self) -> int:
+        return len(self._cache)

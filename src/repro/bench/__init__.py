@@ -1,0 +1,21 @@
+"""Benchmark harness: workloads, runners, scaling model, table rendering."""
+
+from repro.bench.model import ThreadScalingModel
+from repro.bench.runners import BackendRow, ComparisonRow, compare_backends, run_backend
+from repro.bench.tables import render_series, render_table, write_result
+from repro.bench.workloads import DEEP_WORKLOADS, TABLE1_WORKLOADS, Workload, load
+
+__all__ = [
+    "BackendRow",
+    "ComparisonRow",
+    "DEEP_WORKLOADS",
+    "TABLE1_WORKLOADS",
+    "ThreadScalingModel",
+    "Workload",
+    "compare_backends",
+    "load",
+    "render_series",
+    "render_table",
+    "run_backend",
+    "write_result",
+]

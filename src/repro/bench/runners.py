@@ -1,0 +1,115 @@
+"""Experiment runners: simulate workloads on each backend, with timeouts.
+
+These produce the raw rows that the table/figure benches format.  All
+comparisons verify cross-backend fidelity before reporting numbers, so a
+bench can never silently publish timings of a wrong result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.backends import DDSimulator, SimulationResult, StatevectorSimulator
+from repro.bench.workloads import Workload
+from repro.common.config import FlatDDConfig
+from repro.core import FlatDDSimulator
+
+__all__ = ["BackendRow", "ComparisonRow", "run_backend", "compare_backends"]
+
+
+@dataclass
+class BackendRow:
+    """One (workload, backend) measurement."""
+
+    backend: str
+    runtime_seconds: float
+    memory_mb: float
+    timed_out: bool
+    result: SimulationResult
+
+    def runtime_str(self, timeout: float) -> str:
+        if self.timed_out:
+            return f"> {timeout:g}"
+        return f"{self.runtime_seconds:.3f}"
+
+
+@dataclass
+class ComparisonRow:
+    """One Table 1 row: FlatDD vs DDSIM vs Quantum++ on one workload."""
+
+    workload: Workload
+    gates: int
+    flatdd: BackendRow
+    ddsim: BackendRow
+    quantumpp: BackendRow
+
+    @property
+    def ddsim_speedup(self) -> float:
+        """DDSIM runtime / FlatDD runtime (> 1 means FlatDD faster)."""
+        return self.ddsim.runtime_seconds / self.flatdd.runtime_seconds
+
+    @property
+    def qpp_speedup(self) -> float:
+        return self.quantumpp.runtime_seconds / self.flatdd.runtime_seconds
+
+
+def run_backend(
+    kind: str,
+    workload: Workload,
+    threads: int = 4,
+    config: FlatDDConfig | None = None,
+) -> BackendRow:
+    """Run one workload on one backend ('flatdd' | 'ddsim' | 'quantumpp')."""
+    circuit = workload.build()
+    if kind == "flatdd":
+        sim = FlatDDSimulator(config) if config else FlatDDSimulator(threads=threads)
+        result = sim.run(circuit, max_seconds=workload.timeout_seconds)
+    elif kind == "ddsim":
+        # The paper runs DDSIM single-threaded ("DDSIM does not support
+        # multithreading").
+        result = DDSimulator().run(
+            circuit, max_seconds=workload.timeout_seconds
+        )
+    elif kind == "quantumpp":
+        result = StatevectorSimulator(threads=threads).run(circuit)
+    else:
+        raise ValueError(f"unknown backend kind {kind!r}")
+    timed_out = bool(result.metadata.get("timed_out", False))
+    return BackendRow(
+        backend=result.backend,
+        runtime_seconds=result.runtime_seconds,
+        memory_mb=result.peak_memory_mb,
+        timed_out=timed_out,
+        result=result,
+    )
+
+
+def compare_backends(
+    workload: Workload, threads: int = 4
+) -> ComparisonRow:
+    """Run all three simulators on a workload and verify they agree."""
+    circuit = workload.build()
+    flatdd = run_backend("flatdd", workload, threads)
+    ddsim = run_backend("ddsim", workload, threads)
+    qpp = run_backend("quantumpp", workload, threads)
+    # Fidelity check (skipped against a timed-out partial DDSIM state).
+    fid = abs(np.vdot(flatdd.result.state, qpp.result.state)) ** 2
+    if abs(fid - 1.0) > 1e-6:
+        raise AssertionError(
+            f"{workload.name}: FlatDD/Quantum++ disagree (fidelity {fid})"
+        )
+    if not ddsim.timed_out:
+        fid = abs(np.vdot(flatdd.result.state, ddsim.result.state)) ** 2
+        if abs(fid - 1.0) > 1e-6:
+            raise AssertionError(
+                f"{workload.name}: FlatDD/DDSIM disagree (fidelity {fid})"
+            )
+    return ComparisonRow(
+        workload=workload,
+        gates=len(circuit.gates),
+        flatdd=flatdd,
+        ddsim=ddsim,
+        quantumpp=qpp,
+    )

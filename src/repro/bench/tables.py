@@ -1,0 +1,66 @@
+"""Plain-text table/series rendering for the benchmark harness.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep the formatting consistent and write each
+experiment's output under ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["render_table", "render_series", "write_result"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    note: str = "",
+) -> str:
+    """Fixed-width text table with a title rule, like the paper's tables."""
+    cells = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in cells)) if cells else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    rule = "-" * len(line)
+    body = [
+        "  ".join(c.ljust(w) for c, w in zip(row, widths)) for row in cells
+    ]
+    parts = [title, "=" * len(title), line, rule, *body]
+    if note:
+        parts += [rule, note]
+    return "\n".join(parts) + "\n"
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: dict[str, Sequence[float]],
+    fmt: str = "{:.4g}",
+) -> str:
+    """A figure rendered as labelled numeric series (one row per x)."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, x in enumerate(xs):
+        rows.append([x, *(fmt.format(v[i]) for v in series.values())])
+    return render_table(title, headers, rows)
+
+
+def write_result(name: str, text: str) -> str:
+    """Write an experiment's rendered output under benchmarks/results/."""
+    base = os.environ.get(
+        "REPRO_RESULTS_DIR",
+        os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__))))), "benchmarks",
+            "results"),
+    )
+    os.makedirs(base, exist_ok=True)
+    path = os.path.join(base, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return path

@@ -1,0 +1,95 @@
+"""The evaluation workloads, scaled from the paper's Table 1.
+
+The paper evaluates 12 circuits at 16-31 qubits on a 64-core Xeon; this
+reproduction scales qubit counts to what pure Python simulates in seconds
+(DESIGN.md substitution 4).  Each entry records the paper circuit it stands
+in for, so EXPERIMENTS.md can put them side by side.
+
+``timeout_seconds`` mirrors the paper's 24-hour cap: DDSIM runs that exceed
+it are reported as ``> timeout`` exactly like Table 1's "> 24 h" rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuits import Circuit, get_circuit
+
+__all__ = ["Workload", "TABLE1_WORKLOADS", "DEEP_WORKLOADS", "load"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One benchmark circuit, tied to its Table 1 ancestor."""
+
+    name: str
+    family: str
+    n: int
+    kwargs: dict = field(default_factory=dict)
+    #: The paper's circuit this is scaled from, e.g. "DNN n=16".
+    paper_circuit: str = ""
+    #: Regular circuits stay in FlatDD's DD phase end to end.
+    regular: bool = False
+    #: Per-backend timeout standing in for the paper's 24 h cap.
+    timeout_seconds: float = 20.0
+
+    def build(self) -> Circuit:
+        c = get_circuit(self.family, self.n, **self.kwargs)
+        c.name = self.name
+        return c
+
+
+#: Scaled version of Table 1's 12 circuits (same families, same ordering).
+#: Sizes sit where 2**n dominates interpreter constants -- the regime the
+#: paper's 16-31 qubit range occupies on its C++ substrate.
+TABLE1_WORKLOADS: list[Workload] = [
+    Workload("dnn_s", "dnn", 12, {"layers": 8}, "DNN n=16 (2032 gates)"),
+    Workload("dnn_m", "dnn", 14, {"layers": 10}, "DNN n=20 (6214 gates)"),
+    Workload("dnn_l", "dnn", 16, {"layers": 12}, "DNN n=25 (9644 gates)"),
+    Workload("adder", "adder", 20, {}, "Adder n=28 (117 gates)", regular=True),
+    Workload("ghz", "ghz", 20, {}, "GHZ state n=23 (46 gates)", regular=True),
+    Workload("vqe", "vqe", 12, {"layers": 2}, "VQE n=16 (95 gates)"),
+    Workload("knn_s", "knn", 15, {}, "KNN n=25 (39 gates)"),
+    Workload("knn_l", "knn", 17, {}, "KNN n=31 (48 gates)"),
+    Workload("swaptest", "swaptest", 15, {}, "Swap test n=25 (39 gates)"),
+    Workload(
+        "supremacy_s", "supremacy", 12, {"cycles": 14},
+        "Quantum supremacy n=20 (4500 gates)",
+    ),
+    Workload(
+        "supremacy_m", "supremacy", 14, {"cycles": 16},
+        "Quantum supremacy n=24 (5560 gates)",
+    ),
+    Workload(
+        "supremacy_l", "supremacy", 16, {"cycles": 16},
+        "Quantum supremacy n=26 (5990 gates)",
+    ),
+]
+
+#: Table 2's six deep circuits (> 1000 gates in the paper): the DNN and
+#: supremacy triples, deepened so fusion has thousands of gates to chew on.
+DEEP_WORKLOADS: list[Workload] = [
+    Workload("dnn_s", "dnn", 10, {"layers": 26}, "DNN n=16 (2032 gates)"),
+    Workload("dnn_m", "dnn", 12, {"layers": 32}, "DNN n=20 (6214 gates)"),
+    Workload("dnn_l", "dnn", 14, {"layers": 36}, "DNN n=25 (9644 gates)"),
+    Workload(
+        "supremacy_s", "supremacy", 10, {"cycles": 60},
+        "Quantum supremacy n=20 (4500 gates)",
+    ),
+    Workload(
+        "supremacy_m", "supremacy", 12, {"cycles": 70},
+        "Quantum supremacy n=24 (5560 gates)",
+    ),
+    Workload(
+        "supremacy_l", "supremacy", 14, {"cycles": 80},
+        "Quantum supremacy n=26 (5990 gates)",
+    ),
+]
+
+
+def load(name: str, table: list[Workload] | None = None) -> Workload:
+    """Look up a workload by name (Table 1 set by default)."""
+    for w in table or TABLE1_WORKLOADS:
+        if w.name == name:
+            return w
+    raise KeyError(f"unknown workload {name!r}")

@@ -1,0 +1,30 @@
+"""Quantum circuit IR: gates, circuits, OpenQASM 2.0 I/O, generators,
+analysis and transpilation."""
+
+from repro.circuits.analysis import CircuitSummary, layerize, summarize
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate, gate_matrix, known_gates
+from repro.circuits.generators import CIRCUIT_FAMILIES, get_circuit
+from repro.circuits.optimize import cancel_inverse_pairs, merge_rotations, optimize
+from repro.circuits.qasm import parse_qasm, to_qasm
+from repro.circuits.transpile import BASIS_GATES, decompose, zyz_angles
+
+__all__ = [
+    "BASIS_GATES",
+    "CIRCUIT_FAMILIES",
+    "Circuit",
+    "CircuitSummary",
+    "Gate",
+    "cancel_inverse_pairs",
+    "decompose",
+    "gate_matrix",
+    "get_circuit",
+    "known_gates",
+    "layerize",
+    "merge_rotations",
+    "optimize",
+    "parse_qasm",
+    "summarize",
+    "to_qasm",
+    "zyz_angles",
+]

@@ -1,0 +1,71 @@
+"""Circuit structure analysis: layering, parallelism, and summaries.
+
+These utilities answer the questions the paper's workload discussion asks
+of a circuit -- how deep is it, how entangling, how parallel -- and
+provide the ASAP layering used to reason about schedule-level parallelism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+__all__ = ["layerize", "CircuitSummary", "summarize"]
+
+
+def layerize(circuit: Circuit) -> list[list[Gate]]:
+    """ASAP layering: gates grouped into maximal parallel layers.
+
+    A gate joins the earliest layer after every earlier gate that shares a
+    qubit with it.
+    """
+    frontier = [0] * circuit.num_qubits
+    layers: list[list[Gate]] = []
+    for gate in circuit.gates:
+        layer = max((frontier[q] for q in gate.qubits), default=0)
+        while len(layers) <= layer:
+            layers.append([])
+        layers[layer].append(gate)
+        for q in gate.qubits:
+            frontier[q] = layer + 1
+    return layers
+
+
+@dataclass(frozen=True)
+class CircuitSummary:
+    """Aggregate structural metrics of a circuit."""
+
+    num_qubits: int
+    num_gates: int
+    depth: int
+    two_qubit_gates: int
+    entangling_depth: int
+    #: Mean gates per layer: the schedule-level parallelism available.
+    parallelism: float
+    #: Histogram of gate names.
+    gate_counts: dict
+
+    @property
+    def two_qubit_fraction(self) -> float:
+        return self.two_qubit_gates / max(self.num_gates, 1)
+
+
+def summarize(circuit: Circuit) -> CircuitSummary:
+    """Compute a :class:`CircuitSummary` for one circuit."""
+    layers = layerize(circuit)
+    # Entangling depth: layers that contain at least one multi-qubit gate.
+    entangling_depth = sum(
+        1 for layer in layers if any(len(g.qubits) >= 2 for g in layer)
+    )
+    num_gates = len(circuit.gates)
+    return CircuitSummary(
+        num_qubits=circuit.num_qubits,
+        num_gates=num_gates,
+        depth=len(layers),
+        two_qubit_gates=circuit.two_qubit_gate_count,
+        entangling_depth=entangling_depth,
+        parallelism=num_gates / max(len(layers), 1),
+        gate_counts=dict(circuit.gate_counts),
+    )

@@ -1,0 +1,210 @@
+"""Quantum circuit container with a fluent gate-append API.
+
+A :class:`Circuit` is an ordered list of :class:`~repro.circuits.gates.Gate`
+objects over ``num_qubits`` qubits.  The simulators consume circuits by
+iterating over ``circuit.gates``; everything else here (builders, stats,
+slicing) is convenience for the generators, examples, and benches.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Iterable, Iterator
+
+from repro.common.errors import CircuitError
+from repro.circuits.gates import Gate
+
+__all__ = ["Circuit"]
+
+
+class Circuit:
+    """An ordered sequence of gates on ``num_qubits`` qubits."""
+
+    def __init__(
+        self,
+        num_qubits: int,
+        gates: Iterable[Gate] = (),
+        name: str = "circuit",
+    ) -> None:
+        if num_qubits < 1:
+            raise CircuitError(f"need at least 1 qubit, got {num_qubits}")
+        self.num_qubits = num_qubits
+        self.name = name
+        self.gates: list[Gate] = []
+        for g in gates:
+            self.append(g)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    def append(self, gate: Gate) -> "Circuit":
+        """Append a gate after validating its qubits fit this circuit."""
+        for q in gate.qubits:
+            if q >= self.num_qubits:
+                raise CircuitError(
+                    f"gate {gate} uses qubit {q} but circuit has "
+                    f"{self.num_qubits} qubits"
+                )
+        self.gates.append(gate)
+        return self
+
+    def add(
+        self,
+        name: str,
+        *qubits: int,
+        params: tuple[float, ...] = (),
+        controls: tuple[int, ...] = (),
+    ) -> "Circuit":
+        """Append gate ``name``; alias controls are split off automatically.
+
+        ``add("cx", 0, 1)`` means control 0, target 1 (OpenQASM order).
+        """
+        from repro.circuits.gates import CONTROLLED_ALIASES
+
+        extra = CONTROLLED_ALIASES.get(name, (None, 0))[1]
+        ctrl = tuple(qubits[:extra]) + tuple(controls)
+        targets = tuple(qubits[extra:])
+        return self.append(
+            Gate(name=name, targets=targets, controls=ctrl, params=params)
+        )
+
+    # Fluent single-gate helpers used pervasively by generators/examples.
+    def h(self, q: int) -> "Circuit":
+        return self.add("h", q)
+
+    def x(self, q: int) -> "Circuit":
+        return self.add("x", q)
+
+    def y(self, q: int) -> "Circuit":
+        return self.add("y", q)
+
+    def z(self, q: int) -> "Circuit":
+        return self.add("z", q)
+
+    def s(self, q: int) -> "Circuit":
+        return self.add("s", q)
+
+    def t(self, q: int) -> "Circuit":
+        return self.add("t", q)
+
+    def rx(self, theta: float, q: int) -> "Circuit":
+        return self.add("rx", q, params=(theta,))
+
+    def ry(self, theta: float, q: int) -> "Circuit":
+        return self.add("ry", q, params=(theta,))
+
+    def rz(self, theta: float, q: int) -> "Circuit":
+        return self.add("rz", q, params=(theta,))
+
+    def p(self, lam: float, q: int) -> "Circuit":
+        return self.add("p", q, params=(lam,))
+
+    def cx(self, control: int, target: int) -> "Circuit":
+        return self.add("cx", control, target)
+
+    def cz(self, control: int, target: int) -> "Circuit":
+        return self.add("cz", control, target)
+
+    def cp(self, lam: float, control: int, target: int) -> "Circuit":
+        return self.add("cp", control, target, params=(lam,))
+
+    def swap(self, a: int, b: int) -> "Circuit":
+        return self.add("swap", a, b)
+
+    def ccx(self, c1: int, c2: int, target: int) -> "Circuit":
+        return self.add("ccx", c1, c2, target)
+
+    def cswap(self, control: int, a: int, b: int) -> "Circuit":
+        return self.add("cswap", control, a, b)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.gates)
+
+    def __iter__(self) -> Iterator[Gate]:
+        return iter(self.gates)
+
+    def __getitem__(self, idx):
+        if isinstance(idx, slice):
+            return Circuit(self.num_qubits, self.gates[idx], name=self.name)
+        return self.gates[idx]
+
+    @property
+    def gate_counts(self) -> Counter:
+        """Histogram of gate names."""
+        return Counter(g.name for g in self.gates)
+
+    @property
+    def two_qubit_gate_count(self) -> int:
+        return sum(1 for g in self.gates if len(g.qubits) >= 2)
+
+    def depth(self) -> int:
+        """Circuit depth: longest chain of gates sharing qubits."""
+        frontier = [0] * self.num_qubits
+        for g in self.gates:
+            layer = 1 + max(frontier[q] for q in g.qubits)
+            for q in g.qubits:
+                frontier[q] = layer
+        return max(frontier, default=0)
+
+    def used_qubits(self) -> set[int]:
+        return {q for g in self.gates for q in g.qubits}
+
+    def inverse(self) -> "Circuit":
+        """Adjoint circuit (gates reversed and individually inverted).
+
+        Only gates with simple inverses in the library are supported; this
+        covers the benchmark generators (used for echo-verification tests).
+        """
+        inv_name = {
+            "s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+            "sx": "sxdg", "sxdg": "sx", "sy": "sydg", "sydg": "sy",
+            "sw": "swdg", "swdg": "sw",
+        }
+        self_inverse = {"id", "x", "y", "z", "h", "swap", "cx", "cnot", "cy",
+                        "cz", "ch", "ccx", "toffoli", "ccz", "cswap",
+                        "fredkin"}
+        out = Circuit(self.num_qubits, name=f"{self.name}_dg")
+        for g in reversed(self.gates):
+            if g.name in self_inverse:
+                out.append(g)
+            elif g.name in inv_name:
+                out.append(Gate(inv_name[g.name], g.targets, g.controls))
+            elif g.base_name in ("rx", "ry", "rz", "p", "u1", "rzz", "rxx",
+                                 "fsim"):
+                out.append(
+                    Gate(g.name, g.targets, g.controls,
+                         tuple(-p for p in g.params))
+                )
+            elif g.base_name in ("u3", "u"):
+                theta, phi, lam = g.params
+                out.append(
+                    Gate("u3", g.targets, g.controls, (-theta, -lam, -phi))
+                )
+            elif g.base_name == "u2":
+                phi, lam = g.params
+                out.append(
+                    Gate(
+                        "u3", g.targets, g.controls,
+                        (-math.pi / 2, -lam, -phi),
+                    )
+                )
+            elif g.base_name == "iswap":
+                # iswap^-1 = fsim(pi/2, 0) (fsim(-pi/2, 0) is iswap).
+                out.append(
+                    Gate("fsim", g.targets, g.controls, (math.pi / 2, 0.0))
+                )
+            else:
+                raise CircuitError(f"no inverse rule for gate {g.name!r}")
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"Circuit(name={self.name!r}, qubits={self.num_qubits}, "
+            f"gates={len(self.gates)}, depth={self.depth()})"
+        )

@@ -1,0 +1,160 @@
+"""Irregular-structure circuits: quantum DNN, VQE ansatz, supremacy.
+
+These are the paper's "DD-hostile" workloads: random-parameter rotations
+and dense entanglement quickly destroy amplitude regularity, so the DD
+representation of the state blows up (Figure 1, Figure 11) and FlatDD
+converts to its flat-array phase early on.
+
+Constructions follow the sources the paper cites:
+
+* ``dnn``   -- layered quantum neural network in the style of QASMBench's
+  ``dnn_n16`` / Beer et al. [10]: per layer, parameterized single-qubit
+  rotations (u3-style as RZ-RY-RZ) on every qubit plus a full CX
+  entangling ladder, repeated until the requested gate count.
+* ``vqe``   -- hardware-efficient VQE ansatz: RY+RZ columns with a CZ ring.
+* ``supremacy`` -- Google's 2D random circuit pattern [7]: per cycle a
+  random one-qubit gate from {sqrt(X), sqrt(Y), sqrt(W)} on each qubit
+  (never repeating on the same qubit in consecutive cycles) followed by CZ
+  on a cycling pattern of grid couplings.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import CircuitError
+from repro.circuits.circuit import Circuit
+
+__all__ = ["dnn", "vqe", "supremacy", "random_circuit"]
+
+
+def dnn(n: int, layers: int = 8, seed: int = 7) -> Circuit:
+    """Layered quantum-DNN ansatz with random trained weights.
+
+    Each layer: RZ-RY-RZ on every qubit (a general SU(2) rotation, as the
+    u3 gates of QASMBench's dnn circuits) followed by a CX ladder over all
+    neighbouring pairs, giving ``(3n + n - 1)`` gates per layer.
+    """
+    rng = np.random.default_rng(seed)
+    c = Circuit(n, name=f"dnn_n{n}")
+    for _ in range(layers):
+        for q in range(n):
+            c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+            c.ry(float(rng.uniform(0, 2 * math.pi)), q)
+            c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+        for q in range(n - 1):
+            c.cx(q, q + 1)
+    return c
+
+
+def vqe(n: int, layers: int = 2, seed: int = 11) -> Circuit:
+    """Hardware-efficient VQE ansatz (RY+RZ columns, CZ entangler ring)."""
+    rng = np.random.default_rng(seed)
+    c = Circuit(n, name=f"vqe_n{n}")
+    for q in range(n):
+        c.ry(float(rng.uniform(0, 2 * math.pi)), q)
+    for _ in range(layers):
+        for q in range(n):
+            c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+            c.ry(float(rng.uniform(0, 2 * math.pi)), q)
+        for q in range(n):
+            c.cz(q, (q + 1) % n)
+    return c
+
+
+def _grid_shape(n: int) -> tuple[int, int]:
+    """Near-square grid with rows*cols == n (favouring wider grids)."""
+    best = (1, n)
+    for rows in range(1, int(math.isqrt(n)) + 1):
+        if n % rows == 0:
+            best = (rows, n // rows)
+    return best
+
+
+def _grid_couplings(rows: int, cols: int) -> list[list[tuple[int, int]]]:
+    """The cycling CZ patterns of the supremacy layout.
+
+    Eight patterns: horizontal pairs at even/odd column offsets split by row
+    parity, and the vertical analogues -- a faithful simplification of the
+    ABCDCDAB pattern of [7] that works for any grid shape.
+    """
+    def q(r: int, c: int) -> int:
+        return r * cols + c
+
+    patterns: list[list[tuple[int, int]]] = []
+    for offset in (0, 1):
+        for parity in (0, 1):
+            horiz = [
+                (q(r, c), q(r, c + 1))
+                for r in range(rows)
+                for c in range(offset + (r % 2 == parity), cols - 1, 2)
+            ]
+            vert = [
+                (q(r, c), q(r + 1, c))
+                for r in range(rows - 1)
+                for c in range(offset + (r % 2 == parity) % 2, cols, 2)
+            ]
+            if horiz:
+                patterns.append(horiz)
+            if vert:
+                patterns.append(vert)
+    return [p for p in patterns if p] or [[(0, 1)]]
+
+
+def supremacy(n: int, cycles: int = 10, seed: int = 3) -> Circuit:
+    """Google-style random quantum circuit on a 2D grid (n = rows * cols).
+
+    Per cycle: one random gate from {sx, sy, sw} per qubit (not repeating
+    the previous cycle's choice on that qubit), then CZ along the cycle's
+    coupling pattern.  Starts with a Hadamard column as in [7].
+    """
+    if n < 2:
+        raise CircuitError("supremacy circuit needs at least 2 qubits")
+    rows, cols = _grid_shape(n)
+    rng = np.random.default_rng(seed)
+    singles = ("sx", "sy", "sw")
+    patterns = _grid_couplings(rows, cols)
+    c = Circuit(n, name=f"supremacy_n{n}")
+    for q in range(n):
+        c.h(q)
+    prev = [-1] * n
+    for cycle in range(cycles):
+        for q in range(n):
+            choice = int(rng.integers(0, 3))
+            if choice == prev[q]:
+                choice = (choice + 1 + int(rng.integers(0, 2))) % 3
+            prev[q] = choice
+            c.add(singles[choice], q)
+        for a, b in patterns[cycle % len(patterns)]:
+            c.cz(a, b)
+    return c
+
+
+def random_circuit(n: int, gates: int = 50, seed: int = 0) -> Circuit:
+    """Uniformly random circuit over a broad gate set (test workloads)."""
+    rng = np.random.default_rng(seed)
+    one_q = ("h", "x", "y", "z", "s", "t", "sx")
+    rot = ("rx", "ry", "rz", "p")
+    c = Circuit(n, name=f"random_n{n}")
+    for _ in range(gates):
+        kind = rng.integers(0, 4)
+        if kind == 0:
+            c.add(str(rng.choice(one_q)), int(rng.integers(0, n)))
+        elif kind == 1:
+            c.add(
+                str(rng.choice(rot)),
+                int(rng.integers(0, n)),
+                params=(float(rng.uniform(0, 2 * math.pi)),),
+            )
+        elif kind == 2 and n >= 2:
+            a, b = rng.choice(n, size=2, replace=False)
+            c.add(str(rng.choice(("cx", "cz"))), int(a), int(b))
+        else:
+            if n >= 2:
+                a, b = rng.choice(n, size=2, replace=False)
+                c.swap(int(a), int(b))
+            else:
+                c.h(0)
+    return c

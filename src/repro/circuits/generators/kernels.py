@@ -1,0 +1,77 @@
+"""Swap-test-style kernel circuits: swap test and quantum KNN.
+
+QASMBench's ``swap_test`` and ``knn`` benchmarks both measure state overlap
+with the controlled-SWAP construction: an ancilla in superposition controls
+pairwise swaps between two data registers, and the final ancilla amplitude
+encodes |<a|b>|^2.  They are the paper's mixed-regularity workloads: state
+preparation is rotation-heavy (irregular) while the cswap cascade is
+permutation-like (regular).
+
+Both circuits use ``n = 2k + 1`` qubits: ancilla on qubit ``n - 1``, data
+registers on qubits ``[0..k)`` and ``[k..2k)``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.common.errors import CircuitError
+from repro.circuits.circuit import Circuit
+
+__all__ = ["swaptest", "knn"]
+
+
+def _prepare(c: Circuit, qubits: range, angles: np.ndarray) -> None:
+    """Amplitude-ish encoding: an RY column then a CX entangling chain."""
+    qs = list(qubits)
+    for q, theta in zip(qs, angles):
+        c.ry(float(theta), q)
+    for a, b in zip(qs, qs[1:]):
+        c.cx(a, b)
+
+
+def swaptest(n: int, seed: int = 5) -> Circuit:
+    """Swap test between two randomly prepared k-qubit states."""
+    if n < 3 or n % 2 == 0:
+        raise CircuitError(f"swap test needs odd n >= 3, got {n}")
+    k = (n - 1) // 2
+    rng = np.random.default_rng(seed)
+    c = Circuit(n, name=f"swaptest_n{n}")
+    anc = n - 1
+    _prepare(c, range(0, k), rng.uniform(0, math.pi, size=k))
+    _prepare(c, range(k, 2 * k), rng.uniform(0, math.pi, size=k))
+    c.h(anc)
+    for i in range(k):
+        c.cswap(anc, i, k + i)
+    c.h(anc)
+    return c
+
+
+def knn(n: int, seed: int = 9) -> Circuit:
+    """Quantum KNN kernel (QASMBench 'knn'): swap test with feature-map prep.
+
+    Identical interference structure to the swap test but with a deeper,
+    entangling feature-map preparation per register (RY+RZ columns and CX
+    chains), matching the heavier state-prep of the QASMBench circuit.
+    """
+    if n < 3 or n % 2 == 0:
+        raise CircuitError(f"knn needs odd n >= 3, got {n}")
+    k = (n - 1) // 2
+    rng = np.random.default_rng(seed)
+    c = Circuit(n, name=f"knn_n{n}")
+    anc = n - 1
+    for base in (0, k):
+        qs = list(range(base, base + k))
+        for rep in range(2):
+            for q in qs:
+                c.ry(float(rng.uniform(0, math.pi)), q)
+                c.rz(float(rng.uniform(0, 2 * math.pi)), q)
+            for a, b in zip(qs, qs[1:]):
+                c.cx(a, b)
+    c.h(anc)
+    for i in range(k):
+        c.cswap(anc, i, k + i)
+    c.h(anc)
+    return c

@@ -1,0 +1,97 @@
+"""Regular-structure circuits: GHZ, ripple-carry adder, W-state, QFT.
+
+These are the "DD-friendly" workloads of the paper (Figure 1, Table 1):
+their state vectors keep a highly regular amplitude distribution, so the
+DD stays tiny throughout the simulation and FlatDD never leaves its DD
+phase on them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.common.errors import CircuitError
+from repro.circuits.circuit import Circuit
+
+__all__ = ["ghz", "adder", "wstate", "qft"]
+
+
+def ghz(n: int) -> Circuit:
+    """GHZ state preparation: H then a CX chain (MQT Bench 'ghz')."""
+    c = Circuit(n, name=f"ghz_n{n}")
+    c.h(0)
+    for q in range(n - 1):
+        c.cx(q, q + 1)
+    return c
+
+
+def adder(n: int, a_value: int | None = None, b_value: int | None = None) -> Circuit:
+    """Cuccaro ripple-carry adder (QASMBench 'adder' family).
+
+    Layout (n = 2k + 2): qubit 0 = carry-in, then alternating b_i/a_i pairs,
+    last qubit = carry-out; computes b <- a + b.  ``a_value``/``b_value``
+    preset the inputs with X gates (defaults exercise carries).
+    """
+    if n < 4 or n % 2:
+        raise CircuitError(f"adder needs even n >= 4, got {n}")
+    k = (n - 2) // 2
+    if a_value is None:
+        a_value = (1 << k) - 1  # all-ones maximizes carry propagation
+    if b_value is None:
+        b_value = 1
+    a = [1 + 2 * i + 1 for i in range(k)]  # a_i qubits
+    b = [1 + 2 * i for i in range(k)]      # b_i qubits
+    cin, cout = 0, n - 1
+    c = Circuit(n, name=f"adder_n{n}")
+    for i in range(k):
+        if (a_value >> i) & 1:
+            c.x(a[i])
+        if (b_value >> i) & 1:
+            c.x(b[i])
+
+    def maj(x: int, y: int, z: int) -> None:
+        c.cx(z, y)
+        c.cx(z, x)
+        c.ccx(x, y, z)
+
+    def uma(x: int, y: int, z: int) -> None:
+        c.ccx(x, y, z)
+        c.cx(z, x)
+        c.cx(x, y)
+
+    maj(cin, b[0], a[0])
+    for i in range(1, k):
+        maj(a[i - 1], b[i], a[i])
+    c.cx(a[k - 1], cout)
+    for i in range(k - 1, 0, -1):
+        uma(a[i - 1], b[i], a[i])
+    uma(cin, b[0], a[0])
+    return c
+
+
+def wstate(n: int) -> Circuit:
+    """W-state preparation via cascaded controlled rotations (MQT Bench)."""
+    c = Circuit(n, name=f"wstate_n{n}")
+    c.x(n - 1)
+    for i in range(n - 1, 0, -1):
+        theta = 2 * math.acos(math.sqrt(1.0 / (i + 1)))
+        # Controlled-RY(theta) from qubit i to qubit i-1, decomposed.
+        c.ry(theta / 2, i - 1)
+        c.cx(i, i - 1)
+        c.ry(-theta / 2, i - 1)
+        c.cx(i, i - 1)
+        c.cx(i - 1, i)
+    return c
+
+
+def qft(n: int, *, inverse: bool = False) -> Circuit:
+    """Quantum Fourier transform (controlled-phase ladder + swaps)."""
+    c = Circuit(n, name=f"{'iqft' if inverse else 'qft'}_n{n}")
+    sign = -1.0 if inverse else 1.0
+    for i in range(n - 1, -1, -1):
+        c.h(i)
+        for j in range(i - 1, -1, -1):
+            c.cp(sign * math.pi / (1 << (i - j)), j, i)
+    for i in range(n // 2):
+        c.swap(i, n - 1 - i)
+    return c

@@ -1,0 +1,131 @@
+"""Peephole circuit optimization (after Liu, Bello & Zhou, CGO 2021 [81]).
+
+Two classic local passes, iterated to a fixpoint:
+
+* :func:`cancel_inverse_pairs` -- remove adjacent gate pairs that compose
+  to the identity (self-inverse gates repeated, s/sdg, t/tdg, rotation
+  followed by its negation), where "adjacent" means no intervening gate
+  touches any of their qubits.
+* :func:`merge_rotations` -- fuse runs of same-axis rotations on one qubit
+  into a single gate, dropping angles that collapse to (a multiple of)
+  2*pi.
+
+Both passes preserve the circuit's unitary exactly (verified by the DD
+equivalence checker in the tests) -- rotation merging is phase-exact
+because rz(a) rz(b) = rz(a+b) as matrices.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+__all__ = ["cancel_inverse_pairs", "merge_rotations", "optimize"]
+
+_SELF_INVERSE = {
+    "id", "x", "y", "z", "h", "swap", "cx", "cnot", "cy", "cz", "ch",
+    "ccx", "toffoli", "ccz", "cswap", "fredkin",
+}
+_NAME_INVERSE = {
+    "s": "sdg", "sdg": "s", "t": "tdg", "tdg": "t",
+    "sx": "sxdg", "sxdg": "sx", "sy": "sydg", "sydg": "sy",
+    "sw": "swdg", "swdg": "sw",
+}
+#: Rotation families that add angles: name -> period of the *matrix*.
+_ROTATIONS = {
+    "rx": 4 * math.pi, "ry": 4 * math.pi, "rz": 4 * math.pi,
+    "p": 2 * math.pi, "u1": 2 * math.pi,
+    "rzz": 4 * math.pi, "rxx": 4 * math.pi,
+    "cp": 2 * math.pi, "cu1": 2 * math.pi,
+    "crx": 4 * math.pi, "cry": 4 * math.pi, "crz": 4 * math.pi,
+}
+
+_ANGLE_EPS = 1e-12
+
+
+def _are_inverses(a: Gate, b: Gate) -> bool:
+    if a.targets != b.targets or a.controls != b.controls:
+        return False
+    if a.base_name != b.base_name and a.name not in _NAME_INVERSE:
+        return False
+    if a.name in _SELF_INVERSE and b.name in _SELF_INVERSE:
+        return a.base_name == b.base_name
+    if _NAME_INVERSE.get(a.name) == b.name:
+        return True
+    if a.base_name in _ROTATIONS and a.base_name == b.base_name:
+        period = _ROTATIONS[a.base_name]
+        total = (a.params[0] + b.params[0]) % period
+        return min(total, period - total) < _ANGLE_EPS
+    return False
+
+
+def cancel_inverse_pairs(circuit: Circuit) -> Circuit:
+    """Remove adjacent inverse pairs (adjacency up to commuting gates).
+
+    Single backward-scan pass, repeated to a fixpoint: for each incoming
+    gate, the most recent emitted gate that shares any of its qubits is
+    its effective neighbour; if it is the exact inverse on the same qubit
+    set, both disappear.
+    """
+    gates = list(circuit.gates)
+    while True:
+        out: list[Gate] = []
+        changed = False
+        for g in gates:
+            qubits = set(g.qubits)
+            neighbour = None
+            for j in range(len(out) - 1, -1, -1):
+                if qubits & set(out[j].qubits):
+                    neighbour = j
+                    break
+            if (
+                neighbour is not None
+                and set(out[neighbour].qubits) == qubits
+                and _are_inverses(out[neighbour], g)
+            ):
+                out.pop(neighbour)
+                changed = True
+            else:
+                out.append(g)
+        gates = out
+        if not changed:
+            break
+    return Circuit(circuit.num_qubits, gates, name=f"{circuit.name}_opt")
+
+
+def merge_rotations(circuit: Circuit) -> Circuit:
+    """Fuse adjacent same-axis rotations; drop full-period results."""
+    out: list[Gate] = []
+    for g in circuit.gates:
+        if (
+            out
+            and g.base_name in _ROTATIONS
+            and out[-1].base_name == g.base_name
+            and out[-1].targets == g.targets
+            and out[-1].controls == g.controls
+        ):
+            prev = out.pop()
+            period = _ROTATIONS[g.base_name]
+            total = (prev.params[0] + g.params[0]) % period
+            if min(total, period - total) < _ANGLE_EPS:
+                continue  # fully cancelled
+            out.append(Gate(g.name, g.targets, g.controls, (total,)))
+        else:
+            out.append(g)
+    return Circuit(circuit.num_qubits, out, name=f"{circuit.name}_opt")
+
+
+def optimize(circuit: Circuit, max_rounds: int = 8) -> Circuit:
+    """Alternate both passes until the gate count stops shrinking."""
+    current = circuit
+    for _ in range(max_rounds):
+        merged = merge_rotations(current)
+        cancelled = cancel_inverse_pairs(merged)
+        if len(cancelled) == len(current):
+            cancelled.name = f"{circuit.name}_opt"
+            return cancelled
+        current = cancelled
+    current.name = f"{circuit.name}_opt"
+    return current

@@ -1,0 +1,171 @@
+"""OpenQASM 2.0 subset parser and writer.
+
+The paper's benchmark circuits come from QASMBench and MQT Bench, which ship
+OpenQASM 2.0.  This module implements the subset those suites use:
+
+* ``OPENQASM 2.0;`` header and ``include "qelib1.inc";``
+* ``qreg``/``creg`` declarations (multiple quantum registers are flattened
+  into one qubit index space in declaration order),
+* applications of the qelib1 gates known to
+  :mod:`repro.circuits.gates`, with parameter expressions over ``pi``
+  (``+ - * / ^``, unary minus, parentheses),
+* ``barrier`` (ignored) and ``measure`` (ignored -- the simulators compute
+  the full final state, matching the paper's strong-simulation workload).
+
+Parse errors raise :class:`~repro.common.errors.QasmError` with the line.
+"""
+
+from __future__ import annotations
+
+import ast
+import math
+import operator
+import re
+
+from repro.common.errors import QasmError
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import CONTROLLED_ALIASES, GATE_BUILDERS, Gate
+
+__all__ = ["parse_qasm", "to_qasm"]
+
+_BINOPS = {
+    ast.Add: operator.add,
+    ast.Sub: operator.sub,
+    ast.Mult: operator.mul,
+    ast.Div: operator.truediv,
+    ast.Pow: operator.pow,
+}
+
+
+def _eval_param(expr: str, line: int) -> float:
+    """Safely evaluate a QASM parameter expression (numbers, pi, + - * / ^)."""
+    expr = expr.strip().replace("^", "**")
+    try:
+        tree = ast.parse(expr, mode="eval")
+    except SyntaxError as exc:
+        raise QasmError(f"bad parameter expression {expr!r}", line) from exc
+
+    def ev(node: ast.AST) -> float:
+        if isinstance(node, ast.Expression):
+            return ev(node.body)
+        if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+            return float(node.value)
+        if isinstance(node, ast.Name) and node.id == "pi":
+            return math.pi
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+            return -ev(node.operand)
+        if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.UAdd):
+            return ev(node.operand)
+        if isinstance(node, ast.BinOp) and type(node.op) in _BINOPS:
+            return _BINOPS[type(node.op)](ev(node.left), ev(node.right))
+        raise QasmError(f"unsupported expression {expr!r}", line)
+
+    return ev(tree)
+
+
+_QREG_RE = re.compile(r"^qreg\s+([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]$")
+_CREG_RE = re.compile(r"^creg\s+([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]$")
+_GATE_RE = re.compile(
+    r"^([A-Za-z_][\w]*)\s*(?:\(([^)]*)\))?\s+(.+)$"
+)
+_QUBIT_RE = re.compile(r"^([A-Za-z_][\w]*)\s*\[\s*(\d+)\s*\]$")
+
+
+def parse_qasm(text: str, name: str = "qasm") -> Circuit:
+    """Parse an OpenQASM 2.0 program into a :class:`Circuit`."""
+    # Strip comments, then split on ';' while tracking line numbers.
+    registers: dict[str, tuple[int, int]] = {}  # name -> (offset, size)
+    total_qubits = 0
+    statements: list[tuple[int, str]] = []
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("//", 1)[0].strip()
+        if not line:
+            continue
+        for stmt in line.split(";"):
+            stmt = stmt.strip()
+            if stmt:
+                statements.append((lineno, stmt))
+
+    gates: list[Gate] = []
+    saw_header = False
+    for lineno, stmt in statements:
+        low = stmt.lower()
+        if low.startswith("openqasm"):
+            saw_header = True
+            continue
+        if low.startswith("include"):
+            continue
+        if low.startswith("barrier") or low.startswith("measure"):
+            continue
+        if low.startswith("creg"):
+            if not _CREG_RE.match(stmt):
+                raise QasmError(f"malformed creg: {stmt!r}", lineno)
+            continue
+        m = _QREG_RE.match(stmt)
+        if m:
+            reg, size = m.group(1), int(m.group(2))
+            if reg in registers:
+                raise QasmError(f"duplicate register {reg!r}", lineno)
+            registers[reg] = (total_qubits, size)
+            total_qubits += size
+            continue
+        m = _GATE_RE.match(stmt)
+        if not m:
+            raise QasmError(f"cannot parse statement {stmt!r}", lineno)
+        gname, params_src, operands_src = m.groups()
+        gname = gname.lower()
+        if gname not in GATE_BUILDERS and gname not in CONTROLLED_ALIASES:
+            raise QasmError(f"unknown gate {gname!r}", lineno)
+        params: tuple[float, ...] = ()
+        if params_src is not None:
+            params = tuple(
+                _eval_param(p, lineno) for p in params_src.split(",") if p.strip()
+            )
+        qubits = []
+        for operand in operands_src.split(","):
+            operand = operand.strip()
+            qm = _QUBIT_RE.match(operand)
+            if not qm:
+                raise QasmError(
+                    f"only indexed qubit operands are supported: {operand!r}",
+                    lineno,
+                )
+            reg, idx = qm.group(1), int(qm.group(2))
+            if reg not in registers:
+                raise QasmError(f"unknown register {reg!r}", lineno)
+            offset, size = registers[reg]
+            if idx >= size:
+                raise QasmError(
+                    f"index {idx} out of range for {reg}[{size}]", lineno
+                )
+            qubits.append(offset + idx)
+        extra = CONTROLLED_ALIASES.get(gname, (None, 0))[1]
+        gates.append(
+            Gate(
+                name=gname,
+                targets=tuple(qubits[extra:]),
+                controls=tuple(qubits[:extra]),
+                params=params,
+            )
+        )
+    if not saw_header:
+        raise QasmError("missing OPENQASM header", None)
+    if total_qubits == 0:
+        raise QasmError("no qreg declared", None)
+    return Circuit(total_qubits, gates, name=name)
+
+
+def to_qasm(circuit: Circuit) -> str:
+    """Serialize a circuit to OpenQASM 2.0 (round-trips with parse_qasm)."""
+    lines = [
+        "OPENQASM 2.0;",
+        'include "qelib1.inc";',
+        f"qreg q[{circuit.num_qubits}];",
+    ]
+    for g in circuit.gates:
+        params = ""
+        if g.params:
+            params = "(" + ",".join(repr(p) for p in g.params) + ")"
+        operands = ",".join(f"q[{q}]" for q in g.qubits)
+        lines.append(f"{g.name}{params} {operands};")
+    return "\n".join(lines) + "\n"

@@ -1,0 +1,222 @@
+"""Gate decomposition to a {u3, p, rz, ry, cx} basis.
+
+A minimal transpiler: every library gate is rewritten into single-qubit
+rotations plus CX, using the textbook constructions
+
+* ZYZ (Euler) decomposition for arbitrary single-qubit unitaries,
+* the ABC decomposition ``CU = P(alpha)_c . A cx B cx C`` for singly
+  controlled single-qubit gates,
+* standard networks for swap (3 CX), iswap, rzz/rxx/fsim, Toffoli
+  (6-CX network), ccz and Fredkin.
+
+Global phases cannot be expressed in this basis, so :func:`decompose`
+returns the accumulated phase alongside the circuit: the decomposed
+circuit equals ``phase * original`` exactly.  Gates with three or more
+controls and explicit-matrix gates (quantum volume) are not supported.
+"""
+
+from __future__ import annotations
+
+import cmath
+import math
+
+import numpy as np
+
+from repro.common.errors import CircuitError
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+
+__all__ = ["decompose", "zyz_angles", "BASIS_GATES"]
+
+#: Gate names the decomposed circuit may contain.
+BASIS_GATES = frozenset({"u3", "p", "rz", "ry", "cx"})
+
+
+def zyz_angles(u: np.ndarray) -> tuple[float, float, float, float]:
+    """Euler angles (alpha, beta, gamma, delta) with
+    ``U = exp(i*alpha) Rz(beta) Ry(gamma) Rz(delta)`` exactly."""
+    u = np.asarray(u, dtype=np.complex128)
+    if u.shape != (2, 2):
+        raise CircuitError(f"zyz_angles needs a 2x2 matrix, got {u.shape}")
+    det = u[0, 0] * u[1, 1] - u[0, 1] * u[1, 0]
+    alpha = cmath.phase(det) / 2.0
+    v = u * cmath.exp(-1j * alpha)  # now in SU(2)
+    gamma = 2.0 * math.atan2(abs(v[1, 0]), abs(v[0, 0]))
+    if abs(v[0, 0]) > 1e-12 and abs(v[1, 0]) > 1e-12:
+        beta = cmath.phase(v[1, 1]) + cmath.phase(v[1, 0])
+        delta = cmath.phase(v[1, 1]) - cmath.phase(v[1, 0])
+    elif abs(v[0, 0]) > 1e-12:  # diagonal: gamma = 0
+        beta = 2.0 * cmath.phase(v[1, 1])
+        delta = 0.0
+    else:  # anti-diagonal: gamma = pi
+        beta = 2.0 * cmath.phase(v[1, 0])
+        delta = 0.0
+    return alpha, beta, gamma, delta
+
+
+def _emit_zyz(
+    out: Circuit, q: int, beta: float, gamma: float, delta: float
+) -> None:
+    """Append Rz(beta) Ry(gamma) Rz(delta) acting on ``q`` (delta first)."""
+    if abs(delta) > 1e-12:
+        out.rz(delta, q)
+    if abs(gamma) > 1e-12:
+        out.ry(gamma, q)
+    if abs(beta) > 1e-12:
+        out.rz(beta, q)
+
+
+def _decompose_1q(out: Circuit, gate: Gate) -> complex:
+    alpha, beta, gamma, delta = zyz_angles(gate.matrix())
+    _emit_zyz(out, gate.targets[0], beta, gamma, delta)
+    # U = e^{i alpha} (emitted ops), so the emitted circuit realizes
+    # e^{-i alpha} U: that is this gate's contribution to the global phase.
+    return cmath.exp(-1j * alpha)
+
+
+def _decompose_controlled_1q(out: Circuit, gate: Gate) -> complex:
+    """ABC decomposition of a singly controlled single-qubit gate."""
+    control = gate.controls[0]
+    target = gate.targets[0]
+    alpha, beta, gamma, delta = zyz_angles(gate.matrix())
+    # A = Rz(beta) Ry(gamma/2); B = Ry(-gamma/2) Rz(-(delta+beta)/2);
+    # C = Rz((delta-beta)/2); ABC = I and A X B X C = Rz Ry Rz.
+    _emit_zyz(out, target, (delta - beta) / 2.0, 0.0, 0.0)  # C = Rz((d-b)/2)
+    out.cx(control, target)
+    # B = Ry(-gamma/2) Rz(-(delta+beta)/2): Rz applied first.
+    _emit_zyz(out, target, 0.0, -gamma / 2.0, -(delta + beta) / 2.0)
+    out.cx(control, target)
+    _emit_zyz(out, target, beta, gamma / 2.0, 0.0)  # A = Rz(beta) Ry(g/2)
+    if abs(alpha) > 1e-12:
+        out.p(alpha, control)
+    return 1.0 + 0j
+
+
+def _decompose_swap(out: Circuit, a: int, b: int) -> None:
+    out.cx(a, b)
+    out.cx(b, a)
+    out.cx(a, b)
+
+
+def _decompose_rzz(out: Circuit, theta: float, a: int, b: int) -> None:
+    out.cx(a, b)
+    out.rz(theta, b)
+    out.cx(a, b)
+
+
+def _decompose_ccx(out: Circuit, c1: int, c2: int, t: int) -> complex:
+    """Standard 6-CX Toffoli network over {h, t, tdg} expressed in basis."""
+    phase = 1.0 + 0j
+    h_angles = zyz_angles(Gate("h", (0,)).matrix())
+    quarter = math.pi / 4
+
+    def h_gate(q: int) -> None:
+        nonlocal phase
+        _emit_zyz(out, q, h_angles[1], h_angles[2], h_angles[3])
+        phase *= cmath.exp(-1j * h_angles[0])
+
+    h_gate(t)
+    out.cx(c2, t)
+    out.p(-quarter, t)
+    out.cx(c1, t)
+    out.p(quarter, t)
+    out.cx(c2, t)
+    out.p(-quarter, t)
+    out.cx(c1, t)
+    out.p(quarter, c2)
+    out.p(quarter, t)
+    h_gate(t)
+    out.cx(c1, c2)
+    out.p(quarter, c1)
+    out.p(-quarter, c2)
+    out.cx(c1, c2)
+    return phase
+
+
+def decompose(circuit: Circuit) -> tuple[Circuit, complex]:
+    """Rewrite ``circuit`` into BASIS_GATES; returns (circuit, phase).
+
+    The decomposed circuit's unitary equals ``phase * U_original``.
+    """
+    out = Circuit(circuit.num_qubits, name=f"{circuit.name}_basis")
+    phase: complex = 1.0
+    for gate in circuit.gates:
+        base = gate.base_name
+        ncontrols = len(gate.controls)
+        if base == "unitary":
+            raise CircuitError(
+                "explicit-matrix gates are not supported by decompose()"
+            )
+        if ncontrols == 0 and len(gate.targets) == 1:
+            if base == "rz" or base == "ry" or base == "p":
+                out.append(Gate(base, gate.targets, params=gate.params))
+            else:
+                phase *= _decompose_1q(out, gate)
+        elif ncontrols == 1 and len(gate.targets) == 1:
+            if base == "x":
+                out.cx(gate.controls[0], gate.targets[0])
+            else:
+                phase *= _decompose_controlled_1q(out, gate)
+        elif ncontrols == 0 and len(gate.targets) == 2:
+            a, b = gate.targets
+            if base == "swap":
+                _decompose_swap(out, a, b)
+            elif base == "rzz":
+                _decompose_rzz(out, gate.params[0], a, b)
+            elif base == "rxx":
+                # rxx = (H (x) H) rzz (H (x) H).
+                for q in (a, b):
+                    phase *= _decompose_1q(out, Gate("h", (q,)))
+                _decompose_rzz(out, gate.params[0], a, b)
+                for q in (a, b):
+                    phase *= _decompose_1q(out, Gate("h", (q,)))
+            elif base == "iswap":
+                # iswap = (S (x) S) . H_a . CX(a,b) . CX(b,a) . H_b.
+                out.append(Gate("p", (b,), params=(math.pi / 2,)))
+                out.append(Gate("p", (a,), params=(math.pi / 2,)))
+                phase *= _decompose_1q(out, Gate("h", (a,)))
+                out.cx(a, b)
+                out.cx(b, a)
+                phase *= _decompose_1q(out, Gate("h", (b,)))
+            elif base == "fsim":
+                theta, phi = gate.params
+                # fsim(theta, phi) = CP(-phi) . Ryy(theta) . Rxx(theta):
+                # XX and YY commute and exp(-i t (XX+YY)/2) gives the
+                # fsim swap block; the CP supplies the |11> phase.
+                for q in (a, b):
+                    phase *= _decompose_1q(out, Gate("h", (q,)))
+                _decompose_rzz(out, theta, a, b)
+                for q in (a, b):
+                    phase *= _decompose_1q(out, Gate("h", (q,)))
+                for q in (a, b):
+                    out.append(Gate("p", (q,), params=(-math.pi / 2,)))
+                    phase *= _decompose_1q(out, Gate("h", (q,)))
+                _decompose_rzz(out, theta, a, b)
+                for q in (a, b):
+                    phase *= _decompose_1q(out, Gate("h", (q,)))
+                    out.append(Gate("p", (q,), params=(math.pi / 2,)))
+                phase *= _decompose_controlled_1q(
+                    out, Gate("cp", (b,), (a,), (-phi,))
+                )
+            else:
+                raise CircuitError(f"no decomposition rule for {gate.name!r}")
+        elif ncontrols == 2 and len(gate.targets) == 1 and base == "x":
+            phase *= _decompose_ccx(out, *gate.controls, gate.targets[0])
+        elif ncontrols == 2 and len(gate.targets) == 1 and base == "z":
+            c1, c2 = gate.controls
+            t = gate.targets[0]
+            phase *= _decompose_1q(out, Gate("h", (t,)))
+            phase *= _decompose_ccx(out, c1, c2, t)
+            phase *= _decompose_1q(out, Gate("h", (t,)))
+        elif ncontrols == 1 and base == "swap":
+            c = gate.controls[0]
+            a, b = gate.targets
+            out.cx(b, a)
+            phase *= _decompose_ccx(out, c, a, b)
+            out.cx(b, a)
+        else:
+            raise CircuitError(
+                f"no decomposition rule for {gate.name!r} with "
+                f"{ncontrols} controls"
+            )
+    return out, phase

@@ -1,0 +1,295 @@
+"""Command-line interface.
+
+Examples::
+
+    python -m repro families
+    python -m repro simulate --family supremacy --qubits 12 --threads 4
+    python -m repro simulate circuit.qasm --backend ddsim --shots 1000
+    python -m repro compare --family dnn --qubits 12
+    python -m repro equivalence a.qasm b.qasm
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from repro import __version__
+from repro.backends import DDSimulator, StatevectorSimulator
+from repro.circuits import CIRCUIT_FAMILIES, Circuit, get_circuit, parse_qasm
+from repro.common.errors import ReproError
+from repro.core import FlatDDSimulator
+from repro.sampling import sample_counts
+from repro.verify import check_equivalence
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_circuit(args: argparse.Namespace) -> Circuit:
+    if args.qasm_file:
+        with open(args.qasm_file, "r", encoding="utf-8") as fh:
+            return parse_qasm(fh.read(), name=args.qasm_file)
+    if not args.family:
+        raise ReproError("provide a QASM file or --family/--qubits")
+    kwargs = {}
+    if args.seed is not None:
+        kwargs["seed"] = args.seed
+    return get_circuit(args.family, args.qubits, **kwargs)
+
+
+def _make_simulator(args: argparse.Namespace):
+    if args.backend == "flatdd":
+        return FlatDDSimulator(
+            threads=args.threads, fusion=args.fusion
+        )
+    if args.backend == "ddsim":
+        return DDSimulator()
+    if args.backend == "quantumpp":
+        return StatevectorSimulator(threads=args.threads)
+    raise ReproError(f"unknown backend {args.backend!r}")
+
+
+def _add_circuit_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("qasm_file", nargs="?", help="OpenQASM 2.0 file")
+    p.add_argument("--family", help="generator family (see 'families')")
+    p.add_argument("--qubits", type=int, default=8)
+    p.add_argument("--seed", type=int, default=None,
+                   help="generator seed (random families)")
+
+
+def cmd_families(args: argparse.Namespace) -> int:
+    for name in sorted(CIRCUIT_FAMILIES):
+        print(name)
+    return 0
+
+
+def cmd_simulate(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    sim = _make_simulator(args)
+    result = sim.run(circuit)
+    payload = {
+        "circuit": circuit.name,
+        "qubits": circuit.num_qubits,
+        "gates": len(circuit.gates),
+        "backend": result.backend,
+        "runtime_seconds": round(result.runtime_seconds, 6),
+        "peak_memory_mb": round(result.peak_memory_mb, 3),
+    }
+    if "conversion_gate_index" in result.metadata:
+        payload["converted_at"] = result.metadata["conversion_gate_index"]
+    if args.shots:
+        counts = sample_counts(
+            result.state, args.shots, np.random.default_rng(args.sample_seed)
+        )
+        payload["counts"] = dict(counts.most_common(args.top))
+    else:
+        probs = result.probabilities()
+        top = probs.argsort()[::-1][: args.top]
+        payload["top_outcomes"] = {
+            format(int(i), f"0{circuit.num_qubits}b"): round(float(probs[i]), 8)
+            for i in top
+        }
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    circuit = _load_circuit(args)
+    rows = []
+    reference = None
+    for backend in ("flatdd", "quantumpp", "ddsim"):
+        args.backend = backend
+        sim = _make_simulator(args)
+        run_kwargs = {}
+        if backend in ("flatdd", "ddsim") and args.timeout:
+            run_kwargs["max_seconds"] = args.timeout
+        result = sim.run(circuit, **run_kwargs)
+        fidelity = None
+        if reference is None:
+            reference = result
+        elif not result.metadata.get("timed_out"):
+            fidelity = result.fidelity(reference)
+        rows.append((result, fidelity))
+    print(f"{circuit.name}: {circuit.num_qubits} qubits, "
+          f"{len(circuit.gates)} gates")
+    print(f"{'backend':24s} {'runtime (s)':>12s} {'mem (MB)':>10s} "
+          f"{'fidelity':>10s}")
+    for result, fidelity in rows:
+        timed_out = result.metadata.get("timed_out")
+        runtime = (f"> {args.timeout:g}" if timed_out
+                   else f"{result.runtime_seconds:.3f}")
+        fid = "-" if fidelity is None else f"{fidelity:.8f}"
+        print(f"{result.backend:24s} {runtime:>12s} "
+              f"{result.peak_memory_mb:>10.2f} {fid:>10s}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Concatenate benchmarks/results/*.txt into one experiment report."""
+    import glob
+    import os
+
+    results_dir = args.results_dir
+    files = sorted(glob.glob(os.path.join(results_dir, "*.txt")))
+    if not files:
+        print(f"no result files under {results_dir}; run "
+              "`pytest benchmarks/ --benchmark-only` first",
+              file=sys.stderr)
+        return 1
+    sections = []
+    for path in files:
+        with open(path, "r", encoding="utf-8") as fh:
+            sections.append(fh.read().rstrip())
+    report = (
+        "FlatDD reproduction: experiment report\n"
+        + "#" * 46 + "\n\n"
+        + "\n\n".join(sections)
+        + "\n"
+    )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(report)
+        print(f"wrote {len(files)} experiment sections to {args.output}")
+    else:
+        print(report, end="")
+    return 0
+
+
+def cmd_summarize(args: argparse.Namespace) -> int:
+    from repro.circuits import summarize
+
+    circuit = _load_circuit(args)
+    s = summarize(circuit)
+    print(f"circuit:           {circuit.name}")
+    print(f"qubits:            {s.num_qubits}")
+    print(f"gates:             {s.num_gates}")
+    print(f"depth:             {s.depth}")
+    print(f"two-qubit gates:   {s.two_qubit_gates} "
+          f"({100 * s.two_qubit_fraction:.1f}%)")
+    print(f"entangling depth:  {s.entangling_depth}")
+    print(f"parallelism:       {s.parallelism:.2f} gates/layer")
+    print("gate counts:       "
+          + ", ".join(f"{k}={v}" for k, v in sorted(s.gate_counts.items())))
+    return 0
+
+
+def cmd_transpile(args: argparse.Namespace) -> int:
+    from repro.circuits import decompose, to_qasm
+
+    circuit = _load_circuit(args)
+    out, phase = decompose(circuit)
+    text = to_qasm(out)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {len(out)} gates to {args.output} "
+              f"(global phase {phase:.6f})")
+    else:
+        print(text, end="")
+    return 0
+
+
+def cmd_equivalence(args: argparse.Namespace) -> int:
+    with open(args.file1, "r", encoding="utf-8") as fh:
+        c1 = parse_qasm(fh.read(), name=args.file1)
+    with open(args.file2, "r", encoding="utf-8") as fh:
+        c2 = parse_qasm(fh.read(), name=args.file2)
+    result = check_equivalence(c1, c2, strategy=args.strategy)
+    verdict = "EQUIVALENT" if result.equivalent else "NOT EQUIVALENT"
+    print(f"{verdict} (method={result.method}, "
+          f"peak miter nodes={result.peak_nodes})")
+    if result.equivalent and abs(result.phase - 1.0) > 1e-9:
+        print(f"global phase: {result.phase:.6f}")
+    return 0 if result.equivalent else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FlatDD reproduction: hybrid DD/flat-array quantum "
+        "circuit simulation",
+    )
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("families", help="list circuit generator families")
+    p.set_defaults(func=cmd_families)
+
+    p = sub.add_parser("simulate", help="simulate one circuit")
+    _add_circuit_args(p)
+    p.add_argument("--backend", default="flatdd",
+                   choices=["flatdd", "ddsim", "quantumpp"])
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--fusion", default="none",
+                   choices=["none", "cost", "koperations"])
+    p.add_argument("--shots", type=int, default=0,
+                   help="sample this many bitstrings instead of listing "
+                        "exact top outcomes")
+    p.add_argument("--sample-seed", type=int, default=0)
+    p.add_argument("--top", type=int, default=5)
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser("compare", help="run all three backends")
+    _add_circuit_args(p)
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--fusion", default="none",
+                   choices=["none", "cost", "koperations"])
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(func=cmd_compare)
+
+    p = sub.add_parser(
+        "report", help="collect benchmark result tables into one report"
+    )
+    p.add_argument(
+        "--results-dir",
+        default="benchmarks/results",
+        help="directory with the per-experiment .txt outputs",
+    )
+    p.add_argument("--output", "-o", help="write the report here")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("summarize", help="circuit structure summary")
+    _add_circuit_args(p)
+    p.set_defaults(func=cmd_summarize)
+
+    p = sub.add_parser(
+        "transpile", help="decompose to the {u3,p,rz,ry,cx} basis"
+    )
+    _add_circuit_args(p)
+    p.add_argument("--output", "-o", help="write QASM here (default stdout)")
+    p.set_defaults(func=cmd_transpile)
+
+    p = sub.add_parser("equivalence", help="DD equivalence check")
+    p.add_argument("file1")
+    p.add_argument("file2")
+    p.add_argument("--strategy", default="alternate",
+                   choices=["alternate", "naive"])
+    p.set_defaults(func=cmd_equivalence)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

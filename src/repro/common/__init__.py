@@ -1,0 +1,51 @@
+"""Shared utilities: errors, bit tricks, configuration constants."""
+
+from repro.common.bits import (
+    bit,
+    clear_bit,
+    ilog2,
+    indices_matching,
+    indices_with_bit,
+    insert_zero_bit,
+    is_power_of_two,
+    set_bit,
+)
+from repro.common.config import (
+    DEFAULT_BETA,
+    DEFAULT_EPSILON,
+    DEFAULT_THREADS,
+    SIMD_WIDTH,
+    TOLERANCE,
+    FlatDDConfig,
+)
+from repro.common.errors import (
+    CircuitError,
+    DDError,
+    ParallelError,
+    QasmError,
+    ReproError,
+    SimulationError,
+)
+
+__all__ = [
+    "bit",
+    "clear_bit",
+    "ilog2",
+    "indices_matching",
+    "indices_with_bit",
+    "insert_zero_bit",
+    "is_power_of_two",
+    "set_bit",
+    "DEFAULT_BETA",
+    "DEFAULT_EPSILON",
+    "DEFAULT_THREADS",
+    "SIMD_WIDTH",
+    "TOLERANCE",
+    "FlatDDConfig",
+    "CircuitError",
+    "DDError",
+    "ParallelError",
+    "QasmError",
+    "ReproError",
+    "SimulationError",
+]

@@ -1,0 +1,101 @@
+"""Bit-manipulation helpers shared across the DD package and the backends.
+
+Index convention (used everywhere in the library): amplitude index ``i`` of an
+``n``-qubit state has bit ``k`` equal to the value of qubit ``k``.  Qubit 0 is
+the *least significant* qubit and sits at DD level 0, directly above the
+terminal node; qubit ``n - 1`` is the most significant and sits at the root.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "is_power_of_two",
+    "ilog2",
+    "bit",
+    "set_bit",
+    "clear_bit",
+    "insert_zero_bit",
+    "indices_with_bit",
+    "indices_matching",
+]
+
+
+def is_power_of_two(x: int) -> bool:
+    """Return True if ``x`` is a positive power of two (1, 2, 4, ...)."""
+    return x > 0 and (x & (x - 1)) == 0
+
+
+def ilog2(x: int) -> int:
+    """Exact integer log2 of a positive power of two.
+
+    Raises ``ValueError`` for anything else, to catch silent misuse in the
+    thread-partitioning code where ``t`` must be a power of two.
+    """
+    if not is_power_of_two(x):
+        raise ValueError(f"{x} is not a positive power of two")
+    return x.bit_length() - 1
+
+
+def bit(i: int, k: int) -> int:
+    """Value (0 or 1) of bit ``k`` of ``i``."""
+    return (i >> k) & 1
+
+
+def set_bit(i: int, k: int) -> int:
+    """``i`` with bit ``k`` forced to 1."""
+    return i | (1 << k)
+
+
+def clear_bit(i: int, k: int) -> int:
+    """``i`` with bit ``k`` forced to 0."""
+    return i & ~(1 << k)
+
+
+def insert_zero_bit(i: int, k: int) -> int:
+    """Insert a 0 bit at position ``k``, shifting higher bits up.
+
+    This maps a compact enumeration of ``2**(n-1)`` indices to the subset of
+    ``2**n`` indices whose ``k``-th bit is zero -- the core index trick of
+    array-based simulators (Equation 2 of the paper).
+    """
+    low = i & ((1 << k) - 1)
+    high = (i >> k) << (k + 1)
+    return high | low
+
+
+def indices_with_bit(n: int, k: int, value: int) -> np.ndarray:
+    """All ``n``-bit indices whose bit ``k`` equals ``value``, ascending.
+
+    Vectorized: returns an ``int64`` array of length ``2**(n-1)``.
+    """
+    base = np.arange(1 << (n - 1), dtype=np.int64)
+    low = base & ((1 << k) - 1)
+    high = (base >> k) << (k + 1)
+    out = high | low
+    if value:
+        out |= 1 << k
+    return out
+
+
+def indices_matching(n: int, fixed: dict[int, int]) -> np.ndarray:
+    """All ``n``-bit indices whose bits match the ``{position: value}`` map.
+
+    Used to enumerate the amplitudes touched by multi-controlled gates.  The
+    result has length ``2**(n - len(fixed))`` and is sorted ascending.
+    """
+    free = [k for k in range(n) if k not in fixed]
+    base = np.arange(1 << len(free), dtype=np.int64)
+    out = np.zeros_like(base)
+    for pos, k in enumerate(free):
+        out |= ((base >> pos) & 1) << k
+    const = 0
+    for k, v in fixed.items():
+        if v not in (0, 1):
+            raise ValueError(f"bit value must be 0 or 1, got {v}")
+        if v:
+            const |= 1 << k
+    out |= const
+    out.sort()
+    return out

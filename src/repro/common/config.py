@@ -1,0 +1,100 @@
+"""Numeric and modeling constants shared across the library.
+
+These mirror the constants the paper fixes for its evaluation:
+
+* ``DEFAULT_BETA`` / ``DEFAULT_EPSILON`` -- the EWMA conversion trigger
+  (Section 3.1.1; the paper uses beta = 0.9, epsilon = 2 for every run).
+* ``SIMD_WIDTH`` -- the ``d`` of Equation 6.  The paper uses AVX2 on
+  ``double complex`` (d = 2); we keep the same default for the cost model
+  even though the arithmetic here is batched through numpy.
+* ``TOLERANCE`` -- the complex-table tolerance used to canonicalize edge
+  weights, as in DDSIM's complex-number package [98].
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Tolerance for treating two complex numbers as identical in the complex
+#: table, and for treating an edge weight as exactly zero.
+TOLERANCE: float = 1e-10
+
+#: Decimal places used to bucket complex values in the complex table.  Chosen
+#: so that ``round(x, CTABLE_DECIMALS)`` collapses values within TOLERANCE.
+CTABLE_DECIMALS: int = 10
+
+#: EWMA smoothing factor (beta in Equation 4).
+DEFAULT_BETA: float = 0.9
+
+#: Conversion threshold (epsilon in Section 3.1.1).
+DEFAULT_EPSILON: float = 2.0
+
+#: SIMD lane count d in the cost model (Equation 6). AVX2 fits two
+#: double-precision complex numbers per register.
+SIMD_WIDTH: int = 2
+
+#: Default number of worker threads (the paper evaluates FlatDD at t = 16).
+DEFAULT_THREADS: int = 4
+
+#: Level at or below which the DMAV/conversion kernels bottom out on dense
+#: cached blocks instead of recursing (pure-Python substitution for the
+#: per-scalar MAC loop; see DESIGN.md substitution 2).  A node at level l
+#: spans 2**(l+1) amplitudes, so level 5 means 64-element blocks.
+DENSE_BLOCK_LEVEL: int = 5
+
+# ---------------------------------------------------------------------------
+# Memory-model constants (bytes), used by repro.metrics.memory to reproduce
+# the paper's RSS comparison analytically (DESIGN.md substitution 5). Sizes
+# are taken from DDSIM's C++ structs rather than CPython object overheads so
+# the *ratios* between simulators match what the paper measures.
+# ---------------------------------------------------------------------------
+
+#: A vector DD node: 2 edges (pointer + complex-pair pointer) + level + ref.
+VNODE_BYTES: int = 2 * 24 + 16
+
+#: A matrix DD node: 4 edges + bookkeeping.
+MNODE_BYTES: int = 4 * 24 + 16
+
+#: One canonical complex-table entry (two doubles + hash bucket overhead).
+CTABLE_ENTRY_BYTES: int = 32
+
+#: One complex128 amplitude in a flat array.
+AMPLITUDE_BYTES: int = 16
+
+
+@dataclass(frozen=True)
+class FlatDDConfig:
+    """Tunable knobs of the FlatDD pipeline, bundled for the orchestrator.
+
+    Defaults reproduce the paper's evaluation settings.
+    """
+
+    beta: float = DEFAULT_BETA
+    epsilon: float = DEFAULT_EPSILON
+    threads: int = DEFAULT_THREADS
+    simd_width: int = SIMD_WIDTH
+    #: "auto" picks caching per gate via the cost model (Section 3.2.3);
+    #: "always"/"never" force one DMAV variant (Figure 14 ablation).
+    cache_policy: str = "auto"
+    #: "cost" = Algorithm 3; "koperations" = the k-operations baseline [100];
+    #: "none" = no fusion (Table 2 configurations).
+    fusion: str = "none"
+    #: Group size for the k-operations baseline.
+    k_operations: int = 4
+    #: Dense bottom-out level for the Python kernels.
+    dense_block_level: int = DENSE_BLOCK_LEVEL
+    #: If False, thread tasks run inline (deterministic, used by tests);
+    #: if True they run on a ThreadPoolExecutor.
+    use_thread_pool: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta < 1.0:
+            raise ValueError(f"beta must be in [0, 1), got {self.beta}")
+        if self.epsilon <= 0:
+            raise ValueError(f"epsilon must be positive, got {self.epsilon}")
+        if self.cache_policy not in ("auto", "always", "never"):
+            raise ValueError(f"unknown cache_policy {self.cache_policy!r}")
+        if self.fusion not in ("cost", "koperations", "none"):
+            raise ValueError(f"unknown fusion mode {self.fusion!r}")
+        if self.k_operations < 2:
+            raise ValueError("k_operations must be at least 2")

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the simulator stack with a single handler
+while still being able to discriminate on the concrete subclass.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class CircuitError(ReproError):
+    """Raised for malformed circuits or gates (bad qubit indices, arity...)."""
+
+
+class QasmError(ReproError):
+    """Raised when parsing an OpenQASM 2.0 program fails."""
+
+    def __init__(self, message: str, line: int | None = None) -> None:
+        self.line = line
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class DDError(ReproError):
+    """Raised on invalid decision-diagram operations (level mismatch...)."""
+
+
+class SimulationError(ReproError):
+    """Raised when a simulation backend is misconfigured or fails."""
+
+
+class ParallelError(ReproError):
+    """Raised for invalid parallel configurations (e.g. non power-of-two t)."""

@@ -1,0 +1,304 @@
+"""Parallel DD-to-array conversion (Section 3.1.2, Figure 4).
+
+When the EWMA monitor fires, FlatDD converts its DD state vector to a flat
+array.  DDSIM's own exporter is sequential and can dominate total runtime
+(Figure 13b shows up to 83%); this module implements the paper's parallel
+algorithm with its two optimizations:
+
+* **Load balancing** (Figure 4a): threads split in half at every DD node
+  with two non-zero children; at a node with a zero child *all* threads
+  follow the non-zero edge, so none idles on an empty subtree.
+* **Scalar multiplication** (Figure 4b): at a node whose two children reach
+  the same node, only the first half is converted by traversal; the second
+  half is produced afterwards by one SIMD scalar multiplication of the
+  first (the halves are scalar multiples of each other).
+
+Both optimizations are independently toggleable so Figure 13's ablation can
+measure them.  The sequential baseline is
+:func:`repro.dd.vector.vector_to_array`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.config import DENSE_BLOCK_LEVEL
+from repro.dd.analysis import dense_vector_block, vector_kron_collapse
+from repro.dd.node import TERMINAL, DDNode, Edge
+from repro.dd.package import DDPackage
+from repro.dd.vector import vector_to_array
+from repro.parallel.pool import TaskRunner
+from repro.parallel.simd import simd_scale_into
+
+__all__ = [
+    "ConversionPlan",
+    "ConversionReport",
+    "convert_ddsim_scalar",
+    "convert_parallel",
+    "convert_sequential",
+    "plan_conversion",
+]
+
+
+@dataclass(frozen=True)
+class FillTask:
+    """One thread-local traversal job: expand ``coeff * subtree(node)``."""
+
+    node: DDNode
+    offset: int
+    coeff: complex
+
+
+@dataclass(frozen=True)
+class ScalarFill:
+    """Deferred SIMD job: ``out[dst:dst+size] = scalar * out[src:src+size]``.
+
+    ``level`` orders execution: deeper (smaller) fills must complete before
+    an enclosing fill copies the range that contains them.
+    """
+
+    src: int
+    dst: int
+    size: int
+    scalar: complex
+    level: int
+
+
+@dataclass
+class ConversionPlan:
+    """Thread split of the conversion (Figure 4's junction descent)."""
+
+    threads: int
+    tasks: list[list[FillTask]]
+    scalar_fills: list[ScalarFill]
+    #: Threads left idle at zero-edge junctions (only without load balancing).
+    idle_threads: int = 0
+
+
+@dataclass
+class ConversionReport:
+    """What Figure 13 measures for one conversion."""
+
+    seconds: float
+    threads: int
+    num_tasks: int
+    num_scalar_fills: int
+    idle_threads: int
+    load_balance: bool
+    scalar_mult: bool
+
+
+def plan_conversion(
+    pkg: DDPackage,
+    state: Edge,
+    threads: int,
+    load_balance: bool = True,
+    scalar_mult: bool = True,
+) -> ConversionPlan:
+    """Descend from the root, dividing threads at junctions (Section 3.1.2).
+
+    Returns per-thread traversal tasks plus the deferred scalar fills of
+    the scalar-multiplication optimization.
+    """
+    tasks: list[list[FillTask]] = [[] for _ in range(threads)]
+    scalar_fills: list[ScalarFill] = []
+    idle = [0]
+
+    def descend(e: Edge, coeff: complex, offset: int, lo_thread: int, nthreads: int) -> None:
+        node = e.n
+        coeff = coeff * e.w
+        if node is TERMINAL or nthreads <= 1:
+            tasks[lo_thread].append(FillTask(node, offset, coeff))
+            return
+        half = 1 << node.level
+        e0, e1 = node.edges
+        if scalar_mult and not e0.is_zero and not e1.is_zero and e0.n is e1.n:
+            # Children reach the same node: halves are scalar multiples.
+            # All threads convert the left half; one SIMD op fills the right.
+            scalar_fills.append(
+                ScalarFill(
+                    src=offset,
+                    dst=offset + half,
+                    size=half,
+                    scalar=e1.w / e0.w,
+                    level=node.level,
+                )
+            )
+            descend(e0, coeff, offset, lo_thread, nthreads)
+            return
+        if e0.is_zero or e1.is_zero:
+            live = e1 if e0.is_zero else e0
+            live_offset = offset + (half if e0.is_zero else 0)
+            if load_balance:
+                # All threads proceed along the non-zero edge (Figure 4a).
+                descend(live, coeff, live_offset, lo_thread, nthreads)
+            else:
+                # Naive split: half the threads walk into the zero subtree
+                # and find nothing to do.
+                idle[0] += nthreads // 2
+                keep = nthreads - nthreads // 2
+                descend(live, coeff, live_offset, lo_thread, keep)
+            return
+        split = nthreads // 2
+        descend(e0, coeff, offset, lo_thread, split)
+        descend(e1, coeff, offset + half, lo_thread + split, nthreads - split)
+
+    if not state.is_zero:
+        descend(state, 1.0 + 0j, 0, 0, threads)
+    return ConversionPlan(
+        threads=threads,
+        tasks=tasks,
+        scalar_fills=scalar_fills,
+        idle_threads=idle[0],
+    )
+
+
+def _fill_sweep(
+    pkg: DDPackage, out: np.ndarray, node: DDNode, offset: int, coeff: complex
+) -> None:
+    """Vectorized level-by-level expansion of one subtree.
+
+    The frontier of live root-to-here paths is kept as three parallel numpy
+    arrays (node arena index, array offset, accumulated amplitude), and
+    descending one level is a handful of gathers against the package's flat
+    node arena -- no per-node or per-path Python at all.  This is the
+    vectorized stand-in for the paper's per-thread DFS with SIMD
+    (DESIGN.md substitution 2), and it is where the "flat array" of the
+    title pays off on the DD side too.
+    """
+    w0_tab, w1_tab, c0_tab, c1_tab = pkg.vector_tables()
+    idx = np.array([node.aidx], dtype=np.int64)
+    offsets = np.array([offset], dtype=np.int64)
+    amps = np.array([coeff], dtype=np.complex128)
+    for level in range(node.level, -1, -1):
+        half = 1 << level
+        new_amps = np.concatenate(
+            (amps * w0_tab[idx], amps * w1_tab[idx])
+        )
+        offsets = np.concatenate((offsets, offsets + half))
+        # Zero-edge / terminal children carry arena index -1; their paths
+        # either die (weight 0, masked below) or have just produced their
+        # final amplitude (level 0), so the -1 is never dereferenced.
+        idx = np.concatenate((c0_tab[idx], c1_tab[idx]))
+        live = new_amps != 0
+        amps = new_amps[live]
+        offsets = offsets[live]
+        idx = idx[live]
+        if amps.size == 0:
+            return
+    out[offsets] = amps
+
+
+def _fill(
+    pkg: DDPackage,
+    out: np.ndarray,
+    task: FillTask,
+    dense_level: int,
+) -> None:
+    """Expansion of one task's subtree into the output array."""
+    node, offset, coeff = task.node, task.offset, task.coeff
+    if coeff == 0:
+        return
+    if node is TERMINAL:
+        out[offset] = coeff
+        return
+    collapsed = vector_kron_collapse(pkg, node, dense_level)
+    if collapsed is not None:
+        # Regular subtree (d (x) base): expand with one outer product.
+        d, base = collapsed
+        base_block = dense_vector_block(pkg, base)
+        size = d.size * base_block.size
+        np.multiply(
+            (coeff * d)[:, None],
+            base_block[None, :],
+            out=out[offset:offset + size].reshape(d.size, base_block.size),
+        )
+        return
+    # Irregular subtree: vectorized frontier sweep.
+    _fill_sweep(pkg, out, node, offset, coeff)
+
+
+def convert_parallel(
+    pkg: DDPackage,
+    state: Edge,
+    threads: int = 1,
+    runner: TaskRunner | None = None,
+    load_balance: bool = True,
+    scalar_mult: bool = True,
+    dense_level: int = DENSE_BLOCK_LEVEL,
+) -> tuple[np.ndarray, ConversionReport]:
+    """Convert a state-vector DD to a flat array with t threads.
+
+    Returns the array and a :class:`ConversionReport` for Figure 13.
+    """
+    n = pkg.num_qubits
+    start = time.perf_counter()
+    out = np.zeros(1 << n, dtype=np.complex128)
+    plan = plan_conversion(pkg, state, threads, load_balance, scalar_mult)
+
+    def work(u: int) -> None:
+        for task in plan.tasks[u]:
+            _fill(pkg, out, task, dense_level)
+
+    if runner is not None and runner.use_pool:
+        runner.run([lambda u=u: work(u) for u in range(threads)])
+    else:
+        for u in range(threads):
+            work(u)
+
+    # Deferred SIMD scalar fills, deepest first so sources are complete.
+    for fill in sorted(plan.scalar_fills, key=lambda f: f.level):
+        simd_scale_into(
+            out[fill.dst:fill.dst + fill.size],
+            out[fill.src:fill.src + fill.size],
+            fill.scalar,
+        )
+    report = ConversionReport(
+        seconds=time.perf_counter() - start,
+        threads=threads,
+        num_tasks=sum(map(len, plan.tasks)),
+        num_scalar_fills=len(plan.scalar_fills),
+        idle_threads=plan.idle_threads,
+        load_balance=load_balance,
+        scalar_mult=scalar_mult,
+    )
+    return out, report
+
+
+def convert_sequential(pkg: DDPackage, state: Edge) -> tuple[np.ndarray, float]:
+    """Single-threaded vectorized exporter (memoized subtrees), timed."""
+    start = time.perf_counter()
+    arr = vector_to_array(pkg, state)
+    return arr, time.perf_counter() - start
+
+
+def convert_ddsim_scalar(
+    pkg: DDPackage, state: Edge
+) -> tuple[np.ndarray, float]:
+    """DDSIM's exporter model: scalar depth-first path walk, one amplitude
+    at a time (the Figure 13 baseline).
+
+    This mirrors ``getVector`` in DDSIM [99]: a sequential recursion that
+    multiplies edge weights along every root-to-terminal path with no
+    vectorization and no subtree reuse -- exactly the cost profile the
+    paper reports consuming up to 83% of total runtime.
+    """
+    n = pkg.num_qubits
+    out = np.zeros(1 << n, dtype=np.complex128)
+    start = time.perf_counter()
+
+    def walk(node: DDNode, offset: int, amp: complex) -> None:
+        if node is TERMINAL:
+            out[offset] = amp
+            return
+        half = 1 << node.level
+        for i, child in enumerate(node.edges):
+            if not child.is_zero:
+                walk(child.n, offset + i * half, amp * child.w)
+
+    if not state.is_zero:
+        walk(state.n, 0, state.w)
+    return out, time.perf_counter() - start

@@ -1,0 +1,209 @@
+"""DMAV computational cost model (Section 3.2.3, Figure 8, Equations 5-6).
+
+The unit of cost is the multiply-accumulate (MAC).  ``mac_count`` implements
+Figure 8's DFS with a per-node look-up table: the terminal costs one MAC and
+every node costs the sum of its non-zero children (identical nodes cost the
+same, so the table collapses shared structure).
+
+``CostModel.evaluate`` returns both Equation 5 (no caching, C1) and
+Equation 6 (caching, C2 = K2/t + 2**n/(d*t) * (H/t + b)) for a gate matrix,
+where H (cache hits), K2 (MACs not eliminated by caching) and b (partial
+output buffers) come from simulating Algorithm 2's AssignCache partitioning
+-- exactly the quantities the running system would realize.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.config import SIMD_WIDTH
+from repro.dd.node import TERMINAL, DDNode, Edge
+from repro.dd.package import DDPackage
+from repro.parallel.partition import border_level
+from repro.parallel.pool import validate_thread_count
+
+__all__ = ["mac_count", "CacheAssignment", "assign_cache_tasks", "CostModel", "GateCost"]
+
+
+def mac_count(pkg: DDPackage, e: Edge) -> int:
+    """Total MAC operations of a DMAV with gate matrix ``e`` (Figure 8)."""
+    if e.is_zero:
+        return 0
+    return _mac_count_node(pkg, e.n)
+
+
+def _mac_count_node(pkg: DDPackage, node: DDNode) -> int:
+    if node is TERMINAL:
+        return 1
+    cached = pkg.mac_counts.get(id(node))
+    if cached is not None:
+        return cached
+    total = sum(
+        _mac_count_node(pkg, child.n)
+        for child in node.edges
+        if not child.is_zero
+    )
+    pkg.mac_counts[id(node)] = total
+    return total
+
+
+@dataclass
+class CacheAssignment:
+    """AssignCache's border-level task partition for one gate matrix.
+
+    ``tasks[u]`` lists ``(node, partial_output_offset, weight_product)`` in
+    assignment order for thread ``u``; ``buffer_of[u]`` is the shared
+    partial-output buffer index (Algorithm 2 lines 22-25).
+    """
+
+    num_qubits: int
+    threads: int
+    tasks: list[list[tuple[DDNode, int, complex]]]
+    buffer_of: list[int]
+    num_buffers: int
+
+    @property
+    def cache_hits(self) -> int:
+        """H of Equation 6: repeated border nodes within each thread."""
+        hits = 0
+        for thread_tasks in self.tasks:
+            seen: set[int] = set()
+            for node, _, _ in thread_tasks:
+                if id(node) in seen:
+                    hits += 1
+                else:
+                    seen.add(id(node))
+        return hits
+
+    def k2_macs(self, pkg: DDPackage) -> int:
+        """K2 of Equation 6: MACs of each thread's *unique* border nodes."""
+        total = 0
+        for thread_tasks in self.tasks:
+            seen: set[int] = set()
+            for node, _, _ in thread_tasks:
+                if id(node) not in seen:
+                    seen.add(id(node))
+                    total += _mac_count_node(pkg, node)
+        return total
+
+
+def assign_cache_tasks(pkg: DDPackage, m: Edge, threads: int) -> CacheAssignment:
+    """Simulate Algorithm 2's AssignCache partition (column-major descent).
+
+    The thread index follows the *column* half chosen at each level, the
+    partial-output offset follows the *row* half -- so each thread owns a
+    fixed slice of the input vector and its cache can reuse results across
+    its own tasks (Section 3.2.2).
+    """
+    n = pkg.num_qubits
+    validate_thread_count(threads, n)
+    border = border_level(n, threads)
+    tasks: list[list[tuple[DDNode, int, complex]]] = [[] for _ in range(threads)]
+
+    def descend(e: Edge, f: complex, u: int, i_p: int, level: int) -> None:
+        if e.is_zero:
+            return
+        if level == border:
+            tasks[u].append((e.n, i_p, f * e.w))
+            return
+        stride = threads >> (n - level)
+        for j in (0, 1):
+            for i in (0, 1):
+                descend(
+                    e.n.edges[2 * i + j],
+                    f * e.w,
+                    u + j * stride,
+                    i_p + (1 << level) * i,
+                    level - 1,
+                )
+
+    if not m.is_zero:
+        descend(m, 1.0 + 0j, 0, 0, n - 1)
+
+    # Buffer assignment: first-fit threads into buffers whose occupied
+    # output slices don't overlap.  All slices have length h = 2**n / t, so
+    # comparing start offsets is an exact overlap test.
+    buffer_slots: list[set[int]] = []
+    buffer_of: list[int] = []
+    for u in range(threads):
+        offsets = {i_p for _, i_p, _ in tasks[u]}
+        placed = -1
+        for bi, occupied in enumerate(buffer_slots):
+            if not (occupied & offsets):
+                placed = bi
+                occupied.update(offsets)
+                break
+        if placed < 0:
+            buffer_slots.append(set(offsets))
+            placed = len(buffer_slots) - 1
+        buffer_of.append(placed)
+    return CacheAssignment(
+        num_qubits=n,
+        threads=threads,
+        tasks=tasks,
+        buffer_of=buffer_of,
+        num_buffers=len(buffer_slots),
+    )
+
+
+@dataclass(frozen=True)
+class GateCost:
+    """Cost-model verdict for one gate matrix at a given thread count."""
+
+    macs_total: int
+    cost_nocache: float
+    cost_cache: float
+    cache_hits: int
+    buffers: int
+
+    @property
+    def use_cache(self) -> bool:
+        """Pick DMAV-with-caching when it models cheaper (C1 > C2)."""
+        return self.cost_nocache > self.cost_cache
+
+    @property
+    def cost(self) -> float:
+        """min(C1, C2): the cost the scheduler charges this gate."""
+        return min(self.cost_nocache, self.cost_cache)
+
+
+class CostModel:
+    """Equations 5-6 evaluator, parameterized by t threads and SIMD width d."""
+
+    def __init__(self, threads: int, simd_width: int = SIMD_WIDTH) -> None:
+        if threads < 1:
+            raise ValueError(f"threads must be >= 1, got {threads}")
+        if simd_width < 1:
+            raise ValueError(f"simd_width must be >= 1, got {simd_width}")
+        self.threads = threads
+        self.simd_width = simd_width
+        # Cost depends only on the DD's zero structure, never on weights,
+        # so verdicts are cached per root node: the fusion pass and the
+        # DMAV loop both evaluate the same (hash-consed) gate DDs.
+        self._cache: dict[int, GateCost] = {}
+
+    def evaluate(self, pkg: DDPackage, m: Edge) -> GateCost:
+        cached = self._cache.get(id(m.n))
+        if cached is not None:
+            return cached
+        cost = self._evaluate(pkg, m)
+        self._cache[id(m.n)] = cost
+        return cost
+
+    def _evaluate(self, pkg: DDPackage, m: Edge) -> GateCost:
+        t, d = self.threads, self.simd_width
+        k1 = mac_count(pkg, m)
+        assignment = assign_cache_tasks(pkg, m, t)
+        h_hits = assignment.cache_hits
+        k2 = assignment.k2_macs(pkg)
+        b = assignment.num_buffers
+        n = pkg.num_qubits
+        c1 = k1 / t
+        c2 = k2 / t + ((1 << n) / (d * t)) * (h_hits / t + b)
+        return GateCost(
+            macs_total=k1,
+            cost_nocache=c1,
+            cost_cache=c2,
+            cache_hits=h_hits,
+            buffers=b,
+        )

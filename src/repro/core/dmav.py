@@ -1,0 +1,297 @@
+"""DMAV: DD-matrix x array-vector multiplication (Sections 3.2.1-3.2.2).
+
+This is FlatDD's core contribution: the gate matrix stays a DD (constant
+average indexing work, full structure sharing) while the state vector is a
+flat array (no irregularity blow-up).
+
+* :func:`assign_tasks` / :func:`dmav_nocache` -- Algorithm 1.  ``Assign``
+  splits the t threads in half at each DD level down to the border level
+  ``n - log2 t - 1`` (row-major: each thread owns a row block of the output
+  and reads all of V), then ``Run`` evaluates each border sub-matrix.
+* :func:`dmav_cached` -- Algorithm 2.  Column-major assignment: each thread
+  owns a column block (a fixed slice of V), writes into shared partial
+  output buffers, and caches per-thread results so repeated border nodes
+  collapse to one SIMD scalar multiplication (Figure 6).  Buffers are
+  summed into W at the end.
+
+The ``Run`` recursion bottoms out on vectorized kernels (identity subtrees
+and cached dense blocks) instead of scalar MACs -- see DESIGN.md
+substitution 2; MAC counts for the cost model are unaffected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.config import DENSE_BLOCK_LEVEL
+from repro.dd.analysis import dense_matrix_block, is_identity, kron_collapse
+from repro.dd.node import TERMINAL, DDNode, Edge
+from repro.dd.package import DDPackage
+from repro.core.cost_model import CacheAssignment, assign_cache_tasks
+from repro.parallel.partition import border_level
+from repro.parallel.pool import TaskRunner, validate_thread_count
+from repro.parallel.simd import simd_add, simd_mul
+
+__all__ = ["DMAVStats", "assign_tasks", "dmav_nocache", "dmav_cached", "run_border_task"]
+
+
+@dataclass
+class DMAVStats:
+    """Execution statistics of one DMAV call."""
+
+    threads: int
+    tasks: int
+    cache_hits: int = 0
+    buffers: int = 0
+    used_cache: bool = False
+
+
+def assign_tasks(
+    pkg: DDPackage, m: Edge, threads: int
+) -> list[list[tuple[DDNode, int, complex]]]:
+    """Algorithm 1's Assign: row-major border-level task lists per thread.
+
+    Each task is ``(border_node, v_start_index, coefficient)`` where the
+    coefficient is the weight product along the DD path *including* the
+    border edge's own weight.
+    """
+    n = pkg.num_qubits
+    validate_thread_count(threads, n)
+    border = border_level(n, threads)
+    tasks: list[list[tuple[DDNode, int, complex]]] = [[] for _ in range(threads)]
+
+    def descend(e: Edge, f: complex, u: int, i_v: int, level: int) -> None:
+        if e.is_zero:
+            return
+        if level == border:
+            tasks[u].append((e.n, i_v, f * e.w))
+            return
+        stride = threads >> (n - level)
+        for i in (0, 1):
+            for j in (0, 1):
+                descend(
+                    e.n.edges[2 * i + j],
+                    f * e.w,
+                    u + i * stride,
+                    i_v + (1 << level) * j,
+                    level - 1,
+                )
+
+    if not m.is_zero:
+        descend(m, 1.0 + 0j, 0, 0, n - 1)
+    return tasks
+
+
+def _apply_batched(
+    pkg: DDPackage,
+    node: DDNode,
+    vmat: np.ndarray,
+    dense_level: int,
+) -> np.ndarray:
+    """Apply the normalized subtree under ``node`` to a batch of vectors.
+
+    ``vmat`` has shape ``(batch, 2**(level+1))`` (C-contiguous); the result
+    has the same shape.  Recursion groups the four 2x2-block children by
+    child *node*, stacking their input halves into one call -- so the call
+    count is proportional to the gate DD's edge count, not to the number of
+    root-to-terminal paths (the pure-Python analogue of the paper's
+    constant-average-indexing claim for DMAV, Section 3.2.1).
+    """
+    if node is TERMINAL or is_identity(pkg, node):
+        return vmat
+    size = vmat.shape[1]
+    if node.level <= dense_level:
+        return vmat @ dense_matrix_block(pkg, node).T
+    collapsed = kron_collapse(pkg, node, dense_level)
+    if collapsed is not None:
+        # Subtree acts as diag(d) (x) M_base: one reshape + matmul.
+        d, base = collapsed
+        if base is TERMINAL:
+            return vmat * d
+        block = dense_matrix_block(pkg, base)
+        bs = block.shape[0]
+        folded = vmat.reshape(vmat.shape[0], d.size, bs) @ block.T
+        folded *= d[None, :, None]
+        return folded.reshape(vmat.shape)
+    half = size // 2
+    e00, e01, e10, e11 = node.edges
+    if (
+        e01.is_zero
+        and e10.is_zero
+        and not e00.is_zero
+        and not e11.is_zero
+        and e00.n is e11.n
+    ):
+        # Pass-through level (diag block, shared child): fold the halves
+        # into the batch axis as a *view* and recurse once -- zero copies
+        # until a non-trivial level is reached.
+        m = vmat.shape[0]
+        folded = _apply_batched(
+            pkg, e00.n, vmat.reshape(2 * m, half), dense_level
+        )
+        if e00.w == 1 and e11.w == 1:
+            return folded.reshape(m, size)
+        scale = np.array([e00.w, e11.w], dtype=np.complex128)
+        return (folded.reshape(m, 2, half) * scale[None, :, None]).reshape(
+            m, size
+        )
+    halves = (vmat[:, :half], vmat[:, half:])
+    # Group the (up to four) child applications by child node: a child that
+    # appears under several (i, j) positions runs once on a stacked batch.
+    groups: dict[int, tuple[DDNode, list[tuple[int, int, complex]]]] = {}
+    for k, child in enumerate(node.edges):
+        if child.is_zero:
+            continue
+        i, j = divmod(k, 2)
+        entry = groups.get(id(child.n))
+        if entry is None:
+            groups[id(child.n)] = (child.n, [(i, j, child.w)])
+        else:
+            entry[1].append((i, j, child.w))
+    out = np.zeros_like(vmat)
+    for child_node, uses in groups.values():
+        js = sorted({j for _, j, _ in uses})
+        stacked = np.concatenate([halves[j] for j in js], axis=0)
+        result = _apply_batched(pkg, child_node, stacked, dense_level)
+        m = vmat.shape[0]
+        slot = {j: pos for pos, j in enumerate(js)}
+        for i, j, weight in uses:
+            block = result[slot[j] * m:(slot[j] + 1) * m]
+            out[:, i * half:(i + 1) * half] += weight * block
+    return out
+
+
+def run_border_task(
+    pkg: DDPackage,
+    node: DDNode,
+    coeff: complex,
+    v: np.ndarray,
+    w: np.ndarray,
+    i_v: int,
+    i_w: int,
+    dense_level: int = DENSE_BLOCK_LEVEL,
+) -> None:
+    """Algorithm 1's Run on one border sub-matrix: w-block += coeff * M v.
+
+    The scalar-MAC recursion of the paper's C++ is replaced by the batched
+    vectorized kernel (DESIGN.md substitution 2).
+    """
+    if node is TERMINAL:
+        w[i_w] += coeff * v[i_v]
+        return
+    size = 2 << node.level
+    vin = np.ascontiguousarray(v[i_v:i_v + size]).reshape(1, size)
+    w[i_w:i_w + size] += coeff * _apply_batched(pkg, node, vin, dense_level)[0]
+
+
+def dmav_nocache(
+    pkg: DDPackage,
+    m: Edge,
+    v: np.ndarray,
+    threads: int = 1,
+    runner: TaskRunner | None = None,
+    dense_level: int = DENSE_BLOCK_LEVEL,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, DMAVStats]:
+    """DMAV without caching (Algorithm 1): returns (w, stats)."""
+    n = pkg.num_qubits
+    if v.shape != (1 << n,):
+        raise ValueError(f"state length {v.shape} != 2**{n}")
+    if out is v:
+        raise ValueError("DMAV cannot write its output over the input state")
+    w = out if out is not None else np.zeros_like(v)
+    if out is not None:
+        w.fill(0)
+    tasks = assign_tasks(pkg, m, threads)
+    h = (1 << n) // threads
+
+    def work(u: int) -> None:
+        for node, i_v, coeff in tasks[u]:
+            run_border_task(pkg, node, coeff, v, w, i_v, u * h, dense_level)
+
+    if runner is not None and runner.use_pool:
+        runner.run([lambda u=u: work(u) for u in range(threads)])
+    else:
+        for u in range(threads):
+            work(u)
+    stats = DMAVStats(threads=threads, tasks=sum(map(len, tasks)))
+    return w, stats
+
+
+def dmav_cached(
+    pkg: DDPackage,
+    m: Edge,
+    v: np.ndarray,
+    threads: int = 1,
+    runner: TaskRunner | None = None,
+    dense_level: int = DENSE_BLOCK_LEVEL,
+    out: np.ndarray | None = None,
+    assignment: CacheAssignment | None = None,
+) -> tuple[np.ndarray, DMAVStats]:
+    """DMAV with caching (Algorithm 2): returns (w, stats).
+
+    ``assignment`` may be passed in when the caller already ran the cost
+    model for this gate (it computes the same partition).
+    """
+    n = pkg.num_qubits
+    if v.shape != (1 << n,):
+        raise ValueError(f"state length {v.shape} != 2**{n}")
+    if out is v:
+        raise ValueError("DMAV cannot write its output over the input state")
+    if assignment is None:
+        assignment = assign_cache_tasks(pkg, m, threads)
+    h = (1 << n) // threads
+    buffers = [
+        np.zeros(1 << n, dtype=np.complex128)
+        for _ in range(assignment.num_buffers)
+    ]
+    hits = [0] * threads
+
+    def work(u: int) -> None:
+        # Per-thread result cache: border node -> (coefficient, offset).
+        cache: dict[int, tuple[complex, int]] = {}
+        buf = buffers[assignment.buffer_of[u]] if assignment.tasks[u] else None
+        for node, i_p, coeff in assignment.tasks[u]:
+            hit = cache.get(id(node))
+            if hit is not None:
+                prev_coeff, prev_off = hit
+                buf[i_p:i_p + h] = simd_mul(
+                    buf[prev_off:prev_off + h], coeff / prev_coeff
+                )
+                hits[u] += 1
+            else:
+                run_border_task(
+                    pkg, node, coeff, v, buf, u * h, i_p, dense_level
+                )
+                cache[id(node)] = (coeff, i_p)
+
+    if runner is not None and runner.use_pool:
+        runner.run([lambda u=u: work(u) for u in range(threads)])
+    else:
+        for u in range(threads):
+            work(u)
+
+    w = out if out is not None else np.zeros_like(v)
+    if out is not None:
+        w.fill(0)
+
+    def sum_block(u: int) -> None:
+        lo, hi = u * h, (u + 1) * h
+        for buf in buffers:
+            simd_add(w[lo:hi], buf[lo:hi])
+
+    if runner is not None and runner.use_pool:
+        runner.run([lambda u=u: sum_block(u) for u in range(threads)])
+    else:
+        for u in range(threads):
+            sum_block(u)
+    stats = DMAVStats(
+        threads=threads,
+        tasks=sum(map(len, assignment.tasks)),
+        cache_hits=sum(hits),
+        buffers=assignment.num_buffers,
+        used_cache=True,
+    )
+    return w, stats

@@ -1,0 +1,258 @@
+"""The FlatDD simulator (Figure 3's pipeline).
+
+Phases:
+
+1. **DD phase** -- simulate exactly like DDSIM (DD state, DD gates, compute
+   tables) while feeding the state DD's node count to the EWMA monitor
+   (Section 3.1.1).
+2. **Conversion** -- on trigger, convert the DD state to a flat array with
+   the parallel algorithm of Section 3.1.2.
+3. **DMAV phase** -- optionally fuse the remaining gates (Section 3.3),
+   then apply each gate matrix DD to the array state with Algorithm 1/2,
+   choosing caching per gate via the Section 3.2.3 cost model.
+
+Circuits that stay regular never trigger and finish entirely in the DD
+phase (which is why FlatDD matches DDSIM on Adder/GHZ in Table 1).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.backends.base import GateRecord, SimulationResult, Simulator
+from repro.backends.gatecache import GateDDCache
+from repro.circuits.circuit import Circuit
+from repro.common.config import AMPLITUDE_BYTES, FlatDDConfig
+from repro.core.conversion import convert_parallel
+from repro.core.cost_model import CostModel, assign_cache_tasks
+from repro.core.dmav import dmav_cached, dmav_nocache
+from repro.core.ewma import EWMAMonitor
+from repro.core.fusion import FusionResult, fuse_cost_aware, fuse_k_operations
+from repro.dd.operations import mv_multiply
+from repro.dd.package import DDPackage
+from repro.dd.vector import node_count, vector_to_array, zero_state
+from repro.metrics.memory import MemoryMeter, dd_bytes
+from repro.parallel.pool import TaskRunner, validate_thread_count
+
+__all__ = ["FlatDDSimulator"]
+
+
+class FlatDDSimulator(Simulator):
+    """Hybrid DD / flat-array simulator with parallel DMAV."""
+
+    GC_THRESHOLD = 200_000
+
+    def __init__(self, config: FlatDDConfig | None = None, **overrides) -> None:
+        if config is None:
+            config = FlatDDConfig(**overrides)
+        elif overrides:
+            raise ValueError("pass either a config or keyword overrides")
+        self.config = config
+        self.name = f"flatdd[t={config.threads}]"
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        circuit: Circuit,
+        max_seconds: float | None = None,
+        keep_internals: bool = False,
+    ) -> SimulationResult:
+        """Simulate ``circuit``; see class docstring for the phases.
+
+        ``keep_internals=True`` stores the DD package and the DMAV-phase
+        gate edges in the result metadata so benches can re-evaluate the
+        cost model at other thread counts without re-simulating.
+        """
+        cfg = self.config
+        n = circuit.num_qubits
+        validate_thread_count(cfg.threads, n)
+        pkg = DDPackage(n)
+        gates = GateDDCache(pkg)
+        monitor = EWMAMonitor(beta=cfg.beta, epsilon=cfg.epsilon)
+        meter = MemoryMeter()
+        trace: list[GateRecord] = []
+        metadata: dict = {
+            "threads": cfg.threads,
+            "beta": cfg.beta,
+            "epsilon": cfg.epsilon,
+            "fusion": cfg.fusion,
+            "cache_policy": cfg.cache_policy,
+            "converted": False,
+            "conversion_gate_index": None,
+        }
+        start = time.perf_counter()
+
+        # ---------------- Phase 1: DD simulation with EWMA monitoring ----
+        state_dd = zero_state(pkg)
+        convert_at: int | None = None
+        timed_out = False
+        for i, gate in enumerate(circuit.gates):
+            g0 = time.perf_counter()
+            state_dd = mv_multiply(pkg, gates.get(gate), state_dd)
+            size = node_count(state_dd)
+            triggered = monitor.update(size)
+            trace.append(
+                GateRecord(
+                    index=i,
+                    name=gate.name,
+                    seconds=time.perf_counter() - g0,
+                    phase="dd",
+                    dd_size=size,
+                )
+            )
+            meter.sample(dd_bytes(pkg))
+            if triggered:
+                convert_at = i
+                break
+            if pkg.unique_node_count > self.GC_THRESHOLD:
+                pkg.collect_garbage([state_dd, *gates.roots()])
+            if max_seconds is not None and time.perf_counter() - start > max_seconds:
+                timed_out = True
+                break
+
+        with TaskRunner(cfg.threads, cfg.use_thread_pool) as runner:
+            if convert_at is None:
+                # Entire circuit stayed regular: finish like DDSIM.
+                array, report = convert_parallel(
+                    pkg, state_dd, cfg.threads, runner,
+                    dense_level=cfg.dense_block_level,
+                )
+                metadata["conversion_report"] = report
+                meter.sample(dd_bytes(pkg) + array.nbytes)
+                state = array
+            else:
+                # ---------------- Phase 2: parallel DD-to-array ----------
+                state, report = convert_parallel(
+                    pkg, state_dd, cfg.threads, runner,
+                    dense_level=cfg.dense_block_level,
+                )
+                metadata["converted"] = True
+                metadata["conversion_gate_index"] = convert_at
+                metadata["conversion_report"] = report
+                meter.sample(dd_bytes(pkg) + state.nbytes)
+
+                # ---------------- Phase 3: (fusion +) DMAV ---------------
+                remaining = circuit.gates[convert_at + 1:]
+                model = CostModel(cfg.threads, cfg.simd_width)
+                f0 = time.perf_counter()
+                edges = [gates.get(g) for g in remaining]
+                labels = [g.name for g in remaining]
+                if cfg.fusion == "cost" and edges:
+                    fused = fuse_cost_aware(pkg, edges, model)
+                    edges = fused.gates
+                    labels = _fused_labels(labels, fused)
+                    metadata["fusion_result"] = _fusion_summary(fused)
+                elif cfg.fusion == "koperations" and edges:
+                    fused = fuse_k_operations(pkg, edges, cfg.k_operations, model)
+                    edges = fused.gates
+                    labels = _fused_labels(labels, fused)
+                    metadata["fusion_result"] = _fusion_summary(fused)
+                metadata["fusion_seconds"] = time.perf_counter() - f0
+
+                out = np.zeros_like(state)
+                dmav_macs = 0
+                gate_costs: list[tuple[int, float, float, bool]] = []
+                for j, edge in enumerate(edges):
+                    g0 = time.perf_counter()
+                    cost = model.evaluate(pkg, edge)
+                    if cfg.cache_policy == "always":
+                        use_cache = True
+                    elif cfg.cache_policy == "never":
+                        use_cache = False
+                    else:
+                        use_cache = cost.use_cache
+                    if use_cache:
+                        assignment = assign_cache_tasks(pkg, edge, cfg.threads)
+                        out, stats = dmav_cached(
+                            pkg, edge, state, cfg.threads, runner,
+                            cfg.dense_block_level, out=out,
+                            assignment=assignment,
+                        )
+                        buffer_bytes = (
+                            stats.buffers * state.size * AMPLITUDE_BYTES
+                        )
+                    else:
+                        out, stats = dmav_nocache(
+                            pkg, edge, state, cfg.threads, runner,
+                            cfg.dense_block_level, out=out,
+                        )
+                        buffer_bytes = 0
+                    state, out = out, state
+                    dmav_macs += cost.macs_total
+                    gate_costs.append(
+                        (cost.macs_total, cost.cost_nocache, cost.cost_cache,
+                         use_cache)
+                    )
+                    trace.append(
+                        GateRecord(
+                            index=convert_at + 1 + j,
+                            name=labels[j],
+                            seconds=time.perf_counter() - g0,
+                            phase="dmav",
+                            macs=cost.macs_total,
+                            cached=use_cache,
+                        )
+                    )
+                    meter.sample(
+                        dd_bytes(pkg)
+                        + 2 * state.nbytes
+                        + buffer_bytes
+                    )
+                    if (
+                        max_seconds is not None
+                        and time.perf_counter() - start > max_seconds
+                    ):
+                        timed_out = True
+                        break
+                metadata["dmav_macs_total"] = dmav_macs
+                metadata["dmav_gate_costs"] = gate_costs
+                if keep_internals:
+                    metadata["dmav_edges"] = edges
+                    metadata["package"] = pkg
+
+        runtime = time.perf_counter() - start
+        metadata["timed_out"] = timed_out
+        metadata["ewma_samples"] = monitor.samples
+        metadata["dd_phase_gates"] = (
+            convert_at + 1 if convert_at is not None else len(trace)
+        )
+        if keep_internals and "package" not in metadata:
+            metadata["package"] = pkg
+        return SimulationResult(
+            backend=self.name,
+            circuit_name=circuit.name,
+            num_qubits=n,
+            num_gates=len(circuit.gates),
+            state=state,
+            runtime_seconds=runtime,
+            peak_memory_bytes=meter.peak_bytes,
+            gate_trace=trace,
+            metadata=metadata,
+        )
+
+
+def _fused_labels(labels: list[str], fused: FusionResult) -> list[str]:
+    """Human-readable names for fused groups ('fused[h+cx+...x12]')."""
+    out = []
+    pos = 0
+    for size in fused.group_sizes:
+        group = labels[pos:pos + size]
+        pos += size
+        if size == 1:
+            out.append(group[0])
+        else:
+            out.append(f"fused[x{size}]")
+    return out
+
+
+def _fusion_summary(fused: FusionResult) -> dict:
+    return {
+        "emitted_gates": len(fused.gates),
+        "absorbed_gates": fused.fused_away,
+        "total_cost": fused.total_cost,
+        "ddmm_calls": fused.ddmm_calls,
+        "group_sizes": fused.group_sizes,
+    }

@@ -1,0 +1,91 @@
+"""QMDD decision-diagram substrate (paper Section 2.2, refs [86, 98, 99]).
+
+Public surface:
+
+* :class:`DDPackage` -- owns unique tables, the complex table, and caches.
+* :class:`Edge` / :class:`DDNode` / :data:`TERMINAL` -- the graph itself.
+* Vector builders (:func:`vector_from_array`, :func:`zero_state`, ...) and
+  matrix builders (:func:`single_qubit_gate`, :func:`controlled_gate`, ...).
+* Algebra (:func:`vadd`, :func:`madd`, :func:`mv_multiply`,
+  :func:`mm_multiply`).
+"""
+
+from repro.dd.complextable import ComplexTable
+from repro.dd.matrix import (
+    controlled_gate,
+    matrix_entry,
+    matrix_from_factors,
+    matrix_node_count,
+    matrix_to_dense,
+    single_qubit_gate,
+    two_qubit_gate,
+)
+from repro.dd.approximation import (
+    ApproximationResult,
+    keep_largest_contributions,
+    prune_small_contributions,
+)
+from repro.dd.density import (
+    entanglement_entropy,
+    reduced_density_top,
+    schmidt_rank_profile,
+)
+from repro.dd.io import DDStatistics, dd_statistics, to_dot
+from repro.dd.node import ONE_EDGE, TERMINAL, ZERO_EDGE, DDNode, Edge
+from repro.dd.operations import (
+    inner_product,
+    madd,
+    mm_multiply,
+    mv_multiply,
+    norm,
+    scale,
+    vadd,
+)
+from repro.dd.package import DDPackage
+from repro.dd.vector import (
+    amplitude,
+    basis_state,
+    node_count,
+    vector_from_array,
+    vector_to_array,
+    zero_state,
+)
+
+__all__ = [
+    "ApproximationResult",
+    "ComplexTable",
+    "DDNode",
+    "DDPackage",
+    "DDStatistics",
+    "Edge",
+    "ONE_EDGE",
+    "TERMINAL",
+    "ZERO_EDGE",
+    "amplitude",
+    "basis_state",
+    "controlled_gate",
+    "dd_statistics",
+    "entanglement_entropy",
+    "inner_product",
+    "keep_largest_contributions",
+    "madd",
+    "matrix_entry",
+    "matrix_from_factors",
+    "matrix_node_count",
+    "matrix_to_dense",
+    "mm_multiply",
+    "mv_multiply",
+    "node_count",
+    "norm",
+    "prune_small_contributions",
+    "reduced_density_top",
+    "scale",
+    "schmidt_rank_profile",
+    "single_qubit_gate",
+    "to_dot",
+    "two_qubit_gate",
+    "vadd",
+    "vector_from_array",
+    "vector_to_array",
+    "zero_state",
+]

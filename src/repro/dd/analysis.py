@@ -1,0 +1,175 @@
+"""Structural DD analysis: identity detection and dense-block extraction.
+
+These power the vectorized bottom-out of the Python DMAV/conversion kernels
+(DESIGN.md substitution 2): instead of recursing to scalar MACs like the
+paper's C++ does, recursion stops at
+
+* *identity subtrees*, applied as one vectorized axpy, and
+* *small dense blocks* (level <= ``dense_block_level``), materialized once
+  per unique node and applied with a numpy matmul.
+
+Both caches live on the package and are invalidated by its GC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dd.node import TERMINAL, DDNode, Edge
+from repro.dd.package import DDPackage
+
+__all__ = [
+    "is_identity",
+    "dense_matrix_block",
+    "dense_vector_block",
+    "kron_collapse",
+    "vector_kron_collapse",
+]
+
+
+def is_identity(pkg: DDPackage, node: DDNode) -> bool:
+    """True iff the (normalized) subtree under ``node`` is an identity block.
+
+    Because matrix normalization forces the leading non-zero weight to 1,
+    an identity subtree is exactly: diagonal children weights 1 pointing to
+    the same identity child, off-diagonal children zero.
+    """
+    if node is TERMINAL:
+        return True
+    if len(node.edges) != 4:
+        return False
+    cached = pkg.identity_flags.get(id(node))
+    if cached is not None:
+        return cached
+    e00, e01, e10, e11 = node.edges
+    result = (
+        e01.is_zero
+        and e10.is_zero
+        and e00.w == 1
+        and e11.w == 1
+        and e00.n is e11.n
+        and is_identity(pkg, e00.n)
+    )
+    pkg.identity_flags[id(node)] = result
+    return result
+
+
+def dense_matrix_block(pkg: DDPackage, node: DDNode) -> np.ndarray:
+    """Dense array of the *normalized* subtree under a matrix node.
+
+    Cached per unique node; callers scale by their accumulated edge-weight
+    product.  Only call for small levels (cost is 4**(level+1)).
+    """
+    if node is TERMINAL:
+        return np.ones((1, 1), dtype=np.complex128)
+    key = id(node)
+    cached = pkg.dense_cache.get(key)
+    if cached is not None:
+        return cached
+    half = 1 << node.level
+    out = np.zeros((2 * half, 2 * half), dtype=np.complex128)
+    for k, child in enumerate(node.edges):
+        if child.is_zero:
+            continue
+        i, j = divmod(k, 2)
+        out[i * half:(i + 1) * half, j * half:(j + 1) * half] = (
+            child.w * dense_matrix_block(pkg, child.n)
+        )
+    out.setflags(write=False)
+    pkg.dense_cache[key] = out
+    return out
+
+
+def kron_collapse(
+    pkg: DDPackage, node: DDNode, dense_level: int
+) -> tuple[np.ndarray, DDNode] | None:
+    """Detect subtrees of the form ``diag(d) (x) M_base``.
+
+    A chain of *pass-through* levels -- zero off-diagonal children and both
+    diagonal children reaching the same node -- contributes only a diagonal
+    scaling per index bit.  When such a chain reaches a node at or below
+    ``dense_level`` (or the terminal), the whole subtree's action collapses
+    to one reshape + matmul: this is the paper's scalar-multiple sharing
+    (Figure 4b / Figure 6) applied at kernel granularity, and it is what
+    lets single-qubit gates on low qubits and diagonal gates (rz, cz, cp)
+    run in O(1) numpy calls instead of O(2**n) recursion steps.
+
+    Returns ``(d, base_node)`` with ``len(d) = 2**(level - base_level)``,
+    or None if the chain breaks above ``dense_level``.  Cached per node.
+    """
+    if node is TERMINAL or node.level <= dense_level:
+        return (np.ones(1, dtype=np.complex128), node)
+    key = id(node)
+    if key in pkg.kron_cache:
+        return pkg.kron_cache[key]  # type: ignore[return-value]
+    e00, e01, e10, e11 = node.edges
+    result = None
+    if (
+        e01.is_zero
+        and e10.is_zero
+        and not e00.is_zero
+        and not e11.is_zero
+        and e00.n is e11.n
+    ):
+        below = kron_collapse(pkg, e00.n, dense_level)
+        if below is not None:
+            d_below, base = below
+            d = np.concatenate((e00.w * d_below, e11.w * d_below))
+            result = (d, base)
+    pkg.kron_cache[key] = result
+    return result
+
+
+def vector_kron_collapse(
+    pkg: DDPackage, node: DDNode, dense_level: int
+) -> tuple[np.ndarray, DDNode] | None:
+    """Vector analogue of :func:`kron_collapse`: ``v = d (x) v_base``.
+
+    A vector node whose two children reach the same node (one side may be
+    zero) contributes only per-half scaling; chains of such nodes collapse
+    to a coefficient vector over a shared base subtree.  This is the DD
+    regularity that the paper's conversion exploits with its
+    scalar-multiplication optimization.
+    """
+    if node is TERMINAL or node.level <= dense_level:
+        return (np.ones(1, dtype=np.complex128), node)
+    key = (id(node), "v")
+    if key in pkg.kron_cache:
+        return pkg.kron_cache[key]  # type: ignore[return-value]
+    e0, e1 = node.edges
+    result = None
+    child = None
+    if not e0.is_zero and (e1.is_zero or e1.n is e0.n):
+        child = e0.n
+    elif e0.is_zero and not e1.is_zero:
+        child = e1.n
+    if child is not None:
+        below = vector_kron_collapse(pkg, child, dense_level)
+        if below is not None:
+            d_below, base = below
+            w0 = e0.w if not e0.is_zero else 0j
+            w1 = e1.w if not e1.is_zero else 0j
+            d = np.concatenate((w0 * d_below, w1 * d_below))
+            result = (d, base)
+    pkg.kron_cache[key] = result
+    return result
+
+
+def dense_vector_block(pkg: DDPackage, node: DDNode) -> np.ndarray:
+    """Dense array of the normalized subtree under a vector node (cached)."""
+    if node is TERMINAL:
+        return np.ones(1, dtype=np.complex128)
+    key = id(node)
+    cached = pkg.dense_cache.get(key)
+    if cached is not None:
+        return cached
+    half = 1 << node.level
+    out = np.zeros(2 * half, dtype=np.complex128)
+    for i, child in enumerate(node.edges):
+        if not child.is_zero:
+            out[i * half:(i + 1) * half] = child.w * dense_vector_block(
+                pkg, child.n
+            )
+    out.setflags(write=False)
+    pkg.dense_cache[key] = out
+    return out

@@ -1,0 +1,195 @@
+"""Approximation of quantum states in DDs (Zulehner et al., ASP-DAC 2020).
+
+Reference [97] of the FlatDD paper: when a state DD grows too large, edges
+whose subtrees contribute little probability mass can be pruned, trading a
+controlled fidelity loss for a (often dramatic) size reduction.  Thanks to
+norm-normalization, the probability mass reachable through an edge at the
+end of path ``P`` is exactly ``prod_{e in P} |e.w|^2`` -- so contributions
+can be computed top-down without touching amplitudes.
+
+Two strategies, following the paper's taxonomy:
+
+* :func:`prune_small_contributions` -- remove every edge whose *total*
+  reachable probability is below a budget, spreading the budget over the
+  edges it removes (their "remove nodes by contribution" scheme).
+* :func:`keep_largest_contributions` -- keep only the strongest outgoing
+  edge wherever a node's weaker edge falls below a ratio, a cheaper
+  structural heuristic.
+
+Both return the new edge and the exact fidelity |<orig|approx>|^2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import DDError
+from repro.dd.node import TERMINAL, ZERO_EDGE, DDNode, Edge
+from repro.dd.operations import inner_product, scale
+from repro.dd.package import DDPackage
+from repro.dd.vector import node_count
+
+__all__ = [
+    "ApproximationResult",
+    "prune_small_contributions",
+    "keep_largest_contributions",
+]
+
+
+@dataclass(frozen=True)
+class ApproximationResult:
+    """Outcome of one approximation pass."""
+
+    state: Edge
+    fidelity: float
+    nodes_before: int
+    nodes_after: int
+
+    @property
+    def size_reduction(self) -> float:
+        return self.nodes_before / max(self.nodes_after, 1)
+
+
+def _edge_contributions(state: Edge) -> dict[tuple[int, int], float]:
+    """Total reachable probability per (node id, edge slot).
+
+    Summed over every path from the root to that edge (a node shared by
+    several paths accumulates all of them).
+    """
+    contributions: dict[tuple[int, int], float] = {}
+    # node id -> accumulated incoming probability mass.
+    mass: dict[int, float] = {id(state.n): abs(state.w) ** 2}
+    # Process levels top-down; full-height DDs make this a clean sweep.
+    frontier: dict[int, DDNode] = {id(state.n): state.n}
+    while frontier:
+        next_frontier: dict[int, DDNode] = {}
+        for nid, node in frontier.items():
+            if node is TERMINAL:
+                continue
+            node_mass = mass.get(nid, 0.0)
+            for slot, child in enumerate(node.edges):
+                if child.is_zero:
+                    continue
+                edge_mass = node_mass * abs(child.w) ** 2
+                key = (nid, slot)
+                contributions[key] = contributions.get(key, 0.0) + edge_mass
+                if child.n is not TERMINAL:
+                    cid = id(child.n)
+                    mass[cid] = mass.get(cid, 0.0) + edge_mass
+                    next_frontier[cid] = child.n
+        frontier = next_frontier
+    return contributions
+
+
+def _rebuild_without(
+    pkg: DDPackage, state: Edge, removed: set[tuple[int, int]]
+) -> Edge:
+    """Reconstruct the DD with the given (node id, slot) edges zeroed."""
+    memo: dict[int, Edge] = {}
+
+    def rebuild(node: DDNode) -> Edge:
+        if node is TERMINAL:
+            return pkg.one_edge()
+        hit = memo.get(id(node))
+        if hit is not None:
+            return hit
+        children = []
+        for slot, child in enumerate(node.edges):
+            if child.is_zero or (id(node), slot) in removed:
+                children.append(ZERO_EDGE)
+                continue
+            sub = rebuild(child.n)
+            children.append(pkg.raw_edge(child.w * sub.w, sub.n))
+        result = pkg.make_vnode(node.level, children[0], children[1])
+        memo[id(node)] = result
+        return result
+
+    rebuilt = rebuild(state.n)
+    return scale(pkg, rebuilt, state.w)
+
+
+def _finalize(
+    pkg: DDPackage, original: Edge, approx: Edge, nodes_before: int
+) -> ApproximationResult:
+    if approx.is_zero:
+        raise DDError("approximation removed the entire state")
+    # Renormalize and compute exact fidelity against the original.
+    nrm = abs(
+        inner_product(pkg, approx, approx)
+    ) ** 0.5
+    normalized = scale(pkg, approx, 1.0 / nrm)
+    overlap = inner_product(pkg, original, normalized)
+    return ApproximationResult(
+        state=normalized,
+        fidelity=float(abs(overlap) ** 2),
+        nodes_before=nodes_before,
+        nodes_after=node_count(normalized),
+    )
+
+
+def prune_small_contributions(
+    pkg: DDPackage, state: Edge, budget: float
+) -> ApproximationResult:
+    """Remove edges, weakest first, until the removed mass reaches ``budget``.
+
+    ``budget`` is the maximum total probability mass that may be discarded
+    (the paper's per-run fidelity budget); the achieved fidelity is at
+    least ``1 - budget`` up to interference effects and is reported
+    exactly.
+    """
+    if not 0.0 < budget < 1.0:
+        raise DDError(f"budget must be in (0, 1), got {budget}")
+    if state.is_zero:
+        raise DDError("cannot approximate the zero state")
+    nodes_before = node_count(state)
+    contributions = _edge_contributions(state)
+    removed: set[tuple[int, int]] = set()
+    spent = 0.0
+    for key, mass in sorted(contributions.items(), key=lambda kv: kv[1]):
+        if spent + mass > budget:
+            break
+        removed.add(key)
+        spent += mass
+    if not removed:
+        return ApproximationResult(
+            state=state,
+            fidelity=1.0,
+            nodes_before=nodes_before,
+            nodes_after=nodes_before,
+        )
+    approx = _rebuild_without(pkg, state, removed)
+    return _finalize(pkg, state, approx, nodes_before)
+
+
+def keep_largest_contributions(
+    pkg: DDPackage, state: Edge, ratio: float = 0.05
+) -> ApproximationResult:
+    """Drop the weaker outgoing edge of any node where it carries less than
+    ``ratio`` of the node's local probability (|w|^2 < ratio)."""
+    if not 0.0 < ratio < 0.5:
+        raise DDError(f"ratio must be in (0, 0.5), got {ratio}")
+    if state.is_zero:
+        raise DDError("cannot approximate the zero state")
+    nodes_before = node_count(state)
+    removed: set[tuple[int, int]] = set()
+    seen: set[int] = set()
+    stack = [state.n]
+    while stack:
+        node = stack.pop()
+        if node is TERMINAL or id(node) in seen:
+            continue
+        seen.add(id(node))
+        e0, e1 = node.edges
+        if not e0.is_zero and not e1.is_zero:
+            w0, w1 = abs(e0.w) ** 2, abs(e1.w) ** 2
+            if w0 < ratio:
+                removed.add((id(node), 0))
+            elif w1 < ratio:
+                removed.add((id(node), 1))
+        for child in node.edges:
+            if not child.is_zero:
+                stack.append(child.n)
+    if not removed:
+        return ApproximationResult(state, 1.0, nodes_before, nodes_before)
+    approx = _rebuild_without(pkg, state, removed)
+    return _finalize(pkg, state, approx, nodes_before)

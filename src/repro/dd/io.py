@@ -1,0 +1,154 @@
+"""DD introspection: Graphviz export and structural statistics.
+
+``to_dot`` renders a decision diagram in the style the DD literature uses
+(levels as ranks, edge weights as labels), which is invaluable when
+debugging normalization or sharing issues.  ``dd_statistics`` summarizes
+the structural properties the paper's analysis rests on: nodes per level,
+sharing factor, and zero-edge density.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dd.node import TERMINAL, DDNode, Edge
+from repro.dd.package import DDPackage
+
+__all__ = ["to_dot", "dd_statistics", "DDStatistics"]
+
+
+def _fmt_weight(w: complex) -> str:
+    if w == 1:
+        return ""
+    if w.imag == 0:
+        return f"{w.real:.4g}"
+    if w.real == 0:
+        return f"{w.imag:.4g}i"
+    return f"{w.real:.3g}{w.imag:+.3g}i"
+
+
+def to_dot(pkg: DDPackage, e: Edge, name: str = "dd") -> str:
+    """Graphviz source for a vector or matrix DD.
+
+    Nodes are grouped per level; zero edges are omitted; edge weights of 1
+    are unlabeled (matching the paper's Figure 2 conventions).
+    """
+    lines = [
+        f"digraph {name} {{",
+        "  rankdir=TB;",
+        '  node [shape=circle, fontsize=10];',
+        '  terminal [shape=box, label="1"];',
+    ]
+    if e.is_zero:
+        lines.append('  root [shape=point]; root -> terminal [label="0"];')
+        lines.append("}")
+        return "\n".join(lines)
+
+    seen: dict[int, str] = {id(TERMINAL): "terminal"}
+    order: list[DDNode] = []
+
+    def visit(node: DDNode) -> None:
+        if id(node) in seen:
+            return
+        seen[id(node)] = f"n{node.idx}"
+        order.append(node)
+        for child in node.edges:
+            if not child.is_zero:
+                visit(child.n)
+
+    visit(e.n)
+    by_level: dict[int, list[DDNode]] = {}
+    for node in order:
+        by_level.setdefault(node.level, []).append(node)
+    for level in sorted(by_level, reverse=True):
+        ids = "; ".join(seen[id(nd)] for nd in by_level[level])
+        lines.append(f"  {{ rank=same; {ids}; }}")
+    for node in order:
+        label = f"q{node.level}"
+        lines.append(f'  {seen[id(node)]} [label="{label}"];')
+        for k, child in enumerate(node.edges):
+            if child.is_zero:
+                continue
+            style = ""
+            if node.is_matrix:
+                i, j = divmod(k, 2)
+                style = f' headlabel="{i}{j}"'
+            weight = _fmt_weight(child.w)
+            wlabel = f' label="{weight}"' if weight else ""
+            lines.append(
+                f"  {seen[id(node)]} -> {seen[id(child.n)]}"
+                f" [{wlabel.strip()}{style}];"
+            )
+    root_label = _fmt_weight(e.w)
+    lines.append('  root [shape=point];')
+    lines.append(
+        f'  root -> {seen[id(e.n)]}'
+        + (f' [label="{root_label}"];' if root_label else ";")
+    )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+@dataclass
+class DDStatistics:
+    """Structural summary of one DD."""
+
+    total_nodes: int
+    nodes_per_level: dict[int, int]
+    edge_count: int
+    zero_edge_count: int
+    #: Paths / nodes: > 1 means structure is genuinely shared.
+    sharing_factor: float
+    #: Fraction of representable entries that are exactly zero paths.
+    is_matrix: bool
+
+    @property
+    def max_width(self) -> int:
+        return max(self.nodes_per_level.values(), default=0)
+
+
+def dd_statistics(pkg: DDPackage, e: Edge) -> DDStatistics:
+    """Collect the structural statistics of a DD (vector or matrix)."""
+    if e.is_zero:
+        return DDStatistics(0, {}, 0, 0, 0.0, False)
+    seen: set[int] = set()
+    per_level: dict[int, int] = {}
+    edges = zeros = 0
+    is_matrix = e.n.is_matrix
+    stack = [e.n]
+    # Paths counted with memoization (number of root-to-terminal paths).
+    path_memo: dict[int, int] = {}
+
+    def paths(node: DDNode) -> int:
+        if node is TERMINAL:
+            return 1
+        cached = path_memo.get(id(node))
+        if cached is not None:
+            return cached
+        total = sum(
+            paths(child.n) for child in node.edges if not child.is_zero
+        )
+        path_memo[id(node)] = total
+        return total
+
+    while stack:
+        node = stack.pop()
+        if id(node) in seen or node is TERMINAL:
+            continue
+        seen.add(id(node))
+        per_level[node.level] = per_level.get(node.level, 0) + 1
+        for child in node.edges:
+            edges += 1
+            if child.is_zero:
+                zeros += 1
+            elif child.n is not TERMINAL:
+                stack.append(child.n)
+    total_paths = paths(e.n)
+    return DDStatistics(
+        total_nodes=len(seen),
+        nodes_per_level=per_level,
+        edge_count=edges,
+        zero_edge_count=zeros,
+        sharing_factor=total_paths / max(len(seen), 1),
+        is_matrix=is_matrix,
+    )

@@ -1,0 +1,103 @@
+"""Decision-diagram nodes and edges (QMDD substrate, Section 2.2).
+
+A DD is a DAG of hash-consed nodes.  Vector nodes have two outgoing edges
+(sub-vectors for qubit value 0 / 1); matrix nodes have four (the 2x2 block
+partition, row-major: ``e[0]=e00, e[1]=e01, e[2]=e10, e[3]=e11``).  Every
+edge carries a complex weight; the value of an amplitude / matrix entry is
+the product of edge weights along the corresponding root-to-terminal path
+(Figure 2 of the paper).
+
+Levels: qubit ``k`` lives at level ``k``; the terminal sits at level -1.
+DDs here are *full height* -- every root-to-terminal path visits every level
+-- which is what the paper's Assign/Run recursions assume.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+__all__ = ["DDNode", "Edge", "TERMINAL", "ZERO_EDGE", "ONE_EDGE"]
+
+
+class DDNode:
+    """A hash-consed DD node.
+
+    Instances must only be created through :class:`repro.dd.package.DDPackage`
+    so that structurally identical nodes are the same object (canonicity).
+    Vector nodes carry 2 edges, matrix nodes 4; the terminal carries none.
+    """
+
+    __slots__ = ("level", "edges", "idx", "aidx")
+
+    def __init__(self, level: int, edges: Tuple["Edge", ...], idx: int) -> None:
+        self.level = level
+        self.edges = edges
+        self.idx = idx
+        #: Index into the owning package's flat node arena (vector nodes
+        #: only; -1 for matrix nodes and the terminal).  The arena powers
+        #: the gather-based conversion sweep.
+        self.aidx = -1
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.level < 0
+
+    @property
+    def is_vector(self) -> bool:
+        return len(self.edges) == 2
+
+    @property
+    def is_matrix(self) -> bool:
+        return len(self.edges) == 4
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_terminal:
+            return "<terminal>"
+        kind = "V" if self.is_vector else "M"
+        return f"<{kind}Node idx={self.idx} level={self.level}>"
+
+
+class Edge:
+    """A weighted edge pointing at a DD node.
+
+    Weights are canonicalized through the owning package's complex table, so
+    two edges are interchangeable iff ``a.w == b.w and a.n is b.n``.
+    """
+
+    __slots__ = ("w", "n")
+
+    def __init__(self, w: complex, n: DDNode) -> None:
+        self.w = w
+        self.n = n
+
+    @property
+    def is_zero(self) -> bool:
+        """True for the canonical zero edge (weight 0 on the terminal)."""
+        return self.w == 0
+
+    @property
+    def is_terminal(self) -> bool:
+        return self.n.level < 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Edge) and self.w == other.w and self.n is other.n
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.w, id(self.n)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Edge({self.w!r}, {self.n!r})"
+
+
+#: The unique terminal node shared by every DD of every package instance.
+#: (Sharing it across packages is safe: it is immutable and edge-free.)
+TERMINAL = DDNode(level=-1, edges=(), idx=0)
+
+#: Canonical zero edge: weight 0 on the terminal.  Any operation producing a
+#: zero-weight result must return this exact object.
+ZERO_EDGE = Edge(0j, TERMINAL)
+
+#: Weight-1 edge on the terminal (the scalar 1).
+ONE_EDGE = Edge(1 + 0j, TERMINAL)

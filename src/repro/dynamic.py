@@ -1,0 +1,184 @@
+"""Dynamic circuits: mid-circuit measurement and classical control.
+
+The core simulators compute full final states of unitary circuits (the
+paper's strong-simulation workload).  This module adds the dynamic layer
+on top: a :class:`DynamicCircuit` interleaves gates with measurements and
+classically conditioned gates, and :func:`run_dynamic` executes one shot
+(trajectory) with proper collapse, or many shots at once.
+
+Teleportation, error-correction cycles and reset-based protocols become
+expressible; see ``examples/teleportation.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Union
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.backends.statevector import apply_gate_array
+from repro.common.errors import CircuitError, SimulationError
+from repro.sampling.strong import measure_qubit
+
+__all__ = ["Measure", "Conditional", "DynamicCircuit", "ShotResult", "run_dynamic"]
+
+
+@dataclass(frozen=True)
+class Measure:
+    """Projective measurement of ``qubit`` into classical bit ``cbit``."""
+
+    qubit: int
+    cbit: int
+
+    def __post_init__(self) -> None:
+        if self.qubit < 0 or self.cbit < 0:
+            raise CircuitError("qubit and cbit indices must be non-negative")
+
+
+@dataclass(frozen=True)
+class Conditional:
+    """Apply ``gate`` iff classical bit ``cbit`` equals ``value``."""
+
+    gate: Gate
+    cbit: int
+    value: int = 1
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise CircuitError(f"condition value must be 0/1, got {self.value}")
+        if self.cbit < 0:
+            raise CircuitError("cbit index must be non-negative")
+
+
+Operation = Union[Gate, Measure, Conditional]
+
+
+class DynamicCircuit:
+    """Ordered gates / measurements / conditionals over quantum + classical
+    registers."""
+
+    def __init__(self, num_qubits: int, num_clbits: int = 0, name: str = "dynamic") -> None:
+        if num_qubits < 1:
+            raise CircuitError("need at least one qubit")
+        self.num_qubits = num_qubits
+        self.num_clbits = num_clbits
+        self.name = name
+        self.operations: list[Operation] = []
+
+    # ------------------------------------------------------------------
+
+    def _check_qubits(self, qubits) -> None:
+        for q in qubits:
+            if not 0 <= q < self.num_qubits:
+                raise CircuitError(f"qubit {q} out of range")
+
+    def _check_cbit(self, cbit: int) -> None:
+        if not 0 <= cbit < self.num_clbits:
+            raise CircuitError(f"classical bit {cbit} out of range")
+
+    def gate(self, gate: Gate) -> "DynamicCircuit":
+        self._check_qubits(gate.qubits)
+        self.operations.append(gate)
+        return self
+
+    def add(self, name: str, *qubits: int, params=()) -> "DynamicCircuit":
+        from repro.circuits.gates import CONTROLLED_ALIASES
+
+        extra = CONTROLLED_ALIASES.get(name, (None, 0))[1]
+        return self.gate(
+            Gate(name, tuple(qubits[extra:]), tuple(qubits[:extra]),
+                 tuple(params))
+        )
+
+    def measure(self, qubit: int, cbit: int) -> "DynamicCircuit":
+        self._check_qubits([qubit])
+        self._check_cbit(cbit)
+        self.operations.append(Measure(qubit, cbit))
+        return self
+
+    def c_if(self, name: str, qubit: int, cbit: int, value: int = 1,
+             params=()) -> "DynamicCircuit":
+        """Append gate ``name`` on ``qubit`` conditioned on ``cbit``."""
+        self._check_qubits([qubit])
+        self._check_cbit(cbit)
+        self.operations.append(
+            Conditional(Gate(name, (qubit,), params=tuple(params)), cbit, value)
+        )
+        return self
+
+    @classmethod
+    def from_circuit(cls, circuit: Circuit, num_clbits: int = 0) -> "DynamicCircuit":
+        dyn = cls(circuit.num_qubits, num_clbits, name=circuit.name)
+        for g in circuit.gates:
+            dyn.gate(g)
+        return dyn
+
+    def __len__(self) -> int:
+        return len(self.operations)
+
+
+@dataclass
+class ShotResult:
+    """One trajectory through a dynamic circuit."""
+
+    state: np.ndarray
+    classical_bits: list[int]
+
+    @property
+    def bits_string(self) -> str:
+        """Classical register as a string, highest bit leftmost."""
+        return "".join(map(str, reversed(self.classical_bits)))
+
+
+def run_dynamic(
+    circuit: DynamicCircuit,
+    rng: np.random.Generator | None = None,
+    initial_state: np.ndarray | None = None,
+) -> ShotResult:
+    """Execute one shot of a dynamic circuit (exact collapse semantics)."""
+    rng = rng or np.random.default_rng()
+    dim = 1 << circuit.num_qubits
+    if initial_state is not None:
+        state = np.array(initial_state, dtype=np.complex128)
+        if state.shape != (dim,):
+            raise SimulationError(
+                f"initial state must have length {dim}"
+            )
+        state = state / np.linalg.norm(state)
+    else:
+        state = np.zeros(dim, dtype=np.complex128)
+        state[0] = 1.0
+    bits = [0] * circuit.num_clbits
+    for op in circuit.operations:
+        if isinstance(op, Gate):
+            apply_gate_array(state, op)
+        elif isinstance(op, Measure):
+            outcome, state = measure_qubit(state, op.qubit, rng)
+            bits[op.cbit] = outcome
+        elif isinstance(op, Conditional):
+            if bits[op.cbit] == op.value:
+                apply_gate_array(state, op.gate)
+        else:  # pragma: no cover - defensive
+            raise SimulationError(f"unknown operation {op!r}")
+    return ShotResult(state=state, classical_bits=bits)
+
+
+def run_shots(
+    circuit: DynamicCircuit,
+    shots: int,
+    seed: int = 0,
+    initial_state: np.ndarray | None = None,
+) -> Counter:
+    """Classical-register histogram over many shots."""
+    if shots < 1:
+        raise SimulationError("shots must be positive")
+    rng = np.random.default_rng(seed)
+    counts: Counter = Counter()
+    for _ in range(shots):
+        result = run_dynamic(circuit, rng, initial_state)
+        counts[result.bits_string] += 1
+    return counts

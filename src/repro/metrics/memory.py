@@ -1,0 +1,79 @@
+"""Analytic memory accounting (DESIGN.md substitution 5).
+
+The paper measures max RSS with ``/bin/time``.  A CPython process's RSS is
+dominated by the interpreter, so instead we account exactly the simulator
+state the paper's comparison is about:
+
+* DD storage: unique vector/matrix nodes and complex-table entries, priced
+  at DDSIM's C++ struct sizes (see :mod:`repro.common.config`),
+* flat arrays: amplitude buffers at 16 bytes per complex128,
+* DMAV working set: partial-output buffers and per-thread caches.
+
+Every simulator tracks its peak through a :class:`MemoryMeter`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.config import (
+    AMPLITUDE_BYTES,
+    CTABLE_ENTRY_BYTES,
+    MNODE_BYTES,
+    VNODE_BYTES,
+)
+from repro.dd.package import DDPackage
+
+__all__ = ["dd_bytes", "array_bytes", "MemoryMeter", "state_array_bytes"]
+
+
+def dd_bytes(pkg: DDPackage) -> int:
+    """Bytes attributable to the live DD structures of a package."""
+    return (
+        pkg.vector_node_count * VNODE_BYTES
+        + pkg.matrix_node_count * MNODE_BYTES
+        + pkg.ctable.entry_count * CTABLE_ENTRY_BYTES
+    )
+
+
+def array_bytes(*arrays: np.ndarray | None) -> int:
+    """Bytes held by flat amplitude arrays (None entries are skipped)."""
+    return sum(a.nbytes for a in arrays if a is not None)
+
+
+class MemoryMeter:
+    """Peak-tracking accumulator for a single simulation run.
+
+    Backends call :meth:`sample` at the points where their working set is
+    maximal (after each gate, during conversion, while buffers are alive);
+    the meter keeps the max, mirroring "maximum resident set size".
+    """
+
+    def __init__(self, baseline: int = 0) -> None:
+        self._baseline = baseline
+        self._peak = baseline
+        self._last = baseline
+
+    def sample(self, nbytes: int) -> None:
+        """Record a momentary working-set size (baseline is added)."""
+        total = self._baseline + nbytes
+        self._last = total
+        if total > self._peak:
+            self._peak = total
+
+    @property
+    def peak_bytes(self) -> int:
+        return self._peak
+
+    @property
+    def peak_mb(self) -> float:
+        return self._peak / (1024.0 * 1024.0)
+
+    @property
+    def last_bytes(self) -> int:
+        return self._last
+
+
+def state_array_bytes(num_qubits: int) -> int:
+    """Bytes of one full state vector at ``num_qubits`` qubits."""
+    return (1 << num_qubits) * AMPLITUDE_BYTES

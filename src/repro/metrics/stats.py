@@ -1,0 +1,45 @@
+"""Statistics helpers for the evaluation harness.
+
+The paper reports averages of exponentially spread data in geometric mean
+("for data with exponential difference, we measure the average in geometric
+mean"), and EWMA traces for the conversion monitor; both live here.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Sequence
+
+__all__ = ["geometric_mean", "speedups", "normalize", "ratio_string"]
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values; empty input raises ValueError."""
+    logs = []
+    for v in values:
+        if v <= 0:
+            raise ValueError(f"geometric mean needs positive values, got {v}")
+        logs.append(math.log(v))
+    if not logs:
+        raise ValueError("geometric mean of empty sequence")
+    return math.exp(sum(logs) / len(logs))
+
+
+def speedups(baseline: Sequence[float], ours: Sequence[float]) -> list[float]:
+    """Elementwise baseline/ours ratios (>1 means we are faster)."""
+    if len(baseline) != len(ours):
+        raise ValueError("speedups needs equally long sequences")
+    return [b / o for b, o in zip(baseline, ours)]
+
+
+def normalize(values: Sequence[float], reference: float | None = None) -> list[float]:
+    """Scale values so the reference (default: min) maps to 1.0."""
+    ref = min(values) if reference is None else reference
+    if ref <= 0:
+        raise ValueError("normalization reference must be positive")
+    return [v / ref for v in values]
+
+
+def ratio_string(ratio: float) -> str:
+    """Format a speed-up the way the paper's tables do (e.g. '34.81x')."""
+    return f"{ratio:.2f}x"

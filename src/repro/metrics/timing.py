@@ -1,0 +1,51 @@
+"""Wall-clock timing utilities used by all backends and benches."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+__all__ = ["Timer", "timed"]
+
+
+class Timer:
+    """Accumulating stopwatch with named splits.
+
+    ``with timer.split("convert"): ...`` accumulates into the named bucket;
+    ``timer.total`` is the sum of everything recorded.
+    """
+
+    def __init__(self) -> None:
+        self.splits: dict[str, float] = {}
+
+    @contextmanager
+    def split(self, name: str):
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.splits[name] = self.splits.get(name, 0.0) + elapsed
+
+    def add(self, name: str, seconds: float) -> None:
+        self.splits[name] = self.splits.get(name, 0.0) + seconds
+
+    @property
+    def total(self) -> float:
+        return sum(self.splits.values())
+
+    def get(self, name: str) -> float:
+        return self.splits.get(name, 0.0)
+
+
+@contextmanager
+def timed():
+    """``with timed() as t: ...; t()`` returns elapsed seconds."""
+    start = time.perf_counter()
+    end: list[float] = []
+
+    def elapsed() -> float:
+        return (end[0] if end else time.perf_counter()) - start
+
+    yield elapsed
+    end.append(time.perf_counter())

@@ -1,0 +1,22 @@
+"""Noise: Pauli models, Monte Carlo trajectories, exact density matrices."""
+
+from repro.noise.density import (
+    DensityMatrixSimulator,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    phase_flip_kraus,
+)
+from repro.noise.model import NoiseModel
+from repro.noise.trajectories import NoisyResult, run_trajectories
+
+__all__ = [
+    "DensityMatrixSimulator",
+    "NoiseModel",
+    "NoisyResult",
+    "amplitude_damping_kraus",
+    "bit_flip_kraus",
+    "depolarizing_kraus",
+    "phase_flip_kraus",
+    "run_trajectories",
+]

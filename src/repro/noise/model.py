@@ -1,0 +1,91 @@
+"""Stochastic Pauli noise models.
+
+Grurl, Fuss and Wille ("Noise-aware quantum circuit simulation with
+decision diagrams", TCAD 2022 -- reference [22] of the FlatDD paper)
+simulate noisy circuits on DDs.  This module provides the standard
+trajectory (Monte Carlo) formulation over Pauli channels: each noisy gate
+execution is the ideal gate followed, with channel probability, by a
+random Pauli error on the touched qubits.  Pauli channels keep every
+trajectory a pure state, so any of the library's simulators can run them
+unmodified.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.common.errors import SimulationError
+
+__all__ = ["NoiseModel"]
+
+_PAULIS = ("x", "y", "z")
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Depolarizing + bit/phase-flip error rates per gate execution.
+
+    * ``depolarizing_1q`` / ``depolarizing_2q``: after each 1q / 2q+ gate,
+      with this probability a uniformly random non-identity Pauli is
+      applied to each touched qubit.
+    * ``bit_flip`` / ``phase_flip``: additional independent X / Z errors
+      per touched qubit per gate.
+    """
+
+    depolarizing_1q: float = 0.0
+    depolarizing_2q: float = 0.0
+    bit_flip: float = 0.0
+    phase_flip: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("depolarizing_1q", "depolarizing_2q", "bit_flip",
+                     "phase_flip"):
+            p = getattr(self, name)
+            if not 0.0 <= p <= 1.0:
+                raise SimulationError(
+                    f"{name} must be a probability, got {p}"
+                )
+
+    @property
+    def is_trivial(self) -> bool:
+        return (
+            self.depolarizing_1q == 0.0
+            and self.depolarizing_2q == 0.0
+            and self.bit_flip == 0.0
+            and self.phase_flip == 0.0
+        )
+
+    def errors_after(
+        self, gate: Gate, rng: np.random.Generator
+    ) -> list[Gate]:
+        """Sample the Pauli error gates following one gate execution."""
+        errors: list[Gate] = []
+        touched = gate.qubits
+        depol = (
+            self.depolarizing_1q if len(touched) == 1 else self.depolarizing_2q
+        )
+        for q in touched:
+            if depol and rng.random() < depol:
+                errors.append(Gate(str(rng.choice(_PAULIS)), (q,)))
+            if self.bit_flip and rng.random() < self.bit_flip:
+                errors.append(Gate("x", (q,)))
+            if self.phase_flip and rng.random() < self.phase_flip:
+                errors.append(Gate("z", (q,)))
+        return errors
+
+    def sample_circuit(
+        self, circuit: Circuit, rng: np.random.Generator
+    ) -> Circuit:
+        """One noisy trajectory: the circuit with sampled errors inserted."""
+        noisy = Circuit(
+            circuit.num_qubits, name=f"{circuit.name}_noisy"
+        )
+        for gate in circuit.gates:
+            noisy.append(gate)
+            for err in self.errors_after(gate, rng):
+                noisy.append(err)
+        return noisy

@@ -1,0 +1,22 @@
+"""Observables: Pauli strings/sums and model Hamiltonians."""
+
+from repro.observables.dd_expectation import (
+    dd_pauli_expectation,
+    dd_sum_expectation,
+)
+from repro.observables.hamiltonians import (
+    heisenberg_xxz,
+    maxcut,
+    transverse_field_ising,
+)
+from repro.observables.pauli import PauliString, PauliSum
+
+__all__ = [
+    "PauliString",
+    "PauliSum",
+    "dd_pauli_expectation",
+    "dd_sum_expectation",
+    "heisenberg_xxz",
+    "maxcut",
+    "transverse_field_ising",
+]

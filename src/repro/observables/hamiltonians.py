@@ -1,0 +1,60 @@
+"""Model Hamiltonian builders used by the VQE workloads and examples."""
+
+from __future__ import annotations
+
+from repro.common.errors import CircuitError
+from repro.observables.pauli import PauliString, PauliSum
+
+__all__ = ["transverse_field_ising", "heisenberg_xxz", "maxcut"]
+
+
+def transverse_field_ising(
+    n: int, j: float = 1.0, h: float = 1.0, periodic: bool = True
+) -> PauliSum:
+    """H = -J sum Z_i Z_{i+1} - h sum X_i on a chain/ring of n qubits."""
+    if n < 2:
+        raise CircuitError("Ising model needs at least 2 qubits")
+    terms = []
+    last = n if periodic else n - 1
+    for q in range(last):
+        terms.append(
+            PauliString(((q, "Z"), ((q + 1) % n, "Z")), -j)
+        )
+    for q in range(n):
+        terms.append(PauliString.x(q, -h))
+    return PauliSum(terms)
+
+
+def heisenberg_xxz(
+    n: int, jxy: float = 1.0, jz: float = 1.0, periodic: bool = False
+) -> PauliSum:
+    """XXZ chain: sum Jxy (X X + Y Y) + Jz Z Z on neighbouring pairs."""
+    if n < 2:
+        raise CircuitError("Heisenberg model needs at least 2 qubits")
+    terms = []
+    last = n if periodic else n - 1
+    for q in range(last):
+        nxt = (q + 1) % n
+        terms.append(PauliString(((q, "X"), (nxt, "X")), jxy))
+        terms.append(PauliString(((q, "Y"), (nxt, "Y")), jxy))
+        terms.append(PauliString(((q, "Z"), (nxt, "Z")), jz))
+    return PauliSum(terms)
+
+
+def maxcut(edges: list[tuple[int, int]], weights: list[float] | None = None) -> PauliSum:
+    """MaxCut cost Hamiltonian: sum w_ij (1 - Z_i Z_j) / 2.
+
+    The identity part is kept as a weightless PauliString so expectation
+    values equal the expected cut size directly.
+    """
+    if weights is None:
+        weights = [1.0] * len(edges)
+    if len(weights) != len(edges):
+        raise CircuitError("weights must match edges")
+    terms = []
+    for (a, b), w in zip(edges, weights):
+        if a == b:
+            raise CircuitError(f"self-loop edge ({a}, {b})")
+        terms.append(PauliString.identity(w / 2.0))
+        terms.append(PauliString(((a, "Z"), (b, "Z")), -w / 2.0))
+    return PauliSum(terms)

@@ -1,0 +1,215 @@
+"""Pauli strings and sums: the observables layer over simulation results.
+
+A :class:`PauliString` is a tensor product of single-qubit Pauli operators
+with a coefficient; a :class:`PauliSum` is a linear combination.  Both
+evaluate expectation values against flat state vectors with vectorized
+index arithmetic (no 2**n x 2**n matrices): a Pauli string acts as a bit
+mask (X/Y flips), a sign vector (Z/Y phases), and a global i^k phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Mapping
+
+import numpy as np
+
+from repro.common.errors import CircuitError
+
+__all__ = ["PauliString", "PauliSum"]
+
+_VALID = frozenset("IXYZ")
+
+
+@dataclass(frozen=True)
+class PauliString:
+    """A coefficient times a tensor product of Pauli operators.
+
+    ``paulis`` maps qubit index -> 'X' | 'Y' | 'Z' (identity positions are
+    simply absent).  Construct directly, from a dense label
+    (:meth:`from_label`), or via the ``x/y/z`` helpers.
+    """
+
+    paulis: tuple[tuple[int, str], ...]
+    coefficient: complex = 1.0
+
+    def __post_init__(self) -> None:
+        seen = set()
+        for qubit, op in self.paulis:
+            if op not in ("X", "Y", "Z"):
+                raise CircuitError(f"invalid Pauli op {op!r}")
+            if qubit < 0:
+                raise CircuitError(f"negative qubit {qubit}")
+            if qubit in seen:
+                raise CircuitError(f"duplicate qubit {qubit} in Pauli string")
+            seen.add(qubit)
+        object.__setattr__(
+            self, "paulis", tuple(sorted(self.paulis))
+        )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_label(cls, label: str, coefficient: complex = 1.0) -> "PauliString":
+        """Build from a dense label; the rightmost character is qubit 0.
+
+        ``from_label("ZXI")`` is Z on qubit 2, X on qubit 1.
+        """
+        if not label or set(label) - _VALID:
+            raise CircuitError(f"invalid Pauli label {label!r}")
+        paulis = tuple(
+            (len(label) - 1 - i, ch)
+            for i, ch in enumerate(label)
+            if ch != "I"
+        )
+        return cls(paulis, coefficient)
+
+    @classmethod
+    def x(cls, qubit: int, coefficient: complex = 1.0) -> "PauliString":
+        return cls(((qubit, "X"),), coefficient)
+
+    @classmethod
+    def y(cls, qubit: int, coefficient: complex = 1.0) -> "PauliString":
+        return cls(((qubit, "Y"),), coefficient)
+
+    @classmethod
+    def z(cls, qubit: int, coefficient: complex = 1.0) -> "PauliString":
+        return cls(((qubit, "Z"),), coefficient)
+
+    @classmethod
+    def identity(cls, coefficient: complex = 1.0) -> "PauliString":
+        return cls((), coefficient)
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    @property
+    def weight(self) -> int:
+        """Number of non-identity positions."""
+        return len(self.paulis)
+
+    def qubits(self) -> tuple[int, ...]:
+        return tuple(q for q, _ in self.paulis)
+
+    def label(self, num_qubits: int) -> str:
+        """Dense label over ``num_qubits`` (rightmost char = qubit 0)."""
+        ops = dict(self.paulis)
+        return "".join(
+            ops.get(q, "I") for q in range(num_qubits - 1, -1, -1)
+        )
+
+    def __mul__(self, scalar: complex) -> "PauliString":
+        return PauliString(self.paulis, self.coefficient * scalar)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "PauliString":
+        return self * -1.0
+
+    def __add__(self, other) -> "PauliSum":
+        return PauliSum([self]) + other
+
+    # ------------------------------------------------------------------
+    # Action on states
+    # ------------------------------------------------------------------
+
+    def _masks(self, num_qubits: int) -> tuple[int, np.ndarray, complex]:
+        """(flip mask, per-index sign array, global phase) of the string."""
+        idx = np.arange(1 << num_qubits)
+        flip = 0
+        sign = np.ones(1 << num_qubits, dtype=np.complex128)
+        phase: complex = 1.0
+        for qubit, op in self.paulis:
+            if qubit >= num_qubits:
+                raise CircuitError(
+                    f"Pauli acts on qubit {qubit} but state has "
+                    f"{num_qubits} qubits"
+                )
+            bit = (idx >> qubit) & 1
+            if op == "X":
+                flip |= 1 << qubit
+            elif op == "Z":
+                sign = sign * (1 - 2 * bit)
+            else:  # Y = i * X * Z
+                flip |= 1 << qubit
+                sign = sign * (1 - 2 * bit)
+                phase *= 1j
+        return flip, sign, phase
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        """``coefficient * P |state>`` as a new array."""
+        n = state.size.bit_length() - 1
+        flip, sign, phase = self._masks(n)
+        idx = np.arange(state.size)
+        return (self.coefficient * phase) * (sign * state)[idx ^ flip]
+
+    def expectation(self, state: np.ndarray) -> complex:
+        """``coefficient * <state| P |state>`` (exact, vectorized)."""
+        n = state.size.bit_length() - 1
+        flip, sign, phase = self._masks(n)
+        idx = np.arange(state.size)
+        value = np.vdot(state, (sign * state)[idx ^ flip] * phase)
+        return complex(self.coefficient * value)
+
+    def __repr__(self) -> str:
+        body = "*".join(f"{op}{q}" for q, op in self.paulis) or "I"
+        return f"({self.coefficient:g})*{body}"
+
+
+class PauliSum:
+    """A linear combination of Pauli strings (a Hamiltonian)."""
+
+    def __init__(self, terms: Iterable[PauliString] = ()) -> None:
+        self.terms: list[PauliString] = list(terms)
+
+    def __add__(self, other) -> "PauliSum":
+        if isinstance(other, PauliString):
+            return PauliSum([*self.terms, other])
+        if isinstance(other, PauliSum):
+            return PauliSum([*self.terms, *other.terms])
+        return NotImplemented
+
+    __radd__ = __add__
+
+    def __mul__(self, scalar: complex) -> "PauliSum":
+        return PauliSum([t * scalar for t in self.terms])
+
+    __rmul__ = __mul__
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def __iter__(self) -> Iterator[PauliString]:
+        return iter(self.terms)
+
+    def simplify(self) -> "PauliSum":
+        """Merge terms with identical Pauli content; drop zeros."""
+        merged: dict[tuple, complex] = {}
+        for t in self.terms:
+            merged[t.paulis] = merged.get(t.paulis, 0.0) + t.coefficient
+        return PauliSum(
+            PauliString(p, c) for p, c in merged.items() if abs(c) > 1e-14
+        )
+
+    def expectation(self, state: np.ndarray) -> complex:
+        """``<state| H |state>`` summed over all terms."""
+        return complex(sum(t.expectation(state) for t in self.terms))
+
+    def apply(self, state: np.ndarray) -> np.ndarray:
+        out = np.zeros_like(state)
+        for t in self.terms:
+            out += t.apply(state)
+        return out
+
+    def variance(self, state: np.ndarray) -> float:
+        """``<H^2> - <H>^2`` (real for Hermitian sums)."""
+        h_psi = self.apply(state)
+        h2 = np.vdot(h_psi, h_psi).real
+        h1 = self.expectation(state).real
+        return float(h2 - h1 * h1)
+
+    def __repr__(self) -> str:
+        return " + ".join(map(repr, self.terms)) or "0"

@@ -1,0 +1,31 @@
+"""Work-partitioning helpers shared by DMAV and the conversion algorithm."""
+
+from __future__ import annotations
+
+from repro.common.bits import ilog2
+
+__all__ = ["border_level", "chunk_bounds"]
+
+
+def border_level(num_qubits: int, threads: int) -> int:
+    """The Assign/Run hand-off level ``n - log2(t) - 1`` (Algorithm 1).
+
+    Assign recurses from the root down to this level, splitting the thread
+    set in half per level; Run takes over from here with one sub-matrix /
+    sub-vector task per thread per path.
+    """
+    return num_qubits - ilog2(threads) - 1
+
+
+def chunk_bounds(total: int, parts: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into ``parts`` contiguous near-equal chunks."""
+    if parts < 1:
+        raise ValueError(f"parts must be >= 1, got {parts}")
+    base, extra = divmod(total, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds

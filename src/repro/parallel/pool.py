@@ -1,0 +1,72 @@
+"""Thread execution substrate.
+
+FlatDD's algorithms are specified for ``t`` worker threads (t a power of
+two).  :class:`TaskRunner` executes a list of per-thread thunks either
+inline (deterministic, default -- the container is single-core, see
+DESIGN.md substitution 1) or on a real ``ThreadPoolExecutor``.  Both paths
+run the *same* partitioned tasks, so correctness of the parallel
+decomposition is exercised regardless of the execution mode.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.common.bits import is_power_of_two
+from repro.common.errors import ParallelError
+
+T = TypeVar("T")
+
+__all__ = ["TaskRunner", "validate_thread_count"]
+
+
+def validate_thread_count(threads: int, num_qubits: int) -> None:
+    """DMAV's Assign needs t a power of two with ``log2 t < n``."""
+    if not is_power_of_two(threads):
+        raise ParallelError(f"thread count must be a power of two, got {threads}")
+    if threads > (1 << max(num_qubits - 1, 0)):
+        raise ParallelError(
+            f"thread count {threads} too large for {num_qubits} qubits "
+            f"(need t <= 2**(n-1))"
+        )
+
+
+class TaskRunner:
+    """Runs per-thread task lists; owns an optional shared thread pool."""
+
+    def __init__(self, threads: int, use_pool: bool = False) -> None:
+        if threads < 1:
+            raise ParallelError(f"threads must be >= 1, got {threads}")
+        self.threads = threads
+        self.use_pool = use_pool and threads > 1
+        self._pool: ThreadPoolExecutor | None = None
+
+    def __enter__(self) -> "TaskRunner":
+        if self.use_pool:
+            self._pool = ThreadPoolExecutor(max_workers=self.threads)
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def run(self, thunks: Sequence[Callable[[], T]]) -> list[T]:
+        """Execute thunks "in parallel"; results keep input order.
+
+        Exceptions propagate to the caller in both modes.
+        """
+        if not self.use_pool:
+            return [fn() for fn in thunks]
+        if self._pool is None:
+            # Allow use without context manager: a transient pool per call.
+            with ThreadPoolExecutor(max_workers=self.threads) as pool:
+                return list(pool.map(lambda fn: fn(), thunks))
+        return list(self._pool.map(lambda fn: fn(), thunks))
+
+    def map(self, fn: Callable[[T], object], items: Iterable[T]) -> list:
+        return self.run([lambda item=item: fn(item) for item in items])

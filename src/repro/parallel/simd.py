@@ -1,0 +1,55 @@
+"""SIMD stand-ins (DESIGN.md substitution 1).
+
+The paper's AVX2 kernels become numpy vectorized operations here.  They are
+wrapped (rather than inlined at call sites) for two reasons: the names keep
+the code aligned with Algorithm 2's ``SIMDMul``/``SIMDAdd``, and the module
+counts invocations + elements so tests and the cost model can verify how
+much work ran through the "SIMD" path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["SimdCounters", "simd_mul", "simd_add", "simd_scale_into"]
+
+
+@dataclass
+class SimdCounters:
+    """Invocation/element tallies for the SIMD stand-ins."""
+
+    mul_calls: int = 0
+    mul_elements: int = 0
+    add_calls: int = 0
+    add_elements: int = 0
+
+    def reset(self) -> None:
+        self.mul_calls = self.mul_elements = 0
+        self.add_calls = self.add_elements = 0
+
+
+#: Global counters; callers that care (tests, Figure 14 bench) reset first.
+COUNTERS = SimdCounters()
+
+
+def simd_mul(src: np.ndarray, scalar: complex) -> np.ndarray:
+    """``scalar * src`` as one vectorized op (Algorithm 2 line 7)."""
+    COUNTERS.mul_calls += 1
+    COUNTERS.mul_elements += src.size
+    return src * scalar
+
+
+def simd_scale_into(out: np.ndarray, src: np.ndarray, scalar: complex) -> None:
+    """``out[:] = scalar * src`` without allocating (conversion fast path)."""
+    COUNTERS.mul_calls += 1
+    COUNTERS.mul_elements += src.size
+    np.multiply(src, scalar, out=out)
+
+
+def simd_add(out: np.ndarray, src: np.ndarray) -> None:
+    """``out += src`` as one vectorized op (Algorithm 2 line 13)."""
+    COUNTERS.add_calls += 1
+    COUNTERS.add_elements += src.size
+    out += src

@@ -1,0 +1,21 @@
+"""Sampling and measurement: array-based, DD-native weak simulation."""
+
+from repro.sampling.projection import dd_measure_qubit, dd_qubit_probability
+from repro.sampling.strong import (
+    marginal_probabilities,
+    measure_qubit,
+    most_likely,
+    sample_counts,
+)
+from repro.sampling.weak import dd_outcome_probability, sample_from_dd
+
+__all__ = [
+    "dd_measure_qubit",
+    "dd_outcome_probability",
+    "dd_qubit_probability",
+    "marginal_probabilities",
+    "measure_qubit",
+    "most_likely",
+    "sample_counts",
+    "sample_from_dd",
+]

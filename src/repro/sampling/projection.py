@@ -1,0 +1,61 @@
+"""Projective measurement directly on DD states.
+
+Measurement collapse is a projector application plus renormalization --
+both expressible with the existing DD machinery: the projector is a
+(non-unitary) gate DD, and thanks to norm-normalization the probability of
+an outcome is simply the squared magnitude of the projected state's root
+weight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+from repro.dd.matrix import single_qubit_gate
+from repro.dd.node import Edge
+from repro.dd.operations import mv_multiply, scale
+from repro.dd.package import DDPackage
+
+__all__ = ["dd_measure_qubit", "dd_qubit_probability"]
+
+_P0 = np.array([[1, 0], [0, 0]], dtype=np.complex128)
+_P1 = np.array([[0, 0], [0, 1]], dtype=np.complex128)
+
+
+def dd_qubit_probability(pkg: DDPackage, state: Edge, qubit: int) -> float:
+    """P(qubit = 1) for a normalized DD state.
+
+    Computed by projecting with |1><1|_qubit: the projected root weight's
+    squared magnitude is the probability (subtrees are unit norm).
+    """
+    if state.is_zero:
+        raise SimulationError("zero state has no measurement distribution")
+    projected = mv_multiply(pkg, single_qubit_gate(pkg, _P1, qubit), state)
+    if projected.is_zero:
+        return 0.0
+    return min(float(abs(projected.w) ** 2 / abs(state.w) ** 2), 1.0)
+
+
+def dd_measure_qubit(
+    pkg: DDPackage,
+    state: Edge,
+    qubit: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[int, Edge]:
+    """Measure one qubit of a DD state: returns (outcome, collapsed state).
+
+    The collapsed state is renormalized (root weight restored to the input
+    edge's magnitude so chained measurements stay consistent).
+    """
+    rng = rng or np.random.default_rng()
+    p1 = dd_qubit_probability(pkg, state, qubit)
+    outcome = int(rng.random() < p1)
+    proj = _P1 if outcome else _P0
+    projected = mv_multiply(pkg, single_qubit_gate(pkg, proj, qubit), state)
+    if projected.is_zero:
+        raise SimulationError("measurement collapsed to the zero state")
+    # Renormalize: the projected root magnitude is sqrt(P(outcome)).
+    norm = abs(projected.w) / abs(state.w)
+    collapsed = scale(pkg, projected, 1.0 / norm)
+    return outcome, collapsed

@@ -1,0 +1,110 @@
+"""Sampling and measurement on flat state vectors ("strong" simulation).
+
+These operate on the exact amplitudes a simulation produced: bitstring
+sampling, marginals, and projective measurement with state collapse.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.common.errors import SimulationError
+
+__all__ = [
+    "sample_counts",
+    "marginal_probabilities",
+    "most_likely",
+    "measure_qubit",
+]
+
+
+def _num_qubits(state: np.ndarray) -> int:
+    n = state.size.bit_length() - 1
+    if state.size != 1 << n:
+        raise SimulationError(f"state length {state.size} is not a power of two")
+    return n
+
+
+def sample_counts(
+    state: np.ndarray,
+    shots: int,
+    rng: np.random.Generator | None = None,
+    as_bitstrings: bool = True,
+) -> Counter:
+    """Sample ``shots`` outcomes from |state|^2.
+
+    Returns a Counter keyed by bitstring (qubit n-1 leftmost) or by integer
+    index when ``as_bitstrings=False``.
+    """
+    n = _num_qubits(state)
+    if shots < 1:
+        raise SimulationError(f"shots must be positive, got {shots}")
+    rng = rng or np.random.default_rng()
+    probs = np.abs(state) ** 2
+    total = probs.sum()
+    if not np.isclose(total, 1.0, atol=1e-6):
+        raise SimulationError(f"state norm^2 is {total}, not 1")
+    outcomes = rng.choice(state.size, size=shots, p=probs / total)
+    counts = np.bincount(outcomes, minlength=state.size)
+    result: Counter = Counter()
+    for idx in np.nonzero(counts)[0]:
+        key = format(idx, f"0{n}b") if as_bitstrings else int(idx)
+        result[key] = int(counts[idx])
+    return result
+
+
+def marginal_probabilities(state: np.ndarray, qubits: list[int]) -> np.ndarray:
+    """Joint distribution of a subset of qubits (order = given order).
+
+    ``qubits[0]`` is the most significant bit of the returned index.
+    """
+    n = _num_qubits(state)
+    for q in qubits:
+        if not 0 <= q < n:
+            raise SimulationError(f"qubit {q} out of range")
+    if len(set(qubits)) != len(qubits):
+        raise SimulationError("duplicate qubits in marginal")
+    probs = np.abs(state) ** 2
+    idx = np.arange(state.size)
+    keys = np.zeros(state.size, dtype=np.int64)
+    for pos, q in enumerate(qubits):
+        keys |= ((idx >> q) & 1) << (len(qubits) - 1 - pos)
+    out = np.zeros(1 << len(qubits))
+    np.add.at(out, keys, probs)
+    return out
+
+
+def most_likely(state: np.ndarray, k: int = 1) -> list[tuple[str, float]]:
+    """Top-k outcomes as (bitstring, probability), descending."""
+    n = _num_qubits(state)
+    probs = np.abs(state) ** 2
+    top = np.argsort(probs)[::-1][:k]
+    return [(format(int(i), f"0{n}b"), float(probs[i])) for i in top]
+
+
+def measure_qubit(
+    state: np.ndarray,
+    qubit: int,
+    rng: np.random.Generator | None = None,
+) -> tuple[int, np.ndarray]:
+    """Projective measurement of one qubit: returns (outcome, new state).
+
+    The returned state is collapsed and renormalized; the input is not
+    modified.
+    """
+    n = _num_qubits(state)
+    if not 0 <= qubit < n:
+        raise SimulationError(f"qubit {qubit} out of range")
+    rng = rng or np.random.default_rng()
+    idx = np.arange(state.size)
+    mask = ((idx >> qubit) & 1).astype(bool)
+    p1 = float(np.sum(np.abs(state[mask]) ** 2))
+    outcome = int(rng.random() < p1)
+    keep = mask if outcome else ~mask
+    new_state = np.where(keep, state, 0)
+    norm = np.linalg.norm(new_state)
+    if norm == 0:
+        raise SimulationError("measurement produced a zero state")
+    return outcome, new_state / norm

@@ -1,0 +1,13 @@
+"""Verification utilities: DD-based circuit equivalence checking."""
+
+from repro.verify.equivalence import (
+    EquivalenceResult,
+    check_equivalence,
+    check_equivalence_stimuli,
+)
+
+__all__ = [
+    "EquivalenceResult",
+    "check_equivalence",
+    "check_equivalence_stimuli",
+]

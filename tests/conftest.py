@@ -1,0 +1,68 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.backends import StatevectorSimulator
+from repro.circuits import Circuit, get_circuit
+from repro.dd import DDPackage
+
+
+@pytest.fixture
+def pkg3() -> DDPackage:
+    return DDPackage(3)
+
+
+@pytest.fixture
+def pkg4() -> DDPackage:
+    return DDPackage(4)
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def random_state(n: int, seed: int = 0) -> np.ndarray:
+    """A normalized random complex state on n qubits."""
+    g = np.random.default_rng(seed)
+    v = g.normal(size=1 << n) + 1j * g.normal(size=1 << n)
+    return v / np.linalg.norm(v)
+
+
+def reference_state(circuit: Circuit) -> np.ndarray:
+    """Final state via the simplest baseline (reshape-mode statevector)."""
+    return StatevectorSimulator(mode="reshape").run(circuit).state
+
+
+def assert_states_close(a: np.ndarray, b: np.ndarray, atol: float = 1e-9) -> None:
+    """Exact (not global-phase-free) state comparison."""
+    np.testing.assert_allclose(a, b, atol=atol, rtol=0)
+
+
+def assert_same_quantum_state(a: np.ndarray, b: np.ndarray, atol: float = 1e-9) -> None:
+    """Fidelity-based comparison, insensitive to global phase."""
+    fidelity = abs(np.vdot(a, b)) ** 2
+    assert fidelity == pytest.approx(1.0, abs=atol)
+
+
+SMALL_WORKLOADS = [
+    ("ghz", 6, {}),
+    ("adder", 6, {}),
+    ("wstate", 5, {}),
+    ("qft", 5, {}),
+    ("dnn", 5, {"layers": 3}),
+    ("vqe", 5, {}),
+    ("supremacy", 6, {"cycles": 6}),
+    ("swaptest", 5, {}),
+    ("knn", 7, {}),
+    ("random", 6, {"gates": 40}),
+]
+
+
+@pytest.fixture(params=SMALL_WORKLOADS, ids=lambda w: f"{w[0]}_n{w[1]}")
+def small_circuit(request) -> Circuit:
+    family, n, kwargs = request.param
+    return get_circuit(family, n, **kwargs)

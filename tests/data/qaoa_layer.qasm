@@ -1,0 +1,10 @@
+// One QAOA round on a 4-vertex ring, written with rzz and rx.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+h q[0]; h q[1]; h q[2]; h q[3];
+rzz(0.7) q[0],q[1];
+rzz(0.7) q[1],q[2];
+rzz(0.7) q[2],q[3];
+rzz(0.7) q[3],q[0];
+rx(1.1) q[0]; rx(1.1) q[1]; rx(1.1) q[2]; rx(1.1) q[3];

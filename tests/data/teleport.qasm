@@ -1,0 +1,14 @@
+// Quantum teleportation core (pre-measurement), multi-register form.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg alice[2];
+qreg bob[1];
+creg m[2];
+// Prepare the payload |psi> = u3(...)|0> on alice[0].
+u3(0.61547971,0.0,0.78539816) alice[0];
+// Entangle alice[1] with bob[0].
+h alice[1];
+cx alice[1],bob[0];
+// Bell measurement basis change.
+cx alice[0],alice[1];
+h alice[0];

@@ -1,0 +1,13 @@
+// Multi-controlled logic: a Toffoli chain computing AND of three bits.
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg in[3];
+qreg anc[1];
+qreg out[1];
+x in[0];
+x in[1];
+x in[2];
+ccx in[0],in[1],anc[0];
+ccx anc[0],in[2],out[0];
+// Uncompute the ancilla.
+ccx in[0],in[1],anc[0];

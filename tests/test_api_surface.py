@@ -1,0 +1,80 @@
+"""API-surface guards: docstrings, __all__ integrity, stable exports.
+
+For a library this size these meta-tests keep the public surface honest:
+every module documents itself, every advertised name exists, and the
+top-level API cannot silently lose symbols.
+"""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _walk_modules():
+    yield repro
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing it would execute the CLI
+        yield importlib.import_module(info.name)
+
+
+ALL_MODULES = sorted(_walk_modules(), key=lambda m: m.__name__)
+
+
+class TestDocstrings:
+    @pytest.mark.parametrize(
+        "module", ALL_MODULES, ids=lambda m: m.__name__
+    )
+    def test_every_module_has_a_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip(), module.__name__
+
+
+class TestAllIntegrity:
+    @pytest.mark.parametrize(
+        "module",
+        [m for m in ALL_MODULES if hasattr(m, "__all__")],
+        ids=lambda m: m.__name__,
+    )
+    def test_all_names_resolve(self, module):
+        for name in module.__all__:
+            assert hasattr(module, name), f"{module.__name__}.{name}"
+
+    @pytest.mark.parametrize(
+        "module",
+        [m for m in ALL_MODULES if hasattr(m, "__all__")],
+        ids=lambda m: m.__name__,
+    )
+    def test_public_callables_documented(self, module):
+        for name in module.__all__:
+            obj = getattr(module, name)
+            if callable(obj) and not isinstance(obj, type):
+                assert obj.__doc__, f"{module.__name__}.{name} lacks a docstring"
+
+
+class TestTopLevelExports:
+    REQUIRED = {
+        "Circuit", "Gate", "FlatDDSimulator", "DDSimulator",
+        "StatevectorSimulator", "FlatDDConfig", "SimulationResult",
+        "get_circuit", "parse_qasm", "to_qasm", "check_equivalence",
+        "NoiseModel", "run_trajectories", "PauliString", "PauliSum",
+        "sample_counts", "sample_from_dd",
+    }
+
+    def test_required_symbols_present(self):
+        missing = self.REQUIRED - set(repro.__all__)
+        assert not missing, f"top-level API lost symbols: {missing}"
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    def test_star_import_is_clean(self):
+        namespace = {}
+        exec("from repro import *", namespace)  # noqa: S102 - deliberate
+        for name in repro.__all__:
+            if name != "__version__":
+                assert name in namespace

@@ -1,0 +1,146 @@
+"""Unit tests for the baseline simulators (Quantum++ and DDSIM models)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import (
+    DDSimulator,
+    StatevectorSimulator,
+    apply_gate_array,
+)
+from repro.circuits import Circuit, Gate, get_circuit
+from repro.common.errors import SimulationError
+
+from tests.conftest import assert_states_close, reference_state
+
+
+class TestApplyGateArray:
+    def test_single_qubit_gate(self):
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        apply_gate_array(state, Gate("h", (0,)))
+        s = 1 / math.sqrt(2)
+        assert_states_close(state, np.array([s, s, 0, 0]))
+
+    def test_controlled_gate_only_touches_control_one(self):
+        state = np.array([0.5, 0.5, 0.5, 0.5], dtype=complex)
+        apply_gate_array(state, Gate("cx", (1,), (0,)))
+        # |01> <-> |11> swap (control = qubit 0).
+        assert_states_close(state, np.array([0.5, 0.5, 0.5, 0.5]))
+        state2 = np.array([0, 1, 0, 0], dtype=complex)
+        apply_gate_array(state2, Gate("cx", (1,), (0,)))
+        assert_states_close(state2, np.array([0, 0, 0, 1]))
+
+    def test_two_qubit_gate_matches_kron(self):
+        rng = np.random.default_rng(3)
+        state = rng.normal(size=8) + 1j * rng.normal(size=8)
+        state /= np.linalg.norm(state)
+        g = Gate("swap", (2, 0))
+        # Reference via the explicit permutation matrix of SWAP(q2, q0).
+        perm = np.zeros((8, 8))
+        for i in range(8):
+            b2, b1, b0 = (i >> 2) & 1, (i >> 1) & 1, i & 1
+            perm[(b0 << 2) | (b1 << 1) | b2, i] = 1
+        expected = perm @ state
+        apply_gate_array(state, g)
+        assert_states_close(state, expected)
+
+
+class TestStatevectorSimulator:
+    def test_modes_agree(self, small_circuit):
+        a = StatevectorSimulator(mode="indexed").run(small_circuit)
+        b = StatevectorSimulator(mode="reshape").run(small_circuit)
+        assert_states_close(a.state, b.state)
+
+    def test_threaded_agrees(self, small_circuit):
+        a = StatevectorSimulator(threads=1).run(small_circuit)
+        b = StatevectorSimulator(threads=4, use_thread_pool=True).run(
+            small_circuit
+        )
+        assert_states_close(a.state, b.state)
+
+    def test_norm_preserved(self, small_circuit):
+        r = StatevectorSimulator().run(small_circuit)
+        assert np.linalg.norm(r.state) == pytest.approx(1.0, abs=1e-9)
+
+    def test_trace_covers_all_gates(self):
+        c = get_circuit("ghz", 5)
+        r = StatevectorSimulator().run(c)
+        assert len(r.gate_trace) == len(c)
+        assert all(g.phase == "array" for g in r.gate_trace)
+
+    def test_memory_tracks_state_size(self):
+        c = get_circuit("ghz", 10)
+        r = StatevectorSimulator().run(c)
+        assert r.peak_memory_bytes >= (1 << 10) * 16
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SimulationError):
+            StatevectorSimulator(mode="quantum")
+
+    def test_result_metadata(self):
+        r = StatevectorSimulator(threads=2).run(get_circuit("ghz", 3))
+        assert r.metadata["threads"] == 2
+        assert r.num_qubits == 3
+        assert r.num_gates == 3
+
+
+class TestDDSimulator:
+    def test_agrees_with_array_baseline(self, small_circuit):
+        dd = DDSimulator().run(small_circuit)
+        ref = reference_state(small_circuit)
+        fidelity = abs(np.vdot(dd.state, ref)) ** 2
+        assert fidelity == pytest.approx(1.0, abs=1e-8)
+
+    def test_trace_records_dd_sizes(self):
+        c = get_circuit("ghz", 6)
+        r = DDSimulator().run(c)
+        sizes = [g.dd_size for g in r.gate_trace]
+        assert all(s is not None and s >= 1 for s in sizes)
+        # GHZ DD grows linearly along the CX chain.
+        assert sizes[-1] > sizes[0]
+
+    def test_timeout_reports_partial(self):
+        c = get_circuit("dnn", 10)
+        r = DDSimulator().run(c, max_seconds=0.05)
+        assert r.metadata["timed_out"]
+        assert r.metadata["gates_applied"] < len(c)
+
+    def test_gate_dd_cache_effective(self):
+        # GHZ repeats no gate, but QFT's swaps + repeated H do reuse.
+        c = Circuit(3).h(0).h(0).h(0).cx(0, 1).cx(0, 1)
+        r = DDSimulator().run(c)
+        assert r.metadata["gate_dd_cache_hits"] == 3
+        assert r.metadata["gate_dd_cache_misses"] == 2
+
+    def test_gc_threshold_respected(self):
+        sim = DDSimulator(gc_threshold=50)
+        c = get_circuit("dnn", 6, layers=2)
+        r = sim.run(c)  # should not crash and must stay correct
+        ref = reference_state(c)
+        assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(1.0, abs=1e-8)
+
+    def test_memory_grows_with_irregularity(self):
+        regular = DDSimulator().run(get_circuit("ghz", 8))
+        irregular = DDSimulator().run(get_circuit("dnn", 8, layers=3))
+        assert irregular.peak_memory_bytes > regular.peak_memory_bytes
+
+
+class TestSimulationResult:
+    def test_probabilities_sum_to_one(self):
+        r = StatevectorSimulator().run(get_circuit("qft", 4))
+        assert r.probabilities().sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_fidelity_against_array_and_result(self):
+        r1 = StatevectorSimulator().run(get_circuit("ghz", 4))
+        r2 = DDSimulator().run(get_circuit("ghz", 4))
+        assert r1.fidelity(r2) == pytest.approx(1.0, abs=1e-9)
+        assert r1.fidelity(r2.state) == pytest.approx(1.0, abs=1e-9)
+
+    def test_peak_memory_mb_conversion(self):
+        r = StatevectorSimulator().run(get_circuit("ghz", 3))
+        assert r.peak_memory_mb == pytest.approx(
+            r.peak_memory_bytes / (1024 * 1024)
+        )

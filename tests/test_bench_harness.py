@@ -1,0 +1,128 @@
+"""Unit tests for the benchmark harness (workloads, runners, tables, model)."""
+
+import numpy as np
+import pytest
+
+from repro.bench.model import ThreadScalingModel
+from repro.bench.runners import compare_backends, run_backend
+from repro.bench.tables import render_series, render_table, write_result
+from repro.bench.workloads import DEEP_WORKLOADS, TABLE1_WORKLOADS, Workload, load
+from repro.circuits import get_circuit
+from repro.core import FlatDDSimulator
+
+
+class TestWorkloads:
+    def test_table1_has_twelve_circuits(self):
+        assert len(TABLE1_WORKLOADS) == 12
+
+    def test_deep_set_has_six_circuits(self):
+        assert len(DEEP_WORKLOADS) == 6
+        assert all(len(w.build()) > 700 for w in DEEP_WORKLOADS)
+
+    def test_every_workload_builds(self):
+        for w in TABLE1_WORKLOADS:
+            c = w.build()
+            assert c.num_qubits == w.n
+            assert c.name == w.name
+
+    def test_paper_mapping_recorded(self):
+        assert all(w.paper_circuit for w in TABLE1_WORKLOADS)
+
+    def test_load_by_name(self):
+        w = load("ghz")
+        assert w.family == "ghz"
+        with pytest.raises(KeyError):
+            load("nope")
+
+    def test_regular_flags(self):
+        assert load("adder").regular and load("ghz").regular
+        assert not load("dnn_s").regular
+
+
+class TestRunners:
+    TINY = Workload("tiny", "supremacy", 6, {"cycles": 5}, timeout_seconds=30)
+
+    def test_run_backend_kinds(self):
+        for kind in ("flatdd", "ddsim", "quantumpp"):
+            row = run_backend(kind, self.TINY, threads=2)
+            assert row.runtime_seconds > 0
+            assert row.memory_mb > 0
+            assert not row.timed_out
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            run_backend("quokka", self.TINY)
+
+    def test_compare_backends_cross_checks(self):
+        row = compare_backends(self.TINY, threads=2)
+        assert row.gates == len(self.TINY.build())
+        assert row.ddsim_speedup > 0
+        assert row.qpp_speedup > 0
+
+    def test_timeout_formatting(self):
+        row = run_backend(
+            "ddsim",
+            Workload("slow", "dnn", 10, {"layers": 8}, timeout_seconds=0.05),
+        )
+        assert row.timed_out
+        assert row.runtime_str(0.05).startswith(">")
+
+
+class TestTables:
+    def test_render_table_alignment(self):
+        text = render_table(
+            "T", ["a", "long_header"], [["x", 1], ["yyyy", 22]]
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "long_header" in lines[2]
+        # Columns align: every body line at least as wide as the header's
+        # first column width.
+        assert lines[4].startswith("x   ")
+
+    def test_render_table_with_note(self):
+        text = render_table("T", ["a"], [["1"]], note="hello")
+        assert text.rstrip().endswith("hello")
+
+    def test_render_series(self):
+        text = render_series(
+            "S", "x", [1, 2], {"f": [0.5, 0.25], "g": [1.0, 2.0]}
+        )
+        assert "0.5" in text and "2" in text
+
+    def test_write_result_respects_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        path = write_result("unit_test_artifact", "content\n")
+        assert path.startswith(str(tmp_path))
+        assert (tmp_path / "unit_test_artifact.txt").read_text() == "content\n"
+
+
+class TestThreadScalingModel:
+    @pytest.fixture(scope="class")
+    def calibrated(self):
+        circuit = get_circuit("supremacy", 10, cycles=8)
+        result = FlatDDSimulator(threads=4).run(circuit, keep_internals=True)
+        return ThreadScalingModel.from_result(result, [1, 2, 4, 8])
+
+    def test_costs_decrease_with_threads(self, calibrated):
+        costs = [calibrated.cost(t) for t in (1, 2, 4, 8)]
+        assert all(b <= a * 1.01 for a, b in zip(costs, costs[1:]))
+
+    def test_runtime_monotone_and_saturating(self, calibrated):
+        times = [calibrated.runtime(t) for t in (1, 2, 4, 8)]
+        assert all(b <= a + 1e-12 for a, b in zip(times, times[1:]))
+        # Fixed per-gate overhead bounds the speed-up below ideal.
+        assert times[0] / times[-1] < 8.0
+
+    def test_model_reproduces_reference_measurement(self, calibrated):
+        t_ref = calibrated.reference_threads
+        expected = (
+            calibrated.dd_seconds
+            + calibrated.conv_seconds / t_ref
+            + calibrated.dmav_seconds
+        )
+        assert calibrated.runtime(t_ref) == pytest.approx(expected, rel=0.05)
+
+    def test_kappa_and_tau_nonnegative(self, calibrated):
+        assert calibrated.kappa >= 0
+        assert calibrated.tau >= 0

@@ -1,0 +1,104 @@
+"""Unit tests for repro.common.bits."""
+
+import numpy as np
+import pytest
+
+from repro.common.bits import (
+    bit,
+    clear_bit,
+    ilog2,
+    indices_matching,
+    indices_with_bit,
+    insert_zero_bit,
+    is_power_of_two,
+    set_bit,
+)
+
+
+class TestPowerOfTwo:
+    def test_powers_accepted(self):
+        for k in range(20):
+            assert is_power_of_two(1 << k)
+
+    def test_non_powers_rejected(self):
+        for x in (0, -1, -4, 3, 6, 12, 1023):
+            assert not is_power_of_two(x)
+
+    def test_ilog2_exact(self):
+        for k in range(20):
+            assert ilog2(1 << k) == k
+
+    @pytest.mark.parametrize("bad", [0, -2, 3, 12])
+    def test_ilog2_rejects_non_powers(self, bad):
+        with pytest.raises(ValueError):
+            ilog2(bad)
+
+
+class TestBitOps:
+    def test_bit_extraction(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 3) == 1
+
+    def test_set_clear_roundtrip(self):
+        x = 0b0101
+        assert bit(set_bit(x, 1), 1) == 1
+        assert bit(clear_bit(x, 0), 0) == 0
+        assert clear_bit(set_bit(x, 7), 7) == x
+
+    def test_insert_zero_bit_preserves_order(self):
+        # Inserting at position k maps i -> an index whose bit k is zero,
+        # monotonically.
+        for k in range(4):
+            outs = [insert_zero_bit(i, k) for i in range(8)]
+            assert outs == sorted(outs)
+            assert all(bit(o, k) == 0 for o in outs)
+
+    def test_insert_zero_bit_matches_enumeration(self):
+        n, k = 5, 2
+        expected = [i for i in range(1 << n) if bit(i, k) == 0]
+        got = [insert_zero_bit(i, k) for i in range(1 << (n - 1))]
+        assert got == expected
+
+
+class TestIndexSets:
+    def test_indices_with_bit_partition(self):
+        n = 6
+        for k in range(n):
+            zeros = indices_with_bit(n, k, 0)
+            ones = indices_with_bit(n, k, 1)
+            assert zeros.size == ones.size == 1 << (n - 1)
+            together = np.sort(np.concatenate([zeros, ones]))
+            np.testing.assert_array_equal(together, np.arange(1 << n))
+
+    def test_indices_with_bit_values(self):
+        n = 4
+        for k in range(n):
+            for v in (0, 1):
+                idx = indices_with_bit(n, k, v)
+                assert all((int(i) >> k) & 1 == v for i in idx)
+
+    def test_indices_matching_single_constraint(self):
+        got = indices_matching(3, {1: 1})
+        expected = np.array([i for i in range(8) if (i >> 1) & 1])
+        np.testing.assert_array_equal(got, expected)
+
+    def test_indices_matching_multiple_constraints(self):
+        got = indices_matching(4, {0: 1, 3: 0})
+        expected = np.array(
+            [i for i in range(16) if (i & 1) and not (i >> 3) & 1]
+        )
+        np.testing.assert_array_equal(got, expected)
+
+    def test_indices_matching_empty_constraints(self):
+        np.testing.assert_array_equal(
+            indices_matching(3, {}), np.arange(8)
+        )
+
+    def test_indices_matching_rejects_bad_value(self):
+        with pytest.raises(ValueError):
+            indices_matching(3, {0: 2})
+
+    def test_indices_matching_sorted(self):
+        idx = indices_matching(5, {2: 1, 4: 1})
+        assert np.all(np.diff(idx) > 0)

@@ -1,0 +1,111 @@
+"""Unit tests for the Circuit container."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate
+from repro.common.errors import CircuitError
+
+from tests.conftest import reference_state
+
+
+class TestConstruction:
+    def test_fluent_builders_chain(self):
+        c = Circuit(3).h(0).cx(0, 1).rz(0.5, 2).ccx(0, 1, 2)
+        assert len(c) == 4
+        assert c.gates[1].controls == (0,)
+        assert c.gates[3].controls == (0, 1)
+
+    def test_add_splits_alias_controls(self):
+        c = Circuit(3)
+        c.add("cswap", 2, 0, 1)
+        g = c.gates[0]
+        assert g.controls == (2,)
+        assert g.targets == (0, 1)
+
+    def test_qubit_bounds_enforced(self):
+        c = Circuit(2)
+        with pytest.raises(CircuitError):
+            c.h(2)
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            Circuit(0)
+
+    def test_gates_validated_on_init(self):
+        with pytest.raises(CircuitError):
+            Circuit(1, [Gate("h", (3,))])
+
+
+class TestIntrospection:
+    def test_depth_parallel_gates(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        assert c.depth() == 1
+
+    def test_depth_serial_chain(self):
+        c = Circuit(3).h(0).cx(0, 1).cx(1, 2)
+        assert c.depth() == 3
+
+    def test_gate_counts(self):
+        c = Circuit(2).h(0).h(1).cx(0, 1)
+        assert c.gate_counts == {"h": 2, "cx": 1}
+
+    def test_two_qubit_gate_count(self):
+        c = Circuit(3).h(0).cx(0, 1).ccx(0, 1, 2).swap(0, 2)
+        assert c.two_qubit_gate_count == 3
+
+    def test_used_qubits(self):
+        c = Circuit(5).h(1).cx(1, 3)
+        assert c.used_qubits() == {1, 3}
+
+    def test_slicing_returns_circuit(self):
+        c = Circuit(2).h(0).cx(0, 1).x(1)
+        head = c[:2]
+        assert isinstance(head, Circuit)
+        assert len(head) == 2
+        assert c[2].name == "x"
+
+    def test_iteration(self):
+        c = Circuit(2).h(0).x(1)
+        assert [g.name for g in c] == ["h", "x"]
+
+    def test_repr_mentions_stats(self):
+        c = Circuit(2).h(0)
+        assert "qubits=2" in repr(c)
+
+
+class TestInverse:
+    def test_inverse_undoes_circuit(self):
+        c = Circuit(3).h(0).cx(0, 1).t(2).rz(0.7, 1).swap(0, 2).s(1)
+        full = Circuit(3, [*c.gates, *c.inverse().gates])
+        state = reference_state(full)
+        expected = np.zeros(8)
+        expected[0] = 1
+        np.testing.assert_allclose(state, expected, atol=1e-10)
+
+    def test_inverse_reverses_order(self):
+        c = Circuit(2).h(0).x(1)
+        inv = c.inverse()
+        assert [g.name for g in inv] == ["x", "h"]
+
+    def test_inverse_flips_phase_gates(self):
+        c = Circuit(1).s(0).t(0)
+        inv = c.inverse()
+        assert [g.name for g in inv] == ["tdg", "sdg"]
+
+    def test_inverse_negates_rotations(self):
+        c = Circuit(1).rx(0.3, 0)
+        assert c.inverse().gates[0].params == (-0.3,)
+
+    def test_sqrt_gates_invert_via_daggers(self):
+        c = Circuit(1).add("sx", 0).add("sw", 0)
+        inv = c.inverse()
+        assert [g.name for g in inv] == ["swdg", "sxdg"]
+
+    def test_unsupported_gate_raises(self):
+        from repro.circuits.generators.algorithms import UnitaryGate
+
+        c = Circuit(2)
+        c.append(UnitaryGate(np.eye(4), (0, 1)))
+        with pytest.raises(CircuitError):
+            c.inverse()

@@ -1,0 +1,66 @@
+"""Unit tests for circuit layering and summaries."""
+
+import pytest
+
+from repro.circuits import Circuit, get_circuit
+from repro.circuits.analysis import layerize, summarize
+
+
+class TestLayerize:
+    def test_independent_gates_share_a_layer(self):
+        c = Circuit(4).h(0).h(1).h(2).h(3)
+        layers = layerize(c)
+        assert len(layers) == 1
+        assert len(layers[0]) == 4
+
+    def test_dependent_gates_stack(self):
+        c = Circuit(2).h(0).cx(0, 1).h(1)
+        layers = layerize(c)
+        assert [len(l) for l in layers] == [1, 1, 1]
+
+    def test_mixed_dependencies(self):
+        c = Circuit(3).h(0).h(1).cx(0, 1).h(2)
+        layers = layerize(c)
+        # h(2) is independent and fits layer 0; cx waits for both h's.
+        assert len(layers) == 2
+        assert {g.name for g in layers[0]} == {"h"}
+        assert layers[1][0].name == "cx"
+
+    def test_layer_count_equals_depth(self):
+        for family, n in (("ghz", 6), ("qft", 5), ("adder", 8)):
+            c = get_circuit(family, n)
+            assert len(layerize(c)) == c.depth()
+
+    def test_all_gates_preserved(self):
+        c = get_circuit("supremacy", 6, cycles=4)
+        layers = layerize(c)
+        assert sum(len(l) for l in layers) == len(c)
+
+
+class TestSummarize:
+    def test_ghz_summary(self):
+        s = summarize(get_circuit("ghz", 6))
+        assert s.num_qubits == 6
+        assert s.num_gates == 6
+        assert s.depth == 6
+        assert s.two_qubit_gates == 5
+        assert s.entangling_depth == 5
+        assert s.two_qubit_fraction == pytest.approx(5 / 6)
+
+    def test_parallel_circuit_has_high_parallelism(self):
+        c = Circuit(8)
+        for q in range(8):
+            c.h(q)
+        s = summarize(c)
+        assert s.parallelism == pytest.approx(8.0)
+        assert s.entangling_depth == 0
+
+    def test_supremacy_is_entangling_dense(self):
+        s = summarize(get_circuit("supremacy", 9, cycles=8))
+        assert s.entangling_depth >= 8 // 2
+        assert s.parallelism > 2.0
+
+    def test_gate_counts_match_circuit(self):
+        c = get_circuit("qft", 5)
+        s = summarize(c)
+        assert s.gate_counts == dict(c.gate_counts)

@@ -1,0 +1,142 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.circuits import get_circuit, to_qasm
+from repro.cli import main
+
+
+@pytest.fixture
+def qasm_file(tmp_path):
+    path = tmp_path / "ghz.qasm"
+    path.write_text(to_qasm(get_circuit("ghz", 4)))
+    return str(path)
+
+
+class TestFamilies:
+    def test_lists_known_families(self, capsys):
+        assert main(["families"]) == 0
+        out = capsys.readouterr().out
+        assert "supremacy" in out and "ghz" in out and "grover" in out
+
+
+class TestSimulate:
+    def test_generator_family(self, capsys):
+        code = main(
+            ["simulate", "--family", "ghz", "--qubits", "4", "--top", "2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0000" in out and "1111" in out
+
+    def test_qasm_file(self, qasm_file, capsys):
+        assert main(["simulate", qasm_file]) == 0
+        out = capsys.readouterr().out
+        assert "runtime_seconds" in out
+
+    def test_json_output(self, capsys):
+        assert main(
+            ["simulate", "--family", "ghz", "--qubits", "3", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["qubits"] == 3
+        assert payload["gates"] == 3
+        assert "top_outcomes" in payload
+
+    def test_sampling_mode(self, capsys):
+        assert main(
+            ["simulate", "--family", "ghz", "--qubits", "3",
+             "--shots", "100", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert sum(payload["counts"].values()) == 100
+        assert set(payload["counts"]) <= {"000", "111"}
+
+    @pytest.mark.parametrize("backend", ["flatdd", "ddsim", "quantumpp"])
+    def test_all_backends(self, backend, capsys):
+        assert main(
+            ["simulate", "--family", "qft", "--qubits", "4",
+             "--backend", backend]
+        ) == 0
+
+    def test_missing_input_errors(self, capsys):
+        assert main(["simulate"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_errors(self, capsys):
+        assert main(["simulate", "/nonexistent.qasm"]) == 2
+
+
+class TestCompare:
+    def test_compare_reports_all_backends(self, capsys):
+        assert main(
+            ["compare", "--family", "ghz", "--qubits", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "flatdd" in out and "ddsim" in out and "quantumpp" in out
+        assert "fidelity" in out
+
+
+class TestEquivalence:
+    def test_equivalent_files(self, qasm_file, capsys):
+        assert main(["equivalence", qasm_file, qasm_file]) == 0
+        assert "EQUIVALENT" in capsys.readouterr().out
+
+    def test_inequivalent_files(self, qasm_file, tmp_path, capsys):
+        other = tmp_path / "other.qasm"
+        c = get_circuit("ghz", 4)
+        c.t(2)
+        other.write_text(to_qasm(c))
+        assert main(["equivalence", qasm_file, str(other)]) == 1
+        assert "NOT EQUIVALENT" in capsys.readouterr().out
+
+
+class TestSummarize:
+    def test_summary_output(self, capsys):
+        assert main(["summarize", "--family", "qft", "--qubits", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "depth" in out and "two-qubit gates" in out
+        assert "qubits:            5" in out
+
+
+class TestTranspile:
+    def test_stdout_qasm(self, capsys):
+        assert main(["transpile", "--family", "ghz", "--qubits", "3"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OPENQASM 2.0;")
+        assert "cx" in out
+
+    def test_output_file_roundtrips(self, tmp_path, capsys):
+        import numpy as np
+
+        from repro.backends import StatevectorSimulator
+        from repro.circuits import get_circuit, parse_qasm
+
+        dest = tmp_path / "out.qasm"
+        assert main(
+            ["transpile", "--family", "qft", "--qubits", "4",
+             "-o", str(dest)]
+        ) == 0
+        transpiled = parse_qasm(dest.read_text())
+        ref = StatevectorSimulator().run(get_circuit("qft", 4)).state
+        got = StatevectorSimulator().run(transpiled).state
+        fid = abs(np.vdot(ref, got)) ** 2
+        assert fid == pytest.approx(1.0, abs=1e-8)
+
+
+class TestReport:
+    def test_collects_result_files(self, tmp_path, capsys):
+        (tmp_path / "exp_a.txt").write_text("Table A\n=======\nrow\n")
+        (tmp_path / "exp_b.txt").write_text("Table B\n=======\nrow\n")
+        dest = tmp_path / "report.txt"
+        assert main(
+            ["report", "--results-dir", str(tmp_path), "-o", str(dest)]
+        ) == 0
+        text = dest.read_text()
+        assert "Table A" in text and "Table B" in text
+
+    def test_empty_dir_errors(self, tmp_path, capsys):
+        assert main(["report", "--results-dir", str(tmp_path)]) == 1
+        assert "no result files" in capsys.readouterr().err

@@ -1,0 +1,145 @@
+"""Unit tests for parallel DD-to-array conversion (Section 3.1.2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.conversion import (
+    convert_parallel,
+    convert_sequential,
+    plan_conversion,
+)
+from repro.dd import DDPackage, vector_from_array
+from repro.parallel.pool import TaskRunner
+
+from tests.conftest import random_state
+
+
+def _figure_4a_state(pkg: DDPackage) -> np.ndarray:
+    """A state with zero edges, like Figure 4a's example DD."""
+    arr = np.zeros(16, dtype=complex)
+    arr[[0, 2, 5, 7]] = [0.5, 0.5, 0.5, 0.5]
+    return arr
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    @pytest.mark.parametrize("lb", [True, False])
+    @pytest.mark.parametrize("sm", [True, False])
+    def test_matches_sequential_on_random_state(self, threads, lb, sm):
+        n = 6
+        pkg = DDPackage(n)
+        arr = random_state(n, seed=threads)
+        e = vector_from_array(pkg, arr)
+        out, report = convert_parallel(
+            pkg, e, threads, load_balance=lb, scalar_mult=sm
+        )
+        np.testing.assert_allclose(out, arr, atol=1e-10)
+        assert report.threads == threads
+
+    def test_sparse_state_with_zero_edges(self):
+        pkg = DDPackage(4)
+        arr = _figure_4a_state(pkg)
+        e = vector_from_array(pkg, arr)
+        for threads in (1, 2, 4):
+            out, _ = convert_parallel(pkg, e, threads)
+            np.testing.assert_allclose(out, arr, atol=1e-12)
+
+    def test_scalar_multiple_state(self):
+        # Figure 4b: quarters of the array are scalar multiples.
+        pkg = DDPackage(4)
+        base = random_state(2, seed=1)
+        arr = np.concatenate([base, 2 * base, 3 * base, -1j * base])
+        arr /= np.linalg.norm(arr)
+        e = vector_from_array(pkg, arr)
+        out, report = convert_parallel(pkg, e, 4, dense_level=-1)
+        np.testing.assert_allclose(out, arr, atol=1e-10)
+
+    def test_zero_state_converts_to_zeros(self):
+        pkg = DDPackage(3)
+        e = vector_from_array(pkg, np.zeros(8))
+        out, _ = convert_parallel(pkg, e, 2)
+        np.testing.assert_array_equal(out, np.zeros(8))
+
+    def test_with_thread_pool_runner(self):
+        n = 5
+        pkg = DDPackage(n)
+        arr = random_state(n, seed=9)
+        e = vector_from_array(pkg, arr)
+        with TaskRunner(4, use_pool=True) as runner:
+            out, _ = convert_parallel(pkg, e, 4, runner=runner)
+        np.testing.assert_allclose(out, arr, atol=1e-10)
+
+    def test_sequential_baseline_agrees(self):
+        pkg = DDPackage(5)
+        arr = random_state(5, seed=2)
+        e = vector_from_array(pkg, arr)
+        out, seconds = convert_sequential(pkg, e)
+        np.testing.assert_allclose(out, arr, atol=1e-10)
+        assert seconds >= 0
+
+
+class TestPlanStructure:
+    def test_threads_divide_at_junctions(self):
+        n = 4
+        pkg = DDPackage(n)
+        arr = random_state(n, seed=3)  # dense: junctions everywhere
+        e = vector_from_array(pkg, arr)
+        plan = plan_conversion(pkg, e, 4)
+        busy = [u for u, t in enumerate(plan.tasks) if t]
+        assert len(busy) == 4  # every thread got work
+
+    def test_load_balancing_keeps_threads_busy(self):
+        pkg = DDPackage(4)
+        arr = np.zeros(16, dtype=complex)
+        arr[:4] = random_state(2, seed=4)  # top levels have zero edges
+        e = vector_from_array(pkg, arr)
+        balanced = plan_conversion(pkg, e, 4, load_balance=True)
+        naive = plan_conversion(pkg, e, 4, load_balance=False)
+        assert balanced.idle_threads == 0
+        assert naive.idle_threads > 0
+
+    def test_scalar_mult_records_fills(self):
+        pkg = DDPackage(4)
+        base = random_state(3, seed=5)
+        arr = np.concatenate([base, 0.5 * base])
+        arr /= np.linalg.norm(arr)
+        e = vector_from_array(pkg, arr)
+        plan = plan_conversion(pkg, e, 4, scalar_mult=True)
+        assert plan.scalar_fills
+        top = plan.scalar_fills[0]
+        assert top.src == 0 and top.dst == 8 and top.size == 8
+
+    def test_scalar_mult_disabled_has_no_fills(self):
+        pkg = DDPackage(4)
+        base = random_state(3, seed=5)
+        arr = np.concatenate([base, 0.5 * base])
+        e = vector_from_array(pkg, arr / np.linalg.norm(arr))
+        plan = plan_conversion(pkg, e, 4, scalar_mult=False)
+        assert not plan.scalar_fills
+
+    def test_nested_scalar_fills_ordered_by_level(self):
+        # [b, 2b, b, 2b, ...] nests scalar structure at two levels.
+        pkg = DDPackage(4)
+        b = random_state(2, seed=6)
+        quarter = np.concatenate([b, 2 * b])
+        arr = np.concatenate([quarter, 3 * quarter])
+        arr /= np.linalg.norm(arr)
+        e = vector_from_array(pkg, arr)
+        out, report = convert_parallel(pkg, e, 2, dense_level=-1)
+        np.testing.assert_allclose(out, arr, atol=1e-10)
+        assert report.num_scalar_fills >= 2
+
+
+class TestReport:
+    def test_report_fields(self):
+        pkg = DDPackage(4)
+        e = vector_from_array(pkg, random_state(4, seed=7))
+        _, report = convert_parallel(
+            pkg, e, 2, load_balance=False, scalar_mult=False
+        )
+        assert report.load_balance is False
+        assert report.scalar_mult is False
+        assert report.num_tasks >= 1
+        assert report.seconds > 0

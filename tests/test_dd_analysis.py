@@ -1,0 +1,156 @@
+"""Unit tests for DD structural analysis (identity / dense / kron caches)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import DDPackage, single_qubit_gate, two_qubit_gate, controlled_gate
+from repro.dd.analysis import (
+    dense_matrix_block,
+    dense_vector_block,
+    is_identity,
+    kron_collapse,
+    vector_kron_collapse,
+)
+from repro.dd.matrix import matrix_to_dense
+from repro.dd.node import TERMINAL
+from repro.dd.vector import vector_from_array
+
+from tests.conftest import random_state
+
+H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+RZ = np.diag([np.exp(-0.2j), np.exp(0.2j)])
+
+
+class TestIsIdentity:
+    def test_identity_chain_detected(self):
+        pkg = DDPackage(4)
+        assert is_identity(pkg, pkg.identity_edge(3).n)
+
+    def test_terminal_is_identity(self):
+        pkg = DDPackage(2)
+        assert is_identity(pkg, TERMINAL)
+
+    def test_gate_not_identity(self):
+        pkg = DDPackage(3)
+        e = single_qubit_gate(pkg, H, 1)
+        assert not is_identity(pkg, e.n)
+
+    def test_result_memoized(self):
+        pkg = DDPackage(4)
+        node = pkg.identity_edge(3).n
+        is_identity(pkg, node)
+        assert pkg.identity_flags[id(node)] is True
+
+
+class TestDenseBlocks:
+    def test_matrix_block_matches_to_dense(self):
+        pkg = DDPackage(3)
+        e = single_qubit_gate(pkg, H, 1)
+        block = dense_matrix_block(pkg, e.n)
+        np.testing.assert_allclose(
+            e.w * block, matrix_to_dense(pkg, e), atol=1e-12
+        )
+
+    def test_matrix_block_cached_and_readonly(self):
+        pkg = DDPackage(2)
+        e = single_qubit_gate(pkg, X, 0)
+        a = dense_matrix_block(pkg, e.n)
+        b = dense_matrix_block(pkg, e.n)
+        assert a is b
+        with pytest.raises(ValueError):
+            a[0, 0] = 5
+
+    def test_vector_block_matches_export(self):
+        pkg = DDPackage(3)
+        arr = random_state(3, 4)
+        e = vector_from_array(pkg, arr)
+        block = dense_vector_block(pkg, e.n)
+        np.testing.assert_allclose(e.w * block, arr, atol=1e-10)
+
+
+class TestKronCollapse:
+    def test_single_qubit_gate_on_low_qubit_collapses(self):
+        # H on qubit 0 of n: levels n-1..1 are pass-through; the chain
+        # reaches the target node at level 0 <= dense_level.
+        pkg = DDPackage(6)
+        e = single_qubit_gate(pkg, H, 0)
+        got = kron_collapse(pkg, e.n, dense_level=2)
+        assert got is not None
+        d, base = got
+        # The chain stops at the dense bottom-out level (2), which still
+        # contains the target node; d covers levels 5..3.
+        assert base.level == 2
+        assert d.size == 8
+        np.testing.assert_allclose(d, np.ones(8))
+        reconstructed = e.w * np.kron(
+            np.diag(d), dense_matrix_block(pkg, base)
+        )
+        np.testing.assert_allclose(
+            reconstructed, matrix_to_dense(pkg, e), atol=1e-12
+        )
+
+    def test_diagonal_gate_collapses_to_terminal(self):
+        pkg = DDPackage(5)
+        e = single_qubit_gate(pkg, RZ, 3)
+        got = kron_collapse(pkg, e.n, dense_level=-1)
+        assert got is not None
+        d, base = got
+        assert base is TERMINAL
+        # Reconstructed diagonal must match the dense gate's diagonal.
+        dense = matrix_to_dense(pkg, e)
+        np.testing.assert_allclose(e.w * d, np.diag(dense), atol=1e-12)
+
+    def test_high_target_does_not_collapse(self):
+        # H on the top qubit branches immediately: no pass-through chain.
+        pkg = DDPackage(6)
+        e = single_qubit_gate(pkg, H, 5)
+        assert kron_collapse(pkg, e.n, dense_level=2) is None
+
+    def test_cx_does_not_collapse_at_root(self):
+        pkg = DDPackage(6)
+        e = controlled_gate(pkg, X, (0,), (5,))
+        assert kron_collapse(pkg, e.n, dense_level=2) is None
+
+    def test_result_memoized_including_negative(self):
+        pkg = DDPackage(6)
+        e = single_qubit_gate(pkg, H, 5)
+        kron_collapse(pkg, e.n, dense_level=2)
+        assert id(e.n) in pkg.kron_cache
+        assert pkg.kron_cache[id(e.n)] is None
+
+
+class TestVectorKronCollapse:
+    def test_product_state_collapses(self):
+        # |0> (x) |psi>: top levels have zero right children.
+        pkg = DDPackage(5)
+        low = random_state(3, 2)
+        arr = np.zeros(32, dtype=complex)
+        arr[:8] = low
+        e = vector_from_array(pkg, arr)
+        got = vector_kron_collapse(pkg, e.n, dense_level=2)
+        assert got is not None
+        d, base = got
+        reconstructed = e.w * np.kron(d, dense_vector_block(pkg, base))
+        np.testing.assert_allclose(reconstructed, arr, atol=1e-10)
+
+    def test_uniform_superposition_collapses(self):
+        pkg = DDPackage(6)
+        arr = np.full(64, 1 / 8.0)
+        e = vector_from_array(pkg, arr)
+        got = vector_kron_collapse(pkg, e.n, dense_level=0)
+        assert got is not None
+        d, base = got
+        np.testing.assert_allclose(
+            e.w * np.kron(d, dense_vector_block(pkg, base)), arr, atol=1e-10
+        )
+
+    def test_entangled_state_does_not_collapse(self):
+        # GHZ: top children differ (|0..0> vs |1..1>): no collapse.
+        pkg = DDPackage(4)
+        arr = np.zeros(16)
+        arr[0] = arr[15] = 1 / math.sqrt(2)
+        e = vector_from_array(pkg, arr)
+        assert vector_kron_collapse(pkg, e.n, dense_level=1) is None

@@ -1,0 +1,163 @@
+"""Unit tests for DD inner products and state approximation (ref [97])."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.common.errors import DDError
+from repro.dd import (
+    DDPackage,
+    inner_product,
+    keep_largest_contributions,
+    node_count,
+    norm,
+    prune_small_contributions,
+    vector_from_array,
+    vector_to_array,
+)
+
+from tests.conftest import random_state
+
+
+class TestInnerProduct:
+    def test_matches_numpy(self):
+        n = 5
+        pkg = DDPackage(n)
+        a = random_state(n, seed=1)
+        b = random_state(n, seed=2)
+        ea, eb = vector_from_array(pkg, a), vector_from_array(pkg, b)
+        assert inner_product(pkg, ea, eb) == pytest.approx(
+            np.vdot(a, b), abs=1e-10
+        )
+
+    def test_conjugation_side(self):
+        pkg = DDPackage(2)
+        a = np.array([1, 1j, 0, 0], dtype=complex) / math.sqrt(2)
+        b = np.array([1, 0, 0, 0], dtype=complex)
+        ea, eb = vector_from_array(pkg, a), vector_from_array(pkg, b)
+        assert inner_product(pkg, ea, eb) == pytest.approx(
+            np.vdot(a, b), abs=1e-12
+        )
+
+    def test_self_inner_product_is_norm_squared(self):
+        pkg = DDPackage(4)
+        a = random_state(4, seed=3) * 2.5
+        ea = vector_from_array(pkg, a)
+        assert inner_product(pkg, ea, ea) == pytest.approx(
+            np.vdot(a, a), abs=1e-9
+        )
+        assert norm(pkg, ea) == pytest.approx(2.5, abs=1e-9)
+
+    def test_orthogonal_states(self):
+        pkg = DDPackage(3)
+        a = np.zeros(8, dtype=complex)
+        a[0] = 1
+        b = np.zeros(8, dtype=complex)
+        b[5] = 1
+        assert inner_product(
+            pkg, vector_from_array(pkg, a), vector_from_array(pkg, b)
+        ) == pytest.approx(0.0, abs=1e-12)
+
+    def test_zero_edge_gives_zero(self):
+        pkg = DDPackage(2)
+        a = vector_from_array(pkg, random_state(2, seed=0))
+        assert inner_product(pkg, a, pkg.zero_edge()) == 0j
+
+
+def _spiked_state(n: int, seed: int, noise: float = 0.02) -> np.ndarray:
+    """A few dominant amplitudes plus a haze of tiny ones."""
+    rng = np.random.default_rng(seed)
+    arr = noise * (
+        rng.normal(size=1 << n) + 1j * rng.normal(size=1 << n)
+    )
+    for spike in (0, 3, 7):
+        arr[spike] += 1.0
+    return arr / np.linalg.norm(arr)
+
+
+class TestPruneSmallContributions:
+    def test_fidelity_respects_budget(self):
+        n = 7
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, _spiked_state(n, 4))
+        result = prune_small_contributions(pkg, state, budget=0.05)
+        assert result.fidelity >= 1.0 - 0.05 - 1e-6
+
+    def test_size_shrinks_on_hazy_state(self):
+        n = 8
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, _spiked_state(n, 5))
+        before = node_count(state)
+        result = prune_small_contributions(pkg, state, budget=0.1)
+        assert result.nodes_after < before
+        assert result.nodes_before == before
+        assert result.size_reduction > 1.0
+
+    def test_approximate_state_is_normalized(self):
+        n = 6
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, _spiked_state(n, 6))
+        result = prune_small_contributions(pkg, state, budget=0.08)
+        arr = vector_to_array(pkg, result.state)
+        assert np.linalg.norm(arr) == pytest.approx(1.0, abs=1e-9)
+
+    def test_dominant_amplitudes_survive(self):
+        n = 6
+        pkg = DDPackage(n)
+        arr = _spiked_state(n, 7)
+        state = vector_from_array(pkg, arr)
+        result = prune_small_contributions(pkg, state, budget=0.1)
+        out = vector_to_array(pkg, result.state)
+        for spike in (0, 3, 7):
+            assert abs(out[spike]) > 0.4
+
+    def test_tiny_budget_is_identity(self):
+        pkg = DDPackage(4)
+        state = vector_from_array(pkg, random_state(4, seed=8))
+        result = prune_small_contributions(pkg, state, budget=1e-12)
+        assert result.fidelity == pytest.approx(1.0)
+        assert result.nodes_after == result.nodes_before
+
+    def test_bad_budget_rejected(self):
+        pkg = DDPackage(3)
+        state = vector_from_array(pkg, random_state(3, seed=9))
+        with pytest.raises(DDError):
+            prune_small_contributions(pkg, state, budget=0.0)
+        with pytest.raises(DDError):
+            prune_small_contributions(pkg, state, budget=1.0)
+
+    def test_zero_state_rejected(self):
+        pkg = DDPackage(3)
+        with pytest.raises(DDError):
+            prune_small_contributions(pkg, pkg.zero_edge(), 0.1)
+
+
+class TestKeepLargest:
+    def test_weak_branches_removed(self):
+        n = 6
+        pkg = DDPackage(n)
+        # Product state with one very weak branch per qubit.
+        single = np.array([1.0, 0.05], dtype=complex)
+        arr = np.array([1.0])
+        for _ in range(n):
+            arr = np.kron(single, arr)
+        arr = arr / np.linalg.norm(arr)
+        state = vector_from_array(pkg, arr)
+        result = keep_largest_contributions(pkg, state, ratio=0.01)
+        assert result.nodes_after <= result.nodes_before
+        assert result.fidelity > 0.97
+
+    def test_balanced_state_untouched(self):
+        pkg = DDPackage(4)
+        arr = np.full(16, 0.25)
+        state = vector_from_array(pkg, arr)
+        result = keep_largest_contributions(pkg, state, ratio=0.05)
+        assert result.fidelity == pytest.approx(1.0)
+        assert result.nodes_after == result.nodes_before
+
+    def test_bad_ratio_rejected(self):
+        pkg = DDPackage(3)
+        state = vector_from_array(pkg, random_state(3, seed=10))
+        with pytest.raises(DDError):
+            keep_largest_contributions(pkg, state, ratio=0.9)

@@ -1,0 +1,149 @@
+"""Tests for reduced density matrices, entropy, and Schmidt/DD-width link."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import StatevectorSimulator
+from repro.circuits import get_circuit
+from repro.common.errors import DDError
+from repro.dd import (
+    DDPackage,
+    entanglement_entropy,
+    reduced_density_top,
+    schmidt_rank_profile,
+    vector_from_array,
+)
+
+from tests.conftest import random_state
+
+
+def dense_reduced_top(arr: np.ndarray, m: int) -> np.ndarray:
+    """Reference: trace out the low qubits with dense linear algebra."""
+    n = arr.size.bit_length() - 1
+    mat = arr.reshape(1 << m, 1 << (n - m))
+    return mat @ mat.conj().T
+
+
+class TestReducedDensity:
+    @pytest.mark.parametrize("m", [1, 2, 3])
+    def test_matches_dense_partial_trace(self, m):
+        n = 5
+        arr = random_state(n, seed=m)
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, arr)
+        rho = reduced_density_top(pkg, state, m)
+        np.testing.assert_allclose(
+            rho, dense_reduced_top(arr, m), atol=1e-9
+        )
+
+    def test_density_matrix_properties(self):
+        n = 6
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, random_state(n, seed=4))
+        rho = reduced_density_top(pkg, state, 3)
+        assert np.trace(rho).real == pytest.approx(1.0, abs=1e-9)
+        np.testing.assert_allclose(rho, rho.conj().T, atol=1e-10)
+        assert np.linalg.eigvalsh(rho).min() > -1e-10
+
+    def test_product_state_is_pure(self):
+        n = 4
+        top = random_state(2, seed=5)
+        bottom = random_state(2, seed=6)
+        arr = np.kron(top, bottom)
+        pkg = DDPackage(n)
+        rho = reduced_density_top(pkg, vector_from_array(pkg, arr), 2)
+        np.testing.assert_allclose(rho, np.outer(top, top.conj()), atol=1e-9)
+
+    def test_invalid_cut_rejected(self):
+        pkg = DDPackage(3)
+        state = vector_from_array(pkg, random_state(3, seed=7))
+        with pytest.raises(DDError):
+            reduced_density_top(pkg, state, 0)
+        with pytest.raises(DDError):
+            reduced_density_top(pkg, state, 3)
+
+
+class TestEntropy:
+    def test_product_state_zero_entropy(self):
+        n = 4
+        arr = np.kron(random_state(2, seed=8), random_state(2, seed=9))
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, arr)
+        assert entanglement_entropy(pkg, state, 2) == pytest.approx(
+            0.0, abs=1e-8
+        )
+
+    def test_ghz_has_one_ebit(self):
+        n = 6
+        arr = np.zeros(1 << n)
+        arr[0] = arr[-1] = 1 / math.sqrt(2)
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, arr)
+        for cut in (1, 2, 3):
+            assert entanglement_entropy(pkg, state, cut) == pytest.approx(
+                1.0, abs=1e-9
+            )
+
+    def test_bell_pairs_add_entropy(self):
+        # Two Bell pairs across the cut: entropy = 2 ebits.
+        bell = np.array([1, 0, 0, 1]) / math.sqrt(2)
+        arr = np.kron(bell, bell)  # qubits (3,1) and (2,0) pairings differ;
+        # simplest: |phi+>_{32} (x) |phi+>_{10}: cut at 2 crosses both? No:
+        # kron(bell, bell) = bell on (3,2) x bell on (1,0): the cut at m=2
+        # separates the pairs, entropy 0.  Build the crossing state
+        # explicitly: pair (3,1) and (2,0).
+        n = 4
+        crossing = np.zeros(1 << n)
+        for b1 in (0, 1):
+            for b2 in (0, 1):
+                idx = (b1 << 3) | (b2 << 2) | (b1 << 1) | b2
+                crossing[idx] = 0.5
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, crossing)
+        assert entanglement_entropy(pkg, state, 2) == pytest.approx(
+            2.0, abs=1e-9
+        )
+
+    def test_random_state_near_maximal(self):
+        # Haar-ish random states have near-maximal entanglement (Page).
+        n = 8
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, random_state(n, seed=10))
+        s = entanglement_entropy(pkg, state, 4)
+        assert s > 2.5  # max is 4 ebits; Page value ~3.6
+
+
+class TestSchmidtVsDDWidth:
+    @pytest.mark.parametrize(
+        "family,n,kwargs",
+        [("ghz", 6, {}), ("qft", 5, {}), ("dnn", 6, {"layers": 3}),
+         ("supremacy", 6, {"cycles": 6})],
+    )
+    def test_rank_never_exceeds_width(self, family, n, kwargs):
+        c = get_circuit(family, n, **kwargs)
+        arr = StatevectorSimulator().run(c).state
+        pkg = DDPackage(n)
+        state = vector_from_array(pkg, arr)
+        for cut, rank, width in schmidt_rank_profile(pkg, state):
+            assert rank <= width, (family, cut, rank, width)
+
+    def test_irregular_state_has_high_rank_everywhere(self):
+        c = get_circuit("supremacy", 8, cycles=10)
+        arr = StatevectorSimulator().run(c).state
+        pkg = DDPackage(8)
+        state = vector_from_array(pkg, arr)
+        profile = schmidt_rank_profile(pkg, state, max_cut=4)
+        cut4 = profile[-1]
+        assert cut4[1] == 16  # full rank at the middle cut
+        assert cut4[2] >= 16
+
+    def test_ghz_rank_two_everywhere(self):
+        c = get_circuit("ghz", 7)
+        arr = StatevectorSimulator().run(c).state
+        pkg = DDPackage(7)
+        state = vector_from_array(pkg, arr)
+        for cut, rank, width in schmidt_rank_profile(pkg, state):
+            assert rank == 2
+            assert width == 2

@@ -1,0 +1,100 @@
+"""Unit tests for DD export (DOT) and structural statistics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import (
+    DDPackage,
+    single_qubit_gate,
+    vector_from_array,
+    zero_state,
+)
+from repro.dd.io import dd_statistics, to_dot
+
+from tests.conftest import random_state
+
+H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+
+
+class TestToDot:
+    def test_contains_all_nodes_and_terminal(self):
+        pkg = DDPackage(3)
+        e = vector_from_array(pkg, random_state(3, seed=1))
+        dot = to_dot(pkg, e)
+        assert dot.startswith("digraph")
+        assert "terminal" in dot
+        assert dot.count('label="q') >= 3  # one node label per level
+
+    def test_zero_edge_renders(self):
+        pkg = DDPackage(2)
+        dot = to_dot(pkg, pkg.zero_edge())
+        assert 'label="0"' in dot
+
+    def test_matrix_edges_carry_block_labels(self):
+        pkg = DDPackage(2)
+        m = single_qubit_gate(pkg, H, 1)
+        dot = to_dot(pkg, m)
+        assert 'headlabel="00"' in dot
+        assert 'headlabel="11"' in dot
+
+    def test_unit_weights_unlabeled(self):
+        pkg = DDPackage(2)
+        e = zero_state(pkg)
+        dot = to_dot(pkg, e)
+        # |00>: all weights are 1 -> no weight labels on edges (the
+        # terminal box's own label is not an edge label).
+        assert ' [label="1"]' not in dot
+
+    def test_shared_nodes_rendered_once(self):
+        pkg = DDPackage(3)
+        arr = np.full(8, 1 / math.sqrt(8))
+        e = vector_from_array(pkg, arr)
+        dot = to_dot(pkg, e)
+        # Uniform state: exactly 3 DD nodes (one per level).
+        assert dot.count('[label="q') == 3
+
+
+class TestStatistics:
+    def test_uniform_state_stats(self):
+        pkg = DDPackage(4)
+        e = vector_from_array(pkg, np.full(16, 0.25))
+        stats = dd_statistics(pkg, e)
+        assert stats.total_nodes == 4
+        assert stats.max_width == 1
+        assert stats.zero_edge_count == 0
+        # 16 paths over 4 nodes.
+        assert stats.sharing_factor == pytest.approx(4.0)
+
+    def test_random_state_stats(self):
+        n = 5
+        pkg = DDPackage(n)
+        e = vector_from_array(pkg, random_state(n, seed=2))
+        stats = dd_statistics(pkg, e)
+        assert stats.total_nodes == (1 << n) - 1
+        assert stats.nodes_per_level[0] == 1 << (n - 1)
+        assert not stats.is_matrix
+
+    def test_basis_state_stats(self):
+        pkg = DDPackage(6)
+        e = zero_state(pkg)
+        stats = dd_statistics(pkg, e)
+        assert stats.total_nodes == 6
+        assert stats.zero_edge_count == 6
+        assert stats.sharing_factor == pytest.approx(1 / 6)
+
+    def test_matrix_stats(self):
+        pkg = DDPackage(4)
+        m = single_qubit_gate(pkg, H, 2)
+        stats = dd_statistics(pkg, m)
+        assert stats.is_matrix
+        assert stats.total_nodes == 4
+        # Identity/pass-through nodes have 2 zero edges each; the H node 0.
+        assert stats.zero_edge_count == 6
+
+    def test_zero_edge_stats(self):
+        pkg = DDPackage(3)
+        stats = dd_statistics(pkg, pkg.zero_edge())
+        assert stats.total_nodes == 0
+        assert stats.sharing_factor == 0.0

@@ -1,0 +1,186 @@
+"""Unit tests for DD algebra: add, matrix-vector, matrix-matrix, scale."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.dd import (
+    DDPackage,
+    madd,
+    matrix_to_dense,
+    mm_multiply,
+    mv_multiply,
+    scale,
+    single_qubit_gate,
+    two_qubit_gate,
+    vadd,
+    vector_from_array,
+    vector_to_array,
+)
+
+from tests.conftest import random_state
+
+H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Z = np.diag([1, -1]).astype(complex)
+SWAP = np.array(
+    [[1, 0, 0, 0], [0, 0, 1, 0], [0, 1, 0, 0], [0, 0, 0, 1]], dtype=complex
+)
+
+
+class TestVectorAdd:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_matches_numpy(self, seed):
+        n = 4
+        pkg = DDPackage(n)
+        a = random_state(n, seed)
+        b = random_state(n, seed + 100)
+        ea, eb = vector_from_array(pkg, a), vector_from_array(pkg, b)
+        np.testing.assert_allclose(
+            vector_to_array(pkg, vadd(pkg, ea, eb)), a + b, atol=1e-10
+        )
+
+    def test_zero_identity_element(self):
+        pkg = DDPackage(3)
+        a = vector_from_array(pkg, random_state(3, 7))
+        zero = vector_from_array(pkg, np.zeros(8))
+        assert vadd(pkg, a, zero) == a
+        assert vadd(pkg, zero, a) == a
+
+    def test_cancellation_gives_zero_edge(self):
+        pkg = DDPackage(3)
+        arr = random_state(3, 3)
+        a = vector_from_array(pkg, arr)
+        b = vector_from_array(pkg, -arr)
+        assert vadd(pkg, a, b).is_zero
+
+    def test_commutativity_canonical(self):
+        pkg = DDPackage(3)
+        a = vector_from_array(pkg, random_state(3, 1))
+        b = vector_from_array(pkg, random_state(3, 2))
+        ab = vadd(pkg, a, b)
+        ba = vadd(pkg, b, a)
+        assert ab.n is ba.n
+        assert ab.w == pytest.approx(ba.w)
+
+    def test_cache_reused_across_rescaling(self):
+        # (2a) + (2b) must hit the same cache line as a + b.
+        pkg = DDPackage(3)
+        a = vector_from_array(pkg, random_state(3, 1))
+        b = vector_from_array(pkg, random_state(3, 2))
+        vadd(pkg, a, b)
+        cache_size = len(pkg.cache_vadd)
+        a2, b2 = scale(pkg, a, 2.0), scale(pkg, b, 2.0)
+        vadd(pkg, a2, b2)
+        assert len(pkg.cache_vadd) == cache_size
+
+
+class TestMatrixAdd:
+    def test_matches_numpy(self):
+        pkg = DDPackage(3)
+        a = single_qubit_gate(pkg, H, 0)
+        b = single_qubit_gate(pkg, X, 2)
+        got = matrix_to_dense(pkg, madd(pkg, a, b))
+        ref = matrix_to_dense(pkg, a) + matrix_to_dense(pkg, b)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+
+class TestMatrixVector:
+    @pytest.mark.parametrize("target", [0, 1, 2])
+    def test_single_qubit_gate_application(self, target):
+        n = 3
+        pkg = DDPackage(n)
+        arr = random_state(n, target)
+        v = vector_from_array(pkg, arr)
+        m = single_qubit_gate(pkg, H, target)
+        got = vector_to_array(pkg, mv_multiply(pkg, m, v))
+        ref = matrix_to_dense(pkg, m) @ arr
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_two_qubit_gate_application(self):
+        n = 3
+        pkg = DDPackage(n)
+        arr = random_state(n, 11)
+        v = vector_from_array(pkg, arr)
+        m = two_qubit_gate(pkg, SWAP, 2, 0)
+        got = vector_to_array(pkg, mv_multiply(pkg, m, v))
+        np.testing.assert_allclose(got, matrix_to_dense(pkg, m) @ arr, atol=1e-10)
+
+    def test_zero_operands_short_circuit(self):
+        pkg = DDPackage(2)
+        m = single_qubit_gate(pkg, H, 0)
+        zero_v = vector_from_array(pkg, np.zeros(4))
+        assert mv_multiply(pkg, m, zero_v).is_zero
+
+    def test_norm_preserved_by_unitary(self):
+        pkg = DDPackage(4)
+        arr = random_state(4, 21)
+        v = vector_from_array(pkg, arr)
+        for target in range(4):
+            v = mv_multiply(pkg, single_qubit_gate(pkg, H, target), v)
+        out = vector_to_array(pkg, v)
+        assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-10)
+
+    def test_compute_table_hit(self):
+        pkg = DDPackage(3)
+        arr = random_state(3, 2)
+        v = vector_from_array(pkg, arr)
+        m = single_qubit_gate(pkg, H, 1)
+        r1 = mv_multiply(pkg, m, v)
+        misses = pkg.ctable.misses
+        r2 = mv_multiply(pkg, m, v)
+        assert r1 == r2
+        # Fully cached: no new canonical weights were created.
+        assert pkg.ctable.misses == misses
+
+
+class TestMatrixMatrix:
+    def test_matches_numpy_product(self):
+        pkg = DDPackage(3)
+        a = single_qubit_gate(pkg, H, 1)
+        b = two_qubit_gate(pkg, SWAP, 2, 0)
+        got = matrix_to_dense(pkg, mm_multiply(pkg, a, b))
+        ref = matrix_to_dense(pkg, a) @ matrix_to_dense(pkg, b)
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+    def test_product_with_identity(self):
+        pkg = DDPackage(3)
+        a = single_qubit_gate(pkg, X, 0)
+        i = pkg.identity_edge(2)
+        left = mm_multiply(pkg, i, a)
+        right = mm_multiply(pkg, a, i)
+        assert left.n is a.n and right.n is a.n
+
+    def test_self_inverse_gate_squares_to_identity(self):
+        pkg = DDPackage(3)
+        a = single_qubit_gate(pkg, X, 1)
+        sq = mm_multiply(pkg, a, a)
+        assert sq.n is pkg.identity_edge(2).n
+        assert sq.w == pytest.approx(1.0)
+
+    def test_associativity(self):
+        pkg = DDPackage(3)
+        a = single_qubit_gate(pkg, H, 0)
+        b = single_qubit_gate(pkg, X, 1)
+        c = single_qubit_gate(pkg, Z, 2)
+        left = mm_multiply(pkg, mm_multiply(pkg, a, b), c)
+        right = mm_multiply(pkg, a, mm_multiply(pkg, b, c))
+        np.testing.assert_allclose(
+            matrix_to_dense(pkg, left), matrix_to_dense(pkg, right), atol=1e-10
+        )
+
+
+class TestScale:
+    def test_scale_scales_amplitudes(self):
+        pkg = DDPackage(3)
+        arr = random_state(3, 8)
+        v = vector_from_array(pkg, arr)
+        np.testing.assert_allclose(
+            vector_to_array(pkg, scale(pkg, v, 2j)), 2j * arr, atol=1e-10
+        )
+
+    def test_scale_by_zero_is_zero_edge(self):
+        pkg = DDPackage(3)
+        v = vector_from_array(pkg, random_state(3, 8))
+        assert scale(pkg, v, 0).is_zero

@@ -1,0 +1,113 @@
+"""Tests for the matrix-matrix DD backend (ref [100]) and DD observables."""
+
+import numpy as np
+import pytest
+
+from repro.backends import DDMatrixSimulator, DDSimulator, StatevectorSimulator
+from repro.circuits import get_circuit
+from repro.dd import amplitude
+from repro.observables import (
+    PauliString,
+    dd_pauli_expectation,
+    dd_sum_expectation,
+    transverse_field_ising,
+)
+
+from tests.conftest import reference_state
+
+
+class TestDDMatrixSimulator:
+    @pytest.mark.parametrize(
+        "family,n,kwargs",
+        [("ghz", 6, {}), ("adder", 8, {}), ("qft", 5, {}),
+         ("dnn", 5, {"layers": 2}), ("knn", 5, {})],
+    )
+    def test_agrees_with_reference(self, family, n, kwargs):
+        c = get_circuit(family, n, **kwargs)
+        r = DDMatrixSimulator().run(c)
+        ref = reference_state(c)
+        assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(
+            1.0, abs=1e-8
+        )
+
+    def test_operator_trace_recorded(self):
+        c = get_circuit("ghz", 6)
+        r = DDMatrixSimulator().run(c)
+        sizes = [g.dd_size for g in r.gate_trace]
+        assert all(s >= 1 for s in sizes)
+        assert r.metadata["operator_dd_size"] == sizes[-1]
+
+    def test_mm_wins_on_compact_operators(self):
+        # The whole-circuit operator of an adder stays structured: applying
+        # it once matches the per-gate MV result but with a compact final
+        # operator (the [100] trade-off in its favourable regime).
+        c = get_circuit("adder", 10)
+        r = DDMatrixSimulator().run(c)
+        assert r.metadata["operator_dd_size"] < 500
+
+    def test_mm_loses_on_irregular_circuits(self):
+        # Random circuits make the accumulated operator explode -- the
+        # unfavourable regime that motivates per-gate MV (and FlatDD).
+        c = get_circuit("supremacy", 6, cycles=6)
+        mm = DDMatrixSimulator().run(c)
+        mv = DDSimulator().run(c)
+        assert (
+            mm.metadata["operator_dd_size"]
+            > 4 * mv.metadata["final_dd_size"]
+        )
+
+    def test_keep_dd_mode(self):
+        c = get_circuit("ghz", 30)
+        r = DDMatrixSimulator().run(c, keep_dd=True)
+        pkg = r.metadata["package"]
+        state = r.metadata["state_dd"]
+        assert abs(amplitude(pkg, state, 0)) == pytest.approx(2 ** -0.5)
+        assert r.state.size == 0
+
+    def test_timeout(self):
+        c = get_circuit("supremacy", 10, cycles=12)
+        r = DDMatrixSimulator().run(c, max_seconds=0.05)
+        assert r.metadata["timed_out"]
+
+
+class TestDDExpectation:
+    def test_matches_array_expectation(self):
+        n = 6
+        c = get_circuit("vqe", n)
+        arr = StatevectorSimulator().run(c).state
+        r = DDSimulator().run(c, keep_dd=True)
+        pkg, state = r.metadata["package"], r.metadata["state_dd"]
+        ham = transverse_field_ising(n, j=1.0, h=0.7)
+        dd_value = dd_sum_expectation(pkg, state, ham)
+        array_value = ham.expectation(arr)
+        assert dd_value == pytest.approx(array_value, abs=1e-8)
+
+    def test_single_pauli_terms(self):
+        n = 4
+        c = get_circuit("qft", n)
+        arr = StatevectorSimulator().run(c).state
+        r = DDSimulator().run(c, keep_dd=True)
+        pkg, state = r.metadata["package"], r.metadata["state_dd"]
+        for label in ("ZIII", "IXII", "IIYI", "ZZXY"):
+            p = PauliString.from_label(label, coefficient=0.7)
+            assert dd_pauli_expectation(pkg, state, p) == pytest.approx(
+                p.expectation(arr), abs=1e-8
+            )
+
+    def test_large_scale_ghz_parity(self):
+        # <Z...Z> on a 40-qubit GHZ state: +1, computed entirely on DDs.
+        n = 40
+        r = DDSimulator().run(get_circuit("ghz", n), keep_dd=True)
+        pkg, state = r.metadata["package"], r.metadata["state_dd"]
+        parity = PauliString(tuple((q, "Z") for q in range(n)))
+        assert dd_pauli_expectation(pkg, state, parity) == pytest.approx(
+            1.0, abs=1e-9
+        )
+        single = PauliString.z(7)
+        assert dd_pauli_expectation(pkg, state, single) == pytest.approx(
+            0.0, abs=1e-9
+        )
+        cross = PauliString(((3, "X"), (5, "Z")))
+        assert dd_pauli_expectation(pkg, state, cross) == pytest.approx(
+            0.0, abs=1e-9
+        )

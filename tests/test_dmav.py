@@ -1,0 +1,218 @@
+"""Unit tests for DMAV (Algorithms 1 and 2)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends.gatecache import build_gate_dd
+from repro.circuits import Gate
+from repro.core.cost_model import assign_cache_tasks
+from repro.core.dmav import assign_tasks, dmav_cached, dmav_nocache
+from repro.dd import DDPackage, matrix_to_dense, single_qubit_gate
+from repro.dd.matrix import controlled_gate
+from repro.parallel.partition import border_level
+from repro.parallel.pool import TaskRunner
+from repro.common.errors import ParallelError
+
+from tests.conftest import random_state
+
+H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+
+
+def _random_gates(pkg, seed=0):
+    """A spread of gate DDs covering 1q / controlled / low / high targets."""
+    n = pkg.num_qubits
+    gates = [
+        Gate("h", (0,)),
+        Gate("h", (n - 1,)),
+        Gate("rz", (n // 2,), params=(0.7,)),
+        Gate("cx", (0,), (n - 1,)),
+        Gate("cx", (n - 1,), (0,)),
+        Gate("swap", (0, n - 1)),
+        Gate("ccx", (1,), (0, n - 1)) if n >= 3 else Gate("x", (0,)),
+        Gate("cp", (n - 2,), (1,), params=(0.3,)) if n >= 3 else Gate("z", (0,)),
+    ]
+    return [build_gate_dd(pkg, g) for g in gates]
+
+
+class TestAssign:
+    def test_border_level_definition(self):
+        assert border_level(10, 4) == 10 - 2 - 1
+
+    def test_single_thread_gets_root(self):
+        pkg = DDPackage(4)
+        m = single_qubit_gate(pkg, H, 2)
+        tasks = assign_tasks(pkg, m, 1)
+        assert len(tasks) == 1
+        assert len(tasks[0]) == 1
+        node, i_v, coeff = tasks[0][0]
+        assert node is m.n and i_v == 0 and coeff == m.w
+
+    def test_threads_split_row_space(self):
+        pkg = DDPackage(4)
+        m = pkg.identity_edge(3)
+        tasks = assign_tasks(pkg, m, 4)
+        # Identity: each thread gets exactly its diagonal block, reading
+        # the matching V block.
+        for u, thread_tasks in enumerate(tasks):
+            assert len(thread_tasks) == 1
+            _, i_v, _ = thread_tasks[0]
+            assert i_v == u * 4
+
+    def test_h_on_top_qubit_gives_two_tasks_per_thread(self):
+        pkg = DDPackage(4)
+        m = single_qubit_gate(pkg, H, 3)
+        tasks = assign_tasks(pkg, m, 2)
+        # H's 2x2 block at the root is dense: each thread (row block)
+        # multiplies both column blocks.
+        assert [len(t) for t in tasks] == [2, 2]
+
+    def test_invalid_thread_count_rejected(self):
+        pkg = DDPackage(4)
+        m = single_qubit_gate(pkg, H, 0)
+        with pytest.raises(ParallelError):
+            assign_tasks(pkg, m, 3)
+        with pytest.raises(ParallelError):
+            assign_tasks(pkg, m, 32)
+
+
+class TestDMAVNoCache:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_matches_dense_for_gate_suite(self, threads):
+        n = 5
+        pkg = DDPackage(n)
+        v = random_state(n, seed=threads)
+        for m in _random_gates(pkg):
+            w, stats = dmav_nocache(pkg, m, v, threads)
+            ref = matrix_to_dense(pkg, m) @ v
+            np.testing.assert_allclose(w, ref, atol=1e-10)
+            assert stats.threads == threads
+
+    def test_out_buffer_reused_and_zeroed(self):
+        pkg = DDPackage(4)
+        v = random_state(4, seed=1)
+        m = single_qubit_gate(pkg, H, 2)
+        out = np.full(16, 99.0, dtype=complex)
+        w, _ = dmav_nocache(pkg, m, v, 1, out=out)
+        assert w is out
+        np.testing.assert_allclose(w, matrix_to_dense(pkg, m) @ v, atol=1e-10)
+
+    def test_aliased_output_rejected(self):
+        pkg = DDPackage(3)
+        v = random_state(3, seed=1)
+        m = single_qubit_gate(pkg, H, 0)
+        with pytest.raises(ValueError):
+            dmav_nocache(pkg, m, v, 1, out=v)
+
+    def test_wrong_state_length_rejected(self):
+        pkg = DDPackage(4)
+        m = single_qubit_gate(pkg, H, 0)
+        with pytest.raises(ValueError):
+            dmav_nocache(pkg, m, np.zeros(8, dtype=complex), 1)
+
+    def test_thread_pool_execution(self):
+        n = 5
+        pkg = DDPackage(n)
+        v = random_state(n, seed=5)
+        m = controlled_gate(pkg, X, (0,), (4,))
+        with TaskRunner(4, use_pool=True) as runner:
+            w, _ = dmav_nocache(pkg, m, v, 4, runner=runner)
+        np.testing.assert_allclose(w, matrix_to_dense(pkg, m) @ v, atol=1e-10)
+
+    @pytest.mark.parametrize("dense_level", [-1, 0, 2, 8])
+    def test_dense_level_sweep(self, dense_level):
+        n = 5
+        pkg = DDPackage(n)
+        v = random_state(n, seed=2)
+        m = controlled_gate(pkg, H, (2,), (0, 4))
+        w, _ = dmav_nocache(pkg, m, v, 2, dense_level=dense_level)
+        np.testing.assert_allclose(w, matrix_to_dense(pkg, m) @ v, atol=1e-10)
+
+
+class TestDMAVCached:
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_matches_dense_for_gate_suite(self, threads):
+        n = 5
+        pkg = DDPackage(n)
+        v = random_state(n, seed=threads + 10)
+        for m in _random_gates(pkg):
+            w, stats = dmav_cached(pkg, m, v, threads)
+            ref = matrix_to_dense(pkg, m) @ v
+            np.testing.assert_allclose(w, ref, atol=1e-10)
+            assert stats.used_cache
+
+    def test_cache_hits_on_shared_border_nodes(self):
+        # H on the top qubit: both column tasks of a thread see the same
+        # identity node below -> one real run + one scalar multiply.
+        n = 5
+        pkg = DDPackage(n)
+        v = random_state(n, seed=3)
+        m = single_qubit_gate(pkg, H, n - 1)
+        w, stats = dmav_cached(pkg, m, v, 2)
+        np.testing.assert_allclose(w, matrix_to_dense(pkg, m) @ v, atol=1e-10)
+        assert stats.cache_hits >= 1
+
+    def test_buffer_sharing_on_disjoint_outputs(self):
+        # Identity-like gates produce non-overlapping partial outputs, so
+        # threads share one buffer (Algorithm 2 lines 22-25).
+        n = 5
+        pkg = DDPackage(n)
+        m = pkg.identity_edge(n - 1)
+        assignment = assign_cache_tasks(pkg, m, 4)
+        assert assignment.num_buffers == 1
+
+    def test_dense_gate_needs_multiple_buffers(self):
+        n = 5
+        pkg = DDPackage(n)
+        m = single_qubit_gate(pkg, H, n - 1)
+        assignment = assign_cache_tasks(pkg, m, 2)
+        # Both threads write both halves: outputs overlap, buffers split.
+        assert assignment.num_buffers == 2
+
+    def test_precomputed_assignment_reused(self):
+        n = 4
+        pkg = DDPackage(n)
+        v = random_state(n, seed=4)
+        m = single_qubit_gate(pkg, H, 1)
+        assignment = assign_cache_tasks(pkg, m, 2)
+        w, _ = dmav_cached(pkg, m, v, 2, assignment=assignment)
+        np.testing.assert_allclose(w, matrix_to_dense(pkg, m) @ v, atol=1e-10)
+
+    def test_cached_equals_uncached(self):
+        n = 6
+        pkg = DDPackage(n)
+        v = random_state(n, seed=8)
+        for m in _random_gates(pkg):
+            w1, _ = dmav_nocache(pkg, m, v, 4)
+            w2, _ = dmav_cached(pkg, m, v, 4)
+            np.testing.assert_allclose(w1, w2, atol=1e-10)
+
+    def test_thread_pool_execution(self):
+        n = 5
+        pkg = DDPackage(n)
+        v = random_state(n, seed=6)
+        m = single_qubit_gate(pkg, H, n - 1)
+        with TaskRunner(4, use_pool=True) as runner:
+            w, _ = dmav_cached(pkg, m, v, 4, runner=runner)
+        np.testing.assert_allclose(w, matrix_to_dense(pkg, m) @ v, atol=1e-10)
+
+
+class TestGateSequences:
+    def test_multi_gate_evolution_matches_reference(self):
+        from repro.backends import StatevectorSimulator
+        from repro.circuits import Circuit
+
+        n = 5
+        c = Circuit(n)
+        c.h(0).cx(0, 1).rz(0.4, 2).swap(1, 3).ccx(0, 1, 4).h(4)
+        ref = StatevectorSimulator().run(c).state
+
+        pkg = DDPackage(n)
+        v = np.zeros(1 << n, dtype=complex)
+        v[0] = 1
+        for gate in c.gates:
+            m = build_gate_dd(pkg, gate)
+            v, _ = dmav_cached(pkg, m, v, 2)
+        np.testing.assert_allclose(v, ref, atol=1e-9)

@@ -1,0 +1,148 @@
+"""Tests for dynamic circuits (mid-circuit measurement, classical control)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate
+from repro.common.errors import CircuitError, SimulationError
+from repro.dynamic import (
+    Conditional,
+    DynamicCircuit,
+    Measure,
+    run_dynamic,
+    run_shots,
+)
+
+
+def teleportation_circuit(theta: float, lam: float) -> DynamicCircuit:
+    """Teleport u3(theta, 0, lam)|0> from qubit 0 to qubit 2."""
+    c = DynamicCircuit(3, num_clbits=2, name="teleport")
+    c.add("u3", 0, params=(theta, 0.0, lam))
+    c.add("h", 1)
+    c.add("cx", 1, 2)
+    c.add("cx", 0, 1)
+    c.add("h", 0)
+    c.measure(0, 0)
+    c.measure(1, 1)
+    c.c_if("x", 2, cbit=1)
+    c.c_if("z", 2, cbit=0)
+    return c
+
+
+class TestConstruction:
+    def test_builders_validate_ranges(self):
+        c = DynamicCircuit(2, num_clbits=1)
+        with pytest.raises(CircuitError):
+            c.measure(5, 0)
+        with pytest.raises(CircuitError):
+            c.measure(0, 3)
+        with pytest.raises(CircuitError):
+            c.c_if("x", 0, cbit=2)
+
+    def test_conditional_value_validated(self):
+        with pytest.raises(CircuitError):
+            Conditional(Gate("x", (0,)), cbit=0, value=2)
+
+    def test_from_circuit(self):
+        base = Circuit(2).h(0).cx(0, 1)
+        dyn = DynamicCircuit.from_circuit(base, num_clbits=2)
+        assert len(dyn) == 2
+        assert dyn.num_clbits == 2
+
+    def test_zero_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            DynamicCircuit(0)
+
+
+class TestExecution:
+    def test_unitary_only_matches_static_simulation(self):
+        from repro.backends import StatevectorSimulator
+
+        base = Circuit(3).h(0).cx(0, 1).rz(0.4, 2).swap(0, 2)
+        dyn = DynamicCircuit.from_circuit(base)
+        shot = run_dynamic(dyn, np.random.default_rng(0))
+        ref = StatevectorSimulator().run(base).state
+        np.testing.assert_allclose(shot.state, ref, atol=1e-10)
+
+    def test_measurement_collapses(self):
+        c = DynamicCircuit(2, num_clbits=1)
+        c.add("h", 0).add("cx", 0, 1).measure(0, 0)
+        shot = run_dynamic(c, np.random.default_rng(1))
+        m = shot.classical_bits[0]
+        expected = np.zeros(4, dtype=complex)
+        expected[0b11 if m else 0b00] = 1.0
+        np.testing.assert_allclose(shot.state, expected, atol=1e-10)
+
+    def test_initial_state_accepted(self):
+        c = DynamicCircuit(1, num_clbits=1)
+        c.measure(0, 0)
+        init = np.array([0.0, 1.0], dtype=complex)
+        shot = run_dynamic(c, np.random.default_rng(2), initial_state=init)
+        assert shot.classical_bits == [1]
+
+    def test_bad_initial_state_rejected(self):
+        c = DynamicCircuit(2)
+        with pytest.raises(SimulationError):
+            run_dynamic(c, initial_state=np.ones(3, dtype=complex))
+
+    def test_conditional_fires_only_on_match(self):
+        c = DynamicCircuit(2, num_clbits=1)
+        c.add("x", 0).measure(0, 0)      # bit = 1 deterministically
+        c.c_if("x", 1, cbit=0, value=1)  # fires
+        c.c_if("x", 0, cbit=0, value=0)  # does not fire
+        shot = run_dynamic(c, np.random.default_rng(3))
+        assert abs(shot.state[0b11]) == pytest.approx(1.0)
+
+
+class TestTeleportation:
+    @pytest.mark.parametrize(
+        "theta,lam", [(0.0, 0.0), (math.pi / 3, 0.7), (2.1, -1.2)]
+    )
+    def test_payload_arrives_regardless_of_outcomes(self, theta, lam):
+        expected = Gate("u3", (0,), params=(theta, 0.0, lam)).matrix() @ \
+            np.array([1, 0], dtype=complex)
+        rng = np.random.default_rng(5)
+        seen_outcomes = set()
+        for _ in range(12):
+            shot = run_dynamic(teleportation_circuit(theta, lam), rng)
+            seen_outcomes.add(tuple(shot.classical_bits))
+            # Reduced state of qubit 2 (qubits 0, 1 are collapsed/pure).
+            amp0 = shot.state[np.abs(shot.state) > 1e-12]
+            # Extract qubit-2 amplitudes: the post-measurement state is
+            # |m0 m1> (x) |psi>, so group by bit 2.
+            psi2 = np.zeros(2, dtype=complex)
+            for idx, a in enumerate(shot.state):
+                if abs(a) > 1e-12:
+                    psi2[(idx >> 2) & 1] += a
+            fid = abs(np.vdot(expected, psi2)) ** 2
+            assert fid == pytest.approx(1.0, abs=1e-9)
+        assert len(seen_outcomes) > 1  # randomness actually exercised
+
+    def test_outcome_distribution_uniform(self):
+        counts = run_shots(teleportation_circuit(1.0, 0.5), 400, seed=7)
+        assert set(counts) == {"00", "01", "10", "11"}
+        for v in counts.values():
+            assert v == pytest.approx(100, abs=40)
+
+
+class TestShots:
+    def test_counts_sum(self):
+        c = DynamicCircuit(1, num_clbits=1)
+        c.add("h", 0).measure(0, 0)
+        counts = run_shots(c, 256, seed=9)
+        assert sum(counts.values()) == 256
+        assert set(counts) == {"0", "1"}
+
+    def test_bits_string_ordering(self):
+        c = DynamicCircuit(2, num_clbits=2)
+        c.add("x", 0).measure(0, 0).measure(1, 1)
+        shot = run_dynamic(c, np.random.default_rng(10))
+        # cbit 0 = 1, cbit 1 = 0 -> "01" (highest bit leftmost).
+        assert shot.bits_string == "01"
+
+    def test_bad_shots_rejected(self):
+        c = DynamicCircuit(1, num_clbits=1)
+        with pytest.raises(SimulationError):
+            run_shots(c, 0)

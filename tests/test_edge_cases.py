@@ -1,0 +1,173 @@
+"""Edge cases and stress scenarios across the whole stack."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DDSimulator,
+    FlatDDSimulator,
+    StatevectorSimulator,
+    get_circuit,
+)
+from repro.backends import DDMatrixSimulator
+from repro.circuits import Circuit, Gate
+from repro.common.errors import ParallelError
+from repro.core.conversion import convert_parallel
+from repro.dd import DDPackage, vector_from_array
+
+
+class TestEmptyAndTiny:
+    def test_empty_circuit_all_backends(self):
+        c = Circuit(3, name="empty")
+        expected = np.zeros(8)
+        expected[0] = 1
+        for sim in (
+            StatevectorSimulator(),
+            DDSimulator(),
+            FlatDDSimulator(threads=2),
+            DDMatrixSimulator(),
+        ):
+            r = sim.run(c)
+            np.testing.assert_allclose(r.state, expected, atol=1e-12)
+            assert r.num_gates == 0
+
+    def test_single_qubit_circuit_all_backends(self):
+        c = Circuit(1).h(0).t(0).h(0)
+        ref = StatevectorSimulator().run(c).state
+        for sim in (DDSimulator(), FlatDDSimulator(threads=1),
+                    DDMatrixSimulator()):
+            r = sim.run(c)
+            assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(
+                1.0, abs=1e-10
+            )
+
+    def test_single_gate_identity(self):
+        c = Circuit(2)
+        c.add("id", 1)
+        r = FlatDDSimulator(threads=2).run(c)
+        assert abs(r.state[0]) == pytest.approx(1.0)
+
+    def test_flatdd_one_qubit_requires_one_thread(self):
+        c = Circuit(1).h(0)
+        r = FlatDDSimulator(threads=1).run(c)
+        assert np.allclose(np.abs(r.state), [2**-0.5, 2**-0.5])
+        with pytest.raises(ParallelError):
+            FlatDDSimulator(threads=2).run(c)
+
+
+class TestBoundaryThreadCounts:
+    def test_maximum_threads_for_size(self):
+        # t = 2**(n-1) is the largest legal thread count.
+        n = 4
+        c = get_circuit("supremacy", n, cycles=6)
+        ref = StatevectorSimulator().run(c).state
+        r = FlatDDSimulator(threads=8).run(c)
+        assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(
+            1.0, abs=1e-8
+        )
+
+    def test_conversion_with_more_threads_than_structure(self):
+        # A 2-node DD split across 8 threads: most threads idle, still
+        # correct.
+        pkg = DDPackage(4)
+        arr = np.zeros(16, dtype=complex)
+        arr[0] = 1.0
+        state = vector_from_array(pkg, arr)
+        out, report = convert_parallel(pkg, state, threads=8)
+        np.testing.assert_allclose(out, arr, atol=1e-12)
+
+
+class TestRepeatedRuns:
+    def test_simulator_instances_are_reusable(self):
+        sim = FlatDDSimulator(threads=2)
+        a = sim.run(get_circuit("ghz", 5))
+        b = sim.run(get_circuit("qft", 5))
+        c = sim.run(get_circuit("ghz", 5))
+        assert a.fidelity(c) == pytest.approx(1.0, abs=1e-12)
+        assert a.num_qubits == c.num_qubits == 5
+        assert b.circuit_name == "qft_n5"
+
+    def test_results_deterministic_across_runs(self):
+        c = get_circuit("supremacy", 7, cycles=6)
+        r1 = FlatDDSimulator(threads=2).run(c)
+        r2 = FlatDDSimulator(threads=2).run(c)
+        np.testing.assert_allclose(r1.state, r2.state, atol=0)
+        assert (
+            r1.metadata["conversion_gate_index"]
+            == r2.metadata["conversion_gate_index"]
+        )
+
+
+class TestSimulatorEdges:
+    def test_trigger_on_final_gate(self):
+        # Conversion exactly at the last gate: DMAV phase is empty.
+        c = get_circuit("dnn", 6, layers=3)
+        flat = FlatDDSimulator(threads=2)
+        full = flat.run(c)
+        conv = full.metadata["conversion_gate_index"]
+        truncated = c[: conv + 1]
+        r = FlatDDSimulator(threads=2).run(truncated)
+        assert r.metadata["converted"]
+        assert all(
+            g.phase != "dmav" for g in r.gate_trace
+        )
+        ref = StatevectorSimulator().run(truncated).state
+        assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(
+            1.0, abs=1e-8
+        )
+
+    def test_keep_internals_without_conversion(self):
+        c = get_circuit("ghz", 6)
+        r = FlatDDSimulator(threads=2).run(c, keep_internals=True)
+        assert not r.metadata["converted"]
+        assert "package" in r.metadata
+        assert "dmav_edges" not in r.metadata
+
+    def test_fusion_on_regular_circuit_is_noop(self):
+        # Never converts -> fusion path never runs.
+        c = get_circuit("adder", 8)
+        r = FlatDDSimulator(threads=2, fusion="cost").run(c)
+        assert "fusion_result" not in r.metadata
+
+    def test_gate_on_highest_qubit_only(self):
+        c = Circuit(6).h(5)
+        for sim in (DDSimulator(), FlatDDSimulator(threads=2)):
+            r = sim.run(c)
+            assert abs(r.state[0]) == pytest.approx(2**-0.5)
+            assert abs(r.state[32]) == pytest.approx(2**-0.5)
+
+
+class TestNumericalCorners:
+    def test_destructive_interference_collapses_dd(self):
+        # H then H: amplitudes cancel back to |0>, DD returns to one chain.
+        c = Circuit(5)
+        for q in range(5):
+            c.h(q)
+        for q in range(5):
+            c.h(q)
+        r = DDSimulator().run(c)
+        assert abs(r.state[0]) == pytest.approx(1.0, abs=1e-10)
+        assert r.metadata["final_dd_size"] == 5
+
+    def test_tiny_rotation_angles(self):
+        c = Circuit(3).rz(1e-9, 0).ry(1e-9, 1).rx(1e-9, 2)
+        r = FlatDDSimulator(threads=2).run(c)
+        assert abs(r.state[0]) == pytest.approx(1.0, abs=1e-6)
+
+    def test_angle_wraparound(self):
+        import math
+
+        a = Circuit(2).rz(0.3, 0)
+        b = Circuit(2).rz(0.3 + 4 * math.pi, 0)
+        ra = StatevectorSimulator().run(a)
+        rb = StatevectorSimulator().run(b)
+        assert ra.fidelity(rb) == pytest.approx(1.0, abs=1e-10)
+
+    def test_global_phase_heavy_circuit(self):
+        # Many rz gates accumulate pure phase on |0>: norm must hold.
+        c = Circuit(2)
+        for _ in range(50):
+            c.rz(0.7, 0)
+            c.rz(-0.3, 1)
+        r = DDSimulator().run(c)
+        assert np.linalg.norm(r.state) == pytest.approx(1.0, abs=1e-9)

@@ -1,0 +1,139 @@
+"""Unit tests for DD-based equivalence checking."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, Gate, get_circuit
+from repro.common.errors import CircuitError
+from repro.verify import (
+    check_equivalence,
+    check_equivalence_stimuli,
+)
+
+from tests.conftest import reference_state
+
+
+def _ghz_variant_a(n: int) -> Circuit:
+    return get_circuit("ghz", n)
+
+
+def _ghz_variant_b(n: int) -> Circuit:
+    # Fan-out from qubit 0 instead of a chain: same unitary action on |0..0>
+    # but a *different* unitary -- useful as a near-miss.
+    c = Circuit(n, name="ghz_fanout")
+    c.h(0)
+    for q in range(1, n):
+        c.cx(0, q)
+    return c
+
+
+class TestExactEquivalence:
+    @pytest.mark.parametrize("strategy", ["alternate", "naive"])
+    def test_circuit_equals_itself(self, strategy):
+        c = get_circuit("qft", 4)
+        res = check_equivalence(c, c, strategy=strategy)
+        assert res.equivalent
+        assert res.phase == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("strategy", ["alternate", "naive"])
+    def test_inverse_composition_is_identity(self, strategy):
+        c = get_circuit("knn", 7)
+        composed = Circuit(
+            c.num_qubits, [*c.gates, *c.inverse().gates]
+        )
+        empty = Circuit(c.num_qubits, [Gate("id", (0,))])
+        res = check_equivalence(composed, empty, strategy=strategy)
+        assert res.equivalent
+
+    def test_commuting_gates_reordered(self):
+        a = Circuit(3).h(0).h(1).h(2).cz(0, 1)
+        b = Circuit(3).h(2).h(1).h(0).cz(0, 1)
+        assert check_equivalence(a, b).equivalent
+
+    def test_hxh_equals_z(self):
+        a = Circuit(1).h(0).x(0).h(0)
+        b = Circuit(1).z(0)
+        assert check_equivalence(a, b).equivalent
+
+    def test_global_phase_reported(self):
+        # X = i * rx(pi): equivalent up to phase i.
+        a = Circuit(1).x(0)
+        b = Circuit(1).rx(math.pi, 0)
+        res = check_equivalence(a, b)
+        assert res.equivalent
+        assert res.phase == pytest.approx(1j)
+
+    def test_different_unitaries_rejected(self):
+        a = _ghz_variant_a(4)
+        b = _ghz_variant_b(4)
+        # Same action on |0...0> but different unitaries.
+        np.testing.assert_allclose(
+            reference_state(a), reference_state(b), atol=1e-10
+        )
+        assert not check_equivalence(a, b).equivalent
+
+    def test_single_gate_difference_detected(self):
+        a = get_circuit("qft", 4)
+        b = Circuit(4, [*a.gates])
+        b.t(2)
+        assert not check_equivalence(a, b).equivalent
+
+    def test_parameter_perturbation_detected(self):
+        a = Circuit(2).rz(0.5, 0).cx(0, 1)
+        b = Circuit(2).rz(0.5 + 1e-4, 0).cx(0, 1)
+        assert not check_equivalence(a, b).equivalent
+
+    def test_qubit_count_mismatch_rejected(self):
+        with pytest.raises(CircuitError):
+            check_equivalence(Circuit(2).h(0), Circuit(3).h(0))
+
+    def test_unknown_strategy_rejected(self):
+        c = Circuit(1).h(0)
+        with pytest.raises(CircuitError):
+            check_equivalence(c, c, strategy="magic")
+
+    def test_alternate_keeps_miter_small_on_equal_circuits(self):
+        c = get_circuit("dnn", 6, layers=3)
+        alt = check_equivalence(c, c, strategy="alternate")
+        naive = check_equivalence(c, c, strategy="naive")
+        assert alt.equivalent and naive.equivalent
+        # The alternating scheme's raison d'etre [11]: a smaller miter.
+        assert alt.peak_nodes <= naive.peak_nodes
+
+    def test_supremacy_gateset_invertible(self):
+        c = get_circuit("supremacy", 6, cycles=4)
+        res = check_equivalence(c, c)
+        assert res.equivalent
+
+
+class TestStimuliEquivalence:
+    def test_equivalent_circuits_pass(self):
+        a = Circuit(3).h(0).cx(0, 1).t(2)
+        b = Circuit(3).t(2).h(0).cx(0, 1)
+        res = check_equivalence_stimuli(a, b, num_stimuli=4)
+        assert res.equivalent
+
+    def test_global_phase_tolerated(self):
+        a = Circuit(1).x(0)
+        b = Circuit(1).rx(math.pi, 0)
+        assert check_equivalence_stimuli(a, b, num_stimuli=4).equivalent
+
+    def test_difference_detected(self):
+        a = get_circuit("qft", 4)
+        b = Circuit(4, [*a.gates]).t(1)
+        res = check_equivalence_stimuli(a, b, num_stimuli=4)
+        assert not res.equivalent
+
+    def test_subtle_difference_detected(self):
+        a = Circuit(3).h(0).cz(0, 2)
+        b = Circuit(3).h(0).cz(0, 1)
+        assert not check_equivalence_stimuli(a, b, num_stimuli=4).equivalent
+
+    def test_agrees_with_exact_on_suite(self):
+        for family, n in (("ghz", 5), ("qft", 4), ("adder", 6)):
+            c = get_circuit(family, n)
+            exact = check_equivalence(c, c)
+            prob = check_equivalence_stimuli(c, c, num_stimuli=3)
+            assert exact.equivalent == prob.equivalent is True

@@ -1,0 +1,157 @@
+"""Integration tests for the FlatDD simulator (Figure 3 pipeline)."""
+
+import numpy as np
+import pytest
+
+from repro import FlatDDConfig, FlatDDSimulator
+from repro.backends import DDSimulator, StatevectorSimulator
+from repro.circuits import get_circuit
+from repro.common.errors import ParallelError
+
+from tests.conftest import reference_state
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_agrees_with_reference(self, small_circuit, threads):
+        ref = reference_state(small_circuit)
+        r = FlatDDSimulator(threads=threads).run(small_circuit)
+        assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(1.0, abs=1e-8)
+
+    @pytest.mark.parametrize("fusion", ["none", "cost", "koperations"])
+    @pytest.mark.parametrize("policy", ["auto", "always", "never"])
+    def test_config_matrix_on_irregular_circuit(self, fusion, policy):
+        c = get_circuit("supremacy", 6, cycles=6)
+        ref = reference_state(c)
+        r = FlatDDSimulator(
+            threads=4, fusion=fusion, cache_policy=policy
+        ).run(c)
+        assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(1.0, abs=1e-8)
+
+    def test_thread_pool_mode(self):
+        c = get_circuit("dnn", 6, layers=3)
+        ref = reference_state(c)
+        r = FlatDDSimulator(threads=4, use_thread_pool=True).run(c)
+        assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(1.0, abs=1e-8)
+
+
+class TestPhaseBehaviour:
+    def test_regular_circuits_stay_in_dd_phase(self):
+        # Table 1: FlatDD "does not switch from DDSIM to DMAV" on
+        # Adder/GHZ.
+        for family, n in (("ghz", 10), ("adder", 10)):
+            r = FlatDDSimulator(threads=4).run(get_circuit(family, n))
+            assert not r.metadata["converted"]
+            assert all(g.phase == "dd" for g in r.gate_trace)
+
+    def test_irregular_circuits_convert(self):
+        for family, n in (("dnn", 8), ("supremacy", 8), ("vqe", 8)):
+            r = FlatDDSimulator(threads=4).run(get_circuit(family, n))
+            assert r.metadata["converted"]
+            idx = r.metadata["conversion_gate_index"]
+            assert 0 <= idx < len(r.gate_trace) + 1
+            phases = [g.phase for g in r.gate_trace]
+            assert "dd" in phases and "dmav" in phases
+
+    def test_conversion_point_follows_dd_blowup(self):
+        r = FlatDDSimulator(threads=2).run(get_circuit("dnn", 8))
+        idx = r.metadata["conversion_gate_index"]
+        sizes = [g.dd_size for g in r.gate_trace if g.phase == "dd"]
+        # The DD at the trigger gate is markedly larger than the median of
+        # the preceding history.
+        assert sizes[-1] > 2 * float(np.median(sizes[:-1]))
+
+    def test_epsilon_controls_eagerness(self):
+        c = get_circuit("supremacy", 8)
+        eager = FlatDDSimulator(threads=2, epsilon=1.1).run(c)
+        lazy = FlatDDSimulator(threads=2, epsilon=6.0).run(c)
+        e_idx = eager.metadata["conversion_gate_index"]
+        l_idx = lazy.metadata["conversion_gate_index"]
+        if l_idx is None:
+            assert e_idx is not None
+        else:
+            assert e_idx <= l_idx
+
+    def test_ewma_samples_recorded(self):
+        r = FlatDDSimulator(threads=2).run(get_circuit("ghz", 6))
+        samples = r.metadata["ewma_samples"]
+        assert len(samples) == 6
+        assert all(s.ewma > 0 for s in samples)
+
+
+class TestInstrumentation:
+    def test_dmav_gates_record_macs_and_policy(self):
+        r = FlatDDSimulator(threads=2).run(get_circuit("dnn", 7))
+        dmav = [g for g in r.gate_trace if g.phase == "dmav"]
+        assert dmav
+        assert all(g.macs is not None and g.macs > 0 for g in dmav)
+        assert all(g.cached in (True, False) for g in dmav)
+
+    def test_conversion_report_present(self):
+        r = FlatDDSimulator(threads=4).run(get_circuit("dnn", 7))
+        report = r.metadata["conversion_report"]
+        assert report.threads == 4
+        assert report.seconds > 0
+
+    def test_fusion_metadata(self):
+        r = FlatDDSimulator(threads=2, fusion="cost").run(
+            get_circuit("dnn", 7)
+        )
+        summary = r.metadata["fusion_result"]
+        assert summary["emitted_gates"] + summary["absorbed_gates"] == (
+            len(r.gate_trace) - r.metadata["dd_phase_gates"]
+            + summary["absorbed_gates"]
+        )
+        assert summary["ddmm_calls"] > 0
+
+    def test_keep_internals_exposes_package(self):
+        r = FlatDDSimulator(threads=2).run(
+            get_circuit("dnn", 6), keep_internals=True
+        )
+        assert "package" in r.metadata
+        assert "dmav_edges" in r.metadata
+
+    def test_timeout(self):
+        r = FlatDDSimulator(threads=1).run(
+            get_circuit("dnn", 10), max_seconds=0.02
+        )
+        assert r.metadata["timed_out"]
+
+    def test_memory_peak_includes_arrays_after_conversion(self):
+        n = 10
+        r = FlatDDSimulator(threads=2).run(get_circuit("supremacy", n))
+        assert r.peak_memory_bytes >= 2 * (1 << n) * 16
+
+
+class TestFusionEffect:
+    def test_fusion_reduces_dmav_invocations(self):
+        c = get_circuit("dnn", 8, layers=4)
+        plain = FlatDDSimulator(threads=2).run(c)
+        fused = FlatDDSimulator(threads=2, fusion="cost").run(c)
+        n_plain = sum(1 for g in plain.gate_trace if g.phase == "dmav")
+        n_fused = sum(1 for g in fused.gate_trace if g.phase == "dmav")
+        assert n_fused < n_plain
+
+    def test_fusion_reduces_total_macs(self):
+        c = get_circuit("dnn", 8, layers=4)
+        plain = FlatDDSimulator(threads=2).run(c)
+        fused = FlatDDSimulator(threads=2, fusion="cost").run(c)
+        assert (
+            fused.metadata["dmav_macs_total"]
+            < plain.metadata["dmav_macs_total"]
+        )
+
+
+class TestConfig:
+    def test_config_object_and_overrides_exclusive(self):
+        with pytest.raises(ValueError):
+            FlatDDSimulator(FlatDDConfig(), threads=2)
+
+    def test_invalid_threads_for_circuit(self):
+        with pytest.raises(ParallelError):
+            FlatDDSimulator(threads=16).run(get_circuit("ghz", 3))
+
+    def test_defaults_match_paper(self):
+        cfg = FlatDDConfig()
+        assert cfg.beta == 0.9
+        assert cfg.epsilon == 2.0

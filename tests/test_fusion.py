@@ -1,0 +1,154 @@
+"""Unit tests for gate fusion (Algorithm 3 and the k-operations baseline)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends.gatecache import build_gate_dd
+from repro.circuits import Gate, get_circuit
+from repro.core.cost_model import CostModel, mac_count
+from repro.core.fusion import (
+    fuse_cost_aware,
+    fuse_k_operations,
+    identity_levels,
+)
+from repro.dd import DDPackage, matrix_to_dense, mm_multiply, single_qubit_gate
+
+H = np.array([[1, 1], [1, -1]]) / math.sqrt(2)
+
+
+def product_of(pkg, edges):
+    acc = pkg.identity_edge(pkg.num_qubits - 1)
+    for e in edges:
+        acc = mm_multiply(pkg, e, acc)
+    return acc
+
+
+def circuit_edges(pkg, circuit):
+    return [build_gate_dd(pkg, g) for g in circuit.gates]
+
+
+class TestIdentityLevels:
+    def test_single_qubit_gate_active_level(self):
+        pkg = DDPackage(5)
+        e = single_qubit_gate(pkg, H, 2)
+        assert identity_levels(pkg, e) == {2}
+
+    def test_cx_spans_control_and_target(self):
+        pkg = DDPackage(5)
+        e = build_gate_dd(pkg, Gate("cx", (1,), (4,)))
+        levels = identity_levels(pkg, e)
+        assert 4 in levels and 1 in levels
+
+    def test_identity_has_no_active_levels(self):
+        pkg = DDPackage(4)
+        assert identity_levels(pkg, pkg.identity_edge(3)) == set()
+
+
+class TestCostAwareFusion:
+    def test_operator_product_preserved(self):
+        pkg = DDPackage(5)
+        c = get_circuit("random", 5, gates=25, seed=2)
+        edges = circuit_edges(pkg, c)
+        fused = fuse_cost_aware(pkg, edges, CostModel(2))
+        np.testing.assert_allclose(
+            matrix_to_dense(pkg, product_of(pkg, fused.gates)),
+            matrix_to_dense(pkg, product_of(pkg, edges)),
+            atol=1e-9,
+        )
+
+    def test_group_sizes_partition_input(self):
+        pkg = DDPackage(5)
+        edges = circuit_edges(pkg, get_circuit("dnn", 5, layers=2))
+        fused = fuse_cost_aware(pkg, edges, CostModel(2))
+        assert sum(fused.group_sizes) == len(edges)
+        assert len(fused.group_sizes) == len(fused.gates)
+
+    def test_fusion_never_increases_total_cost(self):
+        # Algorithm 3 fuses only when the fused cost beats sequential, so
+        # the emitted sequence can never model worse than the input.
+        pkg = DDPackage(6)
+        model = CostModel(2)
+        for family, kwargs in (("dnn", {"layers": 2}), ("supremacy", {}),
+                               ("random", {"gates": 30})):
+            c = get_circuit(family, 6, **kwargs)
+            edges = circuit_edges(pkg, c)
+            unfused_cost = sum(model.evaluate(pkg, e).cost for e in edges)
+            fused = fuse_cost_aware(pkg, edges, model)
+            assert fused.total_cost <= unfused_cost + 1e-9
+
+    def test_commuting_diagonals_fuse_heavily(self):
+        # rz gates on the same qubit all fuse into one diagonal.
+        pkg = DDPackage(4)
+        gates = [Gate("rz", (1,), params=(0.1 * k,)) for k in range(8)]
+        edges = [build_gate_dd(pkg, g) for g in gates]
+        fused = fuse_cost_aware(pkg, edges, CostModel(2))
+        assert len(fused.gates) == 1
+        assert fused.fused_away == 7
+
+    def test_last_gate_not_dropped(self):
+        pkg = DDPackage(3)
+        edges = [
+            build_gate_dd(pkg, Gate("h", (0,))),
+            build_gate_dd(pkg, Gate("h", (2,))),
+        ]
+        fused = fuse_cost_aware(pkg, edges, CostModel(1))
+        np.testing.assert_allclose(
+            matrix_to_dense(pkg, product_of(pkg, fused.gates)),
+            matrix_to_dense(pkg, product_of(pkg, edges)),
+            atol=1e-10,
+        )
+
+    def test_empty_input(self):
+        pkg = DDPackage(3)
+        fused = fuse_cost_aware(pkg, [], CostModel(1))
+        assert fused.gates == []
+        assert fused.total_cost == 0
+
+
+class TestKOperations:
+    def test_operator_product_preserved(self):
+        pkg = DDPackage(5)
+        c = get_circuit("random", 5, gates=25, seed=3)
+        edges = circuit_edges(pkg, c)
+        fused = fuse_k_operations(pkg, edges, k=3)
+        np.testing.assert_allclose(
+            matrix_to_dense(pkg, product_of(pkg, fused.gates)),
+            matrix_to_dense(pkg, product_of(pkg, edges)),
+            atol=1e-9,
+        )
+
+    def test_groups_respect_qubit_budget(self):
+        pkg = DDPackage(6)
+        c = get_circuit("dnn", 6, layers=2)
+        edges = circuit_edges(pkg, c)
+        fused = fuse_k_operations(pkg, edges, k=2)
+        for g in fused.gates:
+            assert len(identity_levels(pkg, g)) <= 2
+
+    def test_k1_never_fuses_multiqubit_span(self):
+        pkg = DDPackage(4)
+        edges = circuit_edges(pkg, get_circuit("ghz", 4))
+        fused = fuse_k_operations(pkg, edges, k=1)
+        # cx spans two qubits, so only the leading H could group; every cx
+        # stays alone.
+        assert len(fused.gates) == len(edges)
+
+    def test_bad_k_rejected(self):
+        pkg = DDPackage(3)
+        with pytest.raises(ValueError):
+            fuse_k_operations(pkg, [], k=0)
+
+
+class TestFusionComparison:
+    def test_cost_aware_beats_koperations_in_model(self):
+        # Table 2's claim: the DMAV-aware strategy yields lower modeled
+        # cost than k-operations on deep irregular circuits.
+        pkg = DDPackage(6)
+        model = CostModel(4)
+        c = get_circuit("dnn", 6, layers=3)
+        edges = circuit_edges(pkg, c)
+        ours = fuse_cost_aware(pkg, edges, model)
+        theirs = fuse_k_operations(pkg, edges, k=4, model=model)
+        assert ours.total_cost <= theirs.total_cost

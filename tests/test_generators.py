@@ -1,0 +1,192 @@
+"""Unit tests for the benchmark circuit generators.
+
+Beyond structural checks, these verify the *semantic* property the paper
+relies on: regular families keep tiny state DDs, irregular families blow
+the DD up towards the 2**n - 1 worst case.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import DDSimulator
+from repro.circuits import get_circuit
+from repro.circuits.generators import CIRCUIT_FAMILIES
+from repro.circuits.generators.irregular import _grid_couplings, _grid_shape
+from repro.common.errors import CircuitError
+
+from tests.conftest import reference_state
+
+
+class TestGHZ:
+    def test_state_is_ghz(self):
+        c = get_circuit("ghz", 4)
+        state = reference_state(c)
+        expected = np.zeros(16)
+        expected[0] = expected[15] = 1 / math.sqrt(2)
+        np.testing.assert_allclose(state, expected, atol=1e-12)
+
+    def test_gate_count_linear(self):
+        assert len(get_circuit("ghz", 10)) == 10
+
+
+class TestAdder:
+    def test_addition_result(self):
+        # n=8 -> k=3 bits: a=7, b=1 should give b=0, carry-out=1.
+        c = get_circuit("adder", 8, a_value=0b111, b_value=0b001)
+        state = reference_state(c)
+        hot = int(np.argmax(np.abs(state)))
+        assert abs(state[hot]) == pytest.approx(1.0)
+        k = 3
+        b_bits = [(hot >> (1 + 2 * i)) & 1 for i in range(k)]
+        a_bits = [(hot >> (1 + 2 * i + 1)) & 1 for i in range(k)]
+        cout = (hot >> 7) & 1
+        b_out = sum(b << i for i, b in enumerate(b_bits)) + (cout << k)
+        a_out = sum(a << i for i, a in enumerate(a_bits))
+        assert a_out == 0b111  # a register restored
+        assert b_out == 0b111 + 0b001
+
+    @pytest.mark.parametrize("a,b", [(0, 0), (3, 4), (5, 5)])
+    def test_sum_for_various_inputs(self, a, b):
+        c = get_circuit("adder", 8, a_value=a, b_value=b)
+        state = reference_state(c)
+        hot = int(np.argmax(np.abs(state)))
+        k = 3
+        b_bits = sum(((hot >> (1 + 2 * i)) & 1) << i for i in range(k))
+        cout = (hot >> 7) & 1
+        assert b_bits + (cout << k) == a + b
+
+    def test_odd_size_rejected(self):
+        with pytest.raises(CircuitError):
+            get_circuit("adder", 7)
+
+
+class TestWState:
+    def test_state_is_w(self):
+        c = get_circuit("wstate", 4)
+        state = reference_state(c)
+        expected = np.zeros(16)
+        for k in range(4):
+            expected[1 << k] = 0.5
+        np.testing.assert_allclose(np.abs(state), expected, atol=1e-9)
+
+
+class TestQFT:
+    def test_qft_of_zero_is_uniform(self):
+        c = get_circuit("qft", 4)
+        state = reference_state(c)
+        np.testing.assert_allclose(state, np.full(16, 0.25), atol=1e-10)
+
+    def test_qft_matches_dft_matrix(self):
+        n = 3
+        c = get_circuit("qft", n)
+        # Column 0 is tested above; test another basis input by prepending X.
+        from repro.circuits import Circuit
+
+        pre = Circuit(n).x(0)
+        full = Circuit(n, [*pre.gates, *c.gates])
+        state = reference_state(full)
+        # QFT with swaps maps |j> to (1/sqrt(N)) sum_k exp(2 pi i jk/N)|k>.
+        N = 1 << n
+        expected = np.exp(2j * math.pi * np.arange(N) / N) / math.sqrt(N)
+        np.testing.assert_allclose(state, expected, atol=1e-9)
+
+    def test_inverse_qft_composes_to_identity(self):
+        from repro.circuits import Circuit
+
+        n = 4
+        f, b = get_circuit("qft", n), get_circuit("qft", n, inverse=True)
+        # qft then iqft must restore |0>, but note swaps: iqft here is the
+        # phase-inverted ladder, so compose b's gates reversed via inverse().
+        full = Circuit(n, [*f.gates, *f.inverse().gates])
+        state = reference_state(full)
+        assert abs(state[0]) == pytest.approx(1.0, abs=1e-9)
+
+
+class TestSwapKernels:
+    def test_swaptest_ancilla_encodes_overlap(self):
+        c = get_circuit("swaptest", 5, seed=3)
+        state = reference_state(c)
+        n = 5
+        anc = n - 1
+        p1 = sum(
+            abs(state[i]) ** 2 for i in range(1 << n) if (i >> anc) & 1
+        )
+        # P(ancilla=1) = (1 - |<a|b>|^2) / 2 lies in [0, 1/2].
+        assert 0.0 <= p1 <= 0.5 + 1e-9
+
+    def test_knn_structure(self):
+        c = get_circuit("knn", 9)
+        names = [g.name for g in c]
+        assert names.count("cswap") == 4
+        assert names[-1] == "h"
+
+    def test_even_qubits_rejected(self):
+        with pytest.raises(CircuitError):
+            get_circuit("swaptest", 6)
+        with pytest.raises(CircuitError):
+            get_circuit("knn", 8)
+
+
+class TestSupremacy:
+    def test_grid_shape_factorization(self):
+        assert _grid_shape(12) == (3, 4)
+        assert _grid_shape(16) == (4, 4)
+        assert _grid_shape(7) == (1, 7)
+
+    def test_couplings_within_bounds(self):
+        for rows, cols in [(2, 3), (3, 4), (4, 4)]:
+            n = rows * cols
+            for pattern in _grid_couplings(rows, cols):
+                for a, b in pattern:
+                    assert 0 <= a < n and 0 <= b < n and a != b
+
+    def test_no_repeated_single_qubit_gate_per_qubit(self):
+        c = get_circuit("supremacy", 9, cycles=8, seed=1)
+        last: dict[int, str] = {}
+        for g in c.gates:
+            if g.name in ("sx", "sy", "sw"):
+                q = g.targets[0]
+                assert last.get(q) != g.name
+                last[q] = g.name
+
+    def test_deterministic_for_seed(self):
+        a = get_circuit("supremacy", 6, seed=5)
+        b = get_circuit("supremacy", 6, seed=5)
+        assert [g.signature for g in a] == [g.signature for g in b]
+
+    def test_different_seeds_differ(self):
+        a = get_circuit("supremacy", 6, seed=5)
+        b = get_circuit("supremacy", 6, seed=6)
+        assert [g.signature for g in a] != [g.signature for g in b]
+
+
+class TestRegularityContrast:
+    """The paper's Figure 1 premise, checked as a property of the suites."""
+
+    def test_regular_families_keep_small_dds(self):
+        for family in ("ghz", "adder"):
+            c = get_circuit(family, 8)
+            result = DDSimulator().run(c)
+            assert max(g.dd_size for g in result.gate_trace) <= 4 * 8
+
+    def test_irregular_families_blow_up_dds(self):
+        n = 8
+        for family, kwargs in (("dnn", {"layers": 4}), ("supremacy", {})):
+            c = get_circuit(family, n, **kwargs)
+            result = DDSimulator().run(c)
+            assert max(g.dd_size for g in result.gate_trace) > (1 << n) / 2
+
+
+class TestRegistry:
+    def test_all_families_buildable(self):
+        sizes = {"adder": 6, "swaptest": 5, "knn": 5}
+        for family in CIRCUIT_FAMILIES:
+            n = sizes.get(family, 4)
+            c = get_circuit(family, n)
+            assert len(c) > 0
+
+    def test_unknown_family_rejected(self):
+        with pytest.raises(CircuitError):
+            get_circuit("nope", 4)

@@ -1,0 +1,123 @@
+"""Unit tests for metrics: memory model, timers, statistics."""
+
+import math
+import time
+
+import numpy as np
+import pytest
+
+from repro.common.config import (
+    AMPLITUDE_BYTES,
+    CTABLE_ENTRY_BYTES,
+    MNODE_BYTES,
+    VNODE_BYTES,
+)
+from repro.dd import DDPackage, single_qubit_gate, vector_from_array
+from repro.metrics import (
+    MemoryMeter,
+    Timer,
+    array_bytes,
+    dd_bytes,
+    geometric_mean,
+    normalize,
+    ratio_string,
+    speedups,
+    state_array_bytes,
+    timed,
+)
+
+from tests.conftest import random_state
+
+
+class TestMemoryModel:
+    def test_dd_bytes_counts_nodes_and_weights(self):
+        pkg = DDPackage(4)
+        base = dd_bytes(pkg)
+        vector_from_array(pkg, random_state(4, seed=0))
+        grown = dd_bytes(pkg)
+        assert grown > base
+        expected_v = pkg.vector_node_count * VNODE_BYTES
+        expected_m = pkg.matrix_node_count * MNODE_BYTES
+        expected_c = pkg.ctable.entry_count * CTABLE_ENTRY_BYTES
+        assert grown == expected_v + expected_m + expected_c
+
+    def test_matrix_nodes_priced_larger(self):
+        pkg = DDPackage(4)
+        before = dd_bytes(pkg)
+        single_qubit_gate(pkg, np.array([[0, 1], [1, 0]]), 2)
+        per_node = (dd_bytes(pkg) - before) / max(pkg.matrix_node_count, 1)
+        assert per_node > 0
+        assert MNODE_BYTES > VNODE_BYTES
+
+    def test_array_bytes(self):
+        a = np.zeros(8, dtype=np.complex128)
+        assert array_bytes(a) == 8 * 16
+        assert array_bytes(a, None, a) == 2 * 8 * 16
+
+    def test_state_array_bytes(self):
+        assert state_array_bytes(10) == (1 << 10) * AMPLITUDE_BYTES
+
+    def test_meter_tracks_peak(self):
+        meter = MemoryMeter(baseline=100)
+        meter.sample(50)
+        meter.sample(400)
+        meter.sample(10)
+        assert meter.peak_bytes == 500
+        assert meter.last_bytes == 110
+        assert meter.peak_mb == pytest.approx(500 / 2**20)
+
+
+class TestTimer:
+    def test_splits_accumulate(self):
+        t = Timer()
+        with t.split("a"):
+            time.sleep(0.002)
+        with t.split("a"):
+            time.sleep(0.002)
+        with t.split("b"):
+            pass
+        assert t.get("a") >= 0.004
+        assert t.total >= t.get("a")
+
+    def test_add_manual_split(self):
+        t = Timer()
+        t.add("x", 1.5)
+        t.add("x", 0.5)
+        assert t.get("x") == pytest.approx(2.0)
+
+    def test_timed_contextmanager(self):
+        with timed() as elapsed:
+            time.sleep(0.002)
+        final = elapsed()
+        assert final >= 0.002
+        # Frozen after exit.
+        time.sleep(0.002)
+        assert elapsed() == final
+
+
+class TestStats:
+    def test_geometric_mean_basic(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        assert geometric_mean([7]) == pytest.approx(7.0)
+
+    def test_geometric_mean_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_speedups(self):
+        assert speedups([10, 4], [5, 8]) == [2.0, 0.5]
+        with pytest.raises(ValueError):
+            speedups([1], [1, 2])
+
+    def test_normalize_default_reference(self):
+        assert normalize([2.0, 4.0, 8.0]) == [1.0, 2.0, 4.0]
+
+    def test_normalize_explicit_reference(self):
+        assert normalize([3.0], reference=1.5) == [2.0]
+        with pytest.raises(ValueError):
+            normalize([1.0], reference=0.0)
+
+    def test_ratio_string_matches_paper_format(self):
+        assert ratio_string(34.814) == "34.81x"

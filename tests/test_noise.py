@@ -1,0 +1,134 @@
+"""Unit tests for the stochastic Pauli noise layer."""
+
+import numpy as np
+import pytest
+
+from repro.backends import StatevectorSimulator
+from repro.circuits import Circuit, get_circuit
+from repro.common.errors import SimulationError
+from repro.core import FlatDDSimulator
+from repro.noise import NoiseModel, run_trajectories
+
+
+class TestNoiseModel:
+    def test_trivial_model_inserts_nothing(self):
+        model = NoiseModel()
+        assert model.is_trivial
+        c = get_circuit("ghz", 4)
+        noisy = model.sample_circuit(c, np.random.default_rng(0))
+        assert len(noisy) == len(c)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            NoiseModel(depolarizing_1q=1.5)
+        with pytest.raises(SimulationError):
+            NoiseModel(bit_flip=-0.1)
+
+    def test_error_rate_statistics(self):
+        model = NoiseModel(depolarizing_1q=0.25)
+        rng = np.random.default_rng(1)
+        c = Circuit(1)
+        for _ in range(400):
+            c.h(0)
+        noisy = model.sample_circuit(c, rng)
+        inserted = len(noisy) - len(c)
+        assert inserted / 400 == pytest.approx(0.25, abs=0.06)
+
+    def test_two_qubit_rate_applied_per_touched_qubit(self):
+        model = NoiseModel(depolarizing_2q=1.0)
+        c = Circuit(2).cx(0, 1)
+        noisy = model.sample_circuit(c, np.random.default_rng(2))
+        # depolarizing with p=1 hits both qubits.
+        assert len(noisy) == 1 + 2
+
+    def test_inserted_gates_are_paulis(self):
+        model = NoiseModel(depolarizing_1q=1.0, bit_flip=1.0, phase_flip=1.0)
+        c = Circuit(2).h(0).h(1)
+        noisy = model.sample_circuit(c, np.random.default_rng(3))
+        extra = [g.name for g in noisy.gates if g.name != "h"]
+        assert extra and set(extra) <= {"x", "y", "z"}
+
+    def test_deterministic_under_seed(self):
+        model = NoiseModel(depolarizing_1q=0.3)
+        c = get_circuit("ghz", 4)
+        a = model.sample_circuit(c, np.random.default_rng(7))
+        b = model.sample_circuit(c, np.random.default_rng(7))
+        assert [g.signature for g in a] == [g.signature for g in b]
+
+
+class TestTrajectories:
+    def test_no_noise_gives_unit_fidelity(self):
+        c = get_circuit("ghz", 4)
+        result = run_trajectories(
+            c, NoiseModel(), StatevectorSimulator(), num_trajectories=3
+        )
+        assert result.mean_fidelity == pytest.approx(1.0, abs=1e-10)
+        assert result.total_error_gates == 0
+
+    def test_noise_reduces_fidelity(self):
+        c = get_circuit("ghz", 5)
+        result = run_trajectories(
+            c,
+            NoiseModel(depolarizing_1q=0.05, depolarizing_2q=0.1),
+            StatevectorSimulator(),
+            num_trajectories=24,
+            seed=4,
+        )
+        assert result.mean_fidelity < 0.95
+        assert result.total_error_gates > 0
+
+    def test_probabilities_normalized(self):
+        c = get_circuit("qft", 4)
+        result = run_trajectories(
+            c,
+            NoiseModel(bit_flip=0.05),
+            StatevectorSimulator(),
+            num_trajectories=8,
+            seed=5,
+        )
+        assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_ghz_bit_flips_leak_probability(self):
+        c = get_circuit("ghz", 4)
+        ideal = StatevectorSimulator().run(c).state
+        result = run_trajectories(
+            c,
+            NoiseModel(bit_flip=0.1),
+            StatevectorSimulator(),
+            num_trajectories=32,
+            seed=6,
+            ideal_state=ideal,
+        )
+        ideal_support = np.abs(ideal) ** 2 > 1e-12
+        leaked = result.probabilities[~ideal_support].sum()
+        assert leaked > 0.05
+
+    def test_more_noise_means_less_fidelity(self):
+        c = get_circuit("ghz", 4)
+        sim = StatevectorSimulator()
+        ideal = sim.run(c).state
+        light = run_trajectories(
+            c, NoiseModel(bit_flip=0.02), sim, 24, seed=8, ideal_state=ideal
+        )
+        heavy = run_trajectories(
+            c, NoiseModel(bit_flip=0.25), sim, 24, seed=8, ideal_state=ideal
+        )
+        assert heavy.mean_fidelity < light.mean_fidelity
+
+    def test_works_with_flatdd_backend(self):
+        c = get_circuit("supremacy", 6, cycles=5)
+        result = run_trajectories(
+            c,
+            NoiseModel(depolarizing_2q=0.05),
+            FlatDDSimulator(threads=2),
+            num_trajectories=4,
+            seed=9,
+        )
+        assert 0.0 <= result.mean_fidelity <= 1.0 + 1e-9
+        assert result.probabilities.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_bad_trajectory_count_rejected(self):
+        with pytest.raises(SimulationError):
+            run_trajectories(
+                get_circuit("ghz", 3), NoiseModel(), StatevectorSimulator(), 0
+            )

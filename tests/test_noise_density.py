@@ -1,0 +1,127 @@
+"""Tests for exact density-matrix noise simulation + trajectory agreement."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import StatevectorSimulator
+from repro.circuits import Circuit, get_circuit
+from repro.common.errors import SimulationError
+from repro.noise import (
+    DensityMatrixSimulator,
+    NoiseModel,
+    amplitude_damping_kraus,
+    bit_flip_kraus,
+    depolarizing_kraus,
+    phase_flip_kraus,
+    run_trajectories,
+)
+
+
+class TestKrausChannels:
+    @pytest.mark.parametrize(
+        "factory,p",
+        [(depolarizing_kraus, 0.3), (bit_flip_kraus, 0.2),
+         (phase_flip_kraus, 0.4), (amplitude_damping_kraus, 0.5)],
+    )
+    def test_completeness_relation(self, factory, p):
+        total = sum(k.conj().T @ k for k in factory(p))
+        np.testing.assert_allclose(total, np.eye(2), atol=1e-12)
+
+    def test_bad_probability_rejected(self):
+        with pytest.raises(SimulationError):
+            depolarizing_kraus(1.4)
+
+    def test_invalid_kraus_set_rejected(self):
+        with pytest.raises(SimulationError):
+            DensityMatrixSimulator([[np.eye(2) * 2.0]])
+
+
+class TestDensityMatrixSimulator:
+    def test_noiseless_matches_statevector(self):
+        c = get_circuit("qft", 4)
+        rho = DensityMatrixSimulator().run(c)
+        psi = StatevectorSimulator().run(c).state
+        np.testing.assert_allclose(rho, np.outer(psi, psi.conj()), atol=1e-9)
+
+    def test_density_matrix_properties(self):
+        c = get_circuit("supremacy", 4, cycles=4)
+        sim = DensityMatrixSimulator([depolarizing_kraus(0.05)])
+        rho = sim.run(c)
+        assert np.trace(rho).real == pytest.approx(1.0, abs=1e-9)
+        np.testing.assert_allclose(rho, rho.conj().T, atol=1e-10)
+        eigs = np.linalg.eigvalsh(rho)
+        assert eigs.min() > -1e-10
+
+    def test_full_depolarizing_gives_maximally_mixed(self):
+        c = Circuit(2).h(0).h(1)
+        sim = DensityMatrixSimulator([depolarizing_kraus(0.75)])
+        # p=0.75 single-qubit depolarizing is the fully randomizing channel.
+        rho = sim.run(c)
+        np.testing.assert_allclose(rho, np.eye(4) / 4, atol=1e-9)
+
+    def test_amplitude_damping_relaxes_excited_state(self):
+        c = Circuit(1).x(0)
+        sim = DensityMatrixSimulator([amplitude_damping_kraus(0.4)])
+        rho = sim.run(c)
+        # After X then damping: P(1) = 1 - 0.4.
+        assert rho[1, 1].real == pytest.approx(0.6)
+        assert rho[0, 0].real == pytest.approx(0.4)
+
+    def test_phase_flip_kills_coherence_not_populations(self):
+        c = Circuit(1).h(0)
+        sim = DensityMatrixSimulator([phase_flip_kraus(0.5)])
+        rho = sim.run(c)
+        # p=1/2 phase flip fully dephases.
+        assert abs(rho[0, 1]) == pytest.approx(0.0, abs=1e-12)
+        assert rho[0, 0].real == pytest.approx(0.5)
+
+    def test_qubit_cap(self):
+        sim = DensityMatrixSimulator()
+        with pytest.raises(SimulationError):
+            sim.run(get_circuit("ghz", 12))
+
+
+class TestTrajectoryAgreement:
+    """The Monte Carlo ensemble must converge to the exact channel."""
+
+    @pytest.mark.parametrize(
+        "model",
+        [
+            NoiseModel(bit_flip=0.1),
+            NoiseModel(phase_flip=0.15),
+            NoiseModel(depolarizing_1q=0.1),
+        ],
+        ids=["bitflip", "phaseflip", "depolarizing"],
+    )
+    def test_trajectories_converge_to_density_result(self, model):
+        c = Circuit(3).h(0).h(1).h(2).cz(0, 1).cz(1, 2)
+        # NOTE: channels apply per touched qubit after each gate in both
+        # formulations, but the trajectory model uses its 2q rate on
+        # 2q gates; this model has no 2q rate so the mapping is exact.
+        exact = DensityMatrixSimulator.from_noise_model(model).probabilities(c)
+        ensemble = run_trajectories(
+            c, model, StatevectorSimulator(), num_trajectories=600, seed=11
+        )
+        np.testing.assert_allclose(
+            ensemble.probabilities, exact, atol=0.05
+        )
+
+    def test_fidelity_matches_channel_prediction(self):
+        # One gate + bit flip p: ensemble fidelity ~ 1 - p.
+        c = Circuit(1).h(0)
+        p = 0.2
+        ensemble = run_trajectories(
+            c, NoiseModel(bit_flip=p), StatevectorSimulator(),
+            num_trajectories=800, seed=12,
+        )
+        # H|0> = |+> is X-invariant... use phase flip instead for a
+        # discriminating check.
+        c2 = Circuit(1).h(0)
+        ensemble2 = run_trajectories(
+            c2, NoiseModel(phase_flip=p), StatevectorSimulator(),
+            num_trajectories=800, seed=13,
+        )
+        assert ensemble.mean_fidelity == pytest.approx(1.0, abs=1e-9)
+        assert ensemble2.mean_fidelity == pytest.approx(1 - p, abs=0.04)

@@ -1,0 +1,167 @@
+"""Unit tests for Pauli observables and model Hamiltonians."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import CircuitError
+from repro.observables import (
+    PauliString,
+    PauliSum,
+    heisenberg_xxz,
+    maxcut,
+    transverse_field_ising,
+)
+
+from tests.conftest import random_state
+
+X = np.array([[0, 1], [1, 0]], dtype=complex)
+Y = np.array([[0, -1j], [1j, 0]])
+Z = np.diag([1, -1]).astype(complex)
+I2 = np.eye(2, dtype=complex)
+_OPS = {"X": X, "Y": Y, "Z": Z, "I": I2}
+
+
+def dense(p: PauliString, n: int) -> np.ndarray:
+    out = np.array([[1]], dtype=complex)
+    label = p.label(n)
+    for ch in label:
+        out = np.kron(out, _OPS[ch])
+    return p.coefficient * out
+
+
+class TestPauliString:
+    def test_from_label_ordering(self):
+        p = PauliString.from_label("ZXI")
+        assert dict(p.paulis) == {2: "Z", 1: "X"}
+
+    def test_label_roundtrip(self):
+        p = PauliString(((0, "Y"), (3, "Z")), 2.0)
+        assert p.label(4) == "ZIIY"
+        assert PauliString.from_label(p.label(4), 2.0) == p
+
+    @pytest.mark.parametrize("label", ["X", "Y", "Z", "XY", "ZZ", "YXZ", "IXI"])
+    def test_apply_matches_dense(self, label):
+        n = len(label)
+        state = random_state(n, seed=hash(label) % 1000)
+        p = PauliString.from_label(label, coefficient=1.5 - 0.5j)
+        np.testing.assert_allclose(
+            p.apply(state), dense(p, n) @ state, atol=1e-12
+        )
+
+    @pytest.mark.parametrize("label", ["X", "ZZ", "YY", "XYZ", "IZY"])
+    def test_expectation_matches_dense(self, label):
+        n = len(label)
+        state = random_state(n, seed=len(label))
+        p = PauliString.from_label(label)
+        expected = np.vdot(state, dense(p, n) @ state)
+        assert p.expectation(state) == pytest.approx(expected, abs=1e-12)
+
+    def test_pauli_is_involutive(self):
+        state = random_state(3, seed=4)
+        p = PauliString.from_label("XYZ")
+        np.testing.assert_allclose(p.apply(p.apply(state)), state, atol=1e-12)
+
+    def test_z_expectation_on_basis_states(self):
+        zero = np.zeros(4, dtype=complex)
+        zero[0] = 1
+        assert PauliString.z(0).expectation(zero) == pytest.approx(1.0)
+        one = np.zeros(4, dtype=complex)
+        one[1] = 1
+        assert PauliString.z(0).expectation(one) == pytest.approx(-1.0)
+
+    def test_scalar_multiplication(self):
+        p = 3.0 * PauliString.x(0)
+        assert p.coefficient == 3.0
+        assert (-p).coefficient == -3.0
+
+    def test_validation(self):
+        with pytest.raises(CircuitError):
+            PauliString(((0, "Q"),))
+        with pytest.raises(CircuitError):
+            PauliString(((0, "X"), (0, "Z")))
+        with pytest.raises(CircuitError):
+            PauliString.from_label("AB")
+        with pytest.raises(CircuitError):
+            PauliString.x(5).expectation(np.ones(4) / 2)
+
+    def test_identity_string(self):
+        p = PauliString.identity(2.5)
+        state = random_state(2, seed=1)
+        assert p.expectation(state) == pytest.approx(2.5)
+
+
+class TestPauliSum:
+    def test_sum_expectation_is_linear(self):
+        state = random_state(3, seed=9)
+        a, b = PauliString.z(0, 0.5), PauliString.x(2, -1.5)
+        total = (a + b).expectation(state)
+        assert total == pytest.approx(
+            a.expectation(state) + b.expectation(state)
+        )
+
+    def test_simplify_merges_and_drops(self):
+        s = PauliString.z(0) + PauliString.z(0) + PauliString.x(1, 0.0)
+        simplified = s.simplify()
+        assert len(simplified) == 1
+        assert simplified.terms[0].coefficient == pytest.approx(2.0)
+
+    def test_scalar_multiplication(self):
+        s = 2.0 * (PauliString.z(0) + PauliString.x(1))
+        assert all(t.coefficient == 2.0 for t in s.terms)
+
+    def test_variance_zero_on_eigenstate(self):
+        # |00> is an eigenstate of Z0 + Z1.
+        state = np.zeros(4, dtype=complex)
+        state[0] = 1
+        h = PauliString.z(0) + PauliString.z(1)
+        assert h.variance(state) == pytest.approx(0.0, abs=1e-12)
+
+    def test_variance_positive_off_eigenstate(self):
+        state = np.full(4, 0.5, dtype=complex)
+        h = PauliSum([PauliString.z(0)])
+        assert h.variance(state) == pytest.approx(1.0)
+
+
+class TestHamiltonians:
+    def _dense_sum(self, h: PauliSum, n: int) -> np.ndarray:
+        return sum(dense(t, n) for t in h)
+
+    def test_ising_ground_energy_matches_dense(self):
+        n = 4
+        h = transverse_field_ising(n, j=1.0, h=0.5)
+        mat = self._dense_sum(h, n)
+        state = random_state(n, seed=3)
+        assert h.expectation(state) == pytest.approx(
+            np.vdot(state, mat @ state), abs=1e-10
+        )
+
+    def test_ising_open_vs_periodic_term_count(self):
+        assert len(transverse_field_ising(4, periodic=True)) == 8
+        assert len(transverse_field_ising(4, periodic=False)) == 7
+
+    def test_heisenberg_matches_dense(self):
+        n = 3
+        h = heisenberg_xxz(n, jxy=0.7, jz=1.3)
+        mat = self._dense_sum(h, n)
+        state = random_state(n, seed=8)
+        assert h.expectation(state) == pytest.approx(
+            np.vdot(state, mat @ state), abs=1e-10
+        )
+
+    def test_maxcut_counts_cut_edges(self):
+        # Path graph 0-1-2; assignment |010>ated cuts both edges.
+        h = maxcut([(0, 1), (1, 2)])
+        state = np.zeros(8, dtype=complex)
+        state[0b010] = 1
+        assert h.expectation(state).real == pytest.approx(2.0)
+        state2 = np.zeros(8, dtype=complex)
+        state2[0b000] = 1
+        assert h.expectation(state2).real == pytest.approx(0.0)
+
+    def test_maxcut_rejects_self_loop(self):
+        with pytest.raises(CircuitError):
+            maxcut([(1, 1)])
+
+    def test_small_system_rejected(self):
+        with pytest.raises(CircuitError):
+            transverse_field_ising(1)

@@ -1,0 +1,214 @@
+"""The paper's worked examples (Figures 2, 5, 7, 8, 9, 10), encoded as tests.
+
+Each test builds the exact DD the figure draws and checks the quantity the
+paper derives from it.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.cost_model import CostModel, assign_cache_tasks, mac_count
+from repro.core.dmav import assign_tasks, dmav_nocache
+from repro.core.fusion import fuse_cost_aware
+from repro.dd import (
+    DDPackage,
+    ZERO_EDGE,
+    matrix_entry,
+    matrix_to_dense,
+    mm_multiply,
+    node_count,
+    single_qubit_gate,
+    vector_from_array,
+)
+from repro.dd.vector import amplitude
+
+from tests.conftest import random_state
+
+SQ2 = 1.0 / math.sqrt(2.0)
+H = np.array([[1, 1], [1, -1]]) * SQ2
+
+
+class TestFigure2a:
+    """M = H (x) I on two qubits: weights and the M[0][2] walk."""
+
+    def setup_method(self):
+        self.pkg = DDPackage(2)
+        self.m = single_qubit_gate(self.pkg, H, 1)
+
+    def test_root_incoming_weight(self):
+        assert self.m.w == pytest.approx(SQ2)
+
+    def test_root_outgoing_weights(self):
+        ws = [e.w for e in self.m.n.edges]
+        assert ws == [1.0, 1.0, 1.0, -1.0]
+
+    def test_four_submatrices_share_one_node(self):
+        children = {id(e.n) for e in self.m.n.edges}
+        assert len(children) == 1
+
+    def test_m_0_2_path_product(self):
+        # The thick red path of Figure 2a: 1/sqrt(2) * 1 * 1.
+        assert matrix_entry(self.pkg, self.m, 0, 2) == pytest.approx(SQ2)
+
+    def test_full_matrix(self):
+        np.testing.assert_allclose(
+            matrix_to_dense(self.pkg, self.m),
+            np.kron(H, np.eye(2)),
+            atol=1e-12,
+        )
+
+
+class TestFigure2b:
+    """V = (1/2, 0, 0, 1/2, 1/2, 0, 0, -1/2): five nodes, V[3] = 1/2."""
+
+    ARR = np.array([0.5, 0, 0, 0.5, 0.5, 0, 0, -0.5], dtype=complex)
+
+    def setup_method(self):
+        self.pkg = DDPackage(3)
+        self.v = vector_from_array(self.pkg, self.ARR)
+
+    def test_five_unique_nodes(self):
+        # v1 (root), v2, v3 (level q1), v4, v5 (level q0): Figure 2b.
+        assert node_count(self.v) == 5
+
+    def test_sub_vector_incoming_weights(self):
+        # The two q1-level children carry weight 1/sqrt(2) each.
+        w0 = self.v.n.edges[0].w
+        w1 = self.v.n.edges[1].w
+        assert abs(w0) == pytest.approx(SQ2)
+        assert abs(w1) == pytest.approx(SQ2)
+
+    def test_v3_amplitude_is_half(self):
+        assert amplitude(self.pkg, self.v, 3) == pytest.approx(0.5)
+
+    def test_opposite_subvectors_share_node(self):
+        # (0, 1/sqrt 2) and (0, -1/sqrt 2) are the same node with opposite
+        # incoming weights (the paper's v5).
+        arr = vector_from_array(self.pkg, self.ARR)
+        assert arr.n is self.v.n  # canonicity as a bonus check
+
+
+class TestFigure5:
+    """DMAV without caching: 3 qubits, 2 threads, task structure."""
+
+    def test_blue_and_red_threads_get_two_tasks_each(self):
+        pkg = DDPackage(3)
+        # A root whose four sub-matrices share one node, like Figure 5's
+        # m1 with weights a, b, c, d over a shared m2.
+        m = single_qubit_gate(pkg, H, 2)
+        tasks = assign_tasks(pkg, m, 2)
+        assert [len(t) for t in tasks] == [2, 2]
+        # Thread 0 (blue): a * m2 * V[0:4] and b * m2 * V[4:8].
+        assert [iv for _, iv, _ in tasks[0]] == [0, 4]
+        assert [iv for _, iv, _ in tasks[1]] == [0, 4]
+        # All four tasks reference the same shared sub-matrix node.
+        nodes = {id(node) for t in tasks for node, _, _ in t}
+        assert len(nodes) == 1
+
+    def test_result_matches_direct_product(self):
+        pkg = DDPackage(3)
+        m = single_qubit_gate(pkg, H, 2)
+        v = random_state(3, seed=0)
+        w, _ = dmav_nocache(pkg, m, v, 2)
+        np.testing.assert_allclose(w, np.kron(H, np.eye(4)) @ v, atol=1e-10)
+
+
+class TestFigure7:
+    """DMAV with caching: per-thread caches and shared buffers."""
+
+    def test_threads_with_nonoverlapping_outputs_share_buffer(self):
+        pkg = DDPackage(3)
+        # Figure 7's M has block-diagonal structure for threads t1/t2:
+        # a controlled gate keeps half the output blocks disjoint.
+        from repro.backends.gatecache import build_gate_dd
+        from repro.circuits import Gate
+
+        m = build_gate_dd(pkg, Gate("cx", (0,), (2,)))
+        assignment = assign_cache_tasks(pkg, m, 4)
+        # CX's column blocks map to disjoint output blocks: buffers shared.
+        assert assignment.num_buffers < 4
+
+    def test_repeated_nodes_become_cache_hits(self):
+        pkg = DDPackage(4)
+        m = single_qubit_gate(pkg, H, 3)
+        assignment = assign_cache_tasks(pkg, m, 2)
+        assert assignment.cache_hits == 2  # one per thread, as in Fig. 7
+
+
+class TestFigure8:
+    """MAC counting on the figure's exact six-node DD: T(m1) = 16."""
+
+    def build(self, pkg):
+        one = pkg.one_edge()
+        m5 = pkg.make_mnode(0, (one, ZERO_EDGE, ZERO_EDGE, ZERO_EDGE))
+        m6 = pkg.make_mnode(0, (ZERO_EDGE, ZERO_EDGE, ZERO_EDGE, one))
+        m3 = pkg.make_mnode(1, (m5, ZERO_EDGE, ZERO_EDGE, m5))
+        m4 = pkg.make_mnode(1, (ZERO_EDGE, m6, m6, ZERO_EDGE))
+        m2 = pkg.make_mnode(2, (m3, m4, m3, m4))
+        m1 = pkg.make_mnode(3, (m2, ZERO_EDGE, ZERO_EDGE, m2))
+        return m1, m2, m3, m4, m5, m6
+
+    def test_per_node_table(self):
+        pkg = DDPackage(4)
+        m1, m2, m3, m4, m5, m6 = self.build(pkg)
+        assert mac_count(pkg, m5) == 1
+        assert mac_count(pkg, m6) == 1
+        assert mac_count(pkg, m3) == 2
+        assert mac_count(pkg, m4) == 2
+        assert mac_count(pkg, m2) == 8
+        assert mac_count(pkg, m1) == 16
+
+    def test_matches_nonzero_entries(self):
+        pkg = DDPackage(4)
+        m1, *_ = self.build(pkg)
+        dense = matrix_to_dense(pkg, m1)
+        assert mac_count(pkg, m1) == np.count_nonzero(np.abs(dense) > 1e-12)
+
+
+class TestFigures9And10:
+    """Gate fusion can reduce (Fig. 9) or increase (Fig. 10) computation."""
+
+    def test_diagonal_gates_fuse_profitably(self):
+        # Two diagonal gates: fused cost equals one pass instead of two.
+        pkg = DDPackage(6)
+        from repro.backends.gatecache import build_gate_dd
+        from repro.circuits import Gate
+
+        edges = [
+            build_gate_dd(pkg, Gate("rz", (0,), params=(0.3,))),
+            build_gate_dd(pkg, Gate("rz", (3,), params=(0.7,))),
+        ]
+        model = CostModel(1)
+        seq_cost = sum(model.evaluate(pkg, e).cost for e in edges)
+        fused = fuse_cost_aware(pkg, edges, model)
+        assert len(fused.gates) == 1
+        assert fused.total_cost == pytest.approx(seq_cost / 2)
+
+    def test_dense_fusion_rejected_when_costlier(self):
+        # Three H's on distinct qubits: fusing all three would cost
+        # 8 * 2^n > 6 * 2^n sequential, so Algorithm 3 stops at two.
+        pkg = DDPackage(6)
+        edges = [single_qubit_gate(pkg, H, q) for q in (0, 1, 2)]
+        model = CostModel(1)
+        fused = fuse_cost_aware(pkg, edges, model)
+        assert len(fused.gates) == 2
+        assert max(fused.group_sizes) == 2
+        # And the emitted cost never exceeds fully-sequential cost.
+        seq_cost = sum(model.evaluate(pkg, e).cost for e in edges)
+        assert fused.total_cost <= seq_cost
+
+    def test_fused_product_still_correct(self):
+        pkg = DDPackage(4)
+        edges = [single_qubit_gate(pkg, H, q) for q in (0, 1, 2)]
+        fused = fuse_cost_aware(pkg, edges, CostModel(1))
+        acc = pkg.identity_edge(3)
+        for e in fused.gates:
+            acc = mm_multiply(pkg, e, acc)
+        ref = pkg.identity_edge(3)
+        for e in edges:
+            ref = mm_multiply(pkg, e, ref)
+        np.testing.assert_allclose(
+            matrix_to_dense(pkg, acc), matrix_to_dense(pkg, ref), atol=1e-10
+        )

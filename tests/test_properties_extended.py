@@ -1,0 +1,162 @@
+"""Property-based tests for the extension modules (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.backends import StatevectorSimulator
+from repro.circuits import Circuit, Gate
+from repro.circuits.transpile import BASIS_GATES, decompose, zyz_angles
+from repro.dd import (
+    DDPackage,
+    entanglement_entropy,
+    inner_product,
+    prune_small_contributions,
+    vector_from_array,
+    vector_to_array,
+)
+from repro.observables import PauliString
+from repro.sampling import marginal_probabilities
+
+from tests.test_properties import N_QUBITS, gates, states
+
+# ---------------------------------------------------------------------------
+# Transpiler
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def unitaries_2x2(draw):
+    a = draw(st.floats(0, 2 * math.pi, allow_nan=False))
+    b = draw(st.floats(0, 2 * math.pi, allow_nan=False))
+    c = draw(st.floats(0, 2 * math.pi, allow_nan=False))
+    d = draw(st.floats(0, 2 * math.pi, allow_nan=False))
+    rz = lambda t: np.diag([np.exp(-0.5j * t), np.exp(0.5j * t)])
+    ry = lambda t: np.array(
+        [[math.cos(t / 2), -math.sin(t / 2)],
+         [math.sin(t / 2), math.cos(t / 2)]]
+    )
+    return np.exp(1j * a) * rz(b) @ ry(c) @ rz(d)
+
+
+class TestTranspileProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(unitaries_2x2())
+    def test_zyz_reconstructs_any_unitary(self, u):
+        alpha, beta, gamma, delta = zyz_angles(u)
+        rz = lambda t: np.diag([np.exp(-0.5j * t), np.exp(0.5j * t)])
+        ry = lambda t: np.array(
+            [[math.cos(t / 2), -math.sin(t / 2)],
+             [math.sin(t / 2), math.cos(t / 2)]]
+        )
+        rebuilt = np.exp(1j * alpha) * rz(beta) @ ry(gamma) @ rz(delta)
+        np.testing.assert_allclose(rebuilt, u, atol=1e-9)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(gates(), min_size=1, max_size=8))
+    def test_decomposed_circuit_preserves_state(self, gate_list):
+        c = Circuit(N_QUBITS, gate_list)
+        out, phase = decompose(c)
+        assert all(g.name in BASIS_GATES for g in out.gates)
+        sim = StatevectorSimulator(mode="reshape")
+        ref = sim.run(c).state
+        got = sim.run(out).state if len(out) else _zero_state()
+        np.testing.assert_allclose(got, phase * ref, atol=1e-7)
+
+
+def _zero_state():
+    z = np.zeros(1 << N_QUBITS, dtype=complex)
+    z[0] = 1
+    return z
+
+
+# ---------------------------------------------------------------------------
+# Observables
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def pauli_strings(draw, n=N_QUBITS):
+    count = draw(st.integers(1, n))
+    qubits = draw(
+        st.lists(
+            st.integers(0, n - 1), min_size=count, max_size=count,
+            unique=True,
+        )
+    )
+    ops = draw(
+        st.lists(
+            st.sampled_from(["X", "Y", "Z"]),
+            min_size=count, max_size=count,
+        )
+    )
+    return PauliString(tuple(zip(qubits, ops)))
+
+
+class TestObservableProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(pauli_strings(), states())
+    def test_expectation_is_real_and_bounded(self, pauli, arr):
+        value = pauli.expectation(arr)
+        assert abs(value.imag) < 1e-9
+        assert -1.0 - 1e-9 <= value.real <= 1.0 + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(pauli_strings(), states())
+    def test_pauli_application_preserves_norm(self, pauli, arr):
+        out = pauli.apply(arr)
+        assert np.linalg.norm(out) == pytest.approx(
+            np.linalg.norm(arr), abs=1e-9
+        )
+
+    @settings(max_examples=30, deadline=None)
+    @given(pauli_strings(), states())
+    def test_involution(self, pauli, arr):
+        np.testing.assert_allclose(
+            pauli.apply(pauli.apply(arr)), arr, atol=1e-9
+        )
+
+
+# ---------------------------------------------------------------------------
+# Sampling / density / approximation
+# ---------------------------------------------------------------------------
+
+
+class TestStateAnalysisProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(states(), st.integers(1, N_QUBITS - 1))
+    def test_entropy_bounds(self, arr, cut):
+        pkg = DDPackage(N_QUBITS)
+        state = vector_from_array(pkg, arr)
+        s = entanglement_entropy(pkg, state, cut)
+        assert -1e-9 <= s <= min(cut, N_QUBITS - cut) + 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(states())
+    def test_marginals_are_distributions(self, arr):
+        for qubits in ([0], [N_QUBITS - 1, 1]):
+            m = marginal_probabilities(arr, qubits)
+            assert m.min() >= -1e-12
+            assert m.sum() == pytest.approx(1.0, abs=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(states(), st.floats(0.01, 0.3))
+    def test_approximation_fidelity_budget(self, arr, budget):
+        pkg = DDPackage(N_QUBITS)
+        state = vector_from_array(pkg, arr)
+        result = prune_small_contributions(pkg, state, budget)
+        assert result.fidelity >= 1.0 - budget - 1e-6
+        assert result.nodes_after <= result.nodes_before
+        out = vector_to_array(pkg, result.state)
+        assert np.linalg.norm(out) == pytest.approx(1.0, abs=1e-8)
+
+    @settings(max_examples=30, deadline=None)
+    @given(states(), states())
+    def test_cauchy_schwarz(self, a, b):
+        pkg = DDPackage(N_QUBITS)
+        ea = vector_from_array(pkg, a)
+        eb = vector_from_array(pkg, b)
+        ip = inner_product(pkg, ea, eb)
+        assert abs(ip) <= 1.0 + 1e-9  # both states are normalized

@@ -1,0 +1,126 @@
+"""Unit tests for the OpenQASM 2.0 parser and writer."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit, parse_qasm, to_qasm
+from repro.common.errors import QasmError
+
+HEADER = 'OPENQASM 2.0;\ninclude "qelib1.inc";\n'
+
+
+class TestParsing:
+    def test_basic_program(self):
+        c = parse_qasm(HEADER + "qreg q[2];\nh q[0];\ncx q[0],q[1];\n")
+        assert c.num_qubits == 2
+        assert [g.name for g in c] == ["h", "cx"]
+        assert c.gates[1].controls == (0,)
+
+    def test_multiple_registers_flatten_in_order(self):
+        c = parse_qasm(HEADER + "qreg a[2];\nqreg b[2];\ncx a[1],b[0];\n")
+        assert c.num_qubits == 4
+        g = c.gates[0]
+        assert g.controls == (1,)
+        assert g.targets == (2,)
+
+    def test_parameter_expressions(self):
+        c = parse_qasm(HEADER + "qreg q[1];\nrz(pi/4) q[0];\nrx(-pi) q[0];\n"
+                       "u3(pi/2,0.5,2*pi) q[0];\np(pi^2) q[0];\n")
+        assert c.gates[0].params[0] == pytest.approx(math.pi / 4)
+        assert c.gates[1].params[0] == pytest.approx(-math.pi)
+        assert c.gates[2].params == pytest.approx(
+            (math.pi / 2, 0.5, 2 * math.pi)
+        )
+        assert c.gates[3].params[0] == pytest.approx(math.pi ** 2)
+
+    def test_comments_and_blank_lines_skipped(self):
+        src = HEADER + "// a comment\n\nqreg q[1];\nh q[0]; // trailing\n"
+        assert len(parse_qasm(src)) == 1
+
+    def test_barrier_and_measure_ignored(self):
+        src = (HEADER + "qreg q[2];\ncreg c[2];\nh q[0];\n"
+               "barrier q[0],q[1];\nmeasure q[0] -> c[0];\n")
+        c = parse_qasm(src)
+        assert [g.name for g in c] == ["h"]
+
+    def test_multiple_statements_per_line(self):
+        c = parse_qasm(HEADER + "qreg q[2]; h q[0]; x q[1];\n")
+        assert len(c) == 2
+
+    def test_ccx_control_split(self):
+        c = parse_qasm(HEADER + "qreg q[3];\nccx q[0],q[1],q[2];\n")
+        g = c.gates[0]
+        assert g.controls == (0, 1) and g.targets == (2,)
+
+
+class TestParseErrors:
+    def test_missing_header(self):
+        with pytest.raises(QasmError):
+            parse_qasm("qreg q[1];\nh q[0];\n")
+
+    def test_missing_qreg(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "h q[0];\n")
+
+    def test_unknown_gate(self):
+        with pytest.raises(QasmError, match="unknown gate"):
+            parse_qasm(HEADER + "qreg q[1];\nwarp q[0];\n")
+
+    def test_unknown_register(self):
+        with pytest.raises(QasmError, match="unknown register"):
+            parse_qasm(HEADER + "qreg q[1];\nh r[0];\n")
+
+    def test_index_out_of_range(self):
+        with pytest.raises(QasmError, match="out of range"):
+            parse_qasm(HEADER + "qreg q[1];\nh q[1];\n")
+
+    def test_duplicate_register(self):
+        with pytest.raises(QasmError, match="duplicate"):
+            parse_qasm(HEADER + "qreg q[1];\nqreg q[2];\n")
+
+    def test_whole_register_operand_unsupported(self):
+        with pytest.raises(QasmError, match="indexed"):
+            parse_qasm(HEADER + "qreg q[2];\nh q;\n")
+
+    def test_malformed_parameter(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nrz(import os) q[0];\n")
+
+    def test_function_call_in_parameter_rejected(self):
+        with pytest.raises(QasmError):
+            parse_qasm(HEADER + "qreg q[1];\nrz(abs(-1)) q[0];\n")
+
+    def test_error_reports_line_number(self):
+        try:
+            parse_qasm(HEADER + "qreg q[1];\nwarp q[0];\n")
+        except QasmError as exc:
+            assert exc.line == 4
+        else:  # pragma: no cover
+            pytest.fail("expected QasmError")
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "family,n",
+        [("ghz", 5), ("adder", 6), ("qft", 4), ("dnn", 4), ("knn", 5),
+         ("supremacy", 4)],
+    )
+    def test_generator_roundtrip(self, family, n):
+        c = get_circuit(family, n)
+        c2 = parse_qasm(to_qasm(c))
+        assert c2.num_qubits == c.num_qubits
+        assert len(c2) == len(c)
+        for a, b in zip(c, c2):
+            assert a.base_name == b.base_name
+            assert a.targets == b.targets
+            assert a.controls == b.controls
+            np.testing.assert_allclose(a.params, b.params, atol=1e-15)
+
+    def test_qasm_text_shape(self):
+        c = get_circuit("ghz", 3)
+        text = to_qasm(c)
+        assert text.startswith("OPENQASM 2.0;")
+        assert "qreg q[3];" in text
+        assert text.strip().endswith("cx q[1],q[2];")

@@ -1,0 +1,90 @@
+"""Corpus tests: real OpenQASM files parsed, simulated, cross-validated."""
+
+import math
+import os
+
+import numpy as np
+import pytest
+
+from repro import DDSimulator, FlatDDSimulator, StatevectorSimulator
+from repro.circuits import parse_qasm, to_qasm
+
+DATA_DIR = os.path.join(os.path.dirname(__file__), "data")
+CORPUS = sorted(
+    f for f in os.listdir(DATA_DIR) if f.endswith(".qasm")
+)
+
+
+def load(name: str):
+    with open(os.path.join(DATA_DIR, name), "r", encoding="utf-8") as fh:
+        return parse_qasm(fh.read(), name=name)
+
+
+class TestCorpusParses:
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_parses_and_simulates(self, name):
+        circuit = load(name)
+        assert len(circuit) > 0
+        result = StatevectorSimulator().run(circuit)
+        assert np.linalg.norm(result.state) == pytest.approx(1.0, abs=1e-9)
+
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_backends_agree(self, name):
+        circuit = load(name)
+        sv = StatevectorSimulator().run(circuit)
+        dd = DDSimulator().run(circuit)
+        flat = FlatDDSimulator(threads=2).run(circuit)
+        assert dd.fidelity(sv) == pytest.approx(1.0, abs=1e-8)
+        assert flat.fidelity(sv) == pytest.approx(1.0, abs=1e-8)
+
+    @pytest.mark.parametrize("name", CORPUS)
+    def test_roundtrips_through_writer(self, name):
+        circuit = load(name)
+        again = parse_qasm(to_qasm(circuit))
+        assert len(again) == len(circuit)
+        ref = StatevectorSimulator().run(circuit).state
+        got = StatevectorSimulator().run(again).state
+        np.testing.assert_allclose(got, ref, atol=1e-10)
+
+
+class TestCorpusSemantics:
+    def test_bell_state(self):
+        state = StatevectorSimulator().run(load("bell.qasm")).state
+        expected = np.zeros(4)
+        expected[0] = expected[3] = 1 / math.sqrt(2)
+        np.testing.assert_allclose(np.abs(state), expected, atol=1e-10)
+
+    def test_toffoli_chain_computes_and(self):
+        state = StatevectorSimulator().run(load("toffoli_chain.qasm")).state
+        hot = int(np.argmax(np.abs(state)))
+        # inputs 111 (qubits 0-2), ancilla cleared (qubit 3), out=1 (qubit 4)
+        assert hot == 0b10111
+        assert abs(state[hot]) == pytest.approx(1.0)
+
+    def test_teleport_register_layout(self):
+        circuit = load("teleport.qasm")
+        assert circuit.num_qubits == 3
+        # alice[1] -> qubit 1; bob[0] -> qubit 2.
+        cx_gates = [g for g in circuit if g.name == "cx"]
+        assert (cx_gates[0].controls, cx_gates[0].targets) == ((1,), (2,))
+
+    def test_parameter_expressions_values(self):
+        circuit = load("parameter_expressions.qasm")
+        by_name = {}
+        for g in circuit:
+            by_name.setdefault(g.name, []).append(g)
+        assert by_name["rz"][0].params[0] == pytest.approx(math.pi)
+        assert by_name["rz"][1].params[0] == pytest.approx(-math.pi / 2)
+        assert by_name["rx"][0].params[0] == pytest.approx(2 * math.pi / 3)
+        assert by_name["cp"][0].params[0] == pytest.approx(math.pi ** 2 / 10)
+        assert by_name["ry"][0].params[0] == pytest.approx(0.75)
+
+    def test_qaoa_layer_uniform_marginals(self):
+        # One QAOA round on a symmetric ring keeps single-qubit marginals
+        # uniform by symmetry.
+        state = StatevectorSimulator().run(load("qaoa_layer.qasm")).state
+        from repro.sampling import marginal_probabilities
+
+        for q in range(4):
+            m = marginal_probabilities(state, [q])
+            np.testing.assert_allclose(m, [0.5, 0.5], atol=1e-9)

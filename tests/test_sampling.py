@@ -1,0 +1,214 @@
+"""Unit tests for sampling and measurement (array + DD-native)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import StatevectorSimulator
+from repro.circuits import get_circuit
+from repro.common.errors import SimulationError
+from repro.dd import DDPackage, vector_from_array, zero_state
+from repro.dd.operations import mv_multiply
+from repro.backends.gatecache import build_gate_dd
+from repro.circuits import Gate
+from repro.sampling import (
+    dd_measure_qubit,
+    dd_outcome_probability,
+    dd_qubit_probability,
+    marginal_probabilities,
+    measure_qubit,
+    most_likely,
+    sample_counts,
+    sample_from_dd,
+)
+
+from tests.conftest import random_state
+
+
+class TestSampleCounts:
+    def test_deterministic_state(self):
+        state = np.zeros(8, dtype=complex)
+        state[5] = 1.0
+        counts = sample_counts(state, 100, np.random.default_rng(0))
+        assert counts == {"101": 100}
+
+    def test_distribution_matches_probabilities(self):
+        state = random_state(4, seed=5)
+        rng = np.random.default_rng(1)
+        shots = 40_000
+        counts = sample_counts(state, shots, rng, as_bitstrings=False)
+        probs = np.abs(state) ** 2
+        for idx, p in enumerate(probs):
+            if p > 0.01:
+                assert counts[idx] / shots == pytest.approx(p, abs=0.02)
+
+    def test_total_shots_conserved(self):
+        counts = sample_counts(
+            random_state(3, seed=2), 512, np.random.default_rng(3)
+        )
+        assert sum(counts.values()) == 512
+
+    def test_unnormalized_state_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_counts(np.ones(4, dtype=complex), 10)
+
+    def test_bad_shots_rejected(self):
+        with pytest.raises(SimulationError):
+            sample_counts(random_state(2, seed=0), 0)
+
+
+class TestMarginals:
+    def test_single_qubit_marginal(self):
+        state = np.zeros(4, dtype=complex)
+        state[0b01] = math.sqrt(0.25)
+        state[0b10] = math.sqrt(0.75)
+        m0 = marginal_probabilities(state, [0])
+        np.testing.assert_allclose(m0, [0.75, 0.25])
+        m1 = marginal_probabilities(state, [1])
+        np.testing.assert_allclose(m1, [0.25, 0.75])
+
+    def test_order_controls_bit_significance(self):
+        state = np.zeros(4, dtype=complex)
+        state[0b01] = 1.0
+        np.testing.assert_allclose(
+            marginal_probabilities(state, [1, 0]), [0, 1, 0, 0]
+        )
+        np.testing.assert_allclose(
+            marginal_probabilities(state, [0, 1]), [0, 0, 1, 0]
+        )
+
+    def test_marginal_sums_to_one(self):
+        state = random_state(5, seed=6)
+        m = marginal_probabilities(state, [4, 2])
+        assert m.sum() == pytest.approx(1.0)
+
+    def test_duplicate_qubits_rejected(self):
+        with pytest.raises(SimulationError):
+            marginal_probabilities(random_state(3, seed=0), [1, 1])
+
+
+class TestMostLikely:
+    def test_ordering(self):
+        state = np.array([0.1, 0.7, 0.2, 0.0], dtype=complex)
+        state /= np.linalg.norm(state)
+        top = most_likely(state, k=2)
+        assert top[0][0] == "01"
+        assert top[0][1] > top[1][1]
+
+
+class TestMeasureQubit:
+    def test_collapse_and_renormalize(self):
+        state = np.array([1, 0, 0, 1], dtype=complex) / math.sqrt(2)
+        rng = np.random.default_rng(7)
+        outcome, collapsed = measure_qubit(state, 0, rng)
+        expected = np.zeros(4, dtype=complex)
+        expected[0b11 if outcome else 0b00] = 1.0
+        np.testing.assert_allclose(collapsed, expected, atol=1e-12)
+        assert np.linalg.norm(state) == pytest.approx(1.0)  # input untouched
+
+    def test_statistics(self):
+        state = np.array([math.sqrt(0.3), math.sqrt(0.7)], dtype=complex)
+        rng = np.random.default_rng(11)
+        ones = sum(measure_qubit(state, 0, rng)[0] for _ in range(4000))
+        assert ones / 4000 == pytest.approx(0.7, abs=0.03)
+
+
+class TestWeakSimulation:
+    def _ghz_dd(self, n):
+        pkg = DDPackage(n)
+        state = zero_state(pkg)
+        state = mv_multiply(pkg, build_gate_dd(pkg, Gate("h", (0,))), state)
+        for q in range(n - 1):
+            state = mv_multiply(
+                pkg, build_gate_dd(pkg, Gate("cx", (q + 1,), (q,))), state
+            )
+        return pkg, state
+
+    def test_ghz_samples_only_all_zero_or_all_one(self):
+        pkg, state = self._ghz_dd(5)
+        counts = sample_from_dd(pkg, state, 500, np.random.default_rng(0))
+        assert set(counts) <= {"00000", "11111"}
+        assert counts["00000"] + counts["11111"] == 500
+        assert counts["00000"] == pytest.approx(250, abs=60)
+
+    def test_matches_strong_sampling_distribution(self):
+        c = get_circuit("supremacy", 6, cycles=6)
+        ref = StatevectorSimulator().run(c).state
+        pkg = DDPackage(6)
+        state = vector_from_array(pkg, ref)
+        counts = sample_from_dd(
+            pkg, state, 30_000, np.random.default_rng(4), as_bitstrings=False
+        )
+        probs = np.abs(ref) ** 2
+        for idx, p in enumerate(probs):
+            if p > 0.02:
+                assert counts[idx] / 30_000 == pytest.approx(p, abs=0.015)
+
+    def test_outcome_probability_matches_amplitudes(self):
+        arr = random_state(4, seed=12)
+        pkg = DDPackage(4)
+        state = vector_from_array(pkg, arr)
+        for idx in range(16):
+            assert dd_outcome_probability(pkg, state, idx) == pytest.approx(
+                abs(arr[idx]) ** 2, abs=1e-10
+            )
+
+    def test_zero_state_rejected(self):
+        pkg = DDPackage(3)
+        with pytest.raises(SimulationError):
+            sample_from_dd(pkg, pkg.zero_edge(), 10)
+
+
+class TestDDMeasurement:
+    def test_qubit_probability(self):
+        arr = random_state(4, seed=13)
+        pkg = DDPackage(4)
+        state = vector_from_array(pkg, arr)
+        for q in range(4):
+            expected = sum(
+                abs(arr[i]) ** 2 for i in range(16) if (i >> q) & 1
+            )
+            assert dd_qubit_probability(pkg, state, q) == pytest.approx(
+                expected, abs=1e-9
+            )
+
+    def test_measurement_collapse_matches_array_semantics(self):
+        arr = random_state(3, seed=14)
+        pkg = DDPackage(3)
+        state = vector_from_array(pkg, arr)
+        rng = np.random.default_rng(5)
+        outcome, collapsed = dd_measure_qubit(pkg, state, 1, rng)
+        from repro.dd import vector_to_array
+
+        collapsed_arr = vector_to_array(pkg, collapsed)
+        # All amplitudes with the wrong bit must vanish; the rest rescale.
+        for i in range(8):
+            if ((i >> 1) & 1) != outcome:
+                assert collapsed_arr[i] == pytest.approx(0, abs=1e-10)
+        assert np.linalg.norm(collapsed_arr) == pytest.approx(1.0, abs=1e-9)
+
+    def test_repeated_measurement_is_stable(self):
+        arr = random_state(3, seed=15)
+        pkg = DDPackage(3)
+        state = vector_from_array(pkg, arr)
+        rng = np.random.default_rng(6)
+        outcome1, collapsed = dd_measure_qubit(pkg, state, 2, rng)
+        # Measuring again must give the same outcome with certainty.
+        p1 = dd_qubit_probability(pkg, collapsed, 2)
+        assert p1 == pytest.approx(float(outcome1), abs=1e-9)
+
+    def test_ghz_measurement_correlates_all_qubits(self):
+        pkg = DDPackage(4)
+        state = zero_state(pkg)
+        state = mv_multiply(pkg, build_gate_dd(pkg, Gate("h", (0,))), state)
+        for q in range(3):
+            state = mv_multiply(
+                pkg, build_gate_dd(pkg, Gate("cx", (q + 1,), (q,))), state
+            )
+        rng = np.random.default_rng(8)
+        outcome, collapsed = dd_measure_qubit(pkg, state, 0, rng)
+        for q in range(1, 4):
+            assert dd_qubit_probability(pkg, collapsed, q) == pytest.approx(
+                float(outcome), abs=1e-9
+            )

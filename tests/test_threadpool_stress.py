@@ -1,0 +1,90 @@
+"""Thread-pool execution stress: real threads over every parallel path.
+
+Single-core hardware cannot show speedups, but it absolutely can expose
+races, missing synchronization, or task-partition bugs.  These tests push
+the pooled execution mode across backends, thread counts, and repeated
+runs on one shared simulator instance.
+"""
+
+import numpy as np
+import pytest
+
+from repro import FlatDDSimulator, StatevectorSimulator, get_circuit
+from repro.common.config import FlatDDConfig
+from repro.core.conversion import convert_parallel
+from repro.core.dmav import dmav_cached, dmav_nocache
+from repro.dd import DDPackage, matrix_to_dense, vector_from_array
+from repro.backends.gatecache import build_gate_dd
+from repro.circuits import Gate
+from repro.parallel.pool import TaskRunner
+
+from tests.conftest import random_state
+
+
+class TestPooledFlatDD:
+    @pytest.mark.parametrize("threads", [2, 4, 8])
+    def test_pooled_runs_match_inline(self, threads):
+        c = get_circuit("supremacy", 8, cycles=8)
+        inline = FlatDDSimulator(threads=threads).run(c)
+        pooled = FlatDDSimulator(
+            threads=threads, use_thread_pool=True
+        ).run(c)
+        np.testing.assert_allclose(pooled.state, inline.state, atol=1e-12)
+
+    def test_pooled_with_fusion_and_caching(self):
+        c = get_circuit("dnn", 8, layers=5)
+        ref = StatevectorSimulator().run(c).state
+        r = FlatDDSimulator(
+            threads=4, use_thread_pool=True, fusion="cost",
+            cache_policy="always",
+        ).run(c)
+        assert abs(np.vdot(r.state, ref)) ** 2 == pytest.approx(
+            1.0, abs=1e-8
+        )
+
+    def test_repeated_pooled_runs_on_one_instance(self):
+        sim = FlatDDSimulator(threads=4, use_thread_pool=True)
+        c = get_circuit("supremacy", 7, cycles=6)
+        states = [sim.run(c).state for _ in range(5)]
+        for s in states[1:]:
+            np.testing.assert_allclose(s, states[0], atol=0)
+
+
+class TestPooledKernels:
+    def test_many_gates_through_one_pool(self):
+        n = 8
+        pkg = DDPackage(n)
+        v = random_state(n, seed=1)
+        gates = [
+            Gate("h", (q,)) for q in range(n)
+        ] + [Gate("cx", ((q + 1) % n,), (q,)) for q in range(n)]
+        with TaskRunner(4, use_pool=True) as runner:
+            state = v
+            ref = v
+            out = np.zeros_like(v)
+            for g in gates:
+                m = build_gate_dd(pkg, g)
+                state, _ = dmav_cached(pkg, m, state, 4, runner=runner)
+                ref = matrix_to_dense(pkg, m) @ ref
+        np.testing.assert_allclose(state, ref, atol=1e-8)
+
+    def test_interleaved_conversion_and_dmav(self):
+        n = 8
+        pkg = DDPackage(n)
+        arr = random_state(n, seed=2)
+        with TaskRunner(4, use_pool=True) as runner:
+            for _ in range(5):
+                state_dd = vector_from_array(pkg, arr)
+                out, _ = convert_parallel(pkg, state_dd, 4, runner=runner)
+                np.testing.assert_allclose(out, arr, atol=1e-9)
+                m = build_gate_dd(pkg, Gate("h", (n - 1,)))
+                arr, _ = dmav_nocache(pkg, m, out, 4, runner=runner)
+                arr = arr / np.linalg.norm(arr)
+
+    def test_pool_survives_task_exceptions(self):
+        runner = TaskRunner(4, use_pool=True)
+        with runner:
+            with pytest.raises(ZeroDivisionError):
+                runner.run([lambda: 1 / 0])
+            # The pool is still usable afterwards.
+            assert runner.run([lambda: 7]) == [7]

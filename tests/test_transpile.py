@@ -1,0 +1,185 @@
+"""Unit tests for the basis-gate transpiler."""
+
+import cmath
+import math
+
+import numpy as np
+import pytest
+
+from repro.backends import StatevectorSimulator
+from repro.circuits import Circuit, Gate, get_circuit
+from repro.circuits.transpile import BASIS_GATES, decompose, zyz_angles
+from repro.common.errors import CircuitError
+
+from tests.conftest import reference_state
+
+
+def random_unitary_2x2(seed: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    m = rng.normal(size=(2, 2)) + 1j * rng.normal(size=(2, 2))
+    q, r = np.linalg.qr(m)
+    return q * (np.diag(r) / np.abs(np.diag(r)))
+
+
+def circuit_unitary(circuit: Circuit) -> np.ndarray:
+    """Dense unitary of a small circuit via the DD substrate."""
+    from repro.backends.gatecache import build_gate_dd
+    from repro.dd import DDPackage, matrix_to_dense, mm_multiply
+
+    pkg = DDPackage(circuit.num_qubits)
+    acc = pkg.identity_edge(circuit.num_qubits - 1)
+    for g in circuit.gates:
+        acc = mm_multiply(pkg, build_gate_dd(pkg, g), acc)
+    return matrix_to_dense(pkg, acc)
+
+
+def assert_decomposition_exact(circuit: Circuit) -> None:
+    """Decomposed circuit's unitary must equal phase * original, exactly."""
+    out, phase = decompose(circuit)
+    for g in out.gates:
+        assert g.name in BASIS_GATES, g
+    u_orig = circuit_unitary(circuit)
+    u_new = circuit_unitary(out)
+    np.testing.assert_allclose(u_new, phase * u_orig, atol=1e-9)
+
+
+class TestZYZ:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_unitary_roundtrip(self, seed):
+        u = random_unitary_2x2(seed)
+        alpha, beta, gamma, delta = zyz_angles(u)
+
+        def rz(t):
+            return np.diag([cmath.exp(-0.5j * t), cmath.exp(0.5j * t)])
+
+        def ry(t):
+            c, s = math.cos(t / 2), math.sin(t / 2)
+            return np.array([[c, -s], [s, c]])
+
+        rebuilt = cmath.exp(1j * alpha) * rz(beta) @ ry(gamma) @ rz(delta)
+        np.testing.assert_allclose(rebuilt, u, atol=1e-10)
+
+    @pytest.mark.parametrize(
+        "name", ["x", "y", "z", "h", "s", "t", "sx", "sw", "id"]
+    )
+    def test_library_gates(self, name):
+        u = Gate(name, (0,)).matrix()
+        alpha, beta, gamma, delta = zyz_angles(u)
+        assert all(math.isfinite(v) for v in (alpha, beta, gamma, delta))
+
+    def test_bad_shape_rejected(self):
+        with pytest.raises(CircuitError):
+            zyz_angles(np.eye(4))
+
+
+class TestSingleQubitDecomposition:
+    @pytest.mark.parametrize(
+        "name,params",
+        [("h", ()), ("x", ()), ("t", ()), ("sx", ()), ("sw", ()),
+         ("rx", (0.7,)), ("u3", (0.5, 1.1, -0.3)), ("u2", (0.2, 0.9))],
+    )
+    def test_each_gate(self, name, params):
+        c = Circuit(2)
+        c.add(name, 1, params=params)
+        assert_decomposition_exact(c)
+
+    def test_basis_gates_pass_through(self):
+        c = Circuit(1).rz(0.3, 0).ry(0.4, 0).p(0.5, 0)
+        out, phase = decompose(c)
+        assert [g.name for g in out] == ["rz", "ry", "p"]
+        assert phase == 1.0
+
+
+class TestControlledDecomposition:
+    @pytest.mark.parametrize(
+        "name,params",
+        [("cz", ()), ("cy", ()), ("ch", ()), ("cp", (0.8,)),
+         ("crx", (1.1,)), ("cry", (0.4,)), ("crz", (2.0,)), ("cu1", (0.6,))],
+    )
+    def test_each_controlled_gate(self, name, params):
+        c = Circuit(3)
+        c.add(name, 2, 0, params=params)
+        assert_decomposition_exact(c)
+
+    def test_cx_passes_through(self):
+        c = Circuit(2).cx(0, 1)
+        out, phase = decompose(c)
+        assert [g.name for g in out] == ["cx"]
+        assert phase == 1.0
+
+
+class TestTwoQubitDecomposition:
+    def test_swap(self):
+        c = Circuit(3).swap(0, 2)
+        out, _ = decompose(c)
+        assert out.gate_counts["cx"] == 3
+        assert_decomposition_exact(c)
+
+    @pytest.mark.parametrize("theta", [0.3, math.pi / 2, 2.2])
+    def test_rzz_rxx(self, theta):
+        for name in ("rzz", "rxx"):
+            c = Circuit(2)
+            c.add(name, 0, 1, params=(theta,))
+            assert_decomposition_exact(c)
+
+    def test_iswap(self):
+        c = Circuit(2).add("iswap", 0, 1)
+        assert_decomposition_exact(c)
+
+    @pytest.mark.parametrize(
+        "theta,phi", [(0.0, 0.0), (math.pi / 2, 0.0), (0.4, 1.3)]
+    )
+    def test_fsim(self, theta, phi):
+        c = Circuit(2)
+        c.add("fsim", 0, 1, params=(theta, phi))
+        assert_decomposition_exact(c)
+
+
+class TestThreeQubitDecomposition:
+    def test_toffoli(self):
+        c = Circuit(3).ccx(0, 1, 2)
+        out, _ = decompose(c)
+        assert out.gate_counts["cx"] == 6
+        assert_decomposition_exact(c)
+
+    def test_ccz(self):
+        c = Circuit(3).add("ccz", 0, 1, 2)
+        assert_decomposition_exact(c)
+
+    def test_fredkin(self):
+        c = Circuit(3).cswap(0, 1, 2)
+        assert_decomposition_exact(c)
+
+
+class TestWholeCircuits:
+    @pytest.mark.parametrize(
+        "family,n,kwargs",
+        [("ghz", 5, {}), ("qft", 4, {}), ("adder", 6, {}),
+         ("supremacy", 4, {"cycles": 4}), ("knn", 5, {}),
+         ("grover", 3, {})],
+    )
+    def test_state_preserved_up_to_phase(self, family, n, kwargs):
+        c = get_circuit(family, n, **kwargs)
+        out, phase = decompose(c)
+        ref = reference_state(c)
+        got = StatevectorSimulator().run(out).state
+        np.testing.assert_allclose(got, phase * ref, atol=1e-8)
+
+    def test_gate_counts_grow_reasonably(self):
+        c = get_circuit("qft", 5)
+        out, _ = decompose(c)
+        assert len(out) < 12 * len(c)
+
+    def test_unsupported_gates_rejected(self):
+        from repro.circuits.generators.algorithms import UnitaryGate
+
+        c = Circuit(2)
+        c.append(UnitaryGate(np.eye(4), (0, 1)))
+        with pytest.raises(CircuitError):
+            decompose(c)
+
+    def test_many_controls_rejected(self):
+        c = Circuit(4)
+        c.append(Gate("z", (3,), (0, 1, 2)))
+        with pytest.raises(CircuitError):
+            decompose(c)
