@@ -20,6 +20,8 @@ See README.md for the architecture overview, DESIGN.md for the system
 inventory, and EXPERIMENTS.md for the paper-vs-measured record.
 """
 
+import logging as _logging
+
 from repro.backends import (
     DDSimulator,
     GateRecord,
@@ -42,7 +44,11 @@ from repro.observables import PauliString, PauliSum
 from repro.sampling import sample_counts, sample_from_dd
 from repro.verify import check_equivalence
 
-__version__ = "1.0.0"
+# Library-wide logger: silent unless the application configures handlers
+# (the CLI's -v/--verbose does; see `python -m repro --help`).
+_logging.getLogger("repro").addHandler(_logging.NullHandler())
+
+__version__ = "1.1.0"
 
 __all__ = [
     "CIRCUIT_FAMILIES",

@@ -23,6 +23,9 @@ from repro.dd.operations import mv_multiply
 from repro.dd.package import DDPackage
 from repro.dd.vector import node_count, vector_to_array, zero_state
 from repro.metrics.memory import MemoryMeter, dd_bytes
+from repro.obs.collect import build_obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 
 __all__ = ["DDSimulator"]
 
@@ -43,6 +46,7 @@ class DDSimulator(Simulator):
         circuit: Circuit,
         max_seconds: float | None = None,
         keep_dd: bool = False,
+        tracer=None,
     ) -> SimulationResult:
         """Simulate; ``max_seconds`` mimics the paper's 24 h timeout.
 
@@ -56,8 +60,15 @@ class DDSimulator(Simulator):
         never be materialized -- e.g. a 64-qubit GHZ state: query it with
         :func:`repro.dd.amplitude` or sample it with
         :func:`repro.sampling.sample_from_dd`.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records the "dd_phase"
+        and "conversion" phase spans, one span per gate (with the DD
+        size), and dd_size counter samples.
         """
         n = circuit.num_qubits
+        tr = tracer if tracer is not None else NULL_TRACER
+        tracing = tr.enabled
+        registry = MetricsRegistry()
         pkg = DDPackage(n)
         gates = GateDDCache(pkg)
         state = zero_state(pkg)
@@ -70,21 +81,34 @@ class DDSimulator(Simulator):
             mdd = gates.get(gate)
             state = mv_multiply(pkg, mdd, state)
             size = node_count(state)
+            g1 = time.perf_counter()
             trace.append(
                 GateRecord(
                     index=i,
                     name=gate.name,
-                    seconds=time.perf_counter() - g0,
+                    seconds=g1 - g0,
                     phase="dd",
                     dd_size=size,
                 )
             )
+            if tracing:
+                tr.record(gate.name, "dd", g0, g1, gate_index=i, dd_size=size)
+                tr.sample("dd_size", size, ts=g1)
             meter.sample(dd_bytes(pkg))
             if pkg.unique_node_count > self.GC_THRESHOLD:
-                pkg.collect_garbage([state, *gates.roots()])
+                removed = pkg.collect_garbage([state, *gates.roots()])
+                if tracing:
+                    tr.instant("gc", "dd", gate_index=i, reclaimed=removed)
             if max_seconds is not None and time.perf_counter() - start > max_seconds:
                 timed_out = True
                 break
+        if tracing:
+            tr.record(
+                "dd_phase", "phase", start, time.perf_counter(),
+                gates=len(trace),
+            )
+        registry.gauge("dd.size").set(node_count(state))
+        registry.counter("dd_phase.gates").inc(len(trace))
         metadata = {
             "timed_out": timed_out,
             "gates_applied": len(trace),
@@ -101,9 +125,21 @@ class DDSimulator(Simulator):
             # backends (DDSIM's sequential exporter; Figure 13's baseline).
             c0 = time.perf_counter()
             array = vector_to_array(pkg, state)
-            metadata["convert_seconds"] = time.perf_counter() - c0
+            c1 = time.perf_counter()
+            metadata["convert_seconds"] = c1 - c0
+            if tracing:
+                tr.record("conversion", "phase", c0, c1, sequential=True)
+            registry.gauge("conversion.seconds").set(c1 - c0)
             meter.sample(dd_bytes(pkg) + array.nbytes)
         runtime = time.perf_counter() - start
+        metadata["dd_stats"] = pkg.stats.as_dict()
+        metadata["obs"] = build_obs(
+            tracer=tr if tracing else None,
+            registry=registry,
+            package=pkg,
+            gate_cache=gates,
+            wall_seconds=runtime,
+        )
         return SimulationResult(
             backend=self.name,
             circuit_name=circuit.name,

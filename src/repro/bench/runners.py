@@ -7,7 +7,7 @@ bench can never silently publish timings of a wrong result.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -28,6 +28,9 @@ class BackendRow:
     memory_mb: float
     timed_out: bool
     result: SimulationResult
+    #: Observability payload of the run (``metadata["obs"]``): counters,
+    #: gauges, and -- when the run was traced -- the per-phase summary.
+    obs: dict = field(default_factory=dict)
 
     def runtime_str(self, timeout: float) -> str:
         if self.timed_out:
@@ -60,20 +63,29 @@ def run_backend(
     workload: Workload,
     threads: int = 4,
     config: FlatDDConfig | None = None,
+    tracer=None,
 ) -> BackendRow:
-    """Run one workload on one backend ('flatdd' | 'ddsim' | 'quantumpp')."""
+    """Run one workload on one backend ('flatdd' | 'ddsim' | 'quantumpp').
+
+    Pass a :class:`repro.obs.Tracer` as ``tracer`` to capture the run's
+    span timeline in addition to the always-collected counters.
+    """
     circuit = workload.build()
     if kind == "flatdd":
         sim = FlatDDSimulator(config) if config else FlatDDSimulator(threads=threads)
-        result = sim.run(circuit, max_seconds=workload.timeout_seconds)
+        result = sim.run(
+            circuit, max_seconds=workload.timeout_seconds, tracer=tracer
+        )
     elif kind == "ddsim":
         # The paper runs DDSIM single-threaded ("DDSIM does not support
         # multithreading").
         result = DDSimulator().run(
-            circuit, max_seconds=workload.timeout_seconds
+            circuit, max_seconds=workload.timeout_seconds, tracer=tracer
         )
     elif kind == "quantumpp":
-        result = StatevectorSimulator(threads=threads).run(circuit)
+        result = StatevectorSimulator(threads=threads).run(
+            circuit, tracer=tracer
+        )
     else:
         raise ValueError(f"unknown backend kind {kind!r}")
     timed_out = bool(result.metadata.get("timed_out", False))
@@ -83,6 +95,7 @@ def run_backend(
         memory_mb=result.peak_memory_mb,
         timed_out=timed_out,
         result=result,
+        obs=result.metadata.get("obs", {}),
     )
 
 

@@ -5,14 +5,22 @@ Examples::
     python -m repro families
     python -m repro simulate --family supremacy --qubits 12 --threads 4
     python -m repro simulate circuit.qasm --backend ddsim --shots 1000
+    python -m repro simulate --family supremacy --qubits 12 \\
+        --trace trace.json --profile
     python -m repro compare --family dnn --qubits 12
     python -m repro equivalence a.qasm b.qasm
+
+``--trace out.json`` writes a Chrome trace-event file (open in Perfetto
+or ``chrome://tracing``); ``--profile`` prints the per-phase breakdown;
+``-v``/``-vv`` turn on INFO/DEBUG logging from the ``repro`` logger.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
+import os
 import sys
 
 import numpy as np
@@ -22,10 +30,36 @@ from repro.backends import DDSimulator, StatevectorSimulator
 from repro.circuits import CIRCUIT_FAMILIES, Circuit, get_circuit, parse_qasm
 from repro.common.errors import ReproError
 from repro.core import FlatDDSimulator
+from repro.obs import Tracer, format_summary_table, write_chrome_trace
 from repro.sampling import sample_counts
 from repro.verify import check_equivalence
 
 __all__ = ["main", "build_parser"]
+
+_log = logging.getLogger("repro.cli")
+
+
+def _configure_logging(verbosity: int) -> None:
+    """Attach a stderr handler to the library-wide ``repro`` logger.
+
+    Verbosity 0 shows warnings/errors only; 1 adds INFO; 2+ adds DEBUG.
+    Re-invocations (tests call :func:`main` repeatedly) replace the
+    previous CLI handler instead of stacking duplicates.
+    """
+    logger = logging.getLogger("repro")
+    for handler in list(logger.handlers):
+        if getattr(handler, "_repro_cli", False):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler(sys.stderr)
+    handler._repro_cli = True
+    handler.setFormatter(logging.Formatter("%(levelname)s %(name)s: %(message)s"))
+    logger.addHandler(handler)
+    level = (
+        logging.WARNING if verbosity <= 0
+        else logging.INFO if verbosity == 1
+        else logging.DEBUG
+    )
+    logger.setLevel(level)
 
 
 def _load_circuit(args: argparse.Namespace) -> Circuit:
@@ -66,10 +100,28 @@ def cmd_families(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_tracer(args: argparse.Namespace) -> Tracer | None:
+    """One tracer per run when --trace or --profile asked for one."""
+    if getattr(args, "trace", None) or getattr(args, "profile", False):
+        return Tracer()
+    return None
+
+
+def _backend_trace_path(path: str, backend: str) -> str:
+    """Insert the backend name before the extension ('t.json' -> 't.flatdd.json')."""
+    stem, ext = os.path.splitext(path)
+    return f"{stem}.{backend}{ext or '.json'}"
+
+
 def cmd_simulate(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
     sim = _make_simulator(args)
-    result = sim.run(circuit)
+    tracer = _make_tracer(args)
+    _log.info(
+        "simulating %s (%d qubits, %d gates) on %s",
+        circuit.name, circuit.num_qubits, len(circuit.gates), sim.name,
+    )
+    result = sim.run(circuit, tracer=tracer)
     payload = {
         "circuit": circuit.name,
         "qubits": circuit.num_qubits,
@@ -97,6 +149,13 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     else:
         for key, value in payload.items():
             print(f"{key}: {value}")
+    if tracer is not None:
+        if args.trace:
+            events = write_chrome_trace(args.trace, tracer)
+            _log.info("wrote %d trace events to %s", events, args.trace)
+        if args.profile:
+            print()
+            print(format_summary_table(tracer, result.runtime_seconds))
     return 0
 
 
@@ -107,41 +166,53 @@ def cmd_compare(args: argparse.Namespace) -> int:
     for backend in ("flatdd", "quantumpp", "ddsim"):
         args.backend = backend
         sim = _make_simulator(args)
-        run_kwargs = {}
+        tracer = _make_tracer(args)
+        run_kwargs = {"tracer": tracer}
         if backend in ("flatdd", "ddsim") and args.timeout:
             run_kwargs["max_seconds"] = args.timeout
+        _log.info("running %s on %s", circuit.name, sim.name)
         result = sim.run(circuit, **run_kwargs)
         fidelity = None
         if reference is None:
             reference = result
         elif not result.metadata.get("timed_out"):
             fidelity = result.fidelity(reference)
-        rows.append((result, fidelity))
+        if tracer is not None and args.trace:
+            path = _backend_trace_path(args.trace, backend)
+            events = write_chrome_trace(path, tracer)
+            _log.info("wrote %d trace events to %s", events, path)
+        rows.append((result, fidelity, tracer))
     print(f"{circuit.name}: {circuit.num_qubits} qubits, "
           f"{len(circuit.gates)} gates")
     print(f"{'backend':24s} {'runtime (s)':>12s} {'mem (MB)':>10s} "
           f"{'fidelity':>10s}")
-    for result, fidelity in rows:
+    for result, fidelity, _tracer in rows:
         timed_out = result.metadata.get("timed_out")
         runtime = (f"> {args.timeout:g}" if timed_out
                    else f"{result.runtime_seconds:.3f}")
         fid = "-" if fidelity is None else f"{fidelity:.8f}"
         print(f"{result.backend:24s} {runtime:>12s} "
               f"{result.peak_memory_mb:>10.2f} {fid:>10s}")
+    if args.profile:
+        for result, _fidelity, tracer in rows:
+            print()
+            print(f"-- {result.backend} --")
+            print(format_summary_table(tracer, result.runtime_seconds))
     return 0
 
 
 def cmd_report(args: argparse.Namespace) -> int:
     """Concatenate benchmarks/results/*.txt into one experiment report."""
     import glob
-    import os
 
     results_dir = args.results_dir
     files = sorted(glob.glob(os.path.join(results_dir, "*.txt")))
     if not files:
-        print(f"no result files under {results_dir}; run "
-              "`pytest benchmarks/ --benchmark-only` first",
-              file=sys.stderr)
+        _log.error(
+            "no result files under %s; run "
+            "`pytest benchmarks/ --benchmark-only` first",
+            results_dir,
+        )
         return 1
     sections = []
     for path in files:
@@ -218,6 +289,10 @@ def build_parser() -> argparse.ArgumentParser:
         "circuit simulation",
     )
     parser.add_argument("--version", action="version", version=__version__)
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="log to stderr via the 'repro' logger (-v INFO, -vv DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("families", help="list circuit generator families")
@@ -236,6 +311,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sample-seed", type=int, default=0)
     p.add_argument("--top", type=int, default=5)
     p.add_argument("--json", action="store_true")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome trace-event JSON of the run "
+                        "(open in Perfetto / chrome://tracing)")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-phase timing breakdown")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("compare", help="run all three backends")
@@ -244,6 +324,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--fusion", default="none",
                    choices=["none", "cost", "koperations"])
     p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--trace", metavar="PATH",
+                   help="write one Chrome trace per backend "
+                        "(PATH gets the backend name inserted)")
+    p.add_argument("--profile", action="store_true",
+                   help="print a per-phase breakdown per backend")
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
@@ -281,6 +366,7 @@ def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
+    _configure_logging(args.verbose)
     try:
         return args.func(args)
     except ReproError as exc:

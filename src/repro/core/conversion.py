@@ -30,6 +30,7 @@ from repro.dd.analysis import dense_vector_block, vector_kron_collapse
 from repro.dd.node import TERMINAL, DDNode, Edge
 from repro.dd.package import DDPackage
 from repro.dd.vector import vector_to_array
+from repro.obs.tracer import NULL_TRACER
 from repro.parallel.pool import TaskRunner
 from repro.parallel.simd import simd_scale_into
 
@@ -229,19 +230,38 @@ def convert_parallel(
     load_balance: bool = True,
     scalar_mult: bool = True,
     dense_level: int = DENSE_BLOCK_LEVEL,
+    tracer=None,
 ) -> tuple[np.ndarray, ConversionReport]:
     """Convert a state-vector DD to a flat array with t threads.
 
     Returns the array and a :class:`ConversionReport` for Figure 13.
+    ``tracer`` (a :class:`repro.obs.Tracer`) records the planning step,
+    a per-thread fill span (category ``"convert"``), and the deferred
+    scalar-fill pass.
     """
+    tr = tracer if tracer is not None else NULL_TRACER
     n = pkg.num_qubits
     start = time.perf_counter()
     out = np.zeros(1 << n, dtype=np.complex128)
     plan = plan_conversion(pkg, state, threads, load_balance, scalar_mult)
+    planned = time.perf_counter()
+    if tr.enabled:
+        tr.record(
+            "convert.plan", "convert", start, planned,
+            tasks=sum(map(len, plan.tasks)),
+            scalar_fills=len(plan.scalar_fills),
+            idle_threads=plan.idle_threads,
+        )
 
     def work(u: int) -> None:
+        t0 = time.perf_counter()
         for task in plan.tasks[u]:
             _fill(pkg, out, task, dense_level)
+        if tr.enabled and plan.tasks[u]:
+            tr.record(
+                f"convert.fill[{u}]", "convert", t0, time.perf_counter(),
+                thread_id=u, tasks=len(plan.tasks[u]),
+            )
 
     if runner is not None and runner.use_pool:
         runner.run([lambda u=u: work(u) for u in range(threads)])
@@ -250,11 +270,17 @@ def convert_parallel(
             work(u)
 
     # Deferred SIMD scalar fills, deepest first so sources are complete.
+    s0 = time.perf_counter()
     for fill in sorted(plan.scalar_fills, key=lambda f: f.level):
         simd_scale_into(
             out[fill.dst:fill.dst + fill.size],
             out[fill.src:fill.src + fill.size],
             fill.scalar,
+        )
+    if tr.enabled and plan.scalar_fills:
+        tr.record(
+            "convert.scalar_fills", "convert", s0, time.perf_counter(),
+            fills=len(plan.scalar_fills),
         )
     report = ConversionReport(
         seconds=time.perf_counter() - start,

@@ -17,6 +17,7 @@ phase (which is why FlatDD matches DDSIM on Adder/GHZ in Table 1).
 
 from __future__ import annotations
 
+import logging
 import time
 
 import numpy as np
@@ -34,9 +35,14 @@ from repro.dd.operations import mv_multiply
 from repro.dd.package import DDPackage
 from repro.dd.vector import node_count, vector_to_array, zero_state
 from repro.metrics.memory import MemoryMeter, dd_bytes
+from repro.obs.collect import build_obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 from repro.parallel.pool import TaskRunner, validate_thread_count
 
 __all__ = ["FlatDDSimulator"]
+
+_log = logging.getLogger("repro.core.simulator")
 
 
 class FlatDDSimulator(Simulator):
@@ -59,16 +65,26 @@ class FlatDDSimulator(Simulator):
         circuit: Circuit,
         max_seconds: float | None = None,
         keep_internals: bool = False,
+        tracer=None,
     ) -> SimulationResult:
         """Simulate ``circuit``; see class docstring for the phases.
 
         ``keep_internals=True`` stores the DD package and the DMAV-phase
         gate edges in the result metadata so benches can re-evaluate the
         cost model at other thread counts without re-simulating.
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) records phase spans
+        ("dd_phase", "conversion", "fusion", "dmav_phase"), per-gate
+        spans with DD-size/EWMA (DD phase) and MACs/cache-decision
+        (DMAV phase) annotations, and dd_size/ewma counter samples.
+        Counters are collected into ``metadata["obs"]`` regardless.
         """
         cfg = self.config
         n = circuit.num_qubits
         validate_thread_count(cfg.threads, n)
+        tr = tracer if tracer is not None else NULL_TRACER
+        tracing = tr.enabled
+        registry = MetricsRegistry()
         pkg = DDPackage(n)
         gates = GateDDCache(pkg)
         monitor = EWMAMonitor(beta=cfg.beta, epsilon=cfg.epsilon)
@@ -94,45 +110,90 @@ class FlatDDSimulator(Simulator):
             state_dd = mv_multiply(pkg, gates.get(gate), state_dd)
             size = node_count(state_dd)
             triggered = monitor.update(size)
+            g1 = time.perf_counter()
             trace.append(
                 GateRecord(
                     index=i,
                     name=gate.name,
-                    seconds=time.perf_counter() - g0,
+                    seconds=g1 - g0,
                     phase="dd",
                     dd_size=size,
                 )
             )
+            if tracing:
+                tr.record(
+                    gate.name, "dd", g0, g1,
+                    gate_index=i, dd_size=size, ewma=monitor.value,
+                )
+                tr.sample("dd_size", size, ts=g1)
+                tr.sample("ewma", monitor.value, ts=g1)
             meter.sample(dd_bytes(pkg))
             if triggered:
                 convert_at = i
+                if tracing:
+                    tr.instant(
+                        "ewma_trigger", "dd", ts=g1,
+                        gate_index=i, dd_size=size, ewma=monitor.value,
+                    )
+                _log.info(
+                    "EWMA triggered at gate %d (dd_size=%d, ewma=%.1f)",
+                    i, size, monitor.value,
+                )
                 break
             if pkg.unique_node_count > self.GC_THRESHOLD:
-                pkg.collect_garbage([state_dd, *gates.roots()])
+                removed = pkg.collect_garbage([state_dd, *gates.roots()])
+                if tracing:
+                    tr.instant("gc", "dd", gate_index=i, reclaimed=removed)
+                _log.debug("GC at gate %d reclaimed %d nodes", i, removed)
             if max_seconds is not None and time.perf_counter() - start > max_seconds:
                 timed_out = True
                 break
+        if tracing:
+            tr.record(
+                "dd_phase", "phase", start, time.perf_counter(),
+                gates=len(trace), converted=convert_at is not None,
+            )
+        registry.gauge("dd.size").set(node_count(state_dd))
+        registry.gauge("ewma").set(monitor.value)
+        registry.counter("dd_phase.gates").inc(len(trace))
 
-        with TaskRunner(cfg.threads, cfg.use_thread_pool) as runner:
+        with TaskRunner(
+            cfg.threads, cfg.use_thread_pool, tracer=tr if tracing else None
+        ) as runner:
+            c0 = time.perf_counter()
             if convert_at is None:
                 # Entire circuit stayed regular: finish like DDSIM.
                 array, report = convert_parallel(
                     pkg, state_dd, cfg.threads, runner,
-                    dense_level=cfg.dense_block_level,
+                    dense_level=cfg.dense_block_level, tracer=tr,
                 )
                 metadata["conversion_report"] = report
                 meter.sample(dd_bytes(pkg) + array.nbytes)
                 state = array
+                if tracing:
+                    tr.record(
+                        "conversion", "phase", c0, time.perf_counter(),
+                        triggered=False, tasks=report.num_tasks,
+                    )
+                registry.gauge("conversion.seconds").set(report.seconds)
             else:
                 # ---------------- Phase 2: parallel DD-to-array ----------
                 state, report = convert_parallel(
                     pkg, state_dd, cfg.threads, runner,
-                    dense_level=cfg.dense_block_level,
+                    dense_level=cfg.dense_block_level, tracer=tr,
                 )
                 metadata["converted"] = True
                 metadata["conversion_gate_index"] = convert_at
                 metadata["conversion_report"] = report
                 meter.sample(dd_bytes(pkg) + state.nbytes)
+                if tracing:
+                    tr.record(
+                        "conversion", "phase", c0, time.perf_counter(),
+                        triggered=True, gate_index=convert_at,
+                        tasks=report.num_tasks,
+                        scalar_fills=report.num_scalar_fills,
+                    )
+                registry.gauge("conversion.seconds").set(report.seconds)
 
                 # ---------------- Phase 3: (fusion +) DMAV ---------------
                 remaining = circuit.gates[convert_at + 1:]
@@ -150,10 +211,18 @@ class FlatDDSimulator(Simulator):
                     edges = fused.gates
                     labels = _fused_labels(labels, fused)
                     metadata["fusion_result"] = _fusion_summary(fused)
-                metadata["fusion_seconds"] = time.perf_counter() - f0
+                f1 = time.perf_counter()
+                metadata["fusion_seconds"] = f1 - f0
+                if tracing and cfg.fusion != "none" and edges:
+                    tr.record(
+                        "fusion", "phase", f0, f1,
+                        mode=cfg.fusion, emitted=len(edges),
+                    )
 
+                d0 = time.perf_counter()
                 out = np.zeros_like(state)
                 dmav_macs = 0
+                dmav_cache_hits = 0
                 gate_costs: list[tuple[int, float, float, bool]] = []
                 for j, edge in enumerate(edges):
                     g0 = time.perf_counter()
@@ -182,20 +251,31 @@ class FlatDDSimulator(Simulator):
                         buffer_bytes = 0
                     state, out = out, state
                     dmav_macs += cost.macs_total
+                    dmav_cache_hits += stats.cache_hits
                     gate_costs.append(
                         (cost.macs_total, cost.cost_nocache, cost.cost_cache,
                          use_cache)
                     )
+                    g1 = time.perf_counter()
                     trace.append(
                         GateRecord(
                             index=convert_at + 1 + j,
                             name=labels[j],
-                            seconds=time.perf_counter() - g0,
+                            seconds=g1 - g0,
                             phase="dmav",
                             macs=cost.macs_total,
                             cached=use_cache,
                         )
                     )
+                    if tracing:
+                        tr.record(
+                            labels[j], "dmav", g0, g1,
+                            gate_index=convert_at + 1 + j,
+                            macs=cost.macs_total, cached=use_cache,
+                            cost_cache=cost.cost_cache,
+                            cost_nocache=cost.cost_nocache,
+                            cache_hits=stats.cache_hits,
+                        )
                     meter.sample(
                         dd_bytes(pkg)
                         + 2 * state.nbytes
@@ -207,6 +287,19 @@ class FlatDDSimulator(Simulator):
                     ):
                         timed_out = True
                         break
+                if tracing:
+                    tr.record(
+                        "dmav_phase", "phase", d0, time.perf_counter(),
+                        gates=len(edges), macs=dmav_macs,
+                    )
+                n_cached = sum(1 for gc in gate_costs if gc[3])
+                registry.counter("dmav.gates_cached").inc(n_cached)
+                registry.counter("dmav.gates_uncached").inc(
+                    len(gate_costs) - n_cached
+                )
+                registry.counter("dmav.gates").inc(len(gate_costs))
+                registry.counter("dmav.macs").inc(dmav_macs)
+                registry.counter("dmav.cache_hits").inc(dmav_cache_hits)
                 metadata["dmav_macs_total"] = dmav_macs
                 metadata["dmav_gate_costs"] = gate_costs
                 if keep_internals:
@@ -218,6 +311,17 @@ class FlatDDSimulator(Simulator):
         metadata["ewma_samples"] = monitor.samples
         metadata["dd_phase_gates"] = (
             convert_at + 1 if convert_at is not None else len(trace)
+        )
+        metadata["gate_dd_cache_hits"] = gates.hits
+        metadata["gate_dd_cache_misses"] = gates.misses
+        metadata["dd_stats"] = pkg.stats.as_dict()
+        metadata["obs"] = build_obs(
+            tracer=tr if tracing else None,
+            registry=registry,
+            package=pkg,
+            gate_cache=gates,
+            runner=runner,
+            wall_seconds=runtime,
         )
         if keep_internals and "package" not in metadata:
             metadata["package"] = pkg

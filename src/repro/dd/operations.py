@@ -76,7 +76,9 @@ def _add(pkg, a: Edge, b: Edge, cache: dict, make) -> Edge:
     key = (id(a.n), id(b.n), pkg.weight(ratio))
     hit = cache.get(key)
     if hit is not None:
+        pkg.stats.compute_hits += 1
         return pkg.raw_edge(a.w * hit.w, hit.n)
+    pkg.stats.compute_misses += 1
     if a.n is TERMINAL:
         if b.n is not TERMINAL:
             raise DDError("level mismatch in DD addition")
@@ -119,7 +121,9 @@ def _mv(pkg: DDPackage, mn: DDNode, vn: DDNode) -> Edge:
     key = (id(mn), id(vn))
     hit = pkg.cache_mv.get(key)
     if hit is not None:
+        pkg.stats.compute_hits += 1
         return hit
+    pkg.stats.compute_misses += 1
     children = []
     for i in (0, 1):
         # (M v)_i = M_i0 v_0 + M_i1 v_1 on the 2x2 block partition.
@@ -162,7 +166,9 @@ def _mm(pkg: DDPackage, an: DDNode, bn: DDNode) -> Edge:
     key = (id(an), id(bn))
     hit = pkg.cache_mm.get(key)
     if hit is not None:
+        pkg.stats.compute_hits += 1
         return hit
+    pkg.stats.compute_misses += 1
     children = []
     for i in (0, 1):
         for j in (0, 1):
@@ -211,7 +217,9 @@ def _inner(pkg: DDPackage, an: DDNode, bn: DDNode) -> complex:
     key = (id(an), id(bn))
     hit = pkg.cache_inner.get(key)
     if hit is not None:
+        pkg.stats.compute_hits += 1
         return hit
+    pkg.stats.compute_misses += 1
     total = 0j
     for ea, eb in zip(an.edges, bn.edges):
         if ea.is_zero or eb.is_zero:

@@ -29,7 +29,45 @@ from repro.common.errors import DDError
 from repro.dd.complextable import ComplexTable
 from repro.dd.node import ONE_EDGE, TERMINAL, ZERO_EDGE, DDNode, Edge
 
-__all__ = ["DDPackage"]
+__all__ = ["DDPackage", "PackageStats"]
+
+
+class PackageStats:
+    """Always-on package counters (plain ints; no locking, no timers).
+
+    Updated inline by the unique tables, the compute-table lookups in
+    :mod:`repro.dd.operations`, and garbage collection.  The cost of an
+    int increment is negligible next to the dict operation it annotates,
+    so these run unconditionally; ``repro.obs`` snapshots them into
+    ``SimulationResult.metadata["obs"]``.
+    """
+
+    __slots__ = (
+        "unique_hits",
+        "unique_misses",
+        "compute_hits",
+        "compute_misses",
+        "gc_runs",
+        "gc_nodes_reclaimed",
+    )
+
+    def __init__(self) -> None:
+        #: Unique-table lookups that found an existing node (hash-consing).
+        self.unique_hits = 0
+        #: Unique-table lookups that had to create a node.
+        self.unique_misses = 0
+        #: Compute-table (vadd/madd/mv/mm/inner) memoization hits.
+        self.compute_hits = 0
+        #: Compute-table misses (sub-operations actually evaluated).
+        self.compute_misses = 0
+        #: Mark-and-sweep collections performed.
+        self.gc_runs = 0
+        #: Total nodes reclaimed across all collections.
+        self.gc_nodes_reclaimed = 0
+
+    def as_dict(self) -> dict:
+        """Plain-dict snapshot of all counters."""
+        return {name: getattr(self, name) for name in self.__slots__}
 
 
 class DDPackage:
@@ -43,6 +81,7 @@ class DDPackage:
         if num_qubits < 1:
             raise DDError(f"need at least 1 qubit, got {num_qubits}")
         self.num_qubits = num_qubits
+        self.stats = PackageStats()
         self.ctable = ComplexTable()
         # Unique tables, keyed by the node's structural signature.
         self._vtable: dict[tuple, DDNode] = {}
@@ -130,6 +169,7 @@ class DDPackage:
         key = (level, c0.w, id(c0.n), c1.w, id(c1.n))
         node = self._vtable.get(key)
         if node is None:
+            self.stats.unique_misses += 1
             node = self._new_node(level, (c0, c1))
             self._vtable[key] = node
             node.aidx = len(self._arena_w0)
@@ -139,6 +179,8 @@ class DDPackage:
             self._arena_c1.append(-1 if c1.is_zero else c1.n.aidx)
             # vector_tables() detects staleness by size; no invalidation
             # needed (the arena is append-only).
+        else:
+            self.stats.unique_hits += 1
         return Edge(factor, node)
 
     def make_mnode(self, level: int, edges: Iterable[Edge]) -> Edge:
@@ -158,8 +200,11 @@ class DDPackage:
                cs[2].w, id(cs[2].n), cs[3].w, id(cs[3].n))
         node = self._mtable.get(key)
         if node is None:
+            self.stats.unique_misses += 1
             node = self._new_node(level, cs)
             self._mtable[key] = node
+        else:
+            self.stats.unique_hits += 1
         return Edge(factor, node)
 
     def _new_node(self, level: int, edges: tuple[Edge, ...]) -> DDNode:
@@ -318,4 +363,6 @@ class DDPackage:
             for k, v in self.kron_cache.items()
             if (k[0] if isinstance(k, tuple) else k) in live
         }
+        self.stats.gc_runs += 1
+        self.stats.gc_nodes_reclaimed += removed
         return removed

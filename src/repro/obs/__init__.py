@@ -1,0 +1,63 @@
+"""Structured observability for the FlatDD pipeline.
+
+FlatDD's behaviour is all runtime dynamics -- DD-size growth, the EWMA
+trigger, conversion cost, per-gate DMAV cost-model decisions -- and this
+package makes those signals first-class instead of scattered ad-hoc
+timers:
+
+* :mod:`repro.obs.tracer` -- thread-safe span tracer (context-manager
+  nesting, monotonic timestamps, instants, counter samples) with a
+  zero-overhead :data:`NULL_TRACER` default when tracing is off.
+* :mod:`repro.obs.metrics` -- named counters/gauges registry.
+* :mod:`repro.obs.export` -- JSONL and Chrome trace-event exporters
+  (open the latter in Perfetto / ``chrome://tracing``).
+* :mod:`repro.obs.summary` -- per-phase aggregation and the text table
+  behind the CLI's ``--profile``.
+* :mod:`repro.obs.collect` -- snapshot helpers that assemble
+  ``SimulationResult.metadata["obs"]``.
+
+Usage::
+
+    from repro import FlatDDSimulator, get_circuit
+    from repro.obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+    result = FlatDDSimulator(threads=4).run(
+        get_circuit("supremacy", 12), tracer=tracer
+    )
+    write_chrome_trace("trace.json", tracer)   # -> load in Perfetto
+    print(result.metadata["obs"]["counters"])  # dd.*, gate_cache.*, ...
+"""
+
+from repro.obs.collect import build_obs, gate_cache_counters, package_counters
+from repro.obs.export import (
+    chrome_trace_events,
+    jsonl_events,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.summary import PhaseSummary, format_summary_table, summarize_phases
+from repro.obs.tracer import NULL_TRACER, Instant, NullTracer, Sample, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Instant",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "PhaseSummary",
+    "Sample",
+    "Span",
+    "Tracer",
+    "build_obs",
+    "chrome_trace_events",
+    "format_summary_table",
+    "gate_cache_counters",
+    "jsonl_events",
+    "package_counters",
+    "summarize_phases",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,96 @@
+"""Bridging helpers: fold live objects into ``metadata["obs"]``.
+
+The always-on counters of the FlatDD substrate live where updating them
+is cheapest -- plain ints on :class:`~repro.dd.package.DDPackage.stats`
+and :class:`~repro.backends.gatecache.GateDDCache`.  This module
+snapshots them (plus a run's :class:`~repro.obs.metrics.MetricsRegistry`
+and, when tracing, the tracer's spans and phase summary) into the one
+plain-dict payload every backend attaches to
+``SimulationResult.metadata["obs"]``.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.summary import summarize_phases
+from repro.obs.tracer import Tracer
+
+__all__ = ["package_counters", "gate_cache_counters", "build_obs"]
+
+
+def package_counters(pkg) -> dict:
+    """``dd.*`` counters of one :class:`~repro.dd.package.DDPackage`."""
+    stats = pkg.stats
+    return {
+        "dd.unique_hits": stats.unique_hits,
+        "dd.unique_misses": stats.unique_misses,
+        "dd.compute_hits": stats.compute_hits,
+        "dd.compute_misses": stats.compute_misses,
+        "dd.gc_runs": stats.gc_runs,
+        "dd.gc_nodes_reclaimed": stats.gc_nodes_reclaimed,
+        "dd.unique_nodes": pkg.unique_node_count,
+        "dd.peak_nodes": pkg.peak_node_count,
+        "dd.nodes_created": pkg.nodes_created,
+    }
+
+
+def gate_cache_counters(cache) -> dict:
+    """``gate_cache.*`` counters of one ``GateDDCache``."""
+    return {
+        "gate_cache.hits": cache.hits,
+        "gate_cache.misses": cache.misses,
+        "gate_cache.entries": len(cache),
+    }
+
+
+def build_obs(
+    tracer: Tracer | None = None,
+    registry: MetricsRegistry | None = None,
+    package=None,
+    gate_cache=None,
+    runner=None,
+    wall_seconds: float | None = None,
+) -> dict:
+    """Assemble the ``metadata["obs"]`` payload for one simulation.
+
+    Always returns counters/gauges (cheap snapshots); adds ``spans`` and
+    the per-phase ``summary`` only when ``tracer`` is enabled, so the
+    payload stays small on untraced runs.  Every value in the returned
+    dict is JSON-serializable.
+    """
+    obs: dict = {"counters": {}, "gauges": {}}
+    if registry is not None:
+        snap = registry.snapshot()
+        obs["counters"].update(snap["counters"])
+        obs["gauges"].update(snap["gauges"])
+    if package is not None:
+        obs["counters"].update(package_counters(package))
+    if gate_cache is not None:
+        obs["counters"].update(gate_cache_counters(gate_cache))
+    if runner is not None and getattr(runner, "batches", 0):
+        busy = list(runner.busy_seconds)
+        obs["pool"] = {
+            "threads": runner.threads,
+            "batches": runner.batches,
+            "tasks": list(runner.task_counts),
+            "busy_seconds": [round(b, 6) for b in busy],
+        }
+        if wall_seconds:
+            obs["pool"]["utilization"] = [
+                round(min(b / wall_seconds, 1.0), 4) for b in busy
+            ]
+    if tracer is not None and tracer.enabled:
+        obs["spans"] = [
+            {
+                "name": s.name,
+                "cat": s.category,
+                "ts": s.start,
+                "dur": s.duration,
+                "tid": s.thread_id,
+                "depth": s.depth,
+                "args": s.args or {},
+            }
+            for s in tracer.spans
+        ]
+        obs["summary"] = [p.as_dict() for p in summarize_phases(tracer)]
+    return obs

@@ -1,0 +1,162 @@
+"""Trace exporters: Chrome trace-event JSON and JSONL event streams.
+
+Two serializations of one :class:`~repro.obs.tracer.Tracer`:
+
+* :func:`chrome_trace_events` / :func:`write_chrome_trace` -- the Chrome
+  trace-event format (the ``{"traceEvents": [...]}`` flavor), loadable
+  in Perfetto or ``chrome://tracing``.  Spans become complete ("X")
+  events with microsecond timestamps, instants become "i" events, and
+  samples become counter ("C") tracks -- so a FlatDD run renders as the
+  per-phase timeline of the paper's Figure 3 with the DD-size/EWMA
+  curves underneath.
+* :func:`jsonl_events` / :func:`write_jsonl` -- one JSON object per
+  event (``type`` in {"span", "instant", "sample"}), timestamps in
+  seconds, suitable for ad-hoc ``jq``/pandas analysis and append-only
+  log shipping.
+
+Thread ids are remapped to small consecutive integers in order of first
+appearance, merging OS thread idents and the logical worker ids used by
+the inline :class:`~repro.parallel.pool.TaskRunner` mode into one tidy
+track list.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.tracer import Tracer
+
+__all__ = [
+    "chrome_trace_events",
+    "jsonl_events",
+    "write_chrome_trace",
+    "write_jsonl",
+]
+
+
+class _TidMap:
+    """Stable remap of raw thread ids to small display-friendly ints."""
+
+    def __init__(self) -> None:
+        self._map: dict[int, int] = {}
+
+    def __call__(self, raw: int) -> int:
+        tid = self._map.get(raw)
+        if tid is None:
+            tid = len(self._map)
+            self._map[raw] = tid
+        return tid
+
+
+def chrome_trace_events(
+    tracer: Tracer, pid: int = 1, process_name: str = "repro"
+) -> list[dict]:
+    """Flatten a tracer into a sorted Chrome trace-event list.
+
+    Timestamps (``ts``) and durations (``dur``) are microseconds since
+    the tracer epoch, per the trace-event spec.
+    """
+    tid_of = _TidMap()
+    events: list[dict] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "ts": 0,
+            "pid": pid,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    for s in tracer.spans:
+        events.append(
+            {
+                "name": s.name,
+                "cat": s.category,
+                "ph": "X",
+                "ts": round(s.start * 1e6, 3),
+                "dur": round(s.duration * 1e6, 3),
+                "pid": pid,
+                "tid": tid_of(s.thread_id),
+                "args": s.args or {},
+            }
+        )
+    for i in tracer.instants:
+        events.append(
+            {
+                "name": i.name,
+                "cat": i.category,
+                "ph": "i",
+                "s": "t",
+                "ts": round(i.ts * 1e6, 3),
+                "pid": pid,
+                "tid": tid_of(i.thread_id),
+                "args": i.args or {},
+            }
+        )
+    for smp in tracer.samples:
+        events.append(
+            {
+                "name": smp.name,
+                "cat": "sample",
+                "ph": "C",
+                "ts": round(smp.ts * 1e6, 3),
+                "pid": pid,
+                "tid": 0,
+                "args": {"value": smp.value},
+            }
+        )
+    events.sort(key=lambda e: (e["ts"], e["ph"] != "M"))
+    return events
+
+
+def write_chrome_trace(path: str, tracer: Tracer, pid: int = 1) -> int:
+    """Write ``{"traceEvents": [...]}`` JSON to ``path``; returns #events."""
+    events = chrome_trace_events(tracer, pid=pid)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"traceEvents": events, "displayTimeUnit": "ms"}, fh)
+    return len(events)
+
+
+def jsonl_events(tracer: Tracer) -> list[dict]:
+    """All events as plain dicts (seconds), sorted by timestamp."""
+    events: list[dict] = []
+    for s in tracer.spans:
+        events.append(
+            {
+                "type": "span",
+                "name": s.name,
+                "cat": s.category,
+                "ts": s.start,
+                "dur": s.duration,
+                "tid": s.thread_id,
+                "depth": s.depth,
+                "args": s.args or {},
+            }
+        )
+    for i in tracer.instants:
+        events.append(
+            {
+                "type": "instant",
+                "name": i.name,
+                "cat": i.category,
+                "ts": i.ts,
+                "tid": i.thread_id,
+                "args": i.args or {},
+            }
+        )
+    for smp in tracer.samples:
+        events.append(
+            {"type": "sample", "name": smp.name, "ts": smp.ts, "value": smp.value}
+        )
+    events.sort(key=lambda e: e["ts"])
+    return events
+
+
+def write_jsonl(path: str, tracer: Tracer) -> int:
+    """Write one JSON object per line to ``path``; returns #events."""
+    events = jsonl_events(tracer)
+    with open(path, "w", encoding="utf-8") as fh:
+        for event in events:
+            fh.write(json.dumps(event))
+            fh.write("\n")
+    return len(events)

@@ -1,0 +1,106 @@
+"""Counters and gauges: the cumulative half of ``repro.obs``.
+
+Spans answer "where did the time go"; the registry answers "how many /
+how much".  A :class:`MetricsRegistry` creates named :class:`Counter`
+(monotonic) and :class:`Gauge` (last-value, with min/max watermarks)
+instruments on demand, and snapshots them into plain dicts that travel
+in ``SimulationResult.metadata["obs"]`` and benchmark rows.
+
+All mutations take the registry's lock, so instruments can be bumped
+from worker threads (``TaskRunner`` tasks) without corruption.  The
+counters surfaced from always-on sources (``DDPackage.stats``,
+``GateDDCache.hits``) are plain ints updated inline by their owners and
+only *copied* into a snapshot here -- keeping the hot DD recursions free
+of locking.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+
+
+class Counter:
+    """Monotonically increasing named count."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (must be non-negative) to the counter."""
+        if amount < 0:
+            raise ValueError(f"counter {self.name}: negative increment {amount}")
+        with self._lock:
+            self.value += amount
+
+
+class Gauge:
+    """Last-value instrument with min/max watermarks."""
+
+    __slots__ = ("name", "value", "min", "max", "updates", "_lock")
+
+    def __init__(self, name: str, lock: threading.Lock) -> None:
+        self.name = name
+        self.value: float | None = None
+        self.min: float | None = None
+        self.max: float | None = None
+        self.updates = 0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        """Record the gauge's current value."""
+        value = float(value)
+        with self._lock:
+            self.value = value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+            self.updates += 1
+
+
+class MetricsRegistry:
+    """Create-on-demand collection of named counters and gauges."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+
+    def counter(self, name: str) -> Counter:
+        """Get or create the counter ``name``."""
+        c = self._counters.get(name)
+        if c is None:
+            with self._lock:
+                c = self._counters.setdefault(name, Counter(name, self._lock))
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        """Get or create the gauge ``name``."""
+        g = self._gauges.get(name)
+        if g is None:
+            with self._lock:
+                g = self._gauges.setdefault(name, Gauge(name, self._lock))
+        return g
+
+    def snapshot(self) -> dict:
+        """Plain-dict view: ``{"counters": {...}, "gauges": {...}}``.
+
+        Gauges expand to ``{"value", "min", "max", "updates"}`` so a
+        consumer can tell a steady gauge from a swinging one.
+        """
+        with self._lock:
+            counters = {name: c.value for name, c in self._counters.items()}
+            gauges = {
+                name: {
+                    "value": g.value,
+                    "min": g.min,
+                    "max": g.max,
+                    "updates": g.updates,
+                }
+                for name, g in self._gauges.items()
+            }
+        return {"counters": counters, "gauges": gauges}

@@ -10,6 +10,7 @@ decomposition is exercised regardless of the execution mode.
 
 from __future__ import annotations
 
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence, TypeVar
 
@@ -33,14 +34,32 @@ def validate_thread_count(threads: int, num_qubits: int) -> None:
 
 
 class TaskRunner:
-    """Runs per-thread task lists; owns an optional shared thread pool."""
+    """Runs per-thread task lists; owns an optional shared thread pool.
 
-    def __init__(self, threads: int, use_pool: bool = False) -> None:
+    When a :class:`~repro.obs.tracer.Tracer` is attached (``tracer``
+    argument or attribute), every batch times each task: a span per task
+    (category ``"pool"``, one track per logical worker) plus cumulative
+    ``busy_seconds`` / ``task_counts`` per worker slot, from which the
+    observability layer derives per-thread utilization.  With no tracer
+    (the default) ``run`` is the bare dispatch loop.
+    """
+
+    def __init__(
+        self, threads: int, use_pool: bool = False, tracer=None
+    ) -> None:
         if threads < 1:
             raise ParallelError(f"threads must be >= 1, got {threads}")
         self.threads = threads
         self.use_pool = use_pool and threads > 1
         self._pool: ThreadPoolExecutor | None = None
+        #: Optional repro.obs tracer; assign any time before a run() call.
+        self.tracer = tracer
+        #: Cumulative busy time per worker slot (traced batches only).
+        self.busy_seconds = [0.0] * threads
+        #: Tasks executed per worker slot (traced batches only).
+        self.task_counts = [0] * threads
+        #: Number of traced run() batches.
+        self.batches = 0
 
     def __enter__(self) -> "TaskRunner":
         if self.use_pool:
@@ -55,11 +74,34 @@ class TaskRunner:
             self._pool.shutdown(wait=True)
             self._pool = None
 
+    def _timed(self, slot: int, fn: Callable[[], T]) -> Callable[[], T]:
+        """Wrap one task with per-slot timing and a pool span."""
+
+        def call() -> T:
+            t0 = time.perf_counter()
+            try:
+                return fn()
+            finally:
+                t1 = time.perf_counter()
+                self.busy_seconds[slot] += t1 - t0
+                self.task_counts[slot] += 1
+                self.tracer.record(
+                    f"task[{slot}]", "pool", t0, t1, thread_id=slot
+                )
+
+        return call
+
     def run(self, thunks: Sequence[Callable[[], T]]) -> list[T]:
         """Execute thunks "in parallel"; results keep input order.
 
         Exceptions propagate to the caller in both modes.
         """
+        if self.tracer is not None and self.tracer.enabled:
+            self.batches += 1
+            thunks = [
+                self._timed(u % self.threads, fn)
+                for u, fn in enumerate(thunks)
+            ]
         if not self.use_pool:
             return [fn() for fn in thunks]
         if self._pool is None:

@@ -121,3 +121,51 @@ class TestStats:
 
     def test_ratio_string_matches_paper_format(self):
         assert ratio_string(34.814) == "34.81x"
+
+
+class TestPackageStats:
+    def test_counts_table_activity(self):
+        from repro.dd.operations import mv_multiply
+
+        pkg = DDPackage(3)
+        state = vector_from_array(pkg, random_state(3, seed=1))
+        x = single_qubit_gate(pkg, np.array([[0, 1], [1, 0]]), 0)
+        assert pkg.stats.unique_misses > 0
+        mv_multiply(pkg, x, state)
+        assert pkg.stats.compute_misses > 0
+        # Identical multiply hits the compute table.
+        before = pkg.stats.compute_hits
+        mv_multiply(pkg, x, state)
+        assert pkg.stats.compute_hits > before
+
+    def test_gc_counters(self):
+        pkg = DDPackage(4)
+        v = vector_from_array(pkg, random_state(4, seed=2))
+        pkg.collect_garbage([v])
+        assert pkg.stats.gc_runs == 1
+        d = pkg.stats.as_dict()
+        assert set(d) == {
+            "unique_hits", "unique_misses", "compute_hits",
+            "compute_misses", "gc_runs", "gc_nodes_reclaimed",
+        }
+
+
+class TestObsRegistryIntegration:
+    def test_snapshot_is_plain_data(self):
+        import json
+
+        from repro.obs import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(1.25)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
+
+    def test_gauge_tracks_extremes(self):
+        from repro.obs import MetricsRegistry
+
+        g = MetricsRegistry().gauge("x")
+        for v in (4.0, -1.0, 9.0):
+            g.set(v)
+        assert (g.min, g.max, g.value) == (-1.0, 9.0, 9.0)
