@@ -1,0 +1,74 @@
+"""Fuzz-harness throughput: oracle cost breakdown per campaign second.
+
+The nightly CI fuzz job is budgeted in wall seconds, so the number of
+circuits it actually covers is set by per-oracle cost.  This bench runs a
+short deterministic campaign and renders where the time goes -- which
+oracles dominate, how many checks per second the harness sustains -- so
+oracle-cost regressions show up as coverage regressions here before they
+silently shrink the nightly campaign.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.verify.fuzz import run_campaign
+
+from conftest import emit
+
+ITERATIONS = 40
+SEED = 7
+
+
+def run_experiment(threads: int):
+    result = run_campaign(
+        seed=SEED,
+        iterations=ITERATIONS,
+        threads=threads,
+        shrink=False,
+        out_dir=None,
+    )
+    rows = []
+    for name in sorted(
+        result.oracle_seconds, key=result.oracle_seconds.get, reverse=True
+    ):
+        runs = result.oracle_runs.get(name, 0)
+        secs = result.oracle_seconds[name]
+        rows.append(
+            [
+                name,
+                str(runs),
+                f"{secs * 1e3:.1f}",
+                f"{secs * 1e3 / runs:.2f}" if runs else "-",
+                result.worst_tier.get(name, "-"),
+            ]
+        )
+    total_checks = sum(result.oracle_runs.values())
+    rows.append(
+        [
+            "TOTAL",
+            str(total_checks),
+            f"{result.seconds * 1e3:.1f}",
+            f"{total_checks / result.seconds:.1f} checks/s",
+            "",
+        ]
+    )
+    table = render_table(
+        f"Fuzz oracle throughput, seed={SEED}, {ITERATIONS} circuits, "
+        f"{threads} threads",
+        ["oracle", "runs", "total (ms)", "per run (ms)", "worst tier"],
+        rows,
+    )
+    return table, result
+
+
+@pytest.mark.benchmark(group="fuzz-throughput")
+def test_fuzz_throughput(benchmark, threads):
+    table, result = benchmark.pedantic(
+        run_experiment, args=(threads,), rounds=1, iterations=1
+    )
+    emit("fuzz_throughput", table)
+    # The campaign itself must be clean -- a violation here is a real bug.
+    assert result.ok, [v.outcome.oracle for v in result.violations]
+    assert result.iterations == ITERATIONS

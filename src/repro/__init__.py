@@ -48,7 +48,7 @@ from repro.verify import check_equivalence
 # (the CLI's -v/--verbose does; see `python -m repro --help`).
 _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CIRCUIT_FAMILIES",

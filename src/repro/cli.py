@@ -9,6 +9,8 @@ Examples::
         --trace trace.json --profile
     python -m repro compare --family dnn --qubits 12
     python -m repro equivalence a.qasm b.qasm
+    python -m repro fuzz --seed 0 --iterations 50
+    python -m repro fuzz --plant-bug t-phase --out-dir /tmp/fuzz_demo
 
 ``--trace out.json`` writes a Chrome trace-event file (open in Perfetto
 or ``chrome://tracing``); ``--profile`` prints the per-phase breakdown;
@@ -281,6 +283,65 @@ def cmd_equivalence(args: argparse.Namespace) -> int:
     return 0 if result.equivalent else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Differential/metamorphic fuzz campaign (see docs/TESTING.md)."""
+    from repro.verify.fuzz import ORACLES, REGIMES, run_campaign
+
+    if args.list_oracles:
+        for name, (family, _fn) in ORACLES.items():
+            print(f"{name:32s} {family}")
+        return 0
+    regimes = tuple(args.regimes.split(",")) if args.regimes else None
+    oracles = args.oracles.split(",") if args.oracles else None
+    tracer = _make_tracer(args)
+    result = run_campaign(
+        seed=args.seed,
+        iterations=args.iterations,
+        budget_seconds=args.budget_seconds,
+        regimes=regimes,
+        oracles=oracles,
+        max_qubits=args.max_qubits,
+        max_gates=args.max_gates,
+        threads=args.threads,
+        shrink=not args.no_shrink,
+        out_dir=None if args.no_persist else args.out_dir,
+        plant_bug=args.plant_bug,
+        tracer=tracer,
+    )
+    if args.json:
+        print(json.dumps(result.summary_dict(), indent=2))
+    else:
+        checks = sum(result.oracle_runs.values())
+        print(
+            f"fuzz: seed={result.seed} iterations={result.iterations} "
+            f"oracle checks={checks} violations={len(result.violations)} "
+            f"({result.seconds:.1f}s"
+            + (", stopped by budget)" if result.stopped_by_budget else ")")
+        )
+        for name in result.oracle_runs:
+            tier = result.worst_tier.get(name, "-")
+            print(
+                f"  {name:32s} runs={result.oracle_runs[name]:5d} "
+                f"worst tier={tier}"
+            )
+        for v in result.violations:
+            where = v.regression_path or "(not persisted)"
+            print(
+                f"  VIOLATION iter={v.iteration} oracle={v.outcome.oracle} "
+                f"max_error={v.outcome.max_error:.3g} "
+                f"shrunk {v.original_gates} -> {v.shrunk_gates} gates "
+                f"on {v.shrunk_qubits} qubits -> {where}"
+            )
+    if tracer is not None:
+        if args.trace:
+            events = write_chrome_trace(args.trace, tracer)
+            _log.info("wrote %d trace events to %s", events, args.trace)
+        if args.profile:
+            print()
+            print(format_summary_table(tracer, result.seconds))
+    return 0 if result.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing and docs)."""
     parser = argparse.ArgumentParser(
@@ -352,6 +413,43 @@ def build_parser() -> argparse.ArgumentParser:
     _add_circuit_args(p)
     p.add_argument("--output", "-o", help="write QASM here (default stdout)")
     p.set_defaults(func=cmd_transpile)
+
+    p = sub.add_parser(
+        "fuzz",
+        help="randomized differential/metamorphic correctness campaign",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (every iteration derives from it)")
+    p.add_argument("--iterations", type=int, default=100)
+    p.add_argument("--budget-seconds", type=float, default=None,
+                   help="stop after this much wall time even if iterations "
+                        "remain")
+    p.add_argument("--regimes", metavar="A,B,...",
+                   help="restrict circuit regimes (default: all; see "
+                        "docs/TESTING.md)")
+    p.add_argument("--oracles", metavar="A,B,...",
+                   help="restrict oracles (default: all)")
+    p.add_argument("--list-oracles", action="store_true",
+                   help="print the oracle catalog and exit")
+    p.add_argument("--max-qubits", type=int, default=6)
+    p.add_argument("--max-gates", type=int, default=60)
+    p.add_argument("--threads", type=int, default=2)
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep failing circuits unminimized")
+    p.add_argument("--out-dir", default="tests/data/fuzz_regressions",
+                   help="where shrunk failing cases land as replayable "
+                        "JSON files")
+    p.add_argument("--no-persist", action="store_true",
+                   help="report violations without writing regression files")
+    p.add_argument("--plant-bug", metavar="NAME", default=None,
+                   help="install a named fault (t-phase, swap-noop, "
+                        "conversion-drop) to demo the harness end to end")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome trace-event JSON of the campaign")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-phase/oracle timing breakdown")
+    p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser("equivalence", help="DD equivalence check")
     p.add_argument("file1")

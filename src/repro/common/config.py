@@ -86,6 +86,14 @@ class FlatDDConfig:
     #: If False, thread tasks run inline (deterministic, used by tests);
     #: if True they run on a ThreadPoolExecutor.
     use_thread_pool: bool = False
+    #: Deterministic conversion override for testing/verification: ``None``
+    #: keeps the EWMA trigger; an int forces DD-to-array conversion right
+    #: after that gate index (0 = convert after the first gate).  An index
+    #: at or past the end of the circuit means "never convert early" (the
+    #: run finishes in the DD phase like DDSIM).  The fuzz harness uses
+    #: this to check that early/late conversion points are semantically
+    #: equivalent.
+    force_convert_at: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.beta < 1.0:
@@ -98,3 +106,8 @@ class FlatDDConfig:
             raise ValueError(f"unknown fusion mode {self.fusion!r}")
         if self.k_operations < 2:
             raise ValueError("k_operations must be at least 2")
+        if self.force_convert_at is not None and self.force_convert_at < 0:
+            raise ValueError(
+                f"force_convert_at must be >= 0 or None, "
+                f"got {self.force_convert_at}"
+            )

@@ -98,6 +98,7 @@ class FlatDDSimulator(Simulator):
             "cache_policy": cfg.cache_policy,
             "converted": False,
             "conversion_gate_index": None,
+            "forced_conversion": cfg.force_convert_at is not None,
         }
         start = time.perf_counter()
 
@@ -110,6 +111,8 @@ class FlatDDSimulator(Simulator):
             state_dd = mv_multiply(pkg, gates.get(gate), state_dd)
             size = node_count(state_dd)
             triggered = monitor.update(size)
+            if cfg.force_convert_at is not None:
+                triggered = i == cfg.force_convert_at
             g1 = time.perf_counter()
             trace.append(
                 GateRecord(

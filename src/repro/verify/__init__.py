@@ -1,13 +1,28 @@
-"""Verification utilities: DD-based circuit equivalence checking."""
+"""Verification utilities: DD-based circuit equivalence checking plus the
+differential/metamorphic fuzz harness (:mod:`repro.verify.fuzz`)."""
 
 from repro.verify.equivalence import (
     EquivalenceResult,
     check_equivalence,
     check_equivalence_stimuli,
 )
+from repro.verify.fuzz import (
+    CampaignResult,
+    FuzzSpec,
+    generate_circuit,
+    run_campaign,
+    run_oracles,
+    shrink_circuit,
+)
 
 __all__ = [
+    "CampaignResult",
     "EquivalenceResult",
+    "FuzzSpec",
     "check_equivalence",
     "check_equivalence_stimuli",
+    "generate_circuit",
+    "run_campaign",
+    "run_oracles",
+    "shrink_circuit",
 ]

@@ -1,0 +1,62 @@
+"""Differential fuzzing and metamorphic testing of the simulation paths.
+
+The harness closes the loop the equivalence checker opened: instead of
+comparing two *given* circuits, it generates random circuits across
+structural regimes (:mod:`~repro.verify.fuzz.generate`), checks every
+simulation path against cross-backend and metamorphic oracles
+(:mod:`~repro.verify.fuzz.oracles`), and minimizes + persists anything
+that fails (:mod:`~repro.verify.fuzz.shrink`) as a replayable regression
+file.  :func:`run_campaign` drives the whole loop;
+``python -m repro fuzz`` is its CLI front-end.
+
+See ``docs/TESTING.md`` for the oracle catalog and triage workflow.
+"""
+
+from repro.verify.fuzz.faults import FAULTS, plant_fault
+from repro.verify.fuzz.generate import (
+    REGIMES,
+    FuzzSpec,
+    generate_circuit,
+    spec_for_iteration,
+)
+from repro.verify.fuzz.oracles import (
+    ORACLE_FAMILIES,
+    ORACLES,
+    TOLERANCE_LADDER,
+    OracleContext,
+    OracleOutcome,
+    phase_aligned_error,
+    run_oracles,
+)
+from repro.verify.fuzz.runner import CampaignResult, FuzzViolation, run_campaign
+from repro.verify.fuzz.shrink import (
+    REGRESSION_DIR,
+    load_regression,
+    replay_regression,
+    shrink_circuit,
+    write_regression,
+)
+
+__all__ = [
+    "CampaignResult",
+    "FAULTS",
+    "FuzzSpec",
+    "FuzzViolation",
+    "ORACLE_FAMILIES",
+    "ORACLES",
+    "OracleContext",
+    "OracleOutcome",
+    "REGIMES",
+    "REGRESSION_DIR",
+    "TOLERANCE_LADDER",
+    "generate_circuit",
+    "load_regression",
+    "phase_aligned_error",
+    "plant_fault",
+    "replay_regression",
+    "run_campaign",
+    "run_oracles",
+    "shrink_circuit",
+    "spec_for_iteration",
+    "write_regression",
+]

@@ -1,0 +1,109 @@
+"""Deliberate fault injection for exercising the fuzz harness itself.
+
+A correctness harness that has never caught a bug is untested code.  Each
+named fault here patches exactly one simulation path (so the differential
+oracles genuinely disagree rather than all drifting together) inside a
+context manager; ``repro fuzz --plant-bug NAME`` and the harness's own
+unit tests use these to demonstrate end-to-end detect -> shrink -> replay.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.circuits.gates import Gate
+
+__all__ = ["FAULTS", "plant_fault"]
+
+
+@contextlib.contextmanager
+def _fault_t_phase() -> Iterator[None]:
+    """DD backends build Tdg wherever a T gate appears.
+
+    Patches the gate-DD constructor shared by DDSIM and FlatDD, so both
+    DD paths agree with each other but differ from the statevector
+    backend -- the classic single-path phase bug.
+    """
+    import repro.backends.gatecache as gatecache
+
+    original = gatecache.build_gate_dd
+
+    def faulty(pkg, gate: Gate):
+        if gate.base_name == "t":
+            gate = Gate("tdg", gate.targets, gate.controls)
+        return original(pkg, gate)
+
+    gatecache.build_gate_dd = faulty
+    try:
+        yield
+    finally:
+        gatecache.build_gate_dd = original
+
+
+@contextlib.contextmanager
+def _fault_swap_noop() -> Iterator[None]:
+    """The statevector backend silently skips SWAP gates."""
+    import repro.backends.statevector as sv
+
+    original = sv.apply_gate_array
+
+    def faulty(state: np.ndarray, gate: Gate, runner=None) -> None:
+        if gate.base_name == "swap":
+            return
+        original(state, gate, runner)
+
+    sv.apply_gate_array = faulty
+    try:
+        yield
+    finally:
+        sv.apply_gate_array = original
+
+
+@contextlib.contextmanager
+def _fault_conversion_drop() -> Iterator[None]:
+    """Parallel DD-to-array conversion zeroes the highest amplitude block.
+
+    Only FlatDD uses ``convert_parallel``, so the hybrid path diverges
+    from both baselines -- and only on circuits that actually convert.
+    """
+    import repro.core.conversion as conv
+    import repro.core.simulator as sim
+
+    original = conv.convert_parallel
+
+    def faulty(pkg, edge, threads, runner, **kwargs):
+        array, report = original(pkg, edge, threads, runner, **kwargs)
+        if array.size >= 4:
+            array[-(array.size // 4):] = 0.0
+        return array, report
+
+    conv.convert_parallel = faulty
+    sim.convert_parallel = faulty
+    try:
+        yield
+    finally:
+        conv.convert_parallel = original
+        sim.convert_parallel = original
+
+
+#: name -> context manager installing the fault for the enclosed block.
+FAULTS: dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
+    "t-phase": _fault_t_phase,
+    "swap-noop": _fault_swap_noop,
+    "conversion-drop": _fault_conversion_drop,
+}
+
+
+@contextlib.contextmanager
+def plant_fault(name: str | None) -> Iterator[None]:
+    """Install fault ``name`` for the enclosed block (None = no-op)."""
+    if name is None:
+        yield
+        return
+    if name not in FAULTS:
+        raise ValueError(f"unknown fault {name!r}; known: {sorted(FAULTS)}")
+    with FAULTS[name]():
+        yield

@@ -1,0 +1,206 @@
+"""Seeded random-circuit generation for the differential fuzz harness.
+
+The fuzzer draws circuits across *regimes* chosen to stress different
+parts of the FlatDD pipeline:
+
+* ``clifford``   -- stabilizer circuits: DD sizes stay polynomial, so these
+  runs mostly exercise the pure-DD phase and the GC/complex-table paths.
+* ``clifford_t`` -- Clifford + T/Tdg: the canonical universal set; T gates
+  slowly break regularity, probing the EWMA trigger boundary.
+* ``rotations``  -- continuous-parameter rotations and controlled phases:
+  irregular amplitudes almost immediately, so conversion + DMAV dominate.
+* ``mixed``      -- the full library gate set including three-qubit gates.
+* ``generator``  -- one of the existing benchmark families (regular and
+  irregular) at randomized sizes/seeds, so the fuzz harness also covers
+  the exact circuit shapes the paper's evaluation uses.
+
+All randomness flows from a single seed through ``numpy``'s SeedSequence
+spawning, so a campaign is fully reproducible from ``(seed, iteration)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.common.errors import CircuitError
+
+__all__ = ["FuzzSpec", "REGIMES", "generate_circuit", "spec_for_iteration"]
+
+#: Gate pools per regime: (one-qubit fixed, one-qubit parameterized,
+#: two-qubit fixed, two-qubit parameterized).
+_POOLS: dict[str, tuple[tuple[str, ...], tuple[str, ...], tuple[str, ...], tuple[str, ...]]] = {
+    "clifford": (
+        ("h", "x", "y", "z", "s", "sdg"),
+        (),
+        ("cx", "cz", "swap"),
+        (),
+    ),
+    "clifford_t": (
+        ("h", "x", "y", "z", "s", "sdg", "t", "tdg"),
+        (),
+        ("cx", "cz", "swap"),
+        (),
+    ),
+    "rotations": (
+        (),
+        ("rx", "ry", "rz", "p"),
+        ("cx", "cz"),
+        ("cp", "rzz", "rxx"),
+    ),
+    "mixed": (
+        ("h", "x", "y", "z", "s", "sdg", "t", "tdg", "sx"),
+        ("rx", "ry", "rz", "p", "u2", "u3"),
+        ("cx", "cz", "swap"),
+        ("cp", "rzz"),
+    ),
+}
+
+#: Benchmark families the ``generator`` regime samples from, with the
+#: keyword knob that scales their depth (None = size-only families).
+_FAMILIES: tuple[tuple[str, str | None], ...] = (
+    ("ghz", None),
+    ("adder", None),
+    ("qft", None),
+    ("wstate", None),
+    ("dnn", "layers"),
+    ("vqe", "layers"),
+    ("supremacy", "cycles"),
+    ("random", "gates"),
+)
+
+REGIMES: tuple[str, ...] = (
+    "clifford", "clifford_t", "rotations", "mixed", "generator",
+)
+
+#: How many parameters each parameterized gate takes.
+_PARAM_COUNTS = {"u2": 2, "u3": 3}
+
+
+@dataclass(frozen=True)
+class FuzzSpec:
+    """Deterministic description of one fuzzed circuit.
+
+    ``generate_circuit(spec)`` is a pure function of this record, so a
+    failing case replays from the spec alone.
+    """
+
+    regime: str = "mixed"
+    num_qubits: int = 4
+    num_gates: int = 30
+    #: Target fraction of multi-qubit gates (ignored by ``generator``).
+    two_qubit_fraction: float = 0.3
+    seed: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+def _random_gate(c: Circuit, rng: np.random.Generator, spec: FuzzSpec) -> None:
+    """Append one random gate drawn from the regime's pools."""
+    one_fixed, one_param, two_fixed, two_param = _POOLS[spec.regime]
+    n = c.num_qubits
+    want_two = (
+        n >= 2
+        and (two_fixed or two_param)
+        and rng.random() < spec.two_qubit_fraction
+    )
+    if want_two:
+        pool = two_fixed + two_param
+        name = str(pool[rng.integers(0, len(pool))])
+        a, b = (int(q) for q in rng.choice(n, size=2, replace=False))
+        if name in two_param:
+            c.add(name, a, b,
+                  params=(float(rng.uniform(0, 2 * math.pi)),))
+        else:
+            c.add(name, a, b)
+        return
+    pool = one_fixed + one_param
+    name = str(pool[rng.integers(0, len(pool))])
+    q = int(rng.integers(0, n))
+    if name in one_param:
+        k = _PARAM_COUNTS.get(name, 1)
+        params = tuple(float(rng.uniform(0, 2 * math.pi)) for _ in range(k))
+        c.add(name, q, params=params)
+    else:
+        c.add(name, q)
+
+
+def _generator_circuit(spec: FuzzSpec, rng: np.random.Generator) -> Circuit:
+    """Sample one of the existing benchmark generators at random size."""
+    from repro.circuits.generators import get_circuit
+
+    family, knob = _FAMILIES[int(rng.integers(0, len(_FAMILIES)))]
+    n = spec.num_qubits
+    if family == "adder":  # adder layout needs even n >= 4
+        n = max(4, n + (n % 2))
+    elif family == "supremacy":
+        n = max(2, n)
+    kwargs: dict = {}
+    if knob == "layers":
+        kwargs[knob] = int(rng.integers(1, 4))
+    elif knob == "cycles":
+        kwargs[knob] = int(rng.integers(2, 8))
+    elif knob == "gates":
+        kwargs[knob] = spec.num_gates
+    if family in ("random", "supremacy", "dnn", "vqe"):
+        kwargs["seed"] = int(rng.integers(0, 2**31))
+    c = get_circuit(family, n, **kwargs)
+    c.name = f"fuzz_{family}_n{c.num_qubits}_s{spec.seed}"
+    return c
+
+
+def generate_circuit(spec: FuzzSpec) -> Circuit:
+    """Build the circuit described by ``spec`` (pure, deterministic)."""
+    if spec.regime not in REGIMES:
+        raise CircuitError(
+            f"unknown fuzz regime {spec.regime!r}; known: {sorted(REGIMES)}"
+        )
+    if spec.num_qubits < 1:
+        raise CircuitError(f"need at least 1 qubit, got {spec.num_qubits}")
+    rng = np.random.default_rng(np.random.SeedSequence(spec.seed))
+    if spec.regime == "generator":
+        return _generator_circuit(spec, rng)
+    c = Circuit(
+        spec.num_qubits,
+        name=f"fuzz_{spec.regime}_n{spec.num_qubits}_s{spec.seed}",
+    )
+    for _ in range(spec.num_gates):
+        _random_gate(c, rng, spec)
+    return c
+
+
+def spec_for_iteration(
+    campaign_seed: int,
+    iteration: int,
+    regimes: tuple[str, ...] = REGIMES,
+    min_qubits: int = 2,
+    max_qubits: int = 6,
+    max_gates: int = 60,
+) -> FuzzSpec:
+    """Derive iteration ``iteration``'s spec from the campaign seed.
+
+    Uses SeedSequence spawn keys, so every (seed, iteration) pair maps to
+    an independent, reproducible stream regardless of how many iterations
+    actually ran before it.
+    """
+    rng = np.random.default_rng(
+        np.random.SeedSequence(campaign_seed, spawn_key=(iteration,))
+    )
+    regime = str(regimes[int(rng.integers(0, len(regimes)))])
+    num_qubits = int(rng.integers(min_qubits, max_qubits + 1))
+    num_gates = int(rng.integers(max(4, max_gates // 4), max_gates + 1))
+    two_q = float(rng.uniform(0.1, 0.5))
+    # The circuit seed is drawn from the same stream: replaying the spec
+    # does not need the campaign rng at all.
+    circuit_seed = int(rng.integers(0, 2**31))
+    return FuzzSpec(
+        regime=regime,
+        num_qubits=num_qubits,
+        num_gates=num_gates,
+        two_qubit_fraction=two_q,
+        seed=circuit_seed,
+    )

@@ -1,0 +1,196 @@
+"""Failing-case minimization and replayable regression files.
+
+``shrink_circuit`` takes a failing circuit and a ``still_fails`` predicate
+and greedily minimizes it with two reducers, iterated to a fixed point:
+
+* **gate deletion** -- delta-debugging-style chunk removal (chunk size
+  halves from len/2 down to 1), keeping any deletion that still fails;
+* **qubit removal** -- drop a qubit together with every gate touching it,
+  then compact the remaining qubit indices.
+
+The result is written as a self-contained JSON *regression file* (QASM
+text + seed/spec/oracle/config metadata) under
+``tests/data/fuzz_regressions/``; ``tests/test_fuzz_regressions.py``
+auto-collects that directory, so every shrunk failure becomes a permanent
+regression test the moment it lands.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Callable
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.gates import Gate
+from repro.circuits.qasm import parse_qasm, to_qasm
+
+__all__ = [
+    "REGRESSION_DIR",
+    "load_regression",
+    "replay_regression",
+    "shrink_circuit",
+    "write_regression",
+]
+
+#: Default landing directory for shrunk failing cases (repo-relative).
+REGRESSION_DIR = os.path.join("tests", "data", "fuzz_regressions")
+
+
+def _compact_qubits(circuit: Circuit) -> Circuit:
+    """Remap the used qubits to 0..k-1, dropping idle wires."""
+    used = sorted(circuit.used_qubits())
+    if not used or len(used) == circuit.num_qubits:
+        return circuit
+    remap = {old: new for new, old in enumerate(used)}
+    out = Circuit(len(used), name=circuit.name)
+    for g in circuit.gates:
+        out.append(
+            Gate(
+                g.name,
+                tuple(remap[q] for q in g.targets),
+                tuple(remap[q] for q in g.controls),
+                g.params,
+            )
+        )
+    return out
+
+
+def _without_gates(circuit: Circuit, start: int, stop: int) -> Circuit:
+    gates = circuit.gates[:start] + circuit.gates[stop:]
+    return Circuit(circuit.num_qubits, gates, name=circuit.name)
+
+
+def _without_qubit(circuit: Circuit, qubit: int) -> Circuit | None:
+    """Drop ``qubit`` and every gate touching it (None if nothing remains)."""
+    gates = [g for g in circuit.gates if qubit not in g.qubits]
+    if not gates:
+        return None
+    return _compact_qubits(
+        Circuit(circuit.num_qubits, gates, name=circuit.name)
+    )
+
+
+def shrink_circuit(
+    circuit: Circuit,
+    still_fails: Callable[[Circuit], bool],
+    max_checks: int = 400,
+) -> Circuit:
+    """Minimize ``circuit`` while ``still_fails`` keeps returning True.
+
+    ``still_fails`` must be True for the input circuit; the returned
+    circuit also satisfies it.  ``max_checks`` bounds predicate calls so
+    shrinking a slow oracle stays tractable (the result is then merely
+    non-minimal, never wrong).
+    """
+    checks = 0
+
+    def fails(c: Circuit) -> bool:
+        nonlocal checks
+        if checks >= max_checks or not c.gates:
+            return False
+        checks += 1
+        return still_fails(c)
+
+    best = circuit
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        # Pass 1: chunked gate deletion, large chunks first.
+        chunk = max(len(best.gates) // 2, 1)
+        while chunk >= 1 and checks < max_checks:
+            start = 0
+            while start < len(best.gates):
+                candidate = _without_gates(best, start, start + chunk)
+                if candidate.gates and fails(candidate):
+                    best = candidate
+                    improved = True
+                    # Retry the same offset: the next chunk slid into it.
+                else:
+                    start += chunk
+            chunk //= 2
+        # Pass 2: qubit removal (and free compaction of idle wires).
+        for q in range(best.num_qubits - 1, -1, -1):
+            if checks >= max_checks:
+                break
+            candidate = _without_qubit(best, q)
+            if candidate is not None and fails(candidate):
+                best = candidate
+                improved = True
+        compacted = _compact_qubits(best)
+        if compacted.num_qubits < best.num_qubits and fails(compacted):
+            best = compacted
+            improved = True
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Replayable regression files
+# ---------------------------------------------------------------------------
+
+
+def write_regression(
+    circuit: Circuit,
+    oracle: str,
+    directory: str = REGRESSION_DIR,
+    seed: int | None = None,
+    spec: dict | None = None,
+    plant_bug: str | None = None,
+    outcome: dict | None = None,
+    note: str = "",
+) -> str:
+    """Persist a (shrunk) failing circuit as a replayable JSON file.
+
+    Returns the path written.  The filename embeds the oracle name and a
+    content hash, so re-finding the same minimized bug is idempotent.
+    """
+    qasm = to_qasm(circuit)
+    digest = hashlib.sha256(
+        (qasm + oracle).encode("utf-8")
+    ).hexdigest()[:10]
+    payload = {
+        "format": "repro-fuzz-regression-v1",
+        "oracle": oracle,
+        "qasm": qasm,
+        "seed": seed,
+        "spec": spec,
+        "plant_bug": plant_bug,
+        "outcome": outcome,
+        "note": note,
+    }
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{oracle}_{digest}.json")
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_regression(path: str) -> tuple[Circuit, dict]:
+    """Read a regression file back into (circuit, metadata)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        payload = json.load(fh)
+    if payload.get("format") != "repro-fuzz-regression-v1":
+        raise ValueError(f"{path}: not a repro fuzz regression file")
+    circuit = parse_qasm(
+        payload["qasm"], name=os.path.basename(path).rsplit(".", 1)[0]
+    )
+    return circuit, payload
+
+
+def replay_regression(path: str, threads: int = 2) -> list:
+    """Re-run a regression file's oracle(s) on the current code.
+
+    Returns the oracle outcomes; on healthy code every outcome passes.
+    Files recording a planted bug (``plant_bug`` set) document harness
+    demos -- they too must pass *without* the fault installed.
+    """
+    from repro.verify.fuzz.oracles import ORACLES, run_oracles
+
+    circuit, meta = load_regression(path)
+    oracle = meta.get("oracle", "all")
+    names = None if oracle in (None, "all") else [oracle]
+    if names is not None and names[0] not in ORACLES:
+        raise ValueError(f"{path}: unknown oracle {oracle!r}")
+    return run_oracles(circuit, oracles=names, threads=threads)

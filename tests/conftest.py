@@ -10,6 +10,17 @@ from repro.circuits import Circuit, get_circuit
 from repro.dd import DDPackage
 
 
+def pytest_collection_modifyitems(config, items):
+    """Everything not explicitly marked ``slow`` belongs to tier 1.
+
+    Keeping the tier-1 marker implicit means new tests join the fast
+    default tier automatically; only opting *out* (``slow``) is explicit.
+    """
+    for item in items:
+        if "slow" not in item.keywords:
+            item.add_marker(pytest.mark.tier1)
+
+
 @pytest.fixture
 def pkg3() -> DDPackage:
     return DDPackage(3)

@@ -1,0 +1,58 @@
+"""Replay every persisted fuzz regression against the current code.
+
+Any JSON file landing in ``tests/data/fuzz_regressions/`` -- whether
+hand-made or written by the shrinker during a fuzz campaign -- is
+auto-collected here and re-run through the oracle it originally violated.
+Dropping a shrunk failure into that directory *is* adding a regression
+test; no code changes needed.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.verify.fuzz import load_regression, plant_fault, replay_regression
+from repro.verify.fuzz.oracles import run_oracles
+
+pytestmark = pytest.mark.fuzz
+
+REGRESSION_DIR = os.path.join(
+    os.path.dirname(__file__), "data", "fuzz_regressions"
+)
+REGRESSION_FILES = sorted(
+    glob.glob(os.path.join(REGRESSION_DIR, "*.json"))
+)
+
+
+def test_corpus_is_seeded():
+    """The directory ships with at least the two hand-made cases."""
+    assert len(REGRESSION_FILES) >= 2
+
+
+@pytest.mark.parametrize(
+    "path", REGRESSION_FILES, ids=[os.path.basename(p) for p in REGRESSION_FILES]
+)
+def test_regression_replays_clean(path):
+    """Current code must pass the oracle each persisted case violated.
+
+    Files written by a ``--plant-bug`` demo campaign record the fault
+    name; they too must pass *without* the fault installed (and the
+    recorded fault must still reproduce, proving the file is not inert).
+    """
+    outcomes = replay_regression(path)
+    failed = [o for o in outcomes if not o.passed]
+    assert not failed, (
+        f"{os.path.basename(path)} regressed: "
+        + "; ".join(f"{o.oracle}: {o.detail} (err={o.max_error})"
+                    for o in failed)
+    )
+    circuit, meta = load_regression(path)
+    if meta.get("plant_bug"):
+        with plant_fault(meta["plant_bug"]):
+            refire = run_oracles(circuit, oracles=[meta["oracle"]])
+        assert any(not o.passed for o in refire), (
+            f"{os.path.basename(path)}: planted fault "
+            f"{meta['plant_bug']!r} no longer reproduces -- the file is "
+            "stale; regenerate it with `repro fuzz --plant-bug`"
+        )

@@ -16,6 +16,9 @@ from repro.circuits import get_circuit
 from repro.dd import amplitude, node_count
 from repro.sampling import dd_outcome_probability, sample_from_dd
 
+# Minutes-scale on CI hardware; run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
+
 
 class TestLargeGHZ:
     @pytest.fixture(scope="class")

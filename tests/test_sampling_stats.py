@@ -1,0 +1,134 @@
+"""Statistical correctness of weak/strong sampling (fixed seeds).
+
+The existing sampling tests check single states and bookkeeping; these
+run chi-squared goodness-of-fit tests of the *sampled distributions*
+against exact probabilities computed by the statevector backend, for both
+the array sampler (``repro.sampling.strong``) and the DD-native weak
+sampler (``repro.sampling.weak``).  Seeds are fixed, so the chi-squared
+statistic is deterministic -- a failure is a real distribution bug, not
+sampler noise.
+"""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.backends import DDSimulator, StatevectorSimulator
+from repro.circuits import get_circuit
+from repro.sampling import sample_counts, sample_from_dd
+
+#: Deterministic runs: reject only below this p-value.  With fixed seeds
+#: this is a regression threshold, not a flaky statistical gate.
+P_VALUE_FLOOR = 1e-3
+
+#: Circuits with qualitatively different exact distributions: two-point
+#: support (GHZ), uniform (QFT of |0>), and irregular (random, supremacy).
+WORKLOADS = [
+    ("ghz", 5, {}),
+    ("qft", 4, {}),
+    ("random", 5, {"gates": 40, "seed": 2}),
+    ("supremacy", 4, {"cycles": 4, "seed": 9}),
+]
+
+
+def exact_probabilities(family, n, kwargs):
+    state = StatevectorSimulator(mode="reshape").run(
+        get_circuit(family, n, **kwargs)
+    ).state
+    return np.abs(state) ** 2
+
+
+def chi_squared_p_value(counts, probs, shots):
+    """Goodness-of-fit p-value with low-expectation bins pooled.
+
+    Bins with expected count < 5 are merged into one pooled bin (the
+    standard validity condition for the chi-squared approximation).
+    """
+    observed = np.zeros(probs.size)
+    for key, c in counts.items():
+        idx = int(key, 2) if isinstance(key, str) else int(key)
+        observed[idx] = c
+    expected = probs * shots
+    # Impossible outcomes must never be sampled at all; excluding them
+    # keeps the chi-squared statistic well-defined.
+    impossible = expected < 1e-9
+    assert observed[impossible].sum() == 0, "sampled a zero-probability bin"
+    big = expected >= 5
+    small = ~big & ~impossible
+    obs_binned = list(observed[big])
+    exp_binned = list(expected[big])
+    if np.any(small):
+        obs_binned.append(observed[small].sum())
+        exp_binned.append(expected[small].sum())
+    obs_arr = np.array(obs_binned)
+    exp_arr = np.array(exp_binned)
+    # Guard: chisquare requires matching totals (up to float fuzz).
+    exp_arr *= obs_arr.sum() / exp_arr.sum()
+    return stats.chisquare(obs_arr, exp_arr).pvalue
+
+
+class TestStrongSamplingDistribution:
+    @pytest.mark.parametrize(
+        "family,n,kwargs", WORKLOADS, ids=[w[0] for w in WORKLOADS]
+    )
+    def test_sample_counts_matches_exact_distribution(self, family, n, kwargs):
+        probs = exact_probabilities(family, n, kwargs)
+        shots = 20_000
+        counts = sample_counts(
+            probs_to_state(probs), shots, np.random.default_rng(42)
+        )
+        p = chi_squared_p_value(counts, probs, shots)
+        assert p > P_VALUE_FLOOR, f"chi-squared p={p:.2e}"
+
+    def test_rejects_wrong_distribution(self):
+        """Power check: the test statistic must actually detect skew."""
+        probs = exact_probabilities("ghz", 5, {})
+        shots = 20_000
+        counts = sample_counts(
+            probs_to_state(probs), shots, np.random.default_rng(42)
+        )
+        uniform = np.full(probs.size, 1.0 / probs.size)
+        p = chi_squared_p_value(counts, uniform, shots)
+        assert p < 1e-6
+
+
+class TestWeakSamplingDistribution:
+    @pytest.mark.parametrize(
+        "family,n,kwargs", WORKLOADS, ids=[w[0] for w in WORKLOADS]
+    )
+    def test_dd_sampler_matches_exact_distribution(self, family, n, kwargs):
+        circuit = get_circuit(family, n, **kwargs)
+        result = DDSimulator().run(circuit, keep_dd=True)
+        pkg = result.metadata["package"]
+        state_dd = result.metadata["state_dd"]
+        shots = 20_000
+        counts = sample_from_dd(
+            pkg, state_dd, shots, np.random.default_rng(7)
+        )
+        probs = exact_probabilities(family, n, kwargs)
+        p = chi_squared_p_value(counts, probs, shots)
+        assert p > P_VALUE_FLOOR, f"chi-squared p={p:.2e}"
+
+    def test_weak_and_strong_agree_on_totals(self):
+        """Same circuit, both samplers: total variation distance is small."""
+        circuit = get_circuit("random", 4, gates=30, seed=5)
+        result = DDSimulator().run(circuit, keep_dd=True)
+        shots = 20_000
+        weak = sample_from_dd(
+            result.metadata["package"], result.metadata["state_dd"],
+            shots, np.random.default_rng(11),
+        )
+        state = StatevectorSimulator(mode="reshape").run(circuit).state
+        strong = sample_counts(state, shots, np.random.default_rng(12))
+        keys = set(weak) | set(strong)
+        tvd = 0.5 * sum(
+            abs(weak.get(k, 0) - strong.get(k, 0)) / shots for k in keys
+        )
+        assert tvd < 0.05
+
+
+def probs_to_state(probs: np.ndarray) -> np.ndarray:
+    """A state with the given |amplitude|^2 (random phases, fixed seed)."""
+    rng = np.random.default_rng(123)
+    phases = np.exp(1j * rng.uniform(0, 2 * np.pi, size=probs.size))
+    return np.sqrt(probs) * phases

@@ -20,6 +20,10 @@ from repro.parallel.pool import TaskRunner
 
 from tests.conftest import random_state
 
+# Spawns real thread pools across many configurations; excluded from the
+# fast tier-1 default, run with `pytest -m slow`.
+pytestmark = pytest.mark.slow
+
 
 class TestPooledFlatDD:
     @pytest.mark.parametrize("threads", [2, 4, 8])
