@@ -1,0 +1,87 @@
+"""Serving-layer throughput: batch jobs/sec and cache-hit leverage.
+
+The serving subsystem's pitch is that duplicate-heavy batches cost one
+simulation per unique circuit.  This bench runs the same 60-job batch
+(20 unique circuits, 3 copies each) twice -- once with the result cache
+disabled and once enabled -- so the table shows both raw service
+overhead (jobs/sec with no dedup help) and the cache's multiplier.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.tables import render_table
+from repro.circuits import get_circuit
+from repro.common.config import ServeConfig
+from repro.serve import SimulationService
+
+from conftest import emit
+
+UNIQUE = 20
+COPIES = 3
+QUBITS = 6
+GATES = 30
+
+
+def _jobs():
+    circuits = [
+        get_circuit("random", QUBITS, gates=GATES, seed=s)
+        for s in range(UNIQUE)
+    ]
+    return [c for c in circuits for _ in range(COPIES)]
+
+
+def run_experiment(threads: int):
+    rows = []
+    reports = {}
+    for label, cache_entries in (("no cache", 0), ("cached", 512)):
+        config = ServeConfig(
+            threads=threads, cache_max_entries=cache_entries
+        )
+        with SimulationService(config) as svc:
+            svc.submit_many(_jobs())
+            report = svc.drain()
+        reports[label] = report
+        rows.append(
+            [
+                label,
+                str(report.jobs),
+                f"{report.elapsed_seconds * 1e3:.1f}",
+                f"{report.jobs_per_second:.1f}",
+                f"{100.0 * report.cache['hit_rate']:.0f}%",
+                str(report.groups),
+            ]
+        )
+    base = reports["no cache"].elapsed_seconds
+    cached = reports["cached"].elapsed_seconds
+    rows.append(
+        [
+            "speedup",
+            "",
+            f"{base / cached:.2f}x" if cached else "-",
+            "",
+            "",
+            "",
+        ]
+    )
+    table = render_table(
+        f"Serve throughput, {UNIQUE * COPIES} jobs "
+        f"({UNIQUE} unique x{COPIES}), random n={QUBITS}, {threads} threads",
+        ["mode", "jobs", "wall (ms)", "jobs/s", "hit rate", "groups"],
+        rows,
+    )
+    return table, reports
+
+
+@pytest.mark.benchmark(group="serve-throughput")
+def test_serve_throughput(benchmark, threads):
+    table, reports = benchmark.pedantic(
+        run_experiment, args=(threads,), rounds=1, iterations=1
+    )
+    emit("serve_throughput", table)
+    for report in reports.values():
+        assert report.ok and report.internal_errors == 0
+    # 2 of every 3 jobs are duplicates; the cache must convert them.
+    assert reports["cached"].cache["hit_rate"] >= 0.4
+    assert reports["no cache"].cache["hits"] == 0

@@ -42,13 +42,14 @@ from repro.core import FlatDDSimulator
 from repro.noise import NoiseModel, run_trajectories
 from repro.observables import PauliString, PauliSum
 from repro.sampling import sample_counts, sample_from_dd
+from repro.serve import SimulationService
 from repro.verify import check_equivalence
 
 # Library-wide logger: silent unless the application configures handlers
 # (the CLI's -v/--verbose does; see `python -m repro --help`).
 _logging.getLogger("repro").addHandler(_logging.NullHandler())
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "CIRCUIT_FAMILIES",
@@ -62,6 +63,7 @@ __all__ = [
     "PauliString",
     "PauliSum",
     "SimulationResult",
+    "SimulationService",
     "Simulator",
     "StatevectorSimulator",
     "check_equivalence",

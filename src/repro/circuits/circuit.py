@@ -8,6 +8,7 @@ slicing) is convenience for the generators, examples, and benches.
 
 from __future__ import annotations
 
+import hashlib
 import math
 from collections import Counter
 from typing import Iterable, Iterator
@@ -16,6 +17,25 @@ from repro.common.errors import CircuitError
 from repro.circuits.gates import Gate
 
 __all__ = ["Circuit"]
+
+#: Decimal places gate parameters are rounded to before hashing.  Two
+#: parameters that agree to 12 decimals build gate matrices identical far
+#: below the complex-table tolerance (1e-10), so they are the same gate
+#: for every consumer of the fingerprint.
+FINGERPRINT_DECIMALS = 12
+
+
+def _canonical_param(value: float) -> str:
+    """Stable text form of one gate parameter.
+
+    Rounds to :data:`FINGERPRINT_DECIMALS` so float-formatting noise
+    (``0.1 + 0.2`` vs ``0.3``) collapses, and normalizes ``-0.0`` to
+    ``0.0`` so sign-of-zero never splits a cache key.
+    """
+    v = round(float(value), FINGERPRINT_DECIMALS)
+    if v == 0.0:  # collapses -0.0 too
+        v = 0.0
+    return repr(v)
 
 
 class Circuit:
@@ -154,6 +174,34 @@ class Circuit:
 
     def used_qubits(self) -> set[int]:
         return {q for g in self.gates for q in g.qubits}
+
+    def fingerprint(self) -> str:
+        """Stable SHA-256 content hash of the circuit's semantics.
+
+        The digest covers the qubit count and, per gate in sequence, the
+        *base* gate name (so aliases like ``cx``/``cnot`` hash alike),
+        target and control qubit tuples, and parameters rounded to
+        :data:`FINGERPRINT_DECIMALS` decimals via :func:`_canonical_param`.
+        The circuit ``name`` is deliberately excluded: two circuits with
+        the same gates are the same workload.
+
+        This is the content-address used by the serving layer's result
+        cache (:mod:`repro.serve.cache`) and handy standalone for
+        deduplicating fuzz corpora.  The leading ``v1`` tag versions the
+        encoding so a future change cannot silently alias old keys.
+        """
+        h = hashlib.sha256()
+        h.update(f"v1;n={self.num_qubits}".encode("ascii"))
+        for g in self.gates:
+            h.update(
+                ";{}|t{}|c{}|p{}".format(
+                    g.base_name,
+                    ",".join(map(str, g.targets)),
+                    ",".join(map(str, g.controls)),
+                    ",".join(_canonical_param(p) for p in g.params),
+                ).encode("ascii")
+            )
+        return h.hexdigest()
 
     def inverse(self) -> "Circuit":
         """Adjoint circuit (gates reversed and individually inverted).

@@ -11,6 +11,8 @@ Examples::
     python -m repro equivalence a.qasm b.qasm
     python -m repro fuzz --seed 0 --iterations 50
     python -m repro fuzz --plant-bug t-phase --out-dir /tmp/fuzz_demo
+    python -m repro serve batch.jsonl --threads 4 --json
+    python -m repro serve batch.jsonl --plant-bug transient-crash
 
 ``--trace out.json`` writes a Chrome trace-event file (open in Perfetto
 or ``chrome://tracing``); ``--profile`` prints the per-phase breakdown;
@@ -269,6 +271,51 @@ def cmd_transpile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run a JSONL batch manifest through the simulation service."""
+    from repro.common.config import ServeConfig
+    from repro.serve import run_manifest
+    from repro.verify.fuzz import plant_fault
+
+    config = ServeConfig(
+        backend=args.backend,
+        threads=args.threads,
+        workers=args.workers,
+        use_thread_pool=args.workers > 1 and args.thread_pool,
+        queue_capacity=args.queue_capacity,
+        max_qubits=args.max_qubits,
+        default_deadline_seconds=args.deadline,
+        max_retries=args.max_retries,
+        cache_max_entries=args.cache_entries,
+    )
+    tracer = _make_tracer(args)
+    with plant_fault(args.plant_bug):
+        report, _jobs = run_manifest(
+            args.manifest, config=config, tracer=tracer
+        )
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.format_text())
+        failed = [
+            row for row in report.job_rows
+            if row["state"] in ("FAILED", "TIMEOUT")
+        ]
+        for row in failed:
+            print(
+                f"  {row['state']} {row['job_id']} ({row['circuit']}): "
+                f"{row['error']}"
+            )
+    if tracer is not None:
+        if args.trace:
+            events = write_chrome_trace(args.trace, tracer)
+            _log.info("wrote %d trace events to %s", events, args.trace)
+        if args.profile:
+            print()
+            print(format_summary_table(tracer, report.elapsed_seconds))
+    return 0 if report.ok else 1
+
+
 def cmd_equivalence(args: argparse.Namespace) -> int:
     with open(args.file1, "r", encoding="utf-8") as fh:
         c1 = parse_qasm(fh.read(), name=args.file1)
@@ -450,6 +497,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--profile", action="store_true",
                    help="print the per-phase/oracle timing breakdown")
     p.set_defaults(func=cmd_fuzz)
+
+    p = sub.add_parser(
+        "serve",
+        help="run a JSONL batch manifest through the simulation service",
+    )
+    p.add_argument("manifest", help="JSON Lines file, one job per line "
+                                    "(see docs/SERVING.md)")
+    p.add_argument("--backend", default="flatdd",
+                   choices=["flatdd", "ddsim", "quantumpp"],
+                   help="default backend for jobs that do not name one")
+    p.add_argument("--threads", type=int, default=4,
+                   help="simulator threads per job (clamped per circuit)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="concurrent worker slots in the pool")
+    p.add_argument("--thread-pool", action="store_true",
+                   help="run worker slots on real threads (default inline)")
+    p.add_argument("--queue-capacity", type=int, default=4096,
+                   help="admission limit; beyond it jobs are rejected")
+    p.add_argument("--max-qubits", type=int, default=26,
+                   help="admission limit on circuit width")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="default per-job wall-clock budget in seconds")
+    p.add_argument("--max-retries", type=int, default=2,
+                   help="transient-fault retry budget per job")
+    p.add_argument("--cache-entries", type=int, default=512,
+                   help="result-cache entry bound (0 disables caching)")
+    p.add_argument("--plant-bug", metavar="NAME", default=None,
+                   help="install a named fault (e.g. transient-crash) to "
+                        "demo the retry/failure paths end to end")
+    p.add_argument("--json", action="store_true")
+    p.add_argument("--trace", metavar="PATH",
+                   help="write a Chrome trace-event JSON of the batch")
+    p.add_argument("--profile", action="store_true",
+                   help="print the per-phase timing breakdown")
+    p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("equivalence", help="DD equivalence check")
     p.add_argument("file1")

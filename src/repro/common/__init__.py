@@ -17,13 +17,16 @@ from repro.common.config import (
     SIMD_WIDTH,
     TOLERANCE,
     FlatDDConfig,
+    ServeConfig,
 )
 from repro.common.errors import (
+    AdmissionError,
     CircuitError,
     DDError,
     ParallelError,
     QasmError,
     ReproError,
+    ServeError,
     SimulationError,
 )
 
@@ -42,10 +45,13 @@ __all__ = [
     "SIMD_WIDTH",
     "TOLERANCE",
     "FlatDDConfig",
+    "ServeConfig",
+    "AdmissionError",
     "CircuitError",
     "DDError",
     "ParallelError",
     "QasmError",
     "ReproError",
+    "ServeError",
     "SimulationError",
 ]

@@ -111,3 +111,64 @@ class FlatDDConfig:
                 f"force_convert_at must be >= 0 or None, "
                 f"got {self.force_convert_at}"
             )
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Knobs of the batch simulation service (:mod:`repro.serve`).
+
+    Groups the queue's admission limits, the worker pool's retry policy,
+    and the result cache's bounds so a whole service deployment is one
+    value (and one line in a manifest runner or test).
+    """
+
+    #: Default backend for jobs that do not name one.
+    backend: str = "flatdd"
+    #: Simulator threads *per job* (FlatDD/statevector backends).
+    threads: int = DEFAULT_THREADS
+    #: Concurrent worker slots in the pool (batch groups in flight).
+    workers: int = 1
+    #: Run worker slots on a real ThreadPoolExecutor (False = inline,
+    #: deterministic -- same semantics as FlatDDConfig.use_thread_pool).
+    use_thread_pool: bool = False
+    #: Queue capacity; submissions beyond it are rejected (backpressure).
+    queue_capacity: int = 256
+    #: Admission control: reject circuits bigger than this outright.
+    max_qubits: int = 26
+    max_gates: int = 200_000
+    #: Per-job wall-clock budget when the job does not set its own
+    #: (None = unlimited).
+    default_deadline_seconds: float | None = None
+    #: Default retry budget for transient faults (per job).
+    max_retries: int = 2
+    #: Exponential backoff between retries: base * 2**attempt, capped.
+    retry_base_delay: float = 0.01
+    retry_max_delay: float = 1.0
+    #: Result-cache bounds; entries are whole final states.
+    cache_max_entries: int = 512
+    cache_max_bytes: int = 256 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("flatdd", "ddsim", "quantumpp"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.threads < 1:
+            raise ValueError(f"threads must be >= 1, got {self.threads}")
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_capacity < 1:
+            raise ValueError(
+                f"queue_capacity must be >= 1, got {self.queue_capacity}"
+            )
+        if self.max_qubits < 1 or self.max_gates < 1:
+            raise ValueError("admission limits must be >= 1")
+        if (
+            self.default_deadline_seconds is not None
+            and self.default_deadline_seconds <= 0
+        ):
+            raise ValueError("default_deadline_seconds must be positive")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_base_delay < 0 or self.retry_max_delay < 0:
+            raise ValueError("retry delays must be non-negative")
+        if self.cache_max_entries < 0 or self.cache_max_bytes < 0:
+            raise ValueError("cache bounds must be non-negative")

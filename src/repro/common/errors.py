@@ -36,3 +36,20 @@ class SimulationError(ReproError):
 
 class ParallelError(ReproError):
     """Raised for invalid parallel configurations (e.g. non power-of-two t)."""
+
+
+class ServeError(ReproError):
+    """Raised by the batch simulation service (:mod:`repro.serve`)."""
+
+
+class AdmissionError(ServeError):
+    """Raised when the job queue rejects a submission.
+
+    Carries the machine-readable ``reason`` (``"queue_full"``,
+    ``"too_many_qubits"``, ...) so callers and tests can discriminate
+    rejection causes without parsing the message.
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        self.reason = reason
+        super().__init__(message)

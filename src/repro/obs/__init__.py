@@ -29,7 +29,12 @@ Usage::
     print(result.metadata["obs"]["counters"])  # dd.*, gate_cache.*, ...
 """
 
-from repro.obs.collect import build_obs, gate_cache_counters, package_counters
+from repro.obs.collect import (
+    build_obs,
+    gate_cache_counters,
+    package_counters,
+    result_cache_counters,
+)
 from repro.obs.export import (
     chrome_trace_events,
     jsonl_events,
@@ -57,6 +62,7 @@ __all__ = [
     "gate_cache_counters",
     "jsonl_events",
     "package_counters",
+    "result_cache_counters",
     "summarize_phases",
     "write_chrome_trace",
     "write_jsonl",

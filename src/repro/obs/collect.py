@@ -15,7 +15,12 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.summary import summarize_phases
 from repro.obs.tracer import Tracer
 
-__all__ = ["package_counters", "gate_cache_counters", "build_obs"]
+__all__ = [
+    "package_counters",
+    "gate_cache_counters",
+    "result_cache_counters",
+    "build_obs",
+]
 
 
 def package_counters(pkg) -> dict:
@@ -40,6 +45,18 @@ def gate_cache_counters(cache) -> dict:
         "gate_cache.hits": cache.hits,
         "gate_cache.misses": cache.misses,
         "gate_cache.entries": len(cache),
+    }
+
+
+def result_cache_counters(cache) -> dict:
+    """``serve.cache.*`` counters of one ``repro.serve.ResultCache``."""
+    return {
+        "serve.cache.hits": cache.hits,
+        "serve.cache.misses": cache.misses,
+        "serve.cache.evictions": cache.evictions,
+        "serve.cache.uncacheable": cache.uncacheable,
+        "serve.cache.entries": len(cache),
+        "serve.cache.bytes": cache.total_bytes,
     }
 
 

@@ -45,7 +45,11 @@ class TaskRunner:
     """
 
     def __init__(
-        self, threads: int, use_pool: bool = False, tracer=None
+        self,
+        threads: int,
+        use_pool: bool = False,
+        tracer=None,
+        cancel_pending: bool = False,
     ) -> None:
         if threads < 1:
             raise ParallelError(f"threads must be >= 1, got {threads}")
@@ -54,6 +58,11 @@ class TaskRunner:
         self._pool: ThreadPoolExecutor | None = None
         #: Optional repro.obs tracer; assign any time before a run() call.
         self.tracer = tracer
+        #: Default for close(): drop queued-but-unstarted tasks on shutdown
+        #: instead of draining them.  __exit__ forces this on when the
+        #: managed block raised, so an exception can never wedge behind a
+        #: backlog of doomed tasks.
+        self.cancel_pending = cancel_pending
         #: Cumulative busy time per worker slot (traced batches only).
         self.busy_seconds = [0.0] * threads
         #: Tasks executed per worker slot (traced batches only).
@@ -62,17 +71,24 @@ class TaskRunner:
         self.batches = 0
 
     def __enter__(self) -> "TaskRunner":
-        if self.use_pool:
+        if self.use_pool and self._pool is None:
             self._pool = ThreadPoolExecutor(max_workers=self.threads)
         return self
 
-    def __exit__(self, *exc) -> None:
-        self.close()
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close(cancel_pending=self.cancel_pending or exc_type is not None)
 
-    def close(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+    def close(self, cancel_pending: bool | None = None) -> None:
+        """Shut the executor down; safe to call any number of times.
+
+        ``cancel_pending=None`` uses the runner's default; ``True`` drops
+        tasks that have not started yet (running tasks always complete).
+        """
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            if cancel_pending is None:
+                cancel_pending = self.cancel_pending
+            pool.shutdown(wait=True, cancel_futures=cancel_pending)
 
     def _timed(self, slot: int, fn: Callable[[], T]) -> Callable[[], T]:
         """Wrap one task with per-slot timing and a pool span."""

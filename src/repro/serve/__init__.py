@@ -1,0 +1,64 @@
+"""Batch simulation service: jobs, queueing, caching, fault-tolerant workers.
+
+``repro.serve`` turns the three simulation backends into a serving
+layer (see docs/SERVING.md):
+
+* :mod:`repro.serve.jobs` -- the job model (circuit + config + shots,
+  PENDING -> RUNNING -> DONE/FAILED/CANCELLED/TIMEOUT, per-job deadline,
+  retry budget, priority) and the content-addressed cache key.
+* :mod:`repro.serve.queue` -- thread-safe priority queue with admission
+  control and bounded backpressure (reject-with-reason when full).
+* :mod:`repro.serve.cache` -- content-addressed result cache keyed by
+  :meth:`Circuit.fingerprint`, LRU eviction, size bounds, hit/miss
+  counters exported through ``repro.obs``.
+* :mod:`repro.serve.scheduler` -- batch planning: cache-identical jobs
+  simulate once and fan out, groups ordered by priority/deadline.
+* :mod:`repro.serve.workers` -- worker pool on
+  :class:`repro.parallel.pool.TaskRunner` with timeout enforcement,
+  exponential-backoff retry on transient faults, and crash isolation.
+* :mod:`repro.serve.service` -- the :class:`SimulationService` façade
+  (submit/submit_many/poll/cancel/drain) and JSONL batch manifests,
+  surfaced on the CLI as ``repro serve``.
+
+Usage::
+
+    from repro.circuits import get_circuit
+    from repro.serve import SimulationService
+
+    with SimulationService(threads=4) as svc:
+        ids = svc.submit_many(get_circuit("ghz", 8) for _ in range(10))
+        report = svc.drain()          # 1 simulation, 9 cache hits
+        state = svc.result(ids[0]).state
+"""
+
+from repro.serve.cache import CacheEntry, ResultCache
+from repro.serve.jobs import Job, JobResult, JobState, config_digest
+from repro.serve.queue import JobQueue
+from repro.serve.scheduler import BatchGroup, BatchScheduler
+from repro.serve.service import (
+    ServeReport,
+    SimulationService,
+    jobs_from_manifest,
+    load_manifest,
+    run_manifest,
+)
+from repro.serve.workers import WorkerPool, clamp_threads
+
+__all__ = [
+    "BatchGroup",
+    "BatchScheduler",
+    "CacheEntry",
+    "Job",
+    "JobQueue",
+    "JobResult",
+    "JobState",
+    "ResultCache",
+    "ServeReport",
+    "SimulationService",
+    "WorkerPool",
+    "clamp_threads",
+    "config_digest",
+    "jobs_from_manifest",
+    "load_manifest",
+    "run_manifest",
+]

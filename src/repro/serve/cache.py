@@ -1,0 +1,142 @@
+"""Content-addressed result cache with LRU eviction and size bounds.
+
+FlatDD's gate-DD cache exploits repeated structure *within* a circuit;
+this cache applies the same idea *across* jobs: two submissions whose
+circuits have the same canonical
+:meth:`~repro.circuits.circuit.Circuit.fingerprint` (and backend +
+semantic config digest, see :func:`repro.serve.jobs.config_digest`)
+simulate once and share the final state.
+
+Entries hold whole state vectors, so both an entry-count bound and a
+byte bound apply; eviction is least-recently-used.  Cached arrays are
+marked read-only before insertion: every job fanned the same state out
+to receives the *identical* bits, and no consumer can corrupt a shared
+result in place.
+
+Hit/miss/eviction counts are kept as plain ints (cheap, lock-held
+updates) and surfaced through ``repro.obs`` via
+:func:`repro.obs.collect.result_cache_counters`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+
+@dataclass
+class CacheEntry:
+    """One cached simulation output."""
+
+    key: str
+    state: np.ndarray
+    runtime_seconds: float
+    metadata: dict = field(default_factory=dict)
+    nbytes: int = 0
+    hits: int = 0
+
+
+class ResultCache:
+    """LRU map from content address to final simulation state."""
+
+    def __init__(
+        self, max_entries: int = 512, max_bytes: int = 256 * 1024 * 1024
+    ) -> None:
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.total_bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: Results too large for max_bytes, never inserted.
+        self.uncacheable = 0
+
+    def get(self, key: str) -> CacheEntry | None:
+        """Look up ``key``; refreshes LRU recency and counts hit/miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            entry.hits += 1
+            self.hits += 1
+            return entry
+
+    def put(
+        self,
+        key: str,
+        state: np.ndarray,
+        runtime_seconds: float = 0.0,
+        metadata: dict | None = None,
+    ) -> CacheEntry | None:
+        """Insert a result, evicting LRU entries to respect the bounds.
+
+        Returns the entry, or None when the single result is larger than
+        ``max_bytes`` (counted in :attr:`uncacheable`) or the cache is
+        disabled (``max_entries == 0``).
+        """
+        nbytes = int(state.nbytes)
+        with self._lock:
+            if self.max_entries == 0 or nbytes > self.max_bytes:
+                self.uncacheable += 1
+                return None
+            state.setflags(write=False)
+            entry = CacheEntry(
+                key=key,
+                state=state,
+                runtime_seconds=runtime_seconds,
+                metadata=dict(metadata or {}),
+                nbytes=nbytes,
+            )
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.total_bytes -= old.nbytes
+            self._entries[key] = entry
+            self.total_bytes += nbytes
+            while len(self._entries) > self.max_entries or (
+                self.total_bytes > self.max_bytes and len(self._entries) > 1
+            ):
+                _, evicted = self._entries.popitem(last=False)
+                self.total_bytes -= evicted.nbytes
+                self.evictions += 1
+            return entry
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits / lookups (0.0 before any lookup)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self) -> dict:
+        """JSON-serializable counter snapshot."""
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self.total_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "uncacheable": self.uncacheable,
+                "hit_rate": round(self.hit_rate, 6),
+            }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.total_bytes = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries

@@ -1,0 +1,189 @@
+"""Job model for the batch simulation service.
+
+A :class:`Job` is one unit of serving work: a circuit plus everything
+needed to execute it (backend, simulator config, sampling request) and
+everything needed to *manage* it (priority, per-job deadline, retry
+budget).  Jobs move through an explicit state machine::
+
+    PENDING --> RUNNING --> DONE
+       |           |------> FAILED      (permanent error / retries spent)
+       |           |------> TIMEOUT     (deadline exceeded)
+       |           '------> CANCELLED
+       '--> CANCELLED                    (cancelled while queued)
+
+Transitions are validated (:meth:`Job.transition`) so a bug in the
+scheduler or workers surfaces as a loud :class:`~repro.common.errors.ServeError`
+instead of a silently corrupted job table.
+
+The :meth:`Job.cache_key` is the content address used by
+:mod:`repro.serve.cache`: the circuit's canonical
+:meth:`~repro.circuits.circuit.Circuit.fingerprint` combined with the
+backend name and a digest of the *semantic* simulator config (execution
+knobs like ``use_thread_pool`` are excluded -- they cannot change the
+final state).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.circuits.circuit import Circuit
+from repro.common.config import FlatDDConfig
+from repro.common.errors import ServeError
+
+__all__ = ["Job", "JobResult", "JobState", "config_digest"]
+
+
+class JobState(str, enum.Enum):
+    """Lifecycle states of a service job."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    DONE = "DONE"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+    TIMEOUT = "TIMEOUT"
+
+    @property
+    def terminal(self) -> bool:
+        return self in _TERMINAL
+
+
+_TERMINAL = {JobState.DONE, JobState.FAILED, JobState.CANCELLED, JobState.TIMEOUT}
+
+#: Legal state transitions; anything else is a scheduler/worker bug.
+_TRANSITIONS: dict[JobState, set[JobState]] = {
+    JobState.PENDING: {JobState.RUNNING, JobState.CANCELLED, JobState.FAILED},
+    JobState.RUNNING: {
+        JobState.DONE,
+        JobState.FAILED,
+        JobState.TIMEOUT,
+        JobState.CANCELLED,
+    },
+    JobState.DONE: set(),
+    JobState.FAILED: set(),
+    JobState.CANCELLED: set(),
+    JobState.TIMEOUT: set(),
+}
+
+#: FlatDDConfig fields that only affect *how* the simulation executes,
+#: never the final state -- excluded from the cache-key config digest.
+_EXECUTION_ONLY_FIELDS = ("use_thread_pool",)
+
+
+def config_digest(config: FlatDDConfig | None) -> str:
+    """Short stable digest of the semantically relevant config fields."""
+    if config is None:
+        return "default"
+    fields = dataclasses.asdict(config)
+    for name in _EXECUTION_ONLY_FIELDS:
+        fields.pop(name, None)
+    blob = ";".join(f"{k}={fields[k]!r}" for k in sorted(fields))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+@dataclass(eq=False)
+class JobResult:
+    """What a finished job hands back to the submitter.
+
+    Identity equality (``eq=False``): results carry numpy arrays, and a
+    job is one specific submission, not a value.
+    """
+
+    job_id: str
+    backend: str
+    #: Final state vector.  Fan-out jobs in one batch group share the
+    #: same (read-only) array, so duplicate circuits are bit-identical
+    #: by construction.
+    state: np.ndarray
+    runtime_seconds: float
+    #: True when the state came out of the result cache (or a batch-group
+    #: fan-out) instead of a fresh simulation.
+    cache_hit: bool = False
+    #: Number of execution attempts the producing simulation took.
+    attempts: int = 1
+    #: Sampled measurement counts when the job asked for shots.
+    counts: dict[str, int] | None = None
+    #: Backend metadata of the producing run (conversion point, obs, ...).
+    metadata: dict = field(default_factory=dict)
+
+
+@dataclass(eq=False)
+class Job:
+    """One submitted simulation with its scheduling envelope."""
+
+    circuit: Circuit
+    backend: str = "flatdd"
+    config: FlatDDConfig | None = None
+    #: Sample this many bitstrings from the final state (0 = exact state
+    #: only).  Sampling is per-job, so cache-identical jobs may still ask
+    #: for different shots/seeds.
+    shots: int = 0
+    sample_seed: int = 0
+    #: Larger runs earlier; ties break on earlier deadline, then FIFO.
+    priority: int = 0
+    #: Wall-clock budget for execution (None = service default).
+    deadline_seconds: float | None = None
+    #: Transient-fault retry budget (attempts = 1 + max_retries).
+    max_retries: int = 2
+    job_id: str = ""
+
+    # -- managed state (owned by queue/workers, not the submitter) -----
+    state: JobState = JobState.PENDING
+    attempts: int = 0
+    error: str | None = None
+    result: JobResult | None = None
+    #: FIFO tiebreaker, assigned at admission.
+    seq: int = -1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ServeError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise ServeError(
+                f"deadline_seconds must be positive, got {self.deadline_seconds}"
+            )
+        if self.shots < 0:
+            raise ServeError(f"shots must be >= 0, got {self.shots}")
+
+    def cache_key(self) -> str:
+        """Content address of this job's simulation output."""
+        return hashlib.sha256(
+            f"{self.circuit.fingerprint()};{self.backend};"
+            f"{config_digest(self.config)}".encode("ascii")
+        ).hexdigest()
+
+    def transition(self, new_state: JobState) -> None:
+        """Move to ``new_state``, enforcing the lifecycle graph."""
+        if new_state not in _TRANSITIONS[self.state]:
+            raise ServeError(
+                f"job {self.job_id or '<unsubmitted>'}: illegal transition "
+                f"{self.state.value} -> {new_state.value}"
+            )
+        self.state = new_state
+
+    @property
+    def done(self) -> bool:
+        return self.state.terminal
+
+    def summary(self) -> dict:
+        """JSON-serializable snapshot (CLI --json, logs)."""
+        return {
+            "job_id": self.job_id,
+            "circuit": self.circuit.name,
+            "qubits": self.circuit.num_qubits,
+            "gates": len(self.circuit.gates),
+            "backend": self.backend,
+            "state": self.state.value,
+            "priority": self.priority,
+            "attempts": self.attempts,
+            "cache_hit": bool(self.result and self.result.cache_hit),
+            "error": self.error,
+        }

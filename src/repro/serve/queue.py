@@ -1,0 +1,158 @@
+"""Thread-safe priority queue with admission control and backpressure.
+
+The queue is the service's front door.  Its job is to say *no* early:
+a full queue, an oversized circuit, or a duplicate job id is rejected at
+submission with a machine-readable reason
+(:class:`~repro.common.errors.AdmissionError`) rather than accepted and
+failed later -- bounded backpressure instead of unbounded memory growth.
+
+Ordering is a heap on ``(-priority, deadline, seq)``: higher priority
+first, earlier deadline breaking ties, FIFO within that.  Cancellation
+is lazy -- :meth:`JobQueue.cancel` flips the job to ``CANCELLED`` and
+:meth:`~JobQueue.pop`/:meth:`~JobQueue.drain_pending` skip tombstones --
+so cancel is O(1) and never re-heapifies under the lock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from collections import Counter
+
+from repro.common.errors import AdmissionError
+from repro.serve.jobs import Job, JobState
+
+__all__ = ["JobQueue"]
+
+_INF = float("inf")
+
+
+class JobQueue:
+    """Bounded priority queue over :class:`~repro.serve.jobs.Job`."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        max_qubits: int | None = None,
+        max_gates: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise AdmissionError(
+                "bad_capacity", f"capacity must be >= 1, got {capacity}"
+            )
+        self.capacity = capacity
+        self.max_qubits = max_qubits
+        self.max_gates = max_gates
+        self._heap: list[tuple[float, float, int, Job]] = []
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._seq = itertools.count()
+        #: Admission outcomes, by reason ("accepted", "queue_full", ...).
+        self.admission_counts: Counter = Counter()
+
+    # -- admission ----------------------------------------------------
+
+    def _reject_reason(self, job: Job) -> str | None:
+        if len(self._heap) >= self.capacity:
+            return "queue_full"
+        if self.max_qubits is not None and job.circuit.num_qubits > self.max_qubits:
+            return "too_many_qubits"
+        if self.max_gates is not None and len(job.circuit.gates) > self.max_gates:
+            return "too_many_gates"
+        if job.job_id and job.job_id in self._jobs:
+            return "duplicate_job_id"
+        return None
+
+    def submit(self, job: Job) -> Job:
+        """Admit ``job`` or raise :class:`AdmissionError` with a reason.
+
+        Assigns the FIFO sequence number and a ``job-NNNNNN`` id when the
+        submitter left ``job_id`` empty.
+        """
+        if job.state is not JobState.PENDING:
+            raise AdmissionError(
+                "not_pending",
+                f"job {job.job_id!r} is {job.state.value}, not PENDING",
+            )
+        with self._lock:
+            reason = self._reject_reason(job)
+            if reason is not None:
+                self.admission_counts[reason] += 1
+                raise AdmissionError(
+                    reason,
+                    f"job {job.job_id or job.circuit.name!r} rejected: "
+                    f"{reason} (capacity={self.capacity}, "
+                    f"pending={len(self._heap)})",
+                )
+            job.seq = next(self._seq)
+            if not job.job_id:
+                job.job_id = f"job-{job.seq:06d}"
+            deadline = (
+                job.deadline_seconds if job.deadline_seconds is not None else _INF
+            )
+            heapq.heappush(self._heap, (-job.priority, deadline, job.seq, job))
+            self._jobs[job.job_id] = job
+            self.admission_counts["accepted"] += 1
+            self._not_empty.notify()
+        return job
+
+    def try_submit(self, job: Job) -> tuple[bool, str | None]:
+        """Non-raising :meth:`submit`: ``(accepted, rejection_reason)``."""
+        try:
+            self.submit(job)
+        except AdmissionError as exc:
+            return False, exc.reason
+        return True, None
+
+    # -- consumption --------------------------------------------------
+
+    def pop(self, block: bool = False, timeout: float | None = None) -> Job | None:
+        """Highest-priority pending job, or None when (momentarily) empty."""
+        with self._not_empty:
+            while True:
+                job = self._pop_live_locked()
+                if job is not None:
+                    return job
+                if not block or not self._not_empty.wait(timeout):
+                    return None
+                block = False  # one wakeup per call
+
+    def _pop_live_locked(self) -> Job | None:
+        while self._heap:
+            _, _, _, job = heapq.heappop(self._heap)
+            if job.state is JobState.PENDING:
+                return job
+        return None
+
+    def drain_pending(self) -> list[Job]:
+        """Remove and return *all* pending jobs in scheduling order."""
+        with self._lock:
+            jobs = []
+            while True:
+                job = self._pop_live_locked()
+                if job is None:
+                    return jobs
+                jobs.append(job)
+
+    # -- management ---------------------------------------------------
+
+    def get(self, job_id: str) -> Job | None:
+        with self._lock:
+            return self._jobs.get(job_id)
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a still-pending job; False if unknown or already started."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None or job.state is not JobState.PENDING:
+                return False
+            job.transition(JobState.CANCELLED)
+            return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(
+                1 for *_k, job in self._heap if job.state is JobState.PENDING
+            )

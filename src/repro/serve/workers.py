@@ -1,0 +1,282 @@
+"""Fault-tolerant worker pool for the batch simulation service.
+
+Workers execute :class:`~repro.serve.scheduler.BatchGroup` plans on the
+shared thread substrate (:class:`repro.parallel.pool.TaskRunner`), with
+three guarantees the one-shot CLI path never needed:
+
+* **Isolation** -- every group runs inside a catch-all wrapper, so one
+  crashing job marks *its* jobs FAILED and the pool keeps draining; an
+  exception can never tear down the service.
+* **Retry with backoff** -- exceptions outside the
+  :class:`~repro.common.errors.ReproError` hierarchy are treated as
+  transient (an allocator hiccup, an injected fault) and retried with
+  exponential backoff up to the job's ``max_retries``;
+  :class:`~repro.common.errors.ReproError` means the job itself is bad
+  (unknown gate, invalid config) and fails immediately without burning
+  retries.
+* **Deadline enforcement** -- each job gets a wall-clock budget (its own
+  ``deadline_seconds`` or the service default).  Backends with a
+  cooperative ``max_seconds`` (FlatDD, DDSIM) are bounded in-flight; all
+  backends are checked against the wall clock afterwards.  Exceeding the
+  budget is a terminal ``TIMEOUT``, not a retry -- a deterministic
+  over-budget job would time out again.
+
+Within a group, the first job to execute populates the result cache and
+every subsequent member is served from it, so duplicate circuits cost
+one simulation and their results are bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.backends import DDSimulator, StatevectorSimulator
+from repro.common.config import FlatDDConfig, ServeConfig
+from repro.common.errors import ReproError, ServeError
+from repro.core import FlatDDSimulator
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.parallel.pool import TaskRunner
+from repro.sampling import sample_counts
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import Job, JobResult, JobState
+
+__all__ = ["WorkerPool", "clamp_threads"]
+
+_log = logging.getLogger("repro.serve.workers")
+
+
+def clamp_threads(threads: int, num_qubits: int) -> int:
+    """Largest valid thread count: power of two, <= 2**(n-1), <= threads.
+
+    The service accepts jobs of any size, so the per-job simulator
+    thread count must adapt to the circuit instead of failing DMAV's
+    ``log2 t < n`` precondition on small circuits.
+    """
+    limit = 1 << max(num_qubits - 1, 0)
+    t = max(1, min(threads, limit))
+    while t & (t - 1):
+        t &= t - 1  # clear lowest set bit until a power of two remains
+    return t
+
+
+class WorkerPool:
+    """Executes batch groups with retry, timeout, and crash isolation."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        tracer=None,
+        registry: MetricsRegistry | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        self.config = config or ServeConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry if registry is not None else MetricsRegistry()
+        #: Injectable for tests (backoff without real waiting).
+        self._sleep = sleep if sleep is not None else time.sleep
+        self.runner = TaskRunner(
+            self.config.workers,
+            use_pool=self.config.use_thread_pool,
+            cancel_pending=True,
+        )
+        #: Exceptions that escaped a job's own handling (worker bugs);
+        #: the pool survives them, but they are loud in the report.
+        self.internal_errors = 0
+
+    # -- public -------------------------------------------------------
+
+    def execute_groups(self, groups: Sequence, cache: ResultCache) -> None:
+        """Run every group; never raises on behalf of a job."""
+        if not groups:
+            return
+        self.runner.run(
+            [
+                lambda group=group: self._execute_group_safe(group, cache)
+                for group in groups
+            ]
+        )
+
+    def close(self) -> None:
+        self.runner.close()
+
+    # -- group / job execution ----------------------------------------
+
+    def _execute_group_safe(self, group, cache: ResultCache) -> None:
+        try:
+            for job in group.jobs:
+                self._run_job(job, cache)
+        except Exception:
+            # A bug in the worker itself: quarantine the whole group but
+            # keep the pool alive.
+            self.internal_errors += 1
+            self.registry.counter("serve.worker.internal_errors").inc()
+            _log.exception("internal error executing group %s", group.key[:12])
+            for job in group.jobs:
+                if not job.done:
+                    if job.state is JobState.PENDING:
+                        job.transition(JobState.RUNNING)
+                    job.error = "internal worker error (see service log)"
+                    job.transition(JobState.FAILED)
+
+    def _run_job(self, job: Job, cache: ResultCache) -> None:
+        if job.state is JobState.CANCELLED:
+            return
+        job.transition(JobState.RUNNING)
+        key = job.cache_key()
+        entry = cache.get(key)
+        if entry is not None:
+            self.registry.counter("serve.jobs.cache_hits").inc()
+            self._finish(
+                job,
+                entry.state,
+                entry.runtime_seconds,
+                cache_hit=True,
+                metadata=entry.metadata,
+            )
+            return
+        result = self._execute_with_retry(job)
+        if result is None:
+            return  # already FAILED or TIMEOUT
+        entry = cache.put(
+            key,
+            result.state,
+            result.runtime_seconds,
+            metadata={"backend": result.backend, "producer": job.job_id},
+        )
+        state = entry.state if entry is not None else result.state
+        self._finish(
+            job,
+            state,
+            result.runtime_seconds,
+            cache_hit=False,
+            metadata=dict(result.metadata),
+        )
+
+    def _finish(
+        self,
+        job: Job,
+        state: np.ndarray,
+        runtime_seconds: float,
+        cache_hit: bool,
+        metadata: dict,
+    ) -> None:
+        counts = None
+        if job.shots > 0:
+            counts = dict(
+                sample_counts(
+                    state, job.shots, np.random.default_rng(job.sample_seed)
+                )
+            )
+        job.result = JobResult(
+            job_id=job.job_id,
+            backend=job.backend,
+            state=state,
+            runtime_seconds=runtime_seconds,
+            cache_hit=cache_hit,
+            attempts=max(job.attempts, 1),
+            counts=counts,
+            metadata=metadata,
+        )
+        job.transition(JobState.DONE)
+        self.registry.counter("serve.jobs.done").inc()
+
+    # -- one job, with retry/backoff/deadline -------------------------
+
+    def _execute_with_retry(self, job: Job):
+        cfg = self.config
+        deadline = (
+            job.deadline_seconds
+            if job.deadline_seconds is not None
+            else cfg.default_deadline_seconds
+        )
+        started = time.perf_counter()
+        delay = cfg.retry_base_delay
+        while True:
+            remaining = (
+                None
+                if deadline is None
+                else deadline - (time.perf_counter() - started)
+            )
+            if remaining is not None and remaining <= 0:
+                return self._timeout(job, deadline)
+            job.attempts += 1
+            try:
+                with self.tracer.span(
+                    f"job:{job.job_id}", "serve", attempt=job.attempts
+                ):
+                    result = self._attempt(job, remaining)
+            except ReproError as exc:
+                # The job itself is invalid; retrying cannot help.
+                return self._fail(job, f"permanent: {exc}")
+            except Exception as exc:
+                if job.attempts > job.max_retries:
+                    return self._fail(
+                        job,
+                        f"transient fault persisted after {job.attempts} "
+                        f"attempts: {exc!r}",
+                    )
+                self.registry.counter("serve.jobs.retries").inc()
+                self.tracer.instant(
+                    "retry",
+                    "serve",
+                    job_id=job.job_id,
+                    attempt=job.attempts,
+                    error=repr(exc),
+                )
+                _log.info(
+                    "job %s attempt %d hit transient fault (%r); retrying",
+                    job.job_id, job.attempts, exc,
+                )
+                self._sleep(min(delay, cfg.retry_max_delay))
+                delay = min(delay * 2, cfg.retry_max_delay)
+                continue
+            if result.metadata.get("timed_out") or (
+                deadline is not None
+                and time.perf_counter() - started > deadline
+            ):
+                return self._timeout(job, deadline)
+            return result
+
+    def _attempt(self, job: Job, max_seconds: float | None):
+        sim = self._make_simulator(job)
+        kwargs: dict = {}
+        if max_seconds is not None and job.backend in ("flatdd", "ddsim"):
+            kwargs["max_seconds"] = max_seconds
+        if self.tracer.enabled:
+            kwargs["tracer"] = self.tracer
+        return sim.run(job.circuit, **kwargs)
+
+    def _make_simulator(self, job: Job):
+        threads = clamp_threads(self.config.threads, job.circuit.num_qubits)
+        if job.backend == "flatdd":
+            if job.config is not None:
+                return FlatDDSimulator(config=job.config)
+            return FlatDDSimulator(config=FlatDDConfig(threads=threads))
+        if job.backend == "ddsim":
+            return DDSimulator()
+        if job.backend == "quantumpp":
+            return StatevectorSimulator(threads=threads)
+        raise ServeError(f"unknown backend {job.backend!r}")
+
+    # -- terminal outcomes --------------------------------------------
+
+    def _fail(self, job: Job, message: str) -> None:
+        job.error = message
+        job.transition(JobState.FAILED)
+        self.registry.counter("serve.jobs.failed").inc()
+        self.tracer.instant("job_failed", "serve", job_id=job.job_id)
+        _log.warning("job %s FAILED: %s", job.job_id, message)
+        return None
+
+    def _timeout(self, job: Job, deadline: float | None) -> None:
+        job.error = f"deadline of {deadline:g}s exceeded"
+        job.transition(JobState.TIMEOUT)
+        self.registry.counter("serve.jobs.timeout").inc()
+        self.tracer.instant("job_timeout", "serve", job_id=job.job_id)
+        _log.warning("job %s TIMEOUT after %d attempt(s)", job.job_id, job.attempts)
+        return None

@@ -12,7 +12,7 @@ file.  :func:`run_campaign` drives the whole loop;
 See ``docs/TESTING.md`` for the oracle catalog and triage workflow.
 """
 
-from repro.verify.fuzz.faults import FAULTS, plant_fault
+from repro.verify.fuzz.faults import CRASH_FAULTS, FAULTS, plant_fault
 from repro.verify.fuzz.generate import (
     REGIMES,
     FuzzSpec,
@@ -38,6 +38,7 @@ from repro.verify.fuzz.shrink import (
 )
 
 __all__ = [
+    "CRASH_FAULTS",
     "CampaignResult",
     "FAULTS",
     "FuzzSpec",

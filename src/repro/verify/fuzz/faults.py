@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.circuits.gates import Gate
 
-__all__ = ["FAULTS", "plant_fault"]
+__all__ = ["CRASH_FAULTS", "FAULTS", "plant_fault"]
 
 
 @contextlib.contextmanager
@@ -89,21 +89,92 @@ def _fault_conversion_drop() -> Iterator[None]:
         sim.convert_parallel = original
 
 
+@contextlib.contextmanager
+def _fault_transient_crash(times: int = 2) -> Iterator[None]:
+    """Gate-DD construction raises for the first ``times`` calls, then heals.
+
+    Unlike the silent-corruption faults above, this one *crashes*: the
+    serving layer uses it to exercise the transient-fault path (worker
+    retries with backoff, then the job succeeds).  The counter is shared
+    across the whole block, so the first job to execute absorbs the
+    failures and everything after it runs clean.
+    """
+    import repro.backends.gatecache as gatecache
+
+    original = gatecache.build_gate_dd
+    calls = {"n": 0}
+
+    def faulty(pkg, gate: Gate):
+        calls["n"] += 1
+        if calls["n"] <= times:
+            raise RuntimeError(
+                f"injected transient fault ({calls['n']}/{times})"
+            )
+        return original(pkg, gate)
+
+    gatecache.build_gate_dd = faulty
+    try:
+        yield
+    finally:
+        gatecache.build_gate_dd = original
+
+
+@contextlib.contextmanager
+def _fault_permanent_crash() -> Iterator[None]:
+    """Gate-DD construction always raises.
+
+    Exhausts any retry budget: the serving layer uses it to assert a
+    permanently failing job goes FAILED without poisoning the worker
+    pool for the jobs behind it.
+    """
+    import repro.backends.gatecache as gatecache
+
+    original = gatecache.build_gate_dd
+
+    def faulty(pkg, gate: Gate):
+        raise RuntimeError("injected permanent fault")
+
+    gatecache.build_gate_dd = faulty
+    try:
+        yield
+    finally:
+        gatecache.build_gate_dd = original
+
+
 #: name -> context manager installing the fault for the enclosed block.
+#: These faults *silently corrupt* one simulation path, so differential
+#: oracles catch them; see CRASH_FAULTS for the raising kind.
 FAULTS: dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
     "t-phase": _fault_t_phase,
     "swap-noop": _fault_swap_noop,
     "conversion-drop": _fault_conversion_drop,
 }
 
+#: Faults that *raise* instead of corrupting.  The serving layer
+#: (`repro.serve`) plants these to exercise its retry/failure paths;
+#: they are kept out of FAULTS because "caught by a differential oracle"
+#: does not apply to an exception.
+CRASH_FAULTS: dict[str, Callable[[], "contextlib.AbstractContextManager"]] = {
+    "transient-crash": _fault_transient_crash,
+    "permanent-crash": _fault_permanent_crash,
+}
+
 
 @contextlib.contextmanager
 def plant_fault(name: str | None) -> Iterator[None]:
-    """Install fault ``name`` for the enclosed block (None = no-op)."""
+    """Install fault ``name`` for the enclosed block (None = no-op).
+
+    Resolves both catalogs: corruption faults (:data:`FAULTS`) and
+    crash faults (:data:`CRASH_FAULTS`).
+    """
     if name is None:
         yield
         return
-    if name not in FAULTS:
-        raise ValueError(f"unknown fault {name!r}; known: {sorted(FAULTS)}")
-    with FAULTS[name]():
+    factory = FAULTS.get(name) or CRASH_FAULTS.get(name)
+    if factory is None:
+        raise ValueError(
+            f"unknown fault {name!r}; known: "
+            f"{sorted(FAULTS) + sorted(CRASH_FAULTS)}"
+        )
+    with factory():
         yield

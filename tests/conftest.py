@@ -10,11 +10,23 @@ from repro.circuits import Circuit, get_circuit
 from repro.dd import DDPackage
 
 
+def pytest_configure(config):
+    # Registered in pyproject.toml too; duplicated here so the suite works
+    # under a bare pytest invocation that misses the ini (e.g. rootdir
+    # confusion in CI sandboxes).
+    config.addinivalue_line(
+        "markers", "serve: exercises the repro.serve batch simulation service"
+    )
+
+
 def pytest_collection_modifyitems(config, items):
     """Everything not explicitly marked ``slow`` belongs to tier 1.
 
     Keeping the tier-1 marker implicit means new tests join the fast
     default tier automatically; only opting *out* (``slow``) is explicit.
+    ``serve`` tests follow the same rule: fast ones ride in tier 1, and
+    the long-running service stress tests carry ``slow`` as well, so the
+    default run skips them while ``-m serve`` selects the whole family.
     """
     for item in items:
         if "slow" not in item.keywords:

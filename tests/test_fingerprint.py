@@ -1,0 +1,119 @@
+"""Stability tests for the canonical ``Circuit.fingerprint()``.
+
+The fingerprint is the content address behind the serving layer's result
+cache, so two properties matter above all: *stability* (float formatting
+noise, alias spellings, and irrelevant metadata never change the hash)
+and *sensitivity* (anything that changes the simulated state does).
+"""
+
+import math
+
+import pytest
+
+from repro.circuits import Circuit, Gate, get_circuit, parse_qasm, to_qasm
+from repro.circuits.circuit import FINGERPRINT_DECIMALS
+
+
+def _bell() -> Circuit:
+    return Circuit(2).h(0).cx(0, 1)
+
+
+class TestStability:
+    def test_deterministic_across_calls(self):
+        c = get_circuit("supremacy", 6, cycles=6)
+        assert c.fingerprint() == c.fingerprint()
+
+    def test_equal_for_independent_builds(self):
+        assert _bell().fingerprint() == _bell().fingerprint()
+
+    def test_circuit_name_is_ignored(self):
+        a = Circuit(2, name="alpha").h(0).cx(0, 1)
+        b = Circuit(2, name="beta").h(0).cx(0, 1)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_builder_style_is_irrelevant(self):
+        fluent = Circuit(3).h(0).rx(0.5, 1).ccx(0, 1, 2)
+        explicit = Circuit(3)
+        explicit.append(Gate("h", (0,)))
+        explicit.append(Gate("rx", (1,), params=(0.5,)))
+        explicit.append(Gate("ccx", (2,), controls=(0, 1)))
+        assert fluent.fingerprint() == explicit.fingerprint()
+
+    def test_controlled_aliases_hash_alike(self):
+        a = Circuit(2).append(Gate("cx", (1,), (0,)))
+        b = Circuit(2).append(Gate("cnot", (1,), (0,)))
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_qasm_round_trip_preserves_fingerprint(self):
+        c = get_circuit("qft", 5)
+        back = parse_qasm(to_qasm(c))
+        assert back.fingerprint() == c.fingerprint()
+
+
+class TestFloatFormatting:
+    def test_accumulated_float_noise_collapses(self):
+        # 0.1 + 0.2 != 0.3 in binary, but the rounded canonical form
+        # must agree -- this is exactly the duplicate-submission case
+        # the result cache needs to merge.
+        a = Circuit(1).rx(0.1 + 0.2, 0)
+        b = Circuit(1).rx(0.3, 0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sub_rounding_perturbation_collapses(self):
+        theta = math.pi / 7
+        a = Circuit(1).rz(theta, 0)
+        b = Circuit(1).rz(theta + 1e-14, 0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_negative_zero_normalizes(self):
+        a = Circuit(1).rz(0.0, 0)
+        b = Circuit(1).rz(-0.0, 0)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_distinct_params_still_distinguish(self):
+        eps = 10.0 ** (-FINGERPRINT_DECIMALS + 2)
+        a = Circuit(1).rx(0.5, 0)
+        b = Circuit(1).rx(0.5 + eps, 0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_parameter_order_is_significant(self):
+        # u3(theta, phi, lam) is not u3(phi, theta, lam): swapping the
+        # parameter positions must change the hash.
+        a = Circuit(1).add("u3", 0, params=(0.1, 0.2, 0.3))
+        b = Circuit(1).add("u3", 0, params=(0.2, 0.1, 0.3))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestSensitivity:
+    def test_gate_order_matters(self):
+        a = Circuit(2).h(0).x(1)
+        b = Circuit(2).x(1).h(0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_qubit_count_matters(self):
+        a = Circuit(2).h(0)
+        b = Circuit(3).h(0)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_targets_and_controls_matter(self):
+        assert (
+            Circuit(2).cx(0, 1).fingerprint()
+            != Circuit(2).cx(1, 0).fingerprint()
+        )
+
+    def test_gate_identity_matters(self):
+        assert Circuit(1).s(0).fingerprint() != Circuit(1).t(0).fingerprint()
+
+    @pytest.mark.parametrize("family", ["ghz", "qft", "adder"])
+    def test_distinct_families_distinct_hashes(self, family):
+        others = {"ghz", "qft", "adder"} - {family}
+        fp = get_circuit(family, 6).fingerprint()
+        for other in others:
+            assert fp != get_circuit(other, 6).fingerprint()
+
+    def test_corpus_dedup_usage(self):
+        # The standalone use case: deduplicating a generated corpus.
+        circuits = [get_circuit("random", 5, gates=20, seed=s) for s in range(8)]
+        circuits += [get_circuit("random", 5, gates=20, seed=s) for s in range(4)]
+        unique = {c.fingerprint() for c in circuits}
+        assert len(unique) == 8

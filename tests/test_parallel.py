@@ -67,6 +67,26 @@ class TestTaskRunner:
         assert runner.run([lambda: 5]) == [5]
         runner.close()
 
+    def test_close_idempotent_and_reenterable(self):
+        runner = TaskRunner(2, use_pool=True)
+        with runner:
+            assert runner.run([lambda: 3]) == [3]
+        runner.close()
+        runner.close()
+        with runner:  # fresh executor after a full shutdown
+            assert runner.run([lambda: 4]) == [4]
+
+    def test_exception_in_with_block_releases_pool(self):
+        runner = TaskRunner(2, use_pool=True)
+        with pytest.raises(RuntimeError):
+            with runner:
+                raise RuntimeError("body failed")
+        assert runner._pool is None
+
+    def test_cancel_pending_default_stored(self):
+        assert TaskRunner(2).cancel_pending is False
+        assert TaskRunner(2, cancel_pending=True).cancel_pending is True
+
 
 class TestValidation:
     def test_power_of_two_required(self):

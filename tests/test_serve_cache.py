@@ -1,0 +1,130 @@
+"""Content-addressed result cache: LRU, bounds, counters, immutability."""
+
+import numpy as np
+import pytest
+
+from repro.circuits import Circuit, get_circuit
+from repro.common.config import FlatDDConfig
+from repro.obs import result_cache_counters
+from repro.serve import Job, ResultCache, config_digest
+
+pytestmark = pytest.mark.serve
+
+
+def _state(n=3, seed=0):
+    g = np.random.default_rng(seed)
+    v = g.normal(size=1 << n) + 1j * g.normal(size=1 << n)
+    return (v / np.linalg.norm(v)).astype(np.complex128)
+
+
+class TestLookup:
+    def test_miss_then_hit(self):
+        cache = ResultCache(max_entries=4)
+        assert cache.get("k") is None
+        cache.put("k", _state())
+        entry = cache.get("k")
+        assert entry is not None and entry.hits == 1
+        assert (cache.hits, cache.misses) == (1, 1)
+        assert cache.hit_rate == pytest.approx(0.5)
+
+    def test_put_replaces_and_keeps_byte_accounting(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("k", _state(3))
+        cache.put("k", _state(4))
+        assert len(cache) == 1
+        assert cache.total_bytes == _state(4).nbytes
+
+    def test_cached_state_is_read_only(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("k", _state())
+        entry = cache.get("k")
+        with pytest.raises((ValueError, RuntimeError)):
+            entry.state[0] = 1.0
+
+
+class TestEviction:
+    def test_lru_by_entry_count(self):
+        cache = ResultCache(max_entries=2)
+        cache.put("a", _state(seed=1))
+        cache.put("b", _state(seed=2))
+        cache.get("a")  # refresh a; b is now least recent
+        cache.put("c", _state(seed=3))
+        assert "a" in cache and "c" in cache and "b" not in cache
+        assert cache.evictions == 1
+
+    def test_byte_bound_evicts(self):
+        nbytes = _state(3).nbytes
+        cache = ResultCache(max_entries=100, max_bytes=2 * nbytes)
+        cache.put("a", _state(3, seed=1))
+        cache.put("b", _state(3, seed=2))
+        cache.put("c", _state(3, seed=3))
+        assert len(cache) == 2 and cache.total_bytes <= 2 * nbytes
+        assert cache.evictions == 1
+
+    def test_oversized_entry_is_uncacheable(self):
+        cache = ResultCache(max_entries=4, max_bytes=8)
+        assert cache.put("big", _state(5)) is None
+        assert cache.uncacheable == 1 and len(cache) == 0
+
+    def test_zero_entries_disables_cache(self):
+        cache = ResultCache(max_entries=0)
+        assert cache.put("k", _state()) is None
+        assert cache.get("k") is None
+
+
+class TestCounters:
+    def test_stats_snapshot(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("k", _state())
+        cache.get("k")
+        cache.get("missing")
+        s = cache.stats()
+        assert s["hits"] == 1 and s["misses"] == 1 and s["entries"] == 1
+        assert s["hit_rate"] == pytest.approx(0.5)
+
+    def test_obs_export(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("k", _state())
+        cache.get("k")
+        counters = result_cache_counters(cache)
+        assert counters["serve.cache.hits"] == 1
+        assert counters["serve.cache.entries"] == 1
+        assert counters["serve.cache.bytes"] == _state().nbytes
+
+    def test_clear(self):
+        cache = ResultCache(max_entries=4)
+        cache.put("k", _state())
+        cache.clear()
+        assert len(cache) == 0 and cache.total_bytes == 0
+
+
+class TestCacheKey:
+    def test_same_circuit_same_key(self):
+        c = get_circuit("ghz", 5)
+        assert Job(circuit=c).cache_key() == Job(circuit=c).cache_key()
+
+    def test_backend_and_circuit_split_keys(self):
+        c = get_circuit("ghz", 5)
+        assert (
+            Job(circuit=c, backend="flatdd").cache_key()
+            != Job(circuit=c, backend="ddsim").cache_key()
+        )
+        assert (
+            Job(circuit=c).cache_key()
+            != Job(circuit=get_circuit("qft", 5)).cache_key()
+        )
+
+    def test_sampling_request_does_not_split_keys(self):
+        # Shots/seeds/priority are per-job concerns; the simulation
+        # output they share must have one content address.
+        c = get_circuit("ghz", 5)
+        a = Job(circuit=c, shots=1000, sample_seed=1, priority=9)
+        b = Job(circuit=c)
+        assert a.cache_key() == b.cache_key()
+
+    def test_config_digest_ignores_execution_knobs(self):
+        inline = FlatDDConfig(threads=2, use_thread_pool=False)
+        pooled = FlatDDConfig(threads=2, use_thread_pool=True)
+        assert config_digest(inline) == config_digest(pooled)
+        assert config_digest(inline) != config_digest(FlatDDConfig(threads=4))
+        assert config_digest(None) == "default"

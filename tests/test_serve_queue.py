@@ -1,0 +1,153 @@
+"""Admission control, priority ordering, and batch planning tests."""
+
+import pytest
+
+from repro.circuits import Circuit, get_circuit
+from repro.common.errors import AdmissionError
+from repro.serve import BatchScheduler, Job, JobQueue, JobState
+
+pytestmark = pytest.mark.serve
+
+
+def _job(num_qubits=3, priority=0, deadline=None, tag="x", **kwargs) -> Job:
+    c = Circuit(num_qubits, name=tag)
+    c.h(0)
+    for q in range(1, num_qubits):
+        c.cx(q - 1, q)
+    c.rz(0.1 * hash(tag) % 7, 0)
+    return Job(
+        circuit=c, priority=priority, deadline_seconds=deadline, **kwargs
+    )
+
+
+class TestAdmission:
+    def test_assigns_ids_and_seq(self):
+        q = JobQueue(capacity=4)
+        a = q.submit(_job())
+        b = q.submit(_job())
+        assert a.job_id and b.job_id and a.job_id != b.job_id
+        assert a.seq < b.seq
+        assert q.admission_counts["accepted"] == 2
+
+    def test_queue_full_rejects_with_reason(self):
+        q = JobQueue(capacity=2)
+        q.submit(_job())
+        q.submit(_job())
+        with pytest.raises(AdmissionError) as exc:
+            q.submit(_job())
+        assert exc.value.reason == "queue_full"
+        assert q.admission_counts["queue_full"] == 1
+
+    def test_backpressure_releases_after_pop(self):
+        q = JobQueue(capacity=1)
+        q.submit(_job())
+        assert q.try_submit(_job()) == (False, "queue_full")
+        assert q.pop() is not None
+        accepted, reason = q.try_submit(_job())
+        assert accepted and reason is None
+
+    def test_oversized_circuit_rejected(self):
+        q = JobQueue(capacity=8, max_qubits=4, max_gates=3)
+        with pytest.raises(AdmissionError) as exc:
+            q.submit(_job(num_qubits=6))
+        assert exc.value.reason == "too_many_qubits"
+        ok, reason = q.try_submit(_job(num_qubits=4))
+        assert not ok and reason == "too_many_gates"
+
+    def test_duplicate_job_id_rejected(self):
+        q = JobQueue(capacity=8)
+        q.submit(_job(job_id="same"))
+        ok, reason = q.try_submit(_job(job_id="same"))
+        assert not ok and reason == "duplicate_job_id"
+
+    def test_non_pending_job_rejected(self):
+        q = JobQueue(capacity=8)
+        job = _job()
+        job.transition(JobState.CANCELLED)
+        with pytest.raises(AdmissionError) as exc:
+            q.submit(job)
+        assert exc.value.reason == "not_pending"
+
+
+class TestOrdering:
+    def test_priority_order(self):
+        q = JobQueue(capacity=8)
+        low = q.submit(_job(priority=0))
+        high = q.submit(_job(priority=10))
+        mid = q.submit(_job(priority=5))
+        assert [q.pop() for _ in range(3)] == [high, mid, low]
+
+    def test_deadline_breaks_priority_ties(self):
+        q = JobQueue(capacity=8)
+        later = q.submit(_job(priority=1, deadline=60.0))
+        sooner = q.submit(_job(priority=1, deadline=5.0))
+        unlimited = q.submit(_job(priority=1))
+        assert [q.pop() for _ in range(3)] == [sooner, later, unlimited]
+
+    def test_fifo_within_equal_envelope(self):
+        q = JobQueue(capacity=8)
+        first = q.submit(_job())
+        second = q.submit(_job())
+        assert q.pop() is first and q.pop() is second
+
+    def test_drain_pending_returns_scheduling_order(self):
+        q = JobQueue(capacity=8)
+        a = q.submit(_job(priority=1))
+        b = q.submit(_job(priority=9))
+        drained = q.drain_pending()
+        assert drained == [b, a]
+        assert len(q) == 0 and q.pop() is None
+
+
+class TestCancellation:
+    def test_cancel_pending_job(self):
+        q = JobQueue(capacity=8)
+        job = q.submit(_job())
+        assert q.cancel(job.job_id)
+        assert job.state is JobState.CANCELLED
+        assert q.pop() is None  # tombstone skipped
+
+    def test_cancel_unknown_or_started(self):
+        q = JobQueue(capacity=8)
+        job = q.submit(_job())
+        assert not q.cancel("nope")
+        popped = q.pop()
+        popped.transition(JobState.RUNNING)
+        assert not q.cancel(popped.job_id)
+
+
+class TestScheduler:
+    def test_groups_by_cache_key(self):
+        sched = BatchScheduler()
+        dup = get_circuit("ghz", 5)
+        jobs = [Job(circuit=dup), Job(circuit=get_circuit("qft", 5)),
+                Job(circuit=dup)]
+        for i, j in enumerate(jobs):
+            j.seq = i
+        groups = sched.plan(jobs)
+        assert sorted(len(g) for g in groups) == [1, 2]
+        assert sched.jobs_deduplicated == 1
+        assert sched.groups_planned == 2
+
+    def test_group_inherits_most_urgent_envelope(self):
+        sched = BatchScheduler()
+        dup = get_circuit("ghz", 5)
+        urgent_dup = Job(circuit=dup, priority=9)
+        lazy_dup = Job(circuit=dup, priority=0)
+        other = Job(circuit=get_circuit("qft", 5), priority=5)
+        for i, j in enumerate([lazy_dup, other, urgent_dup]):
+            j.seq = i
+        groups = sched.plan([lazy_dup, other, urgent_dup])
+        # The duplicate pair rides on the urgent member's priority 9.
+        assert groups[0].jobs == [lazy_dup, urgent_dup]
+        assert groups[0].priority == 9
+        assert groups[1].jobs == [other]
+
+    def test_backend_splits_groups(self):
+        sched = BatchScheduler()
+        c = get_circuit("ghz", 5)
+        a = Job(circuit=c, backend="flatdd")
+        b = Job(circuit=c, backend="quantumpp")
+        for i, j in enumerate([a, b]):
+            j.seq = i
+        assert len(sched.plan([a, b])) == 2

@@ -1,0 +1,191 @@
+"""Worker-pool fault tolerance: retry, permanent failure, timeouts.
+
+Reuses the PR-2 fault-injection library (``repro.verify.fuzz.faults``):
+``transient-crash`` raises for the first N gate-DD constructions then
+heals (the retry path must absorb it), ``permanent-crash`` raises
+forever (the retry budget must exhaust into FAILED without taking the
+pool down with it).
+"""
+
+import numpy as np
+import pytest
+
+from repro.circuits import get_circuit
+from repro.common.config import ServeConfig
+from repro.serve import Job, JobState, SimulationService, clamp_threads
+from repro.verify.fuzz import CRASH_FAULTS, plant_fault
+
+pytestmark = pytest.mark.serve
+
+#: Zero-wait retry policy so fault tests spend no wall time backing off.
+FAST_RETRY = dict(retry_base_delay=0.0, retry_max_delay=0.0)
+
+
+class TestClampThreads:
+    @pytest.mark.parametrize(
+        "threads,qubits,expected",
+        [(4, 8, 4), (4, 2, 2), (4, 1, 1), (8, 3, 4), (3, 8, 2), (1, 8, 1)],
+    )
+    def test_clamp(self, threads, qubits, expected):
+        assert clamp_threads(threads, qubits) == expected
+
+
+class TestTransientFaults:
+    def test_worker_retries_then_succeeds(self):
+        svc = SimulationService(threads=2, max_retries=3, **FAST_RETRY)
+        circuit = get_circuit("ghz", 6)
+        job_id = svc.submit(circuit)
+        with plant_fault("transient-crash"):  # raises twice, then heals
+            report = svc.drain()
+        job = svc.poll(job_id)
+        assert job.state is JobState.DONE
+        assert job.attempts == 3  # two faulted attempts + the success
+        assert report.retries == 2
+        assert report.ok and report.states == {"DONE": 1}
+        # The retried result is still correct.
+        expected = np.zeros(64, dtype=complex)
+        expected[0] = expected[-1] = 1 / np.sqrt(2)
+        np.testing.assert_allclose(
+            svc.result(job_id).state, expected, atol=1e-12
+        )
+        svc.close()
+
+    def test_retry_budget_zero_fails_fast(self):
+        svc = SimulationService(threads=2, max_retries=0, **FAST_RETRY)
+        job_id = svc.submit(get_circuit("ghz", 6))
+        with plant_fault("transient-crash"):
+            report = svc.drain()
+        job = svc.poll(job_id)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 1
+        assert "transient fault" in job.error
+        assert not report.ok
+        svc.close()
+
+    def test_backoff_delays_grow_exponentially(self):
+        sleeps = []
+        svc = SimulationService(
+            threads=2, max_retries=4,
+            retry_base_delay=0.01, retry_max_delay=0.04,
+        )
+        svc.pool._sleep = sleeps.append
+        with plant_fault(None):
+            with CRASH_FAULTS["transient-crash"](times=4):
+                svc.submit(get_circuit("ghz", 5))
+                svc.drain()
+        assert sleeps == [0.01, 0.02, 0.04, 0.04]
+        svc.close()
+
+
+class TestPermanentFaults:
+    def test_permanent_failure_does_not_poison_the_pool(self):
+        # One DD-backed job crashes on every attempt; the statevector
+        # jobs behind it in the same drain must still complete.
+        svc = SimulationService(threads=2, max_retries=1, **FAST_RETRY)
+        bad = svc.submit(get_circuit("ghz", 6), priority=10)  # runs first
+        good = [
+            svc.submit(get_circuit("qft", 5), backend="quantumpp")
+            for _ in range(3)
+        ]
+        with plant_fault("permanent-crash"):  # only DD paths affected
+            report = svc.drain()
+        assert svc.poll(bad).state is JobState.FAILED
+        assert svc.poll(bad).attempts == 2  # initial + 1 retry
+        for job_id in good:
+            assert svc.poll(job_id).state is JobState.DONE
+        assert report.states == {"DONE": 3, "FAILED": 1}
+        assert report.internal_errors == 0
+        # The pool survives: a fresh submission afterwards works.
+        job_id = svc.submit(get_circuit("ghz", 6))
+        assert svc.drain().states == {"DONE": 1}
+        assert svc.poll(job_id).state is JobState.DONE
+        svc.close()
+
+    def test_invalid_backend_fails_without_retries(self):
+        svc = SimulationService(threads=2, max_retries=3, **FAST_RETRY)
+        job = Job(circuit=get_circuit("ghz", 5), backend="flatdd")
+        job.backend = "warp-drive"  # bypass constructor-time checks
+        job_id = svc.submit(job)
+        report = svc.drain()
+        polled = svc.poll(job_id)
+        assert polled.state is JobState.FAILED
+        assert polled.attempts == 1  # ReproError = permanent, no retries
+        assert "permanent" in polled.error
+        assert report.retries == 0
+        svc.close()
+
+    def test_failed_attempts_never_populate_the_cache(self):
+        svc = SimulationService(threads=2, max_retries=0, **FAST_RETRY)
+        circuit = get_circuit("ghz", 6)
+        first = svc.submit(circuit)
+        with plant_fault("permanent-crash"):
+            svc.drain()
+        assert svc.poll(first).state is JobState.FAILED
+        assert len(svc.cache) == 0
+        # Resubmitting after the fault clears succeeds from scratch.
+        second = svc.submit(circuit)
+        svc.drain()
+        assert svc.poll(second).state is JobState.DONE
+        svc.close()
+
+
+class TestTimeouts:
+    def test_expired_deadline_times_out_before_running(self):
+        svc = SimulationService(threads=2, **FAST_RETRY)
+        # transient-crash would force retries; an expired deadline must
+        # win before the first attempt even starts.
+        job = Job(circuit=get_circuit("ghz", 6), deadline_seconds=1e-12)
+        job_id = svc.submit(job)
+        report = svc.drain()
+        polled = svc.poll(job_id)
+        assert polled.state is JobState.TIMEOUT
+        assert polled.attempts == 0
+        assert "deadline" in polled.error
+        assert report.states == {"TIMEOUT": 1}
+        svc.close()
+
+    def test_wall_clock_timeout_after_attempt(self):
+        # quantumpp has no cooperative max_seconds; the worker's
+        # wall-clock check after the attempt must catch the overrun.
+        svc = SimulationService(threads=2, **FAST_RETRY)
+        job = Job(
+            circuit=get_circuit("qft", 8),
+            backend="quantumpp",
+            deadline_seconds=1e-7,
+        )
+        job_id = svc.submit(job)
+        svc.drain()
+        assert svc.poll(job_id).state is JobState.TIMEOUT
+        svc.close()
+
+    def test_service_default_deadline_applies(self):
+        svc = SimulationService(
+            threads=2, default_deadline_seconds=1e-12, **FAST_RETRY
+        )
+        job_id = svc.submit(get_circuit("ghz", 5))
+        svc.drain()
+        assert svc.poll(job_id).state is JobState.TIMEOUT
+        svc.close()
+
+
+class TestIsolation:
+    def test_internal_error_quarantines_group_not_pool(self):
+        from repro.serve.scheduler import BatchGroup
+
+        svc = SimulationService(threads=2, **FAST_RETRY)
+        healthy = Job(circuit=get_circuit("ghz", 5))
+        healthy.seq = 0
+        # A group whose job is already terminal trips the state machine
+        # inside the worker -- an internal bug, not a job failure.
+        broken = Job(circuit=get_circuit("qft", 5))
+        broken.seq = 1
+        broken.transition(JobState.CANCELLED)
+        broken.state = JobState.DONE  # corrupt: DONE with no result
+        groups = [
+            BatchGroup(key=broken.cache_key(), jobs=[broken]),
+            BatchGroup(key=healthy.cache_key(), jobs=[healthy]),
+        ]
+        svc.pool.execute_groups(groups, svc.cache)
+        assert svc.pool.internal_errors == 1
+        assert healthy.state is JobState.DONE
+        svc.close()

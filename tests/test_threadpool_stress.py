@@ -92,3 +92,84 @@ class TestPooledKernels:
                 runner.run([lambda: 1 / 0])
             # The pool is still usable afterwards.
             assert runner.run([lambda: 7]) == [7]
+
+
+class TestRunnerLifecycle:
+    """Regression tests for the shutdown paths the serving layer leans on.
+
+    Historically ``close()`` kept a dangling executor reference (a second
+    call raised) and an exception inside the ``with`` block leaked the
+    pool.  The service's WorkerPool closes its runner from ``close()``
+    *and* ``__exit__`` and must survive both orders.
+    """
+
+    def test_close_is_idempotent(self):
+        runner = TaskRunner(4, use_pool=True)
+        with runner:
+            assert runner.run([lambda: 1]) == [1]
+        runner.close()
+        runner.close()  # second (and third) close must be a no-op
+        runner.close(cancel_pending=True)
+
+    def test_exit_shuts_down_after_thunk_raised(self):
+        runner = TaskRunner(4, use_pool=True)
+        with pytest.raises(ZeroDivisionError):
+            with runner:
+                runner.run([lambda: 1 / 0])
+        assert runner._pool is None  # executor released despite the raise
+        # The runner is re-enterable with a fresh pool.
+        with runner:
+            assert runner._pool is not None
+            assert runner.run([lambda: 2]) == [2]
+        assert runner._pool is None
+
+    def test_reentry_does_not_leak_pools(self):
+        runner = TaskRunner(2, use_pool=True)
+        with runner:
+            first = runner._pool
+            with runner:  # nested entry reuses the live executor
+                assert runner._pool is first
+        assert runner._pool is None
+
+    def test_cancel_pending_drops_queued_tasks(self):
+        import threading
+        import time
+
+        gate = threading.Event()
+        ran = []
+
+        def blocker():
+            gate.wait(5.0)
+            ran.append("blocker")
+
+        def queued():
+            ran.append("queued")
+
+        # threads=1 runs inline, so saturate a 2-worker pool instead.
+        runner = TaskRunner(2, use_pool=True, cancel_pending=True)
+        runner.__enter__()
+        # Submit directly so run()'s result iteration does not block.
+        runner._pool.submit(blocker)
+        runner._pool.submit(blocker)
+        runner._pool.submit(queued)
+        time.sleep(0.05)  # let the blockers occupy both workers
+        gate.set()
+        runner.close()  # cancel_pending default drops `queued`
+        assert ran == ["blocker", "blocker"]
+
+    def test_close_without_cancel_drains_queue(self):
+        import threading
+        import time
+
+        gate = threading.Event()
+        ran = []
+
+        runner = TaskRunner(2, use_pool=True, cancel_pending=False)
+        runner.__enter__()
+        runner._pool.submit(lambda: (gate.wait(5.0), ran.append("a")))
+        runner._pool.submit(lambda: (gate.wait(5.0), ran.append("a")))
+        runner._pool.submit(lambda: ran.append("b"))
+        time.sleep(0.05)
+        gate.set()
+        runner.close()
+        assert sorted(ran) == ["a", "a", "b"]  # queued task still drained
