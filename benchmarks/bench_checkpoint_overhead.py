@@ -1,0 +1,92 @@
+"""Checkpoint overhead: snapshot cost vs checkpoint cadence.
+
+Resilience is not free: each cut serializes the state (DD edge walk or
+flat array), dumps the complex table, and resets the history-dependent
+caches so a resume replays bit-identically (docs/RESILIENCE.md).  This
+experiment quantifies that price as a function of ``checkpoint_every`` on
+a DD-heavy circuit (supremacy, EWMA-timed conversion) and an array-heavy
+one (QFT with an early forced conversion), against an uncheckpointed
+baseline.
+
+Shape targets: overhead decreases monotonically-ish as the cadence
+coarsens, and the sparsest cadence stays within a small multiple of the
+baseline -- checkpointing every gate is the pathological configuration,
+not the recommended one.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+import pytest
+
+from repro.bench.tables import render_series
+from repro.circuits import get_circuit
+from repro.common.config import FlatDDConfig
+from repro.core import FlatDDSimulator
+
+from conftest import emit
+
+EVERY = [1, 2, 5, 10, 25]
+WORKLOADS = [
+    ("supremacy", 10, {"cycles": 8}, {}),
+    ("qft", 10, {}, {"force_convert_at": 3}),
+]
+REPEATS = 3
+
+
+def _timed_run(circuit, cfg_kwargs, threads, **run_kwargs):
+    best = float("inf")
+    for _ in range(REPEATS):
+        cfg = FlatDDConfig(threads=threads, **cfg_kwargs)
+        t0 = time.perf_counter()
+        FlatDDSimulator(cfg).run(circuit, **run_kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def run_experiment(threads: int = 4):
+    overheads = {}
+    sizes = {}
+    for family, n, gen_kwargs, cfg_kwargs in WORKLOADS:
+        circuit = get_circuit(family, n, **gen_kwargs)
+        base = _timed_run(circuit, cfg_kwargs, threads)
+        row_overhead = []
+        row_size = []
+        for every in EVERY:
+            with tempfile.TemporaryDirectory() as tmp:
+                path = os.path.join(tmp, "bench.ckpt")
+                seconds = _timed_run(
+                    circuit, cfg_kwargs, threads,
+                    checkpoint_every=every, checkpoint_path=path,
+                )
+                size_kib = (
+                    os.path.getsize(path) / 1024.0
+                    if os.path.exists(path) else 0.0
+                )
+            row_overhead.append(100.0 * (seconds / base - 1.0))
+            row_size.append(size_kib)
+        overheads[f"{family}{n}_overhead_%"] = row_overhead
+        sizes[f"{family}{n}_snap_KiB"] = row_size
+    text = render_series(
+        "Checkpoint overhead vs cadence (min of "
+        f"{REPEATS} runs, vs uncheckpointed baseline)",
+        "checkpoint_every",
+        EVERY,
+        {**overheads, **sizes},
+    )
+    return text, overheads
+
+
+@pytest.mark.benchmark(group="resilience")
+def test_checkpoint_overhead(benchmark, threads):
+    text, overheads = benchmark.pedantic(
+        lambda: run_experiment(threads), rounds=1, iterations=1
+    )
+    emit("checkpoint_overhead", text)
+    for name, row in overheads.items():
+        # The coarsest cadence must cost less than the densest one: the
+        # whole point of `checkpoint_every` is to buy the overhead down.
+        assert row[-1] <= row[0] + 25.0, (name, row)

@@ -133,6 +133,7 @@ class DDSimulator(Simulator):
             meter.sample(dd_bytes(pkg) + array.nbytes)
         runtime = time.perf_counter() - start
         metadata["dd_stats"] = pkg.stats.as_dict()
+        registry.gauge("sim.mem.peak_bytes").set(meter.peak_bytes)
         metadata["obs"] = build_obs(
             tracer=tr if tracing else None,
             registry=registry,

@@ -49,5 +49,9 @@ class GateDDCache:
         """All cached edges (keep-alive roots for garbage collection)."""
         return list(self._cache.values())
 
+    def clear(self) -> None:
+        """Drop all cached gate DDs (checkpoint barrier support)."""
+        self._cache.clear()
+
     def __len__(self) -> int:
         return len(self._cache)

@@ -176,6 +176,7 @@ class StatevectorSimulator(Simulator):
             )
         registry.counter("array.gates").inc(len(trace))
         registry.gauge("array.state_bytes").set(state.nbytes)
+        registry.gauge("sim.mem.peak_bytes").set(meter.peak_bytes)
         metadata = {
             "threads": self.threads,
             "mode": self.mode,

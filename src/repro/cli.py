@@ -32,7 +32,11 @@ import numpy as np
 from repro import __version__
 from repro.backends import DDSimulator, StatevectorSimulator
 from repro.circuits import CIRCUIT_FAMILIES, Circuit, get_circuit, parse_qasm
-from repro.common.errors import ReproError
+from repro.common.errors import (
+    CheckpointError,
+    ReproError,
+    ResourceExhaustedError,
+)
 from repro.core import FlatDDSimulator
 from repro.obs import Tracer, format_summary_table, write_chrome_trace
 from repro.sampling import sample_counts
@@ -81,7 +85,9 @@ def _load_circuit(args: argparse.Namespace) -> Circuit:
 def _make_simulator(args: argparse.Namespace):
     if args.backend == "flatdd":
         return FlatDDSimulator(
-            threads=args.threads, fusion=args.fusion
+            threads=args.threads,
+            fusion=args.fusion,
+            memory_budget_bytes=getattr(args, "memory_budget", None),
         )
     if args.backend == "ddsim":
         return DDSimulator()
@@ -121,11 +127,29 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
     sim = _make_simulator(args)
     tracer = _make_tracer(args)
+    run_kwargs: dict = {"tracer": tracer}
+    resilience_flags = (
+        args.checkpoint_every, args.checkpoint, args.resume_from,
+        args.memory_budget,
+    )
+    if any(flag is not None for flag in resilience_flags):
+        if args.backend != "flatdd":
+            raise ReproError(
+                "--checkpoint/--resume-from/--memory-budget require the "
+                "flatdd backend"
+            )
+        if args.checkpoint_every is not None and args.checkpoint is None:
+            raise ReproError("--checkpoint-every requires --checkpoint PATH")
+        run_kwargs.update(
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_path=args.checkpoint,
+            resume_from=args.resume_from,
+        )
     _log.info(
         "simulating %s (%d qubits, %d gates) on %s",
         circuit.name, circuit.num_qubits, len(circuit.gates), sim.name,
     )
-    result = sim.run(circuit, tracer=tracer)
+    result = sim.run(circuit, **run_kwargs)
     payload = {
         "circuit": circuit.name,
         "qubits": circuit.num_qubits,
@@ -136,6 +160,10 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     }
     if "conversion_gate_index" in result.metadata:
         payload["converted_at"] = result.metadata["conversion_gate_index"]
+    if result.metadata.get("resumed"):
+        payload["resumed_from"] = args.resume_from
+    if result.metadata.get("checkpoints_written"):
+        payload["checkpoints_written"] = result.metadata["checkpoints_written"]
     if args.shots:
         counts = sample_counts(
             result.state, args.shots, np.random.default_rng(args.sample_seed)
@@ -288,10 +316,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         cache_max_entries=args.cache_entries,
     )
+    if args.resume and not args.journal:
+        raise ReproError("--resume requires --journal PATH")
     tracer = _make_tracer(args)
     with plant_fault(args.plant_bug):
         report, _jobs = run_manifest(
-            args.manifest, config=config, tracer=tracer
+            args.manifest, config=config, tracer=tracer,
+            journal_path=args.journal, resume=args.resume,
         )
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
@@ -424,6 +455,17 @@ def build_parser() -> argparse.ArgumentParser:
                         "(open in Perfetto / chrome://tracing)")
     p.add_argument("--profile", action="store_true",
                    help="print a per-phase timing breakdown")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="rolling snapshot file (flatdd only; see "
+                        "docs/RESILIENCE.md)")
+    p.add_argument("--checkpoint-every", type=int, default=None,
+                   help="write the snapshot every N applied gates")
+    p.add_argument("--resume-from", metavar="PATH", default=None,
+                   help="continue bit-identically from a snapshot file")
+    p.add_argument("--memory-budget", type=int, default=None,
+                   help="memory budget in bytes (flatdd only): DD-phase "
+                        "breach converts early, array-phase breach "
+                        "checkpoints and exits with code 3")
     p.set_defaults(func=cmd_simulate)
 
     p = sub.add_parser("compare", help="run all three backends")
@@ -526,6 +568,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--plant-bug", metavar="NAME", default=None,
                    help="install a named fault (e.g. transient-crash) to "
                         "demo the retry/failure paths end to end")
+    p.add_argument("--journal", metavar="PATH", default=None,
+                   help="write-ahead JSONL journal of job-state "
+                        "transitions (crash durability)")
+    p.add_argument("--resume", action="store_true",
+                   help="replay an existing --journal first: DONE jobs "
+                        "complete from the result cache, the rest re-run")
     p.add_argument("--json", action="store_true")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome trace-event JSON of the batch")
@@ -549,6 +597,15 @@ def main(argv: list[str] | None = None) -> int:
     _configure_logging(args.verbose)
     try:
         return args.func(args)
+    except ResourceExhaustedError as exc:
+        # Exit 3: the job needs more memory, retry elsewhere (possibly
+        # resuming from exc.checkpoint_path).
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except CheckpointError as exc:
+        # Exit 4: the snapshot itself is unusable; resuming is hopeless.
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -13,6 +13,8 @@ These mirror the constants the paper fixes for its evaluation:
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 from dataclasses import dataclass
 
 #: Tolerance for treating two complex numbers as identical in the complex
@@ -94,6 +96,13 @@ class FlatDDConfig:
     #: this to check that early/late conversion points are semantically
     #: equivalent.
     force_convert_at: int | None = None
+    #: Memory budget for the whole run (None = unbounded).  Enforced by
+    #: :class:`repro.resilience.guard.MemoryGuard`: a DD-phase breach forces
+    #: early DD-to-array conversion (graceful degradation along the paper's
+    #: own escape hatch); an array-phase breach checkpoints (when a
+    #: checkpoint path is configured) and raises
+    #: :class:`~repro.common.errors.ResourceExhaustedError`.
+    memory_budget_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.beta < 1.0:
@@ -111,6 +120,38 @@ class FlatDDConfig:
                 f"force_convert_at must be >= 0 or None, "
                 f"got {self.force_convert_at}"
             )
+        if (
+            self.memory_budget_bytes is not None
+            and self.memory_budget_bytes < 1
+        ):
+            raise ValueError(
+                f"memory_budget_bytes must be >= 1 or None, "
+                f"got {self.memory_budget_bytes}"
+            )
+
+
+#: FlatDDConfig fields that only affect *how* the simulation executes,
+#: never the final state -- excluded from the cache-key config digest.
+#: ``memory_budget_bytes`` stays *in* the digest: a guardrail-forced early
+#: conversion changes the conversion point, which is bit-level visible.
+_EXECUTION_ONLY_FIELDS = ("use_thread_pool",)
+
+
+def config_digest(config: "FlatDDConfig | None") -> str:
+    """Short stable digest of the semantically relevant config fields.
+
+    Used both as the result-cache key component in :mod:`repro.serve` and
+    as the config fingerprint stamped into resilience snapshots (resuming
+    under a semantically different config would silently change results,
+    so snapshot restore rejects digest mismatches).
+    """
+    if config is None:
+        return "default"
+    fields = dataclasses.asdict(config)
+    for name in _EXECUTION_ONLY_FIELDS:
+        fields.pop(name, None)
+    blob = ";".join(f"{k}={fields[k]!r}" for k in sorted(fields))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
 
 @dataclass(frozen=True)

@@ -38,6 +38,58 @@ class ParallelError(ReproError):
     """Raised for invalid parallel configurations (e.g. non power-of-two t)."""
 
 
+class ResourceExhaustedError(ReproError):
+    """Raised when a simulation breaches its memory budget (array phase).
+
+    Carries the structured breach context -- ``phase``, ``observed_bytes``,
+    ``budget_bytes``, ``gate_index``, and ``checkpoint_path`` (the snapshot
+    written just before raising, or None) -- so batch drivers can decide to
+    retry on a bigger machine and resume from the checkpoint instead of
+    parsing a message.  The CLI maps this to its own exit code (3) to keep
+    "retry elsewhere" distinguishable from "the job itself is bad".
+    """
+
+    def __init__(
+        self,
+        phase: str,
+        observed_bytes: int,
+        budget_bytes: int,
+        gate_index: int | None = None,
+        checkpoint_path: str | None = None,
+    ) -> None:
+        self.phase = phase
+        self.observed_bytes = observed_bytes
+        self.budget_bytes = budget_bytes
+        self.gate_index = gate_index
+        self.checkpoint_path = checkpoint_path
+        where = f" at gate {gate_index}" if gate_index is not None else ""
+        ckpt = (
+            f"; checkpoint written to {checkpoint_path}"
+            if checkpoint_path
+            else "; no checkpoint written"
+        )
+        super().__init__(
+            f"memory budget exhausted in {phase} phase{where}: "
+            f"{observed_bytes} bytes observed > {budget_bytes} bytes "
+            f"budgeted{ckpt}"
+        )
+
+
+class CheckpointError(ReproError):
+    """Raised for unusable snapshots (corruption, version/circuit mismatch).
+
+    Distinct from :class:`ResourceExhaustedError` so batch drivers can tell
+    "retry elsewhere, the snapshot is fine" from "the snapshot itself is
+    bad and resuming is hopeless" (CLI exit code 4).
+    """
+
+    def __init__(self, message: str, path: str | None = None) -> None:
+        self.path = path
+        if path is not None:
+            message = f"{path}: {message}"
+        super().__init__(message)
+
+
 class ServeError(ReproError):
     """Raised by the batch simulation service (:mod:`repro.serve`)."""
 

@@ -81,3 +81,19 @@ class EWMAMonitor:
         self._v = 0.0
         self._i = 0
         self.samples.clear()
+
+    def state_dict(self) -> dict:
+        """Exact internal state for checkpointing (``_v`` as ``float.hex``).
+
+        Trigger decisions after a resume must match the uninterrupted run
+        bit for bit, so the accumulator round-trips exactly.  The sample
+        trace is *not* included: it is diagnostic output, and a resumed run
+        legitimately re-traces only its own gates.
+        """
+        return {"v": self._v.hex(), "i": self._i}
+
+    def restore_state(self, payload: dict) -> None:
+        """Restore a :meth:`state_dict` snapshot (clears the sample trace)."""
+        self._v = float.fromhex(payload["v"])
+        self._i = int(payload["i"])
+        self.samples.clear()

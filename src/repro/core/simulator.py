@@ -25,12 +25,13 @@ import numpy as np
 from repro.backends.base import GateRecord, SimulationResult, Simulator
 from repro.backends.gatecache import GateDDCache
 from repro.circuits.circuit import Circuit
-from repro.common.config import AMPLITUDE_BYTES, FlatDDConfig
+from repro.common.config import AMPLITUDE_BYTES, FlatDDConfig, config_digest
 from repro.core.conversion import convert_parallel
 from repro.core.cost_model import CostModel, assign_cache_tasks
 from repro.core.dmav import dmav_cached, dmav_nocache
 from repro.core.ewma import EWMAMonitor
 from repro.core.fusion import FusionResult, fuse_cost_aware, fuse_k_operations
+from repro.dd.io import deserialize_vector_dd
 from repro.dd.operations import mv_multiply
 from repro.dd.package import DDPackage
 from repro.dd.vector import node_count, vector_to_array, zero_state
@@ -39,6 +40,16 @@ from repro.obs.collect import build_obs
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.parallel.pool import TaskRunner, validate_thread_count
+from repro.resilience.guard import MemoryGuard
+from repro.resilience.snapshot import (
+    Snapshot,
+    decode_array_state,
+    read_snapshot,
+    snapshot_array_phase,
+    snapshot_dd_phase,
+    validate_snapshot,
+    write_snapshot,
+)
 
 __all__ = ["FlatDDSimulator"]
 
@@ -66,6 +77,9 @@ class FlatDDSimulator(Simulator):
         max_seconds: float | None = None,
         keep_internals: bool = False,
         tracer=None,
+        checkpoint_every: int | None = None,
+        checkpoint_path: str | None = None,
+        resume_from: "str | Snapshot | None" = None,
     ) -> SimulationResult:
         """Simulate ``circuit``; see class docstring for the phases.
 
@@ -78,10 +92,46 @@ class FlatDDSimulator(Simulator):
         spans with DD-size/EWMA (DD phase) and MACs/cache-decision
         (DMAV phase) annotations, and dd_size/ewma counter samples.
         Counters are collected into ``metadata["obs"]`` regardless.
+
+        ``checkpoint_every=N`` writes a resumable snapshot to
+        ``checkpoint_path`` every N applied gates (rolling: each write
+        atomically replaces the previous one).  The cadence counts circuit
+        gates in the DD phase and emitted (post-fusion) gates in the DMAV
+        phase; no snapshot is written at the gate where the conversion
+        trigger fires, nor after the final gate.  ``resume_from`` (a path
+        or a :class:`~repro.resilience.snapshot.Snapshot`) continues such
+        a run *bit-identically* in a fresh process; the snapshot is pinned
+        to the circuit fingerprint and semantic config digest
+        (:class:`~repro.common.errors.CheckpointError` on mismatch).
+
+        With ``config.memory_budget_bytes`` set, a
+        :class:`~repro.resilience.guard.MemoryGuard` watches every memory
+        sample: a DD-phase breach forces early conversion, an array-phase
+        breach checkpoints (when ``checkpoint_path`` is set) and raises
+        :class:`~repro.common.errors.ResourceExhaustedError`.
         """
         cfg = self.config
         n = circuit.num_qubits
         validate_thread_count(cfg.threads, n)
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every requires checkpoint_path")
+        cfg_digest = config_digest(cfg)
+        resume: Snapshot | None = None
+        if resume_from is not None:
+            if isinstance(resume_from, Snapshot):
+                resume = resume_from
+                resume_path = None
+            else:
+                resume_path = str(resume_from)
+                resume = read_snapshot(resume_path)
+            validate_snapshot(resume, circuit, cfg_digest, path=resume_path)
+        guard = MemoryGuard(cfg.memory_budget_bytes)
+        checkpoints_written = 0
         tr = tracer if tracer is not None else NULL_TRACER
         tracing = tr.enabled
         registry = MetricsRegistry()
@@ -99,14 +149,45 @@ class FlatDDSimulator(Simulator):
             "converted": False,
             "conversion_gate_index": None,
             "forced_conversion": cfg.force_convert_at is not None,
+            "resumed": resume is not None,
+            "resume_phase": resume.phase if resume is not None else None,
         }
         start = time.perf_counter()
 
+        def write_array_checkpoint(arr, conv_at, cursor):
+            """Array-phase snapshot writer shared by cadence and guard."""
+            if checkpoint_path is None:
+                return None
+            write_snapshot(
+                checkpoint_path,
+                snapshot_array_phase(
+                    pkg, arr, conv_at, cursor, circuit, cfg_digest
+                ),
+            )
+            return checkpoint_path
+
         # ---------------- Phase 1: DD simulation with EWMA monitoring ----
-        state_dd = zero_state(pkg)
         convert_at: int | None = None
         timed_out = False
-        for i, gate in enumerate(circuit.gates):
+        dd_start = 0
+        skip_dd = False
+        if resume is not None:
+            # Canonicalization is history-dependent: restoring the full
+            # complex table makes every post-resume weight lookup resolve
+            # exactly as it would have in the uninterrupted run.
+            pkg.ctable.restore(resume.data["ctable"])
+            if resume.phase == "dd":
+                state_dd = deserialize_vector_dd(pkg, resume.data["dd"])
+                monitor.restore_state(resume.data["monitor"])
+                dd_start = resume.gate_cursor
+            else:
+                skip_dd = True
+                convert_at = int(resume.data["convert_at"])
+                state_dd = None
+        else:
+            state_dd = zero_state(pkg)
+        dd_gates = circuit.gates[dd_start:] if not skip_dd else []
+        for i, gate in enumerate(dd_gates, start=dd_start):
             g0 = time.perf_counter()
             state_dd = mv_multiply(pkg, gates.get(gate), state_dd)
             size = node_count(state_dd)
@@ -131,6 +212,22 @@ class FlatDDSimulator(Simulator):
                 tr.sample("dd_size", size, ts=g1)
                 tr.sample("ewma", monitor.value, ts=g1)
             meter.sample(dd_bytes(pkg))
+            if not triggered and guard.check_dd(meter.last_bytes, i):
+                # Budget breach while still in the DD phase: degrade
+                # gracefully by converting to the flat array early.
+                triggered = True
+                metadata["guard_forced_conversion"] = True
+                if tracing:
+                    tr.instant(
+                        "guard_breach", "dd", ts=g1,
+                        gate_index=i, observed_bytes=meter.last_bytes,
+                        budget_bytes=guard.budget_bytes,
+                    )
+                _log.warning(
+                    "memory budget breached at gate %d (%d > %d bytes); "
+                    "forcing DD-to-array conversion",
+                    i, meter.last_bytes, guard.budget_bytes,
+                )
             if triggered:
                 convert_at = i
                 if tracing:
@@ -143,6 +240,25 @@ class FlatDDSimulator(Simulator):
                     i, size, monitor.value,
                 )
                 break
+            if (
+                checkpoint_every is not None
+                and (i + 1) % checkpoint_every == 0
+                and i + 1 < len(circuit.gates)
+            ):
+                # Barrier *before* the dump: the snapshot must capture the
+                # exact state (unique tables = live state DD, caches cold)
+                # that both the continuation and any resume evolve from.
+                gates.clear()
+                pkg.checkpoint_barrier([state_dd])
+                write_snapshot(
+                    checkpoint_path,
+                    snapshot_dd_phase(
+                        pkg, state_dd, monitor, i + 1, circuit, cfg_digest
+                    ),
+                )
+                checkpoints_written += 1
+                if tracing:
+                    tr.instant("checkpoint", "dd", gate_index=i)
             if pkg.unique_node_count > self.GC_THRESHOLD:
                 removed = pkg.collect_garbage([state_dd, *gates.roots()])
                 if tracing:
@@ -151,12 +267,13 @@ class FlatDDSimulator(Simulator):
             if max_seconds is not None and time.perf_counter() - start > max_seconds:
                 timed_out = True
                 break
-        if tracing:
+        if tracing and not skip_dd:
             tr.record(
                 "dd_phase", "phase", start, time.perf_counter(),
                 gates=len(trace), converted=convert_at is not None,
             )
-        registry.gauge("dd.size").set(node_count(state_dd))
+        if state_dd is not None:
+            registry.gauge("dd.size").set(node_count(state_dd))
         registry.gauge("ewma").set(monitor.value)
         registry.counter("dd_phase.gates").inc(len(trace))
 
@@ -181,22 +298,53 @@ class FlatDDSimulator(Simulator):
                 registry.gauge("conversion.seconds").set(report.seconds)
             else:
                 # ---------------- Phase 2: parallel DD-to-array ----------
-                state, report = convert_parallel(
-                    pkg, state_dd, cfg.threads, runner,
-                    dense_level=cfg.dense_block_level, tracer=tr,
-                )
-                metadata["converted"] = True
-                metadata["conversion_gate_index"] = convert_at
-                metadata["conversion_report"] = report
-                meter.sample(dd_bytes(pkg) + state.nbytes)
-                if tracing:
-                    tr.record(
-                        "conversion", "phase", c0, time.perf_counter(),
-                        triggered=True, gate_index=convert_at,
-                        tasks=report.num_tasks,
-                        scalar_fills=report.num_scalar_fills,
+                if skip_dd:
+                    # Array-phase resume: the snapshot carries the exact
+                    # post-conversion (and post-applied-DMAV-gates) array.
+                    state = decode_array_state(resume)
+                    metadata["converted"] = True
+                    metadata["conversion_gate_index"] = convert_at
+                    metadata["conversion_resumed"] = True
+                    meter.sample(dd_bytes(pkg) + state.nbytes)
+                else:
+                    state, report = convert_parallel(
+                        pkg, state_dd, cfg.threads, runner,
+                        dense_level=cfg.dense_block_level, tracer=tr,
                     )
-                registry.gauge("conversion.seconds").set(report.seconds)
+                    metadata["converted"] = True
+                    metadata["conversion_gate_index"] = convert_at
+                    metadata["conversion_report"] = report
+                    if checkpoint_every is not None or resume is not None:
+                        # Conversion barrier: an array-phase resume rebuilds
+                        # the DMAV gate list in a fresh package, so a run
+                        # that may write (or already read) a snapshot must
+                        # build it from the same cold-cache state or the
+                        # fused edges drift by ulps.  Applied symmetrically
+                        # on the resume side by the fresh package itself.
+                        gates.clear()
+                        pkg.checkpoint_barrier([])
+                    elif guard.enabled:
+                        # Post-conversion the state DD is dead weight; under
+                        # a memory budget, reclaim it so the degradation
+                        # actually shrinks the working set (value-neutral:
+                        # GC only frees dead nodes and clears caches).
+                        pkg.collect_garbage(gates.roots())
+                    meter.sample(dd_bytes(pkg) + state.nbytes)
+                    if tracing:
+                        tr.record(
+                            "conversion", "phase", c0, time.perf_counter(),
+                            triggered=True, gate_index=convert_at,
+                            tasks=report.num_tasks,
+                            scalar_fills=report.num_scalar_fills,
+                        )
+                    registry.gauge("conversion.seconds").set(report.seconds)
+                guard.check_array(
+                    meter.last_bytes,
+                    convert_at,
+                    checkpoint=lambda: write_array_checkpoint(
+                        state, convert_at, 0 if not skip_dd else resume.gate_cursor
+                    ),
+                )
 
                 # ---------------- Phase 3: (fusion +) DMAV ---------------
                 remaining = circuit.gates[convert_at + 1:]
@@ -227,7 +375,10 @@ class FlatDDSimulator(Simulator):
                 dmav_macs = 0
                 dmav_cache_hits = 0
                 gate_costs: list[tuple[int, float, float, bool]] = []
-                for j, edge in enumerate(edges):
+                # Array-phase resume: the emitted gate list is rebuilt
+                # deterministically above; skip the already-applied prefix.
+                edge_start = resume.gate_cursor if skip_dd else 0
+                for j, edge in enumerate(edges[edge_start:], start=edge_start):
                     g0 = time.perf_counter()
                     cost = model.evaluate(pkg, edge)
                     if cfg.cache_policy == "always":
@@ -284,6 +435,25 @@ class FlatDDSimulator(Simulator):
                         + 2 * state.nbytes
                         + buffer_bytes
                     )
+                    guard.check_array(
+                        meter.last_bytes,
+                        convert_at + 1 + j,
+                        checkpoint=lambda s=state, c=j + 1: (
+                            write_array_checkpoint(s, convert_at, c)
+                        ),
+                    )
+                    if (
+                        checkpoint_every is not None
+                        and (j + 1) % checkpoint_every == 0
+                        and j + 1 < len(edges)
+                    ):
+                        write_array_checkpoint(state, convert_at, j + 1)
+                        checkpoints_written += 1
+                        if tracing:
+                            tr.instant(
+                                "checkpoint", "dmav",
+                                gate_index=convert_at + 1 + j,
+                            )
                     if (
                         max_seconds is not None
                         and time.perf_counter() - start > max_seconds
@@ -318,6 +488,10 @@ class FlatDDSimulator(Simulator):
         metadata["gate_dd_cache_hits"] = gates.hits
         metadata["gate_dd_cache_misses"] = gates.misses
         metadata["dd_stats"] = pkg.stats.as_dict()
+        metadata["checkpoints_written"] = checkpoints_written
+        if guard.enabled:
+            metadata["guard"] = guard.report.to_dict()
+        registry.gauge("sim.mem.peak_bytes").set(meter.peak_bytes)
         metadata["obs"] = build_obs(
             tracer=tr if tracing else None,
             registry=registry,

@@ -83,6 +83,41 @@ class ComplexTable:
         self._table[key] = c
         return c
 
+    # ------------------------------------------------------------------
+    # Snapshot support (repro.resilience)
+    # ------------------------------------------------------------------
+
+    def dump(self) -> dict:
+        """Exact snapshot of the table for checkpointing.
+
+        Bit-identical resume requires reproducing not just the DD but the
+        *canonicalization history*: which representative a future ``lookup``
+        returns depends on every bucket (aliases included) present at that
+        moment.  Values are serialized as ``float.hex`` pairs so the
+        round-trip is exact.
+        """
+        return {
+            "buckets": [
+                [kr, ki, v.real.hex(), v.imag.hex()]
+                for (kr, ki), v in self._table.items()
+            ],
+            "distinct": self._distinct,
+            "hits": self._hits,
+            "misses": self._misses,
+        }
+
+    def restore(self, payload: dict) -> None:
+        """Replace the table contents with a :meth:`dump` snapshot."""
+        self._table = {
+            (int(kr), int(ki)): complex(
+                float.fromhex(re), float.fromhex(im)
+            )
+            for kr, ki, re, im in payload["buckets"]
+        }
+        self._distinct = int(payload["distinct"])
+        self._hits = int(payload["hits"])
+        self._misses = int(payload["misses"])
+
     @property
     def entry_count(self) -> int:
         """Number of distinct canonical values stored (aliases excluded)."""

@@ -1,20 +1,114 @@
-"""DD introspection: Graphviz export and structural statistics.
+"""DD introspection and serialization: Graphviz export, statistics, edge walks.
 
 ``to_dot`` renders a decision diagram in the style the DD literature uses
 (levels as ranks, edge weights as labels), which is invaluable when
 debugging normalization or sharing issues.  ``dd_statistics`` summarizes
 the structural properties the paper's analysis rests on: nodes per level,
 sharing factor, and zero-edge density.
+
+``serialize_vector_dd`` / ``deserialize_vector_dd`` are the exact
+edge-walk round-trip used by :mod:`repro.resilience.snapshot`: a post-order
+node list with ``float.hex`` weights, rebuilt through
+:meth:`repro.dd.package.DDPackage.restore_vnode` so restored weights are
+bit-identical to the serialized ones (no renormalization on the way back).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.dd.node import TERMINAL, DDNode, Edge
+from repro.dd.node import TERMINAL, ZERO_EDGE, DDNode, Edge
 from repro.dd.package import DDPackage
 
-__all__ = ["to_dot", "dd_statistics", "DDStatistics"]
+__all__ = [
+    "to_dot",
+    "dd_statistics",
+    "DDStatistics",
+    "serialize_vector_dd",
+    "deserialize_vector_dd",
+]
+
+_ZERO_HEX = (0.0).hex()
+
+
+def serialize_vector_dd(pkg: DDPackage, e: Edge) -> dict:
+    """Serialize a vector DD to a JSON-safe document via a post-order walk.
+
+    The document is ``{"nodes": [...], "root": [wre, wim, ref]}`` where each
+    node row is ``[level, w0re, w0im, c0, w1re, w1im, c1, idx]``: weights as
+    ``float.hex`` strings (exact round-trip), child references as indices
+    into the ``nodes`` list with ``-1`` standing for the terminal (and for
+    the ignored target of a zero edge).  Post-order guarantees every child
+    reference points *backwards*, so deserialization is a single forward
+    pass.  Sharing survives: a node reached along many paths is emitted
+    once and referenced many times.  ``idx`` is the node's creation index:
+    DD addition orders commutative operands by it, so restoring it keeps
+    post-resume arithmetic bit-identical to the run that wrote the
+    snapshot (see docs/RESILIENCE.md).
+    """
+    if e.is_zero:
+        return {"nodes": [], "root": [_ZERO_HEX, _ZERO_HEX, -1]}
+
+    nodes: list[list] = []
+    index: dict[int, int] = {}
+
+    def encode(child: Edge) -> tuple[str, str, int]:
+        if child.is_zero:
+            return (_ZERO_HEX, _ZERO_HEX, -1)
+        ref = -1 if child.n is TERMINAL else index[id(child.n)]
+        return (child.w.real.hex(), child.w.imag.hex(), ref)
+
+    def visit(node: DDNode) -> None:
+        if id(node) in index:
+            return
+        for child in node.edges:
+            if not child.is_zero and child.n is not TERMINAL:
+                visit(child.n)
+        e0, e1 = node.edges
+        w0re, w0im, c0 = encode(e0)
+        w1re, w1im, c1 = encode(e1)
+        index[id(node)] = len(nodes)
+        nodes.append([node.level, w0re, w0im, c0, w1re, w1im, c1, node.idx])
+
+    if e.n is not TERMINAL:
+        visit(e.n)
+    root_ref = -1 if e.n is TERMINAL else index[id(e.n)]
+    return {
+        "nodes": nodes,
+        "root": [e.w.real.hex(), e.w.imag.hex(), root_ref],
+    }
+
+
+def deserialize_vector_dd(pkg: DDPackage, payload: dict) -> Edge:
+    """Rebuild a vector DD from a :func:`serialize_vector_dd` document.
+
+    Nodes are installed through :meth:`DDPackage.restore_vnode`, which
+    hash-conses against the package's unique table without renormalizing,
+    so the reconstructed DD carries bit-identical weights and is fully
+    shared with (and usable by) any subsequent ``make_vnode`` calls.
+    """
+
+    def decode_w(wre: str, wim: str) -> complex:
+        return complex(float.fromhex(wre), float.fromhex(wim))
+
+    built: list[DDNode] = []
+
+    def decode_edge(wre: str, wim: str, ref: int) -> Edge:
+        w = decode_w(wre, wim)
+        if w == 0:
+            return ZERO_EDGE
+        return Edge(w, TERMINAL if ref < 0 else built[ref])
+
+    for level, w0re, w0im, c0, w1re, w1im, c1, idx in payload["nodes"]:
+        e0 = decode_edge(w0re, w0im, int(c0))
+        e1 = decode_edge(w1re, w1im, int(c1))
+        built.append(pkg.restore_vnode(int(level), e0, e1, idx=int(idx)))
+
+    wre, wim, ref = payload["root"]
+    w = decode_w(wre, wim)
+    if w == 0:
+        return ZERO_EDGE
+    return Edge(w, TERMINAL if int(ref) < 0 else built[int(ref)])
 
 
 def _fmt_weight(w: complex) -> str:

@@ -207,6 +207,44 @@ class DDPackage:
             self.stats.unique_hits += 1
         return Edge(factor, node)
 
+    def restore_vnode(
+        self, level: int, e0: Edge, e1: Edge, idx: int | None = None
+    ) -> DDNode:
+        """Install an *already normalized* vector node without renormalizing.
+
+        Checkpoint restore (:mod:`repro.resilience.snapshot`) must rebuild a
+        DD whose child weights are bit-identical to the serialized ones;
+        running them back through :meth:`make_vnode` would recompute the
+        norm factor and could perturb the last ulp.  The caller guarantees
+        the children came from a previous :meth:`make_vnode` normalization,
+        so installing them verbatim keeps the unique table canonical and
+        subsequent ``make_vnode`` calls hash-cons against the restored
+        nodes as usual.
+
+        ``idx`` restores the node's original creation index: DD addition
+        breaks commutative-operand ties by creation order, so resumed
+        arithmetic must see the same relative order the writer saw.  The
+        package's creation counter advances past every restored index.
+        """
+        self._check_level(level, e0, e1)
+        key = (level, e0.w, id(e0.n), e1.w, id(e1.n))
+        node = self._vtable.get(key)
+        if node is None:
+            self.stats.unique_misses += 1
+            node = self._new_node(level, (e0, e1))
+            if idx is not None:
+                node.idx = idx
+                self._next_idx = max(self._next_idx, idx + 1)
+            self._vtable[key] = node
+            node.aidx = len(self._arena_w0)
+            self._arena_w0.append(e0.w)
+            self._arena_w1.append(e1.w)
+            self._arena_c0.append(-1 if e0.is_zero else e0.n.aidx)
+            self._arena_c1.append(-1 if e1.is_zero else e1.n.aidx)
+        else:
+            self.stats.unique_hits += 1
+        return node
+
     def _new_node(self, level: int, edges: tuple[Edge, ...]) -> DDNode:
         node = DDNode(level, edges, self._next_idx)
         self._next_idx += 1
@@ -366,3 +404,19 @@ class DDPackage:
         self.stats.gc_runs += 1
         self.stats.gc_nodes_reclaimed += removed
         return removed
+
+    def checkpoint_barrier(self, roots: Iterable[Edge]) -> int:
+        """Reset every piece of history-dependent acceleration state.
+
+        Called by the simulator at checkpoint cuts (and at the DD-to-array
+        conversion of checkpoint-enabled runs) so the writer's
+        continuation and a process resumed from the snapshot evolve from
+        *identical* package state: compute caches empty (their bucketed
+        ratio keys make hits history-dependent at the ulp level), unique
+        tables holding exactly the ``roots``' nodes, and identity chains
+        dropped so both sides rebuild them at the same point in the
+        instruction stream.  Value changes stay within the normalization
+        tolerance; bit-identity across the cut is what this buys.
+        """
+        self._identity.clear()
+        return self.collect_garbage(roots)

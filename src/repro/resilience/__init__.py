@@ -1,0 +1,39 @@
+"""Resilience layer: checkpoint/restore and memory guardrails.
+
+FlatDD's premise is surviving the regime where DD states blow up; this
+package makes the *process* survive it too.  :mod:`repro.resilience.snapshot`
+defines the versioned, checksummed snapshot format that captures either
+phase of a FlatDD run (DD vector or flat array) for bit-identical resume;
+:mod:`repro.resilience.guard` enforces a memory budget, degrading
+gracefully (early DD-to-array conversion) in the DD phase and failing
+structurally (checkpoint + :class:`~repro.common.errors.ResourceExhaustedError`)
+in the array phase.  The durable-serving journal lives next to the service
+it protects, in :mod:`repro.serve.journal`.
+"""
+
+from repro.resilience.guard import GuardReport, MemoryGuard
+from repro.resilience.snapshot import (
+    SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
+    Snapshot,
+    decode_array_state,
+    read_snapshot,
+    snapshot_array_phase,
+    snapshot_dd_phase,
+    validate_snapshot,
+    write_snapshot,
+)
+
+__all__ = [
+    "GuardReport",
+    "MemoryGuard",
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "decode_array_state",
+    "read_snapshot",
+    "snapshot_array_phase",
+    "snapshot_dd_phase",
+    "validate_snapshot",
+    "write_snapshot",
+]

@@ -1,0 +1,104 @@
+"""Memory guardrails: budget watchdog over the analytic memory model.
+
+The guard consumes the same per-gate working-set samples that feed
+:class:`repro.metrics.memory.MemoryMeter` and enforces
+``FlatDDConfig.memory_budget_bytes`` with phase-appropriate reactions:
+
+* **DD phase**: a breach *degrades gracefully* -- the simulator forces the
+  DD-to-array conversion early, along the paper's own escape hatch.  A
+  runaway DD is exactly the regime FlatDD converts out of; the guard just
+  moves the trigger from "growth looks irregular" (EWMA) to "growth is
+  about to exceed the budget".
+* **Array phase**: there is nothing cheaper to degrade to, so a breach
+  writes a checkpoint (when the run has a checkpoint path) and raises a
+  structured :class:`~repro.common.errors.ResourceExhaustedError` carrying
+  the breach context -- observed bytes, budget, gate index, checkpoint
+  path -- instead of letting the process die on OOM.
+
+The guard never reacts to the *final* result materialization of a run that
+stayed regular end to end: at that point the simulation is complete and
+raising would discard a finished result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.common.errors import ResourceExhaustedError
+
+__all__ = ["GuardReport", "MemoryGuard"]
+
+
+@dataclass
+class GuardReport:
+    """What the guard did during one run (``metadata["guard"]``)."""
+
+    budget_bytes: int
+    #: Gate index where a DD-phase breach forced early conversion.
+    dd_breach_gate: int | None = None
+    dd_breach_bytes: int | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "budget_bytes": self.budget_bytes,
+            "dd_breach_gate": self.dd_breach_gate,
+            "dd_breach_bytes": self.dd_breach_bytes,
+        }
+
+
+class MemoryGuard:
+    """Budget watchdog for one simulation run.
+
+    Constructed with ``budget_bytes=None`` the guard is inert (every check
+    is a cheap no-op), so the simulator can install it unconditionally.
+    """
+
+    def __init__(self, budget_bytes: int | None) -> None:
+        self.budget_bytes = budget_bytes
+        self.report = (
+            GuardReport(budget_bytes=budget_bytes)
+            if budget_bytes is not None
+            else None
+        )
+
+    @property
+    def enabled(self) -> bool:
+        return self.budget_bytes is not None
+
+    def check_dd(self, observed_bytes: int, gate_index: int) -> bool:
+        """DD-phase check; True means "force conversion now".
+
+        Only the *first* breach forces conversion (the report records it);
+        the simulator breaks out of the DD loop immediately after.
+        """
+        if self.budget_bytes is None or observed_bytes <= self.budget_bytes:
+            return False
+        if self.report.dd_breach_gate is None:
+            self.report.dd_breach_gate = gate_index
+            self.report.dd_breach_bytes = observed_bytes
+        return True
+
+    def check_array(
+        self,
+        observed_bytes: int,
+        gate_index: int | None,
+        checkpoint: Callable[[], str | None] | None = None,
+    ) -> None:
+        """Array-phase check; raises on breach.
+
+        ``checkpoint`` is invoked (once) on breach to persist a resumable
+        snapshot; its return value (the path, or None when the run has no
+        checkpoint path configured) is carried on the raised
+        :class:`ResourceExhaustedError`.
+        """
+        if self.budget_bytes is None or observed_bytes <= self.budget_bytes:
+            return
+        path = checkpoint() if checkpoint is not None else None
+        raise ResourceExhaustedError(
+            phase="array",
+            observed_bytes=observed_bytes,
+            budget_bytes=self.budget_bytes,
+            gate_index=gate_index,
+            checkpoint_path=path,
+        )

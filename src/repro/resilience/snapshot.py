@@ -1,0 +1,266 @@
+"""Versioned, checksummed snapshots of an in-flight FlatDD run.
+
+A snapshot captures everything a fresh process needs to continue a run
+*bit-identically* from a gate boundary:
+
+* **DD phase** (``phase="dd"``): the state DD via the exact edge walk of
+  :func:`repro.dd.io.serialize_vector_dd`, the full complex table
+  (canonicalization is history-dependent -- which representative a future
+  lookup returns depends on every bucket present, aliases included), and
+  the EWMA monitor accumulator (so the conversion trigger fires at the
+  same gate it would have in the uninterrupted run).
+* **Array phase** (``phase="array"``): the flat amplitude array verbatim
+  (base64 of the raw complex128 bytes), the conversion gate index, the
+  cursor into the *emitted* (post-fusion) DMAV gate list, and again the
+  complex table -- the resumed process rebuilds gate/fusion matrix DDs
+  from scratch, and restoring the table makes every weight lookup resolve
+  to the same representative it did originally.
+
+The on-disk format is a single JSON document::
+
+    {"magic": "flatdd-snapshot", "version": 1,
+     "checksum": "<sha256 of canonical payload JSON>",
+     "payload": {"phase": ..., "gate_cursor": ..., "num_qubits": ...,
+                 "circuit_fingerprint": ..., "config_digest": ...,
+                 "data": {...}}}
+
+Floats round-trip via ``float.hex`` / raw bytes, never decimal repr.
+Writes are atomic (temp file + ``os.replace``) so a crash mid-write leaves
+either the previous snapshot or none -- never a torn one.  Readers verify
+magic, version, and checksum, and :func:`validate_snapshot` additionally
+pins the snapshot to one circuit and one semantic config; every rejection
+raises :class:`~repro.common.errors.CheckpointError`.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import CheckpointError
+
+__all__ = [
+    "SNAPSHOT_MAGIC",
+    "SNAPSHOT_VERSION",
+    "Snapshot",
+    "decode_array_state",
+    "read_snapshot",
+    "snapshot_array_phase",
+    "snapshot_dd_phase",
+    "validate_snapshot",
+    "write_snapshot",
+]
+
+SNAPSHOT_MAGIC = "flatdd-snapshot"
+SNAPSHOT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One resumable cut through a FlatDD run."""
+
+    #: "dd" (still in the DD phase) or "array" (post-conversion DMAV).
+    phase: str
+    #: Next unit of work: circuit gate index for "dd", index into the
+    #: emitted (post-fusion) DMAV gate list for "array".
+    gate_cursor: int
+    num_qubits: int
+    #: Canonical circuit fingerprint; resume refuses other circuits.
+    circuit_fingerprint: str
+    #: Semantic config digest; resume refuses configs that could change
+    #: the result (execution-only knobs like thread pools are excluded).
+    config_digest: str
+    #: Phase-specific payload (see module docstring).
+    data: dict
+
+    def to_payload(self) -> dict:
+        """The checksummed payload document."""
+        return {
+            "phase": self.phase,
+            "gate_cursor": self.gate_cursor,
+            "num_qubits": self.num_qubits,
+            "circuit_fingerprint": self.circuit_fingerprint,
+            "config_digest": self.config_digest,
+            "data": self.data,
+        }
+
+
+def _checksum(payload: dict) -> str:
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def snapshot_dd_phase(
+    pkg,
+    state_dd,
+    monitor,
+    gate_cursor: int,
+    circuit,
+    config_digest: str,
+) -> Snapshot:
+    """Build a DD-phase snapshot (state applied through ``gate_cursor - 1``)."""
+    from repro.dd.io import serialize_vector_dd
+
+    return Snapshot(
+        phase="dd",
+        gate_cursor=gate_cursor,
+        num_qubits=circuit.num_qubits,
+        circuit_fingerprint=circuit.fingerprint(),
+        config_digest=config_digest,
+        data={
+            "dd": serialize_vector_dd(pkg, state_dd),
+            "ctable": pkg.ctable.dump(),
+            "monitor": monitor.state_dict(),
+        },
+    )
+
+
+def snapshot_array_phase(
+    pkg,
+    state: np.ndarray,
+    convert_at: int,
+    edge_cursor: int,
+    circuit,
+    config_digest: str,
+) -> Snapshot:
+    """Build an array-phase snapshot (``edge_cursor`` emitted gates applied)."""
+    return Snapshot(
+        phase="array",
+        gate_cursor=edge_cursor,
+        num_qubits=circuit.num_qubits,
+        circuit_fingerprint=circuit.fingerprint(),
+        config_digest=config_digest,
+        data={
+            "state_b64": base64.b64encode(
+                np.ascontiguousarray(state).tobytes()
+            ).decode("ascii"),
+            "convert_at": convert_at,
+            "ctable": pkg.ctable.dump(),
+        },
+    )
+
+
+def decode_array_state(snapshot: Snapshot) -> np.ndarray:
+    """Decode the flat amplitude array of an array-phase snapshot."""
+    if snapshot.phase != "array":
+        raise CheckpointError(
+            f"expected an array-phase snapshot, got {snapshot.phase!r}"
+        )
+    raw = base64.b64decode(snapshot.data["state_b64"])
+    state = np.frombuffer(raw, dtype=np.complex128).copy()
+    expected = 1 << snapshot.num_qubits
+    if state.size != expected:
+        raise CheckpointError(
+            f"array payload has {state.size} amplitudes, "
+            f"expected {expected} for {snapshot.num_qubits} qubits"
+        )
+    return state
+
+
+def write_snapshot(path: str, snapshot: Snapshot) -> str:
+    """Atomically write ``snapshot`` to ``path``; returns ``path``.
+
+    The temp file lives in the destination directory so ``os.replace`` is
+    a same-filesystem rename: concurrent readers see the old snapshot or
+    the new one, never a partial write.
+    """
+    payload = snapshot.to_payload()
+    doc = {
+        "magic": SNAPSHOT_MAGIC,
+        "version": SNAPSHOT_VERSION,
+        "checksum": _checksum(payload),
+        "payload": payload,
+    }
+    tmp = f"{path}.tmp.{os.getpid()}"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - only on write failure
+            os.unlink(tmp)
+    return path
+
+
+def read_snapshot(path: str) -> Snapshot:
+    """Read and verify a snapshot; :class:`CheckpointError` on anything off."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except FileNotFoundError:
+        raise CheckpointError("snapshot file does not exist", path=path)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"unreadable snapshot: {exc}", path=path)
+    if not isinstance(doc, dict) or doc.get("magic") != SNAPSHOT_MAGIC:
+        raise CheckpointError("not a FlatDD snapshot (bad magic)", path=path)
+    version = doc.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise CheckpointError(
+            f"unsupported snapshot version {version!r} "
+            f"(this build reads version {SNAPSHOT_VERSION})",
+            path=path,
+        )
+    payload = doc.get("payload")
+    if not isinstance(payload, dict):
+        raise CheckpointError("snapshot has no payload", path=path)
+    if _checksum(payload) != doc.get("checksum"):
+        raise CheckpointError(
+            "checksum mismatch: snapshot is corrupt", path=path
+        )
+    try:
+        snapshot = Snapshot(
+            phase=payload["phase"],
+            gate_cursor=int(payload["gate_cursor"]),
+            num_qubits=int(payload["num_qubits"]),
+            circuit_fingerprint=payload["circuit_fingerprint"],
+            config_digest=payload["config_digest"],
+            data=payload["data"],
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed snapshot payload: {exc}", path=path)
+    if snapshot.phase not in ("dd", "array"):
+        raise CheckpointError(
+            f"unknown snapshot phase {snapshot.phase!r}", path=path
+        )
+    return snapshot
+
+
+def validate_snapshot(
+    snapshot: Snapshot,
+    circuit,
+    config_digest: str,
+    path: str | None = None,
+) -> None:
+    """Pin a snapshot to one circuit and one semantic config.
+
+    Resuming a different circuit, a different width, or a semantically
+    different config would not crash -- it would silently produce wrong
+    amplitudes, which is strictly worse.  Hence hard rejection here.
+    """
+    if snapshot.num_qubits != circuit.num_qubits:
+        raise CheckpointError(
+            f"snapshot is for {snapshot.num_qubits} qubits, "
+            f"circuit has {circuit.num_qubits}",
+            path=path,
+        )
+    fingerprint = circuit.fingerprint()
+    if snapshot.circuit_fingerprint != fingerprint:
+        raise CheckpointError(
+            f"snapshot circuit fingerprint {snapshot.circuit_fingerprint} "
+            f"does not match {fingerprint} ({circuit.name})",
+            path=path,
+        )
+    if snapshot.config_digest != config_digest:
+        raise CheckpointError(
+            f"snapshot config digest {snapshot.config_digest} does not "
+            f"match the current config ({config_digest}); resuming under "
+            "a semantically different config would change results",
+            path=path,
+        )

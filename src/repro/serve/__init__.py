@@ -19,6 +19,10 @@ layer (see docs/SERVING.md):
 * :mod:`repro.serve.service` -- the :class:`SimulationService` façade
   (submit/submit_many/poll/cancel/drain) and JSONL batch manifests,
   surfaced on the CLI as ``repro serve``.
+* :mod:`repro.serve.journal` -- write-ahead JSONL journal of job-state
+  transitions; ``repro serve MANIFEST --journal PATH --resume`` replays
+  it after a crash (DONE jobs become cache hits, the rest re-run).  See
+  docs/RESILIENCE.md.
 
 Usage::
 
@@ -33,6 +37,7 @@ Usage::
 
 from repro.serve.cache import CacheEntry, ResultCache
 from repro.serve.jobs import Job, JobResult, JobState, config_digest
+from repro.serve.journal import JobJournal, JournalRecovery, replay_journal
 from repro.serve.queue import JobQueue
 from repro.serve.scheduler import BatchGroup, BatchScheduler
 from repro.serve.service import (
@@ -49,9 +54,11 @@ __all__ = [
     "BatchScheduler",
     "CacheEntry",
     "Job",
+    "JobJournal",
     "JobQueue",
     "JobResult",
     "JobState",
+    "JournalRecovery",
     "ResultCache",
     "ServeReport",
     "SimulationService",
@@ -60,5 +67,6 @@ __all__ = [
     "config_digest",
     "jobs_from_manifest",
     "load_manifest",
+    "replay_journal",
     "run_manifest",
 ]

@@ -25,15 +25,15 @@ final state).
 
 from __future__ import annotations
 
-import dataclasses
 import enum
 import hashlib
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
 from repro.circuits.circuit import Circuit
-from repro.common.config import FlatDDConfig
+from repro.common.config import FlatDDConfig, config_digest
 from repro.common.errors import ServeError
 
 __all__ = ["Job", "JobResult", "JobState", "config_digest"]
@@ -70,22 +70,6 @@ _TRANSITIONS: dict[JobState, set[JobState]] = {
     JobState.CANCELLED: set(),
     JobState.TIMEOUT: set(),
 }
-
-#: FlatDDConfig fields that only affect *how* the simulation executes,
-#: never the final state -- excluded from the cache-key config digest.
-_EXECUTION_ONLY_FIELDS = ("use_thread_pool",)
-
-
-def config_digest(config: FlatDDConfig | None) -> str:
-    """Short stable digest of the semantically relevant config fields."""
-    if config is None:
-        return "default"
-    fields = dataclasses.asdict(config)
-    for name in _EXECUTION_ONLY_FIELDS:
-        fields.pop(name, None)
-    blob = ";".join(f"{k}={fields[k]!r}" for k in sorted(fields))
-    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
-
 
 @dataclass(eq=False)
 class JobResult:
@@ -140,6 +124,14 @@ class Job:
     result: JobResult | None = None
     #: FIFO tiebreaker, assigned at admission.
     seq: int = -1
+    #: Lifecycle observers, called as ``fn(job, old_state, new_state)``
+    #: after every successful :meth:`transition`.  The durable-serving
+    #: journal (:mod:`repro.serve.journal`) hooks in here: workers set
+    #: ``result`` / ``error`` *before* transitioning, so one observer sees
+    #: the complete outcome at the moment the state flips.
+    observers: list[Callable[["Job", JobState, JobState], None]] = field(
+        default_factory=list, repr=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -167,7 +159,10 @@ class Job:
                 f"job {self.job_id or '<unsubmitted>'}: illegal transition "
                 f"{self.state.value} -> {new_state.value}"
             )
+        old_state = self.state
         self.state = new_state
+        for observer in self.observers:
+            observer(self, old_state, new_state)
 
     @property
     def done(self) -> bool:

@@ -1,0 +1,194 @@
+"""Write-ahead journal for durable serving (crash-recoverable batches).
+
+The journal is an append-only JSONL file of job lifecycle events.  Every
+admitted job writes a ``submitted`` record, and a transition observer on
+:meth:`repro.serve.jobs.Job.transition` writes a ``transition`` record the
+moment each state flips -- workers set ``result`` / ``error`` *before*
+transitioning, so the DONE record can carry the full outcome (cache key,
+runtime, and the final state vector itself, base64 of the raw complex128
+bytes).  Each record is flushed to the OS before the write returns: a
+SIGKILL loses at most the event being written, never an acknowledged one
+(the kernel page cache survives process death).
+
+After a crash, :func:`replay_journal` folds the surviving records into a
+:class:`JournalRecovery`: last-known state per job, the DONE payloads
+(which :func:`repro.serve.service.run_manifest` uses to seed the result
+cache so finished jobs are served without re-execution), and counts of
+what must re-run.  A half-written trailing line -- the expected crash
+artifact -- is tolerated and counted, never fatal; corruption *between*
+valid records is surfaced as a :class:`~repro.common.errors.ServeError`
+since it means the file was edited or the disk lied.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ServeError
+from repro.serve.jobs import Job, JobState
+
+__all__ = ["JobJournal", "JournalRecovery", "replay_journal"]
+
+
+class JobJournal:
+    """Append-only JSONL write-ahead log of job-state transitions.
+
+    ``resume=True`` opens the existing file for append (the continuation
+    run's records land after the crashed run's); otherwise the file is
+    truncated.  Thread-safe: workers transition jobs concurrently.
+    """
+
+    def __init__(self, path: str, resume: bool = False) -> None:
+        self.path = path
+        self._fh = open(path, "a" if resume else "w", encoding="utf-8")
+        self._lock = threading.Lock()
+        self._closed = False
+
+    def append(self, record: dict) -> None:
+        """Write one event record durably (flushed before returning)."""
+        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        with self._lock:
+            if self._closed:
+                return
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def attach(self, job: Job) -> None:
+        """Record the submission and observe every future transition."""
+        self.append(
+            {
+                "type": "submitted",
+                "job_id": job.job_id,
+                "cache_key": job.cache_key(),
+                "circuit": job.circuit.name,
+                "qubits": job.circuit.num_qubits,
+                "gates": len(job.circuit.gates),
+                "backend": job.backend,
+                "shots": job.shots,
+                "ts": time.time(),
+            }
+        )
+        job.observers.append(self._on_transition)
+
+    def _on_transition(
+        self, job: Job, old_state: JobState, new_state: JobState
+    ) -> None:
+        record: dict = {
+            "type": "transition",
+            "job_id": job.job_id,
+            "from": old_state.value,
+            "to": new_state.value,
+            "ts": time.time(),
+        }
+        if new_state is JobState.DONE and job.result is not None:
+            record["cache_key"] = job.cache_key()
+            record["cache_hit"] = bool(job.result.cache_hit)
+            record["runtime_seconds"] = job.result.runtime_seconds
+            record["backend"] = job.result.backend
+            record["state_b64"] = base64.b64encode(
+                np.ascontiguousarray(job.result.state).tobytes()
+            ).decode("ascii")
+        elif new_state in (JobState.FAILED, JobState.TIMEOUT):
+            record["error"] = job.error
+        self.append(record)
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._closed = True
+                self._fh.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+@dataclass
+class JournalRecovery:
+    """What a journal replay learned about the previous run(s)."""
+
+    path: str
+    total_records: int = 0
+    #: Trailing half-written lines skipped (the crash artifact).
+    truncated_records: int = 0
+    #: job_id -> last journaled state ("PENDING" right after submission).
+    job_states: dict[str, str] = field(default_factory=dict)
+    #: job_id -> the DONE transition record (with cache_key/state_b64).
+    done_payloads: dict[str, dict] = field(default_factory=dict)
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Jobs per last-journaled state."""
+        out: dict[str, int] = {}
+        for state in self.job_states.values():
+            out[state] = out.get(state, 0) + 1
+        return out
+
+    def decode_state(self, job_id: str) -> np.ndarray:
+        """The journaled final state vector of a DONE job."""
+        record = self.done_payloads.get(job_id)
+        if record is None or "state_b64" not in record:
+            raise ServeError(f"journal has no DONE state for job {job_id!r}")
+        raw = base64.b64decode(record["state_b64"])
+        return np.frombuffer(raw, dtype=np.complex128).copy()
+
+    def summary(self) -> dict:
+        """JSON-serializable recovery summary (for the serve report)."""
+        return {
+            "journal": self.path,
+            "records": self.total_records,
+            "truncated_records": self.truncated_records,
+            "jobs": len(self.job_states),
+            "by_state": self.counts,
+        }
+
+
+def replay_journal(path: str) -> JournalRecovery:
+    """Fold a journal back into per-job last-known state.
+
+    Later records win, so replaying a journal that spans several runs
+    (crash, resume, crash again...) converges on the newest outcome of
+    every job.
+    """
+    if not os.path.exists(path):
+        raise ServeError(f"journal {path!r} does not exist")
+    recovery = JournalRecovery(path=path)
+    with open(path, encoding="utf-8") as fh:
+        lines = fh.readlines()
+    for index, raw in enumerate(lines):
+        line = raw.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                # Torn trailing write: exactly what a crash leaves behind.
+                recovery.truncated_records += 1
+                continue
+            raise ServeError(
+                f"{path}:{index + 1}: corrupt journal record "
+                "(not the trailing line; the file was damaged)"
+            )
+        if not isinstance(record, dict) or "type" not in record:
+            raise ServeError(
+                f"{path}:{index + 1}: malformed journal record"
+            )
+        recovery.total_records += 1
+        job_id = record.get("job_id", "")
+        if record["type"] == "submitted":
+            recovery.job_states.setdefault(job_id, JobState.PENDING.value)
+        elif record["type"] == "transition":
+            recovery.job_states[job_id] = record["to"]
+            if record["to"] == JobState.DONE.value:
+                recovery.done_payloads[job_id] = record
+    return recovery

@@ -47,6 +47,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import Job, JobResult, JobState
+from repro.serve.journal import JobJournal, replay_journal
 from repro.serve.queue import JobQueue
 from repro.serve.scheduler import BatchScheduler
 from repro.serve.workers import WorkerPool
@@ -85,6 +86,8 @@ class ServeReport:
     admission: dict
     internal_errors: int = 0
     job_rows: list[dict] = field(default_factory=list)
+    #: Journal-replay summary when the batch resumed after a crash.
+    recovery: dict | None = None
 
     @property
     def jobs_per_second(self) -> float:
@@ -112,6 +115,7 @@ class ServeReport:
             "internal_errors": self.internal_errors,
             "ok": self.ok,
             "job_rows": self.job_rows,
+            "recovery": self.recovery,
         }
 
     def format_text(self) -> str:
@@ -138,6 +142,16 @@ class ServeReport:
             lines.append(
                 "  rejected: "
                 + " ".join(f"{k}={v}" for k, v in sorted(rejected.items()))
+            )
+        if self.recovery is not None:
+            by_state = self.recovery.get("by_state", {})
+            lines.append(
+                f"  recovery: journal replayed {self.recovery.get('jobs', 0)} "
+                "job(s) ("
+                + " ".join(
+                    f"{k.lower()}={v}" for k, v in sorted(by_state.items())
+                )
+                + f"), cache_seeded={self.recovery.get('cache_seeded', 0)}"
             )
         return "\n".join(lines)
 
@@ -383,6 +397,11 @@ def jobs_from_manifest(
         circuit = _circuit_from_entry(entry, base_dir)
         for copy in range(repeat):
             job_id = entry.get("job_id", "")
+            if not job_id and isinstance(line, int):
+                # Deterministic manifest-derived id: crash recovery must
+                # match journal records to jobs *across processes*, so ids
+                # cannot depend on in-process submission order.
+                job_id = f"m{line:04d}"
             if job_id and repeat > 1:
                 job_id = f"{job_id}.{copy}"
             jobs.append(
@@ -408,33 +427,78 @@ def run_manifest(
     config: ServeConfig | None = None,
     tracer=None,
     service: SimulationService | None = None,
+    journal_path: str | None = None,
+    resume: bool = False,
 ) -> tuple[ServeReport, list[Job]]:
     """Run a JSONL manifest end to end; returns (report, jobs).
 
     Creates (and closes) a service unless one is passed in.  Rejected
     submissions surface in the report's admission counts instead of
     aborting the batch: the accepted jobs still run.
+
+    ``journal_path`` write-ahead-logs every job-state transition (JSONL,
+    see :mod:`repro.serve.journal`).  With ``resume=True`` an existing
+    journal is replayed first: DONE jobs seed the result cache (they
+    complete as cache hits, zero re-execution), PENDING/RUNNING jobs
+    simply re-run, and the report carries a recovery summary.  The
+    journal is opened for append on resume, so a crash-resume-crash
+    sequence keeps converging.
     """
     cfg = config or ServeConfig()
     entries = load_manifest(path)
     jobs = jobs_from_manifest(
         entries, cfg, base_dir=os.path.dirname(os.path.abspath(path))
     )
+    recovery = None
+    journal = None
+    if journal_path is not None:
+        if resume and os.path.exists(journal_path):
+            recovery = replay_journal(journal_path)
+        journal = JobJournal(journal_path, resume=resume)
     own_service = service is None
     svc = service or SimulationService(cfg, tracer=tracer)
     try:
+        cache_seeded = 0
+        if recovery is not None:
+            for job_id, record in recovery.done_payloads.items():
+                key = record.get("cache_key")
+                if not key or "state_b64" not in record or key in svc.cache:
+                    continue
+                svc.cache.put(
+                    key,
+                    recovery.decode_state(job_id),
+                    float(record.get("runtime_seconds", 0.0)),
+                    metadata={
+                        "backend": record.get("backend", ""),
+                        "producer": job_id,
+                        "journal_resume": True,
+                    },
+                )
+                cache_seeded += 1
+            _log.info(
+                "resume: replayed %d journal record(s), seeded %d cached "
+                "result(s)", recovery.total_records, cache_seeded,
+            )
         for job in jobs:
             accepted, reason = svc.queue.try_submit(job)
             if accepted:
                 svc._jobs[job.job_id] = job
                 svc.registry.counter("serve.jobs.submitted").inc()
+                if journal is not None:
+                    journal.attach(job)
             else:
                 _log.warning(
                     "manifest job %s rejected: %s",
                     job.job_id or job.circuit.name, reason,
                 )
         report = svc.drain()
+        if recovery is not None:
+            report.recovery = dict(
+                recovery.summary(), cache_seeded=cache_seeded
+            )
         return report, jobs
     finally:
+        if journal is not None:
+            journal.close()
         if own_service:
             svc.close()

@@ -9,8 +9,11 @@ Two families, both cheap relative to writing amplitude-level golden data:
   loosest tier it failed).
 * **metamorphic** -- properties that must hold regardless of the circuit
   drawn: norm preservation, ``C . C^-1 = I`` round-trips, gate-fusion
-  on/off equivalence, forced early/late conversion-point equivalence, and
-  thread-count invariance of the parallel conversion + DMAV kernels.
+  on/off equivalence, forced early/late conversion-point equivalence,
+  thread-count invariance of the parallel conversion + DMAV kernels, and
+  bit-identical checkpoint/resume (a run interrupted at a
+  fingerprint-derived gate and resumed from its snapshot must reproduce
+  the uninterrupted run's amplitudes *exactly*, see docs/RESILIENCE.md).
 
 Every oracle is a pure function ``(circuit, ctx) -> OracleOutcome``;
 ``run_oracles`` shares simulated states across oracles through the
@@ -20,6 +23,8 @@ Every oracle is a pure function ``(circuit, ctx) -> OracleOutcome``;
 
 from __future__ import annotations
 
+import os
+import tempfile
 import time
 from dataclasses import dataclass, field
 
@@ -333,6 +338,65 @@ def oracle_thread_invariance(
     )
 
 
+def oracle_checkpoint_resume(
+    circuit: Circuit, ctx: OracleContext
+) -> OracleOutcome:
+    """Checkpoint + resume must be *bit-identical* to the clean run.
+
+    The checkpoint cadence is derived from the circuit fingerprint so the
+    cut point (and hence the phase -- DD or flat array -- being
+    snapshotted) varies across the fuzz corpus without any randomness in
+    the oracle itself.  Equality is ``np.array_equal``, not a tolerance:
+    the snapshot captures the full complex table so resume replays the
+    very same canonicalization decisions (docs/RESILIENCE.md).
+    """
+    t0 = time.perf_counter()
+    gates = len(circuit.gates)
+    if gates < 2:
+        return _skip(
+            "checkpoint_resume", "metamorphic", "needs >= 2 gates", t0
+        )
+    # Deterministic cadence in [1, min(gates-1, 32)]: always at least one
+    # checkpoint opportunity strictly before the final gate, and small
+    # enough that long circuits overwrite DD-phase snapshots with
+    # DMAV-phase ones (covering both snapshot kinds across the corpus).
+    every = int(circuit.fingerprint()[:8], 16) % min(gates - 1, 32) + 1
+    threads = ctx._effective_threads(None)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "fuzz.ckpt")
+        full = FlatDDSimulator(FlatDDConfig(threads=threads)).run(
+            circuit, checkpoint_every=every, checkpoint_path=path
+        )
+        if not os.path.exists(path):
+            return _skip(
+                "checkpoint_resume", "metamorphic",
+                f"no checkpoint emitted (checkpoint_every={every}, "
+                "cadence landed only on suppressed boundaries)", t0,
+            )
+        resumed = FlatDDSimulator(FlatDDConfig(threads=threads)).run(
+            circuit, resume_from=path
+        )
+    identical = bool(np.array_equal(full.state, resumed.state))
+    err = (
+        0.0 if identical
+        else float(np.max(np.abs(full.state - resumed.state)))
+    )
+    phase = resumed.metadata.get("resume_phase", "?")
+    return OracleOutcome(
+        oracle="checkpoint_resume",
+        family="metamorphic",
+        passed=identical,
+        max_error=err,
+        tier="tight" if identical else "violation",
+        detail=(
+            f"resume from {phase}-phase snapshot "
+            f"(checkpoint_every={every}) vs uninterrupted run, "
+            "bit-exact comparison"
+        ),
+        seconds=time.perf_counter() - t0,
+    )
+
+
 #: name -> (family, oracle function).  Iteration order is cheap-first so a
 #: budgeted campaign still covers the differential core on every circuit.
 ORACLES: dict[str, tuple[str, callable]] = {
@@ -346,6 +410,7 @@ ORACLES: dict[str, tuple[str, callable]] = {
     "thread_invariance": ("metamorphic", oracle_thread_invariance),
     "fusion_equivalence": ("metamorphic", oracle_fusion_equivalence),
     "inverse_roundtrip": ("metamorphic", oracle_inverse_roundtrip),
+    "checkpoint_resume": ("metamorphic", oracle_checkpoint_resume),
 }
 
 ORACLE_FAMILIES: tuple[str, ...] = ("differential", "metamorphic")
