@@ -88,6 +88,8 @@ def _make_simulator(args: argparse.Namespace):
             threads=args.threads,
             fusion=args.fusion,
             memory_budget_bytes=getattr(args, "memory_budget", None),
+            plan_cache=not getattr(args, "no_plan_cache", False),
+            force_convert_at=getattr(args, "force_convert_at", None),
         )
     if args.backend == "ddsim":
         return DDSimulator()
@@ -177,6 +179,12 @@ def cmd_simulate(args: argparse.Namespace) -> int:
             for i in top
         }
     if args.json:
+        obs = result.metadata.get("obs")
+        if obs is not None:
+            payload["obs"] = {
+                "counters": obs.get("counters", {}),
+                "gauges": obs.get("gauges", {}),
+            }
         print(json.dumps(payload, indent=2))
     else:
         for key, value in payload.items():
@@ -455,6 +463,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "(open in Perfetto / chrome://tracing)")
     p.add_argument("--profile", action="store_true",
                    help="print a per-phase timing breakdown")
+    p.add_argument("--no-plan-cache", action="store_true",
+                   help="disable the DMAV plan compiler / buffer arena "
+                        "(flatdd only; bit-identical performance "
+                        "ablation)")
+    p.add_argument("--force-convert-at", type=int, default=None,
+                   metavar="GATE",
+                   help="force DD-to-array conversion right after this "
+                        "gate index instead of waiting for the EWMA "
+                        "trigger (flatdd only)")
     p.add_argument("--checkpoint", metavar="PATH", default=None,
                    help="rolling snapshot file (flatdd only; see "
                         "docs/RESILIENCE.md)")

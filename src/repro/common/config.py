@@ -88,6 +88,14 @@ class FlatDDConfig:
     #: If False, thread tasks run inline (deterministic, used by tests);
     #: if True they run on a ThreadPoolExecutor.
     use_thread_pool: bool = False
+    #: Compile each gate DD's DMAV work (cost verdict, task partitions,
+    #: buffer/writer layout) once via :class:`repro.core.plan.PlanCache`
+    #: and run the array phase out of a persistent
+    #: :class:`repro.parallel.arena.BufferArena` instead of re-deriving
+    #: and re-allocating per gate.  Bit-identical to the unplanned hot
+    #: loop (execution-only knob); False is the ``--no-plan-cache``
+    #: performance ablation.
+    plan_cache: bool = True
     #: Deterministic conversion override for testing/verification: ``None``
     #: keeps the EWMA trigger; an int forces DD-to-array conversion right
     #: after that gate index (0 = convert after the first gate).  An index
@@ -134,7 +142,9 @@ class FlatDDConfig:
 #: never the final state -- excluded from the cache-key config digest.
 #: ``memory_budget_bytes`` stays *in* the digest: a guardrail-forced early
 #: conversion changes the conversion point, which is bit-level visible.
-_EXECUTION_ONLY_FIELDS = ("use_thread_pool",)
+#: ``plan_cache`` is execution-only by construction: the compiled plans
+#: replay the unplanned descents' arithmetic bit-for-bit.
+_EXECUTION_ONLY_FIELDS = ("use_thread_pool", "plan_cache")
 
 
 def config_digest(config: "FlatDDConfig | None") -> str:

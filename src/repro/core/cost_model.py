@@ -22,7 +22,14 @@ from repro.dd.package import DDPackage
 from repro.parallel.partition import border_level
 from repro.parallel.pool import validate_thread_count
 
-__all__ = ["mac_count", "CacheAssignment", "assign_cache_tasks", "CostModel", "GateCost"]
+__all__ = [
+    "mac_count",
+    "CacheAssignment",
+    "assign_buffers",
+    "assign_cache_tasks",
+    "CostModel",
+    "GateCost",
+]
 
 
 def mac_count(pkg: DDPackage, e: Edge) -> int:
@@ -120,13 +127,31 @@ def assign_cache_tasks(pkg: DDPackage, m: Edge, threads: int) -> CacheAssignment
     if not m.is_zero:
         descend(m, 1.0 + 0j, 0, 0, n - 1)
 
-    # Buffer assignment: first-fit threads into buffers whose occupied
-    # output slices don't overlap.  All slices have length h = 2**n / t, so
-    # comparing start offsets is an exact overlap test.
+    buffer_of, num_buffers = assign_buffers(tasks)
+    return CacheAssignment(
+        num_qubits=n,
+        threads=threads,
+        tasks=tasks,
+        buffer_of=buffer_of,
+        num_buffers=num_buffers,
+    )
+
+
+def assign_buffers(
+    tasks: list[list[tuple[DDNode, int, complex]]],
+) -> tuple[list[int], int]:
+    """Algorithm 2 lines 22-25: first-fit threads into shared buffers.
+
+    Two threads share a partial output buffer iff their occupied output
+    slices don't overlap.  All slices have length h = 2**n / t, so
+    comparing start offsets is an exact overlap test.  Shared between
+    :func:`assign_cache_tasks` and the plan compiler
+    (:mod:`repro.core.plan`) so both produce the identical partition.
+    """
     buffer_slots: list[set[int]] = []
     buffer_of: list[int] = []
-    for u in range(threads):
-        offsets = {i_p for _, i_p, _ in tasks[u]}
+    for thread_tasks in tasks:
+        offsets = {i_p for _, i_p, _ in thread_tasks}
         placed = -1
         for bi, occupied in enumerate(buffer_slots):
             if not (occupied & offsets):
@@ -137,13 +162,7 @@ def assign_cache_tasks(pkg: DDPackage, m: Edge, threads: int) -> CacheAssignment
             buffer_slots.append(set(offsets))
             placed = len(buffer_slots) - 1
         buffer_of.append(placed)
-    return CacheAssignment(
-        num_qubits=n,
-        threads=threads,
-        tasks=tasks,
-        buffer_of=buffer_of,
-        num_buffers=len(buffer_slots),
-    )
+    return buffer_of, len(buffer_slots)
 
 
 @dataclass(frozen=True)
@@ -186,14 +205,34 @@ class CostModel:
         cached = self._cache.get(id(m.n))
         if cached is not None:
             return cached
-        cost = self._evaluate(pkg, m)
+        cost = self._from_assignment(
+            pkg, m, assign_cache_tasks(pkg, m, self.threads)
+        )
         self._cache[id(m.n)] = cost
         return cost
 
-    def _evaluate(self, pkg: DDPackage, m: Edge) -> GateCost:
+    def evaluate_assignment(
+        self, pkg: DDPackage, m: Edge, assignment: CacheAssignment
+    ) -> GateCost:
+        """Like :meth:`evaluate`, from an already-built AssignCache partition.
+
+        The plan compiler (:mod:`repro.core.plan`) derives the partition
+        during its own descent; passing it here skips the second DD walk
+        while producing the identical verdict (same H/K2/b inputs, same
+        formulas, same per-root memoization).
+        """
+        cached = self._cache.get(id(m.n))
+        if cached is not None:
+            return cached
+        cost = self._from_assignment(pkg, m, assignment)
+        self._cache[id(m.n)] = cost
+        return cost
+
+    def _from_assignment(
+        self, pkg: DDPackage, m: Edge, assignment: CacheAssignment
+    ) -> GateCost:
         t, d = self.threads, self.simd_width
         k1 = mac_count(pkg, m)
-        assignment = assign_cache_tasks(pkg, m, t)
         h_hits = assignment.cache_hits
         k2 = assignment.k2_macs(pkg)
         b = assignment.num_buffers

@@ -32,7 +32,7 @@ from repro.dd.package import DDPackage
 from repro.core.cost_model import CacheAssignment, assign_cache_tasks
 from repro.parallel.partition import border_level
 from repro.parallel.pool import TaskRunner, validate_thread_count
-from repro.parallel.simd import simd_add, simd_mul
+from repro.parallel.simd import simd_add, simd_mul_into
 
 __all__ = ["DMAVStats", "assign_tasks", "dmav_nocache", "dmav_cached", "run_border_task"]
 
@@ -89,6 +89,7 @@ def _apply_batched(
     node: DDNode,
     vmat: np.ndarray,
     dense_level: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Apply the normalized subtree under ``node`` to a batch of vectors.
 
@@ -98,21 +99,40 @@ def _apply_batched(
     count is proportional to the gate DD's edge count, not to the number of
     root-to-terminal paths (the pure-Python analogue of the paper's
     constant-average-indexing claim for DMAV, Section 3.2.1).
+
+    ``out`` is a best-effort, contiguous result destination of ``vmat``'s
+    shape that must not overlap ``vmat``.  Branches whose final operation
+    can target it directly do so (skipping one result-sized allocation);
+    others -- notably identity subtrees, which return ``vmat`` itself --
+    ignore it.  Callers must therefore always use the *returned* array.
+    The values written are the same bits either way.
     """
     if node is TERMINAL or is_identity(pkg, node):
         return vmat
     size = vmat.shape[1]
     if node.level <= dense_level:
-        return vmat @ dense_matrix_block(pkg, node).T
+        block = dense_matrix_block(pkg, node)
+        if out is None:
+            return vmat @ block.T
+        np.matmul(vmat, block.T, out=out)
+        return out
     collapsed = kron_collapse(pkg, node, dense_level)
     if collapsed is not None:
         # Subtree acts as diag(d) (x) M_base: one reshape + matmul.
         d, base = collapsed
         if base is TERMINAL:
-            return vmat * d
+            if out is None:
+                return vmat * d
+            np.multiply(vmat, d, out=out)
+            return out
         block = dense_matrix_block(pkg, base)
         bs = block.shape[0]
-        folded = vmat.reshape(vmat.shape[0], d.size, bs) @ block.T
+        shape3 = (vmat.shape[0], d.size, bs)
+        if out is None:
+            folded = vmat.reshape(shape3) @ block.T
+        else:
+            folded = out.reshape(shape3)
+            np.matmul(vmat.reshape(shape3), block.T, out=folded)
         folded *= d[None, :, None]
         return folded.reshape(vmat.shape)
     half = size // 2
@@ -128,15 +148,29 @@ def _apply_batched(
         # into the batch axis as a *view* and recurse once -- zero copies
         # until a non-trivial level is reached.
         m = vmat.shape[0]
+        if e00.w == 1 and e11.w == 1:
+            folded = _apply_batched(
+                pkg,
+                e00.n,
+                vmat.reshape(2 * m, half),
+                dense_level,
+                None if out is None else out.reshape(2 * m, half),
+            )
+            return folded.reshape(m, size)
         folded = _apply_batched(
             pkg, e00.n, vmat.reshape(2 * m, half), dense_level
         )
-        if e00.w == 1 and e11.w == 1:
-            return folded.reshape(m, size)
         scale = np.array([e00.w, e11.w], dtype=np.complex128)
-        return (folded.reshape(m, 2, half) * scale[None, :, None]).reshape(
-            m, size
+        if out is None:
+            return (
+                folded.reshape(m, 2, half) * scale[None, :, None]
+            ).reshape(m, size)
+        np.multiply(
+            folded.reshape(m, 2, half),
+            scale[None, :, None],
+            out=out.reshape(m, 2, half),
         )
+        return out
     halves = (vmat[:, :half], vmat[:, half:])
     # Group the (up to four) child applications by child node: a child that
     # appears under several (i, j) positions runs once on a stacked batch.
@@ -150,16 +184,42 @@ def _apply_batched(
             groups[id(child.n)] = (child.n, [(i, j, child.w)])
         else:
             entry[1].append((i, j, child.w))
-    out = np.zeros_like(vmat)
+    # Assign on first write per output half instead of accumulating onto a
+    # zero-filled buffer: ``w * b`` and ``0 + w * b`` only differ in signed
+    # zeros, and skipping the O(size) fill plus one temporary per first use
+    # is most of this level's overhead.
+    if out is None:
+        out = np.empty_like(vmat)
+    written = [False, False]
+    m = vmat.shape[0]
     for child_node, uses in groups.values():
-        js = sorted({j for _, j, _ in uses})
-        stacked = np.concatenate([halves[j] for j in js], axis=0)
-        result = _apply_batched(pkg, child_node, stacked, dense_level)
-        m = vmat.shape[0]
-        slot = {j: pos for pos, j in enumerate(js)}
+        if child_node is TERMINAL or is_identity(pkg, child_node):
+            # The child applies as the identity: read the input halves
+            # directly instead of stacking a copy just to get it back.
+            result = halves
+            slot = {0: 0, 1: 1}
+        else:
+            js = sorted({j for _, j, _ in uses})
+            if len(js) == 1:
+                stacked = halves[js[0]]
+            else:
+                stacked = np.concatenate([halves[j] for j in js], axis=0)
+            res = _apply_batched(pkg, child_node, stacked, dense_level)
+            slot = {j: pos for pos, j in enumerate(js)}
+            result = [
+                res[pos * m:(pos + 1) * m] for pos in range(len(js))
+            ]
         for i, j, weight in uses:
-            block = result[slot[j] * m:(slot[j] + 1) * m]
-            out[:, i * half:(i + 1) * half] += weight * block
+            block = result[slot[j]]
+            dst = out[:, i * half:(i + 1) * half]
+            if written[i]:
+                dst += weight * block
+            else:
+                np.multiply(weight, block, out=dst)
+                written[i] = True
+    for i in (0, 1):
+        if not written[i]:
+            out[:, i * half:(i + 1) * half] = 0.0
     return out
 
 
@@ -172,18 +232,49 @@ def run_border_task(
     i_v: int,
     i_w: int,
     dense_level: int = DENSE_BLOCK_LEVEL,
+    accumulate: bool = True,
 ) -> None:
     """Algorithm 1's Run on one border sub-matrix: w-block += coeff * M v.
 
     The scalar-MAC recursion of the paper's C++ is replaced by the batched
-    vectorized kernel (DESIGN.md substitution 2).
+    vectorized kernel (DESIGN.md substitution 2).  With
+    ``accumulate=False`` the block is *assigned* instead of accumulated,
+    which lets planned runs write into recycled (dirty, never-zeroed)
+    buffers; the values only differ from ``0 + x`` in signed zeros.
     """
     if node is TERMINAL:
-        w[i_w] += coeff * v[i_v]
+        if accumulate:
+            w[i_w] += coeff * v[i_v]
+        else:
+            w[i_w] = coeff * v[i_v]
         return
     size = 2 << node.level
     vin = np.ascontiguousarray(v[i_v:i_v + size]).reshape(1, size)
-    w[i_w:i_w + size] += coeff * _apply_batched(pkg, node, vin, dense_level)[0]
+    if accumulate:
+        res = _apply_batched(pkg, node, vin, dense_level)[0]
+        w[i_w:i_w + size] += coeff * res
+    else:
+        # Assigning tasks hand the kernel their output slice as the result
+        # destination, then scale in place -- no intermediate buffer at
+        # all.  ``res`` either IS that slice's memory (same positions, so
+        # the aliased multiply is well-defined) or an input view the
+        # kernel passed through untouched.  Operand order matters
+        # bit-for-bit: numpy's FMA-based complex multiply rounds
+        # differently per order, and the accumulate path computes
+        # ``coeff * res``.
+        wslice = w[i_w:i_w + size]
+        res = _apply_batched(
+            pkg, node, vin, dense_level, wslice.reshape(1, size)
+        )[0]
+        if coeff == 1.0 + 0j:
+            # Unit coefficient: ``1 * res`` differs from ``res`` only in
+            # signed zeros, and assignment (unlike accumulation, which
+            # still owes an add) needs no pass at all when the kernel
+            # already wrote the slice.
+            if not np.may_share_memory(res, wslice):
+                np.copyto(wslice, res)
+            return
+        np.multiply(coeff, res, out=wslice)
 
 
 def dmav_nocache(
@@ -194,20 +285,50 @@ def dmav_nocache(
     runner: TaskRunner | None = None,
     dense_level: int = DENSE_BLOCK_LEVEL,
     out: np.ndarray | None = None,
+    *,
+    tasks: list[list[tuple[DDNode, int, complex]]] | None = None,
+    out_dirty: bool = True,
 ) -> tuple[np.ndarray, DMAVStats]:
-    """DMAV without caching (Algorithm 1): returns (w, stats)."""
+    """DMAV without caching (Algorithm 1): returns (w, stats).
+
+    ``tasks`` may be passed from a compiled :class:`~repro.core.plan.GatePlan`
+    (``row_tasks``) to skip the per-call Assign descent.  In that *planned*
+    mode ``out`` is not pre-zeroed: each thread's first task assigns its
+    output slice and the rest accumulate, so a dirty recycled buffer only
+    needs filling (governed by ``out_dirty``) for threads with no tasks.
+    """
     n = pkg.num_qubits
     if v.shape != (1 << n,):
         raise ValueError(f"state length {v.shape} != 2**{n}")
     if out is v:
         raise ValueError("DMAV cannot write its output over the input state")
+    planned = tasks is not None
     w = out if out is not None else np.zeros_like(v)
-    if out is not None:
+    if out is not None and not planned:
         w.fill(0)
-    tasks = assign_tasks(pkg, m, threads)
+    if tasks is None:
+        tasks = assign_tasks(pkg, m, threads)
     h = (1 << n) // threads
 
     def work(u: int) -> None:
+        if planned:
+            if not tasks[u]:
+                if out_dirty:
+                    w[u * h:(u + 1) * h].fill(0)
+                return
+            first = True
+            for node, i_v, coeff in tasks[u]:
+                if first and node is TERMINAL:
+                    # A terminal border task writes a single element, not
+                    # the whole slice -- fall back to zero-fill + add.
+                    w[u * h:(u + 1) * h].fill(0)
+                    first = False
+                run_border_task(
+                    pkg, node, coeff, v, w, i_v, u * h, dense_level,
+                    accumulate=not first,
+                )
+                first = False
+            return
         for node, i_v, coeff in tasks[u]:
             run_border_task(pkg, node, coeff, v, w, i_v, u * h, dense_level)
 
@@ -229,11 +350,29 @@ def dmav_cached(
     dense_level: int = DENSE_BLOCK_LEVEL,
     out: np.ndarray | None = None,
     assignment: CacheAssignment | None = None,
+    *,
+    buffers: list[np.ndarray] | None = None,
+    writers: list[list[int]] | None = None,
+    out_dirty: bool = True,
+    direct: list[list[bool]] | None = None,
+    direct_out: list[bool] | None = None,
 ) -> tuple[np.ndarray, DMAVStats]:
     """DMAV with caching (Algorithm 2): returns (w, stats).
 
     ``assignment`` may be passed in when the caller already ran the cost
     model for this gate (it computes the same partition).
+
+    ``buffers``/``writers`` (from a :class:`~repro.parallel.arena.BufferArena`
+    and a compiled :class:`~repro.core.plan.GatePlan`) switch on *planned*
+    mode: partial buffers arrive dirty and are never pre-zeroed -- each
+    buffer slice is written (assigned) by exactly one task, and the
+    summation reads only each output slice's writer list instead of
+    scanning every buffer.  ``out`` is likewise not pre-zeroed; writerless
+    slices are filled only when ``out_dirty``.
+
+    ``direct``/``direct_out`` (also plan-compiled) flag tasks that are the
+    sole producer of their output slice and never feed a later cache hit:
+    they write W in place and the summation skips their slice.
     """
     n = pkg.num_qubits
     if v.shape != (1 << n,):
@@ -242,28 +381,57 @@ def dmav_cached(
         raise ValueError("DMAV cannot write its output over the input state")
     if assignment is None:
         assignment = assign_cache_tasks(pkg, m, threads)
+    planned = buffers is not None
+    if planned and writers is None:
+        raise ValueError("planned dmav_cached requires writer lists")
+    if planned and len(buffers) < assignment.num_buffers:
+        raise ValueError(
+            f"{len(buffers)} buffers passed, assignment needs "
+            f"{assignment.num_buffers}"
+        )
     h = (1 << n) // threads
-    buffers = [
-        np.zeros(1 << n, dtype=np.complex128)
-        for _ in range(assignment.num_buffers)
-    ]
+    if buffers is None:
+        buffers = [
+            np.zeros(1 << n, dtype=np.complex128)
+            for _ in range(assignment.num_buffers)
+        ]
     hits = [0] * threads
+    w = out if out is not None else np.zeros_like(v)
+    if out is not None and not planned:
+        w.fill(0)
 
     def work(u: int) -> None:
         # Per-thread result cache: border node -> (coefficient, offset).
         cache: dict[int, tuple[complex, int]] = {}
         buf = buffers[assignment.buffer_of[u]] if assignment.tasks[u] else None
-        for node, i_p, coeff in assignment.tasks[u]:
+        flags = direct[u] if direct is not None else None
+        for i, (node, i_p, coeff) in enumerate(assignment.tasks[u]):
+            to_w = flags is not None and flags[i]
             hit = cache.get(id(node))
             if hit is not None:
                 prev_coeff, prev_off = hit
-                buf[i_p:i_p + h] = simd_mul(
-                    buf[prev_off:prev_off + h], coeff / prev_coeff
+                dst = w if to_w else buf
+                simd_mul_into(
+                    dst[i_p:i_p + h],
+                    buf[prev_off:prev_off + h],
+                    coeff / prev_coeff,
                 )
                 hits[u] += 1
-            else:
+            elif to_w:
+                # Sole producer of output slice i_p // h, never a hit
+                # source: write W in place; sum_block skips this slice.
                 run_border_task(
-                    pkg, node, coeff, v, buf, u * h, i_p, dense_level
+                    pkg, node, coeff, v, w, u * h, i_p, dense_level,
+                    accumulate=False,
+                )
+            else:
+                if planned and node is TERMINAL:
+                    # Terminal border tasks write one element, not the
+                    # whole slice -- zero it so stale data can't leak.
+                    buf[i_p:i_p + h].fill(0)
+                run_border_task(
+                    pkg, node, coeff, v, buf, u * h, i_p, dense_level,
+                    accumulate=not planned or node is TERMINAL,
                 )
                 cache[id(node)] = (coeff, i_p)
 
@@ -273,14 +441,22 @@ def dmav_cached(
         for u in range(threads):
             work(u)
 
-    w = out if out is not None else np.zeros_like(v)
-    if out is not None:
-        w.fill(0)
-
     def sum_block(u: int) -> None:
         lo, hi = u * h, (u + 1) * h
-        for buf in buffers:
-            simd_add(w[lo:hi], buf[lo:hi])
+        if not planned:
+            for buf in buffers:
+                simd_add(w[lo:hi], buf[lo:hi])
+            return
+        ws = writers[u]
+        if not ws:
+            if direct_out is not None and direct_out[u]:
+                return  # a direct task already wrote this slice in full
+            if out_dirty:
+                w[lo:hi].fill(0)
+            return
+        np.copyto(w[lo:hi], buffers[ws[0]][lo:hi])
+        for b in ws[1:]:
+            simd_add(w[lo:hi], buffers[b][lo:hi])
 
     if runner is not None and runner.use_pool:
         runner.run([lambda u=u: sum_block(u) for u in range(threads)])

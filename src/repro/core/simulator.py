@@ -30,6 +30,7 @@ from repro.core.conversion import convert_parallel
 from repro.core.cost_model import CostModel, assign_cache_tasks
 from repro.core.dmav import dmav_cached, dmav_nocache
 from repro.core.ewma import EWMAMonitor
+from repro.core.plan import PlanCache
 from repro.core.fusion import FusionResult, fuse_cost_aware, fuse_k_operations
 from repro.dd.io import deserialize_vector_dd
 from repro.dd.operations import mv_multiply
@@ -39,6 +40,7 @@ from repro.metrics.memory import MemoryMeter, dd_bytes
 from repro.obs.collect import build_obs
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
+from repro.parallel.arena import BufferArena
 from repro.parallel.pool import TaskRunner, validate_thread_count
 from repro.resilience.guard import MemoryGuard
 from repro.resilience.snapshot import (
@@ -371,7 +373,14 @@ class FlatDDSimulator(Simulator):
                     )
 
                 d0 = time.perf_counter()
-                out = np.zeros_like(state)
+                use_plans = cfg.plan_cache
+                plans = (
+                    PlanCache(pkg, cfg.threads, model, cfg.dense_block_level)
+                    if use_plans
+                    else None
+                )
+                arena = BufferArena(state.size) if use_plans else None
+                out = None if use_plans else np.zeros_like(state)
                 dmav_macs = 0
                 dmav_cache_hits = 0
                 gate_costs: list[tuple[int, float, float, bool]] = []
@@ -380,14 +389,40 @@ class FlatDDSimulator(Simulator):
                 edge_start = resume.gate_cursor if skip_dd else 0
                 for j, edge in enumerate(edges[edge_start:], start=edge_start):
                     g0 = time.perf_counter()
-                    cost = model.evaluate(pkg, edge)
+                    if use_plans:
+                        plan = plans.get(edge)
+                        cost = plan.cost
+                    else:
+                        plan = None
+                        cost = model.evaluate(pkg, edge)
                     if cfg.cache_policy == "always":
                         use_cache = True
                     elif cfg.cache_policy == "never":
                         use_cache = False
                     else:
                         use_cache = cost.use_cache
-                    if use_cache:
+                    if use_plans:
+                        w_buf, w_dirty = arena.output()
+                        if use_cache:
+                            bufs = arena.partials(plan.assignment.num_buffers)
+                            w_buf, stats = dmav_cached(
+                                pkg, edge, state, cfg.threads, runner,
+                                cfg.dense_block_level, out=w_buf,
+                                assignment=plan.assignment, buffers=bufs,
+                                writers=plan.writers, out_dirty=w_dirty,
+                                direct=plan.direct,
+                                direct_out=plan.direct_out,
+                            )
+                        else:
+                            w_buf, stats = dmav_nocache(
+                                pkg, edge, state, cfg.threads, runner,
+                                cfg.dense_block_level, out=w_buf,
+                                tasks=plan.row_tasks, out_dirty=w_dirty,
+                            )
+                        arena.retire(state)
+                        state = w_buf
+                        buffer_bytes = arena.partial_bytes
+                    elif use_cache:
                         assignment = assign_cache_tasks(pkg, edge, cfg.threads)
                         out, stats = dmav_cached(
                             pkg, edge, state, cfg.threads, runner,
@@ -397,13 +432,14 @@ class FlatDDSimulator(Simulator):
                         buffer_bytes = (
                             stats.buffers * state.size * AMPLITUDE_BYTES
                         )
+                        state, out = out, state
                     else:
                         out, stats = dmav_nocache(
                             pkg, edge, state, cfg.threads, runner,
                             cfg.dense_block_level, out=out,
                         )
                         buffer_bytes = 0
-                    state, out = out, state
+                        state, out = out, state
                     dmav_macs += cost.macs_total
                     dmav_cache_hits += stats.cache_hits
                     gate_costs.append(
@@ -473,6 +509,28 @@ class FlatDDSimulator(Simulator):
                 registry.counter("dmav.gates").inc(len(gate_costs))
                 registry.counter("dmav.macs").inc(dmav_macs)
                 registry.counter("dmav.cache_hits").inc(dmav_cache_hits)
+                metadata["plan_cache"] = use_plans
+                if use_plans:
+                    registry.counter("dmav.plan.hits").inc(plans.hits)
+                    registry.counter("dmav.plan.misses").inc(plans.misses)
+                    registry.counter("dmav.plan.gate_hits").inc(
+                        plans.gate_hits
+                    )
+                    registry.counter("dmav.plan.compiles").inc(plans.compiles)
+                    registry.counter("dmav.plan.invalidations").inc(
+                        plans.invalidations
+                    )
+                    registry.counter("dmav.arena.partial_allocs").inc(
+                        arena.partial_allocs
+                    )
+                    registry.counter("dmav.arena.partial_reuses").inc(
+                        arena.partial_reuses
+                    )
+                    registry.counter("dmav.arena.output_allocs").inc(
+                        arena.output_allocs
+                    )
+                    registry.gauge("dmav.arena.bytes").set(arena.bytes_held)
+                    registry.gauge("dmav.plan.hit_rate").set(plans.hit_rate)
                 metadata["dmav_macs_total"] = dmav_macs
                 metadata["dmav_gate_costs"] = gate_costs
                 if keep_internals:

@@ -83,6 +83,13 @@ class DDPackage:
         self.num_qubits = num_qubits
         self.stats = PackageStats()
         self.ctable = ComplexTable()
+        #: Monotonic garbage-collection epoch.  Bumped by every
+        #: :meth:`collect_garbage` (and hence :meth:`checkpoint_barrier`).
+        #: Consumers that key long-lived state by ``id(node)`` -- the DMAV
+        #: plan cache in :mod:`repro.core.plan` -- compare epochs to detect
+        #: that node identities may have been swept (and ids recycled) and
+        #: must drop their derived state.
+        self.gc_epoch = 0
         # Unique tables, keyed by the node's structural signature.
         self._vtable: dict[tuple, DDNode] = {}
         self._mtable: dict[tuple, DDNode] = {}
@@ -401,6 +408,7 @@ class DDPackage:
             for k, v in self.kron_cache.items()
             if (k[0] if isinstance(k, tuple) else k) in live
         }
+        self.gc_epoch += 1
         self.stats.gc_runs += 1
         self.stats.gc_nodes_reclaimed += removed
         return removed

@@ -1,16 +1,25 @@
 """Parallel execution substrate: thread pools, partitioning, SIMD stand-ins."""
 
+from repro.parallel.arena import BufferArena
 from repro.parallel.partition import border_level, chunk_bounds
 from repro.parallel.pool import TaskRunner, validate_thread_count
-from repro.parallel.simd import COUNTERS, simd_add, simd_mul, simd_scale_into
+from repro.parallel.simd import (
+    COUNTERS,
+    simd_add,
+    simd_mul,
+    simd_mul_into,
+    simd_scale_into,
+)
 
 __all__ = [
+    "BufferArena",
     "COUNTERS",
     "TaskRunner",
     "border_level",
     "chunk_bounds",
     "simd_add",
     "simd_mul",
+    "simd_mul_into",
     "simd_scale_into",
     "validate_thread_count",
 ]

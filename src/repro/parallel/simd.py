@@ -13,7 +13,13 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["SimdCounters", "simd_mul", "simd_add", "simd_scale_into"]
+__all__ = [
+    "SimdCounters",
+    "simd_mul",
+    "simd_mul_into",
+    "simd_add",
+    "simd_scale_into",
+]
 
 
 @dataclass
@@ -41,11 +47,21 @@ def simd_mul(src: np.ndarray, scalar: complex) -> np.ndarray:
     return src * scalar
 
 
-def simd_scale_into(out: np.ndarray, src: np.ndarray, scalar: complex) -> None:
-    """``out[:] = scalar * src`` without allocating (conversion fast path)."""
+def simd_mul_into(out: np.ndarray, src: np.ndarray, scalar: complex) -> None:
+    """``out[:] = scalar * src`` without the temporary of :func:`simd_mul`.
+
+    The in-place variant of Algorithm 2's SIMDMul, used by
+    ``dmav_cached``'s cache-hit path: ``out`` and ``src`` may be disjoint
+    slices of the same partial buffer.  Counted once, like ``simd_mul``.
+    """
     COUNTERS.mul_calls += 1
     COUNTERS.mul_elements += src.size
     np.multiply(src, scalar, out=out)
+
+
+def simd_scale_into(out: np.ndarray, src: np.ndarray, scalar: complex) -> None:
+    """``out[:] = scalar * src`` without allocating (conversion fast path)."""
+    simd_mul_into(out, src, scalar)
 
 
 def simd_add(out: np.ndarray, src: np.ndarray) -> None:

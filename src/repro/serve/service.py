@@ -88,6 +88,10 @@ class ServeReport:
     job_rows: list[dict] = field(default_factory=list)
     #: Journal-replay summary when the batch resumed after a crash.
     recovery: dict | None = None
+    #: DMAV plan-cache / buffer-arena aggregate over the batch's *fresh*
+    #: runs (result-cache hits carry no obs), None when no fresh flatdd
+    #: run reached the array phase with plans enabled.
+    dmav: dict | None = None
 
     @property
     def jobs_per_second(self) -> float:
@@ -116,6 +120,7 @@ class ServeReport:
             "ok": self.ok,
             "job_rows": self.job_rows,
             "recovery": self.recovery,
+            "dmav": self.dmav,
         }
 
     def format_text(self) -> str:
@@ -152,6 +157,15 @@ class ServeReport:
                     f"{k.lower()}={v}" for k, v in sorted(by_state.items())
                 )
                 + f"), cache_seeded={self.recovery.get('cache_seeded', 0)}"
+            )
+        if self.dmav is not None:
+            lines.append(
+                f"  dmav plans: hits={self.dmav['plan_hits']} "
+                f"misses={self.dmav['plan_misses']} "
+                f"hit_rate={100.0 * self.dmav['plan_hit_rate']:.1f}% "
+                f"arena_peak_mb="
+                f"{self.dmav['arena_bytes_peak'] / (1024 * 1024):.2f} "
+                f"runs={self.dmav['runs']}"
             )
         return "\n".join(lines)
 
@@ -299,6 +313,7 @@ class SimulationService:
             internal_errors=self.pool.internal_errors,
             job_rows=[job.summary() for job in all_jobs],
         )
+        report.dmav = _aggregate_dmav(all_jobs)
         self.registry.gauge("serve.drain.jobs_per_second").set(
             report.jobs_per_second
         )
@@ -325,6 +340,43 @@ class SimulationService:
 # ---------------------------------------------------------------------------
 # Batch manifests (JSONL)
 # ---------------------------------------------------------------------------
+
+
+def _aggregate_dmav(jobs) -> dict | None:
+    """Batch-level DMAV plan/arena summary from fresh runs' obs metadata.
+
+    Result-cache hits reuse a prior run's state and carry no obs, so only
+    jobs whose result was freshly produced contribute.  Counters sum
+    across runs; the arena gauge peaks (each run owns its own arena).
+    """
+    hits = misses = runs = 0
+    arena_peak = 0.0
+    for job in jobs:
+        result = job.result
+        if result is None or result.cache_hit:
+            continue
+        obs = result.metadata.get("obs")
+        if not obs:
+            continue
+        counters = obs.get("counters", {})
+        if "dmav.plan.hits" not in counters:
+            continue
+        hits += counters.get("dmav.plan.hits", 0)
+        misses += counters.get("dmav.plan.misses", 0)
+        gauge = obs.get("gauges", {}).get("dmav.arena.bytes")
+        if gauge:
+            arena_peak = max(arena_peak, gauge.get("max", gauge.get("value", 0.0)))
+        runs += 1
+    if runs == 0:
+        return None
+    total = hits + misses
+    return {
+        "plan_hits": hits,
+        "plan_misses": misses,
+        "plan_hit_rate": hits / total if total else 0.0,
+        "arena_bytes_peak": int(arena_peak),
+        "runs": runs,
+    }
 
 
 def load_manifest(path: str) -> list[dict]:

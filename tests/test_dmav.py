@@ -1,4 +1,4 @@
-"""Unit tests for DMAV (Algorithms 1 and 2)."""
+"""Unit tests for DMAV (Algorithms 1 and 2) and its plan compiler."""
 
 import math
 
@@ -7,10 +7,13 @@ import pytest
 
 from repro.backends.gatecache import build_gate_dd
 from repro.circuits import Gate
-from repro.core.cost_model import assign_cache_tasks
+from repro.common.config import DENSE_BLOCK_LEVEL
+from repro.core.cost_model import CostModel, assign_cache_tasks
 from repro.core.dmav import assign_tasks, dmav_cached, dmav_nocache
+from repro.core.plan import PlanCache
 from repro.dd import DDPackage, matrix_to_dense, single_qubit_gate
 from repro.dd.matrix import controlled_gate
+from repro.parallel.arena import BufferArena
 from repro.parallel.partition import border_level
 from repro.parallel.pool import TaskRunner
 from repro.common.errors import ParallelError
@@ -197,6 +200,262 @@ class TestDMAVCached:
         with TaskRunner(4, use_pool=True) as runner:
             w, _ = dmav_cached(pkg, m, v, 4, runner=runner)
         np.testing.assert_allclose(w, matrix_to_dense(pkg, m) @ v, atol=1e-10)
+
+
+def _plan_cache(pkg, threads):
+    return PlanCache(pkg, threads, CostModel(threads), DENSE_BLOCK_LEVEL)
+
+
+def _task_ids(rows):
+    return [[(id(node), off, coeff) for node, off, coeff in row] for row in rows]
+
+
+class TestGatePlan:
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_plan_reproduces_legacy_partitions_exactly(self, threads):
+        n = 5
+        pkg = DDPackage(n)
+        plans = _plan_cache(pkg, threads)
+        for m in _random_gates(pkg):
+            plan = plans.get(m)
+            legacy_rows = assign_tasks(pkg, m, threads)
+            legacy_cache = assign_cache_tasks(pkg, m, threads)
+            # Same nodes, same offsets, bit-identical coefficients, same
+            # per-thread order -- the plan is a cached transcript of the
+            # legacy descents, not an approximation of them.
+            assert _task_ids(plan.row_tasks) == _task_ids(legacy_rows)
+            assert _task_ids(plan.assignment.tasks) == _task_ids(
+                legacy_cache.tasks
+            )
+            assert plan.assignment.buffer_of == legacy_cache.buffer_of
+            assert plan.assignment.num_buffers == legacy_cache.num_buffers
+
+    def test_plan_cost_matches_cost_model(self):
+        n = 5
+        pkg = DDPackage(n)
+        plans = _plan_cache(pkg, 4)
+        fresh = CostModel(4)
+        for m in _random_gates(pkg):
+            assert plans.get(m).cost == fresh.evaluate(pkg, m)
+
+    def test_repeated_root_served_from_plan_cache(self):
+        pkg = DDPackage(5)
+        plans = _plan_cache(pkg, 4)
+        m = build_gate_dd(pkg, Gate("h", (0,)))
+        first = plans.get(m)
+        again = plans.get(m)
+        assert again is first
+        assert plans.compiles == 1
+        assert plans.gate_hits == 1
+        # A whole-plan hit is task-weighted: all of the plan's tasks count
+        # as served from cache.
+        assert plans.hits >= first.num_tasks
+
+    def test_structural_memo_shares_across_distinct_roots(self):
+        # h(0) and rz(0) differ at the bottom level but share the
+        # identity structure above it, so the second compile is mostly
+        # memo hits even though its root was never seen.
+        pkg = DDPackage(6)
+        plans = _plan_cache(pkg, 4)
+        plans.get(build_gate_dd(pkg, Gate("h", (0,))))
+        before = plans.hits
+        plans.get(build_gate_dd(pkg, Gate("rz", (0,), params=(0.7,))))
+        assert plans.compiles == 2
+        assert plans.hits > before
+
+    def test_gc_epoch_invalidates_plans(self):
+        pkg = DDPackage(5)
+        plans = _plan_cache(pkg, 2)
+        m = build_gate_dd(pkg, Gate("h", (0,)))
+        plans.get(m)
+        assert len(plans) == 1
+        pkg.collect_garbage([m])
+        # Same (still-live) root: the epoch bump must drop the cache and
+        # force a recompile, because GC may have swept nodes whose ids the
+        # memo keys by.
+        plan = plans.get(m)
+        assert plans.invalidations == 1
+        assert plans.compiles == 2
+        assert _task_ids(plan.row_tasks) == _task_ids(
+            assign_tasks(pkg, m, 2)
+        )
+
+    def test_writers_cover_exactly_the_written_slices(self):
+        n = 5
+        threads = 4
+        pkg = DDPackage(n)
+        plans = _plan_cache(pkg, threads)
+        h = (1 << n) // threads
+        for m in _random_gates(pkg):
+            plan = plans.get(m)
+            expected = [set() for _ in range(threads)]
+            direct_expected = [False] * threads
+            for u, tasks in enumerate(plan.assignment.tasks):
+                for (_, i_p, _), is_direct in zip(tasks, plan.direct[u]):
+                    if is_direct:
+                        direct_expected[i_p // h] = True
+                    else:
+                        expected[i_p // h].add(
+                            plan.assignment.buffer_of[u]
+                        )
+            assert [sorted(ws) for ws in expected] == plan.writers
+            assert direct_expected == plan.direct_out
+            # Each output slice is produced exactly one way: direct tasks
+            # imply no buffered writers for the same slice.
+            for k in range(threads):
+                if plan.direct_out[k]:
+                    assert plan.writers[k] == []
+
+    def test_direct_tasks_are_sole_writers_and_never_hit_sources(self):
+        n = 5
+        threads = 4
+        pkg = DDPackage(n)
+        plans = _plan_cache(pkg, threads)
+        h = (1 << n) // threads
+        saw_direct = False
+        for m in _random_gates(pkg):
+            plan = plans.get(m)
+            slice_tasks = [0] * threads
+            for tasks in plan.assignment.tasks:
+                for _, i_p, _ in tasks:
+                    slice_tasks[i_p // h] += 1
+            for u, tasks in enumerate(plan.assignment.tasks):
+                seen = set()
+                for i, ((node, i_p, _), is_direct) in enumerate(
+                    zip(tasks, plan.direct[u])
+                ):
+                    if is_direct:
+                        saw_direct = True
+                        assert slice_tasks[i_p // h] == 1
+                        if id(node) not in seen:
+                            # A direct miss must not be a hit source: no
+                            # later task in this thread shares its node.
+                            assert not any(
+                                id(node2) == id(node)
+                                for node2, _, _ in tasks[i + 1:]
+                            )
+                    seen.add(id(node))
+        assert saw_direct
+
+
+class TestPlannedExecution:
+    """Planned kernels must be bit-identical to the legacy hot loop."""
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_planned_nocache_bit_identical(self, threads):
+        n = 5
+        pkg = DDPackage(n)
+        plans = _plan_cache(pkg, threads)
+        v = random_state(n, seed=threads)
+        for m in _random_gates(pkg):
+            legacy, _ = dmav_nocache(pkg, m, v, threads)
+            dirty = np.full(1 << n, 99.0 + 9j)
+            planned, _ = dmav_nocache(
+                pkg, m, v, threads, out=dirty,
+                tasks=plans.get(m).row_tasks, out_dirty=True,
+            )
+            assert np.array_equal(legacy, planned)
+
+    @pytest.mark.parametrize("threads", [1, 2, 4, 8])
+    def test_planned_cached_bit_identical(self, threads):
+        n = 5
+        pkg = DDPackage(n)
+        plans = _plan_cache(pkg, threads)
+        arena = BufferArena(1 << n)
+        v = random_state(n, seed=threads + 20)
+        for m in _random_gates(pkg):
+            plan = plans.get(m)
+            legacy, s1 = dmav_cached(pkg, m, v, threads)
+            out = np.full(1 << n, -7.0 + 3j)
+            bufs = arena.partials(plan.assignment.num_buffers)
+            planned, s2 = dmav_cached(
+                pkg, m, v, threads, out=out,
+                assignment=plan.assignment, buffers=bufs,
+                writers=plan.writers, out_dirty=True,
+                direct=plan.direct, direct_out=plan.direct_out,
+            )
+            assert np.array_equal(legacy, planned)
+            assert s1.cache_hits == s2.cache_hits
+
+    def test_dirty_buffers_never_leak_into_output(self):
+        # Poison the arena pool, then run a gate whose writer lists leave
+        # some buffer slices untouched: the result must still match.
+        n = 5
+        threads = 4
+        pkg = DDPackage(n)
+        plans = _plan_cache(pkg, threads)
+        arena = BufferArena(1 << n)
+        for buf in arena.partials(threads):
+            buf.fill(1e9 + 1e9j)
+        v = random_state(n, seed=13)
+        m = build_gate_dd(pkg, Gate("cx", (0,), (n - 1,)))
+        plan = plans.get(m)
+        out = np.full(1 << n, 1e9 + 0j)
+        bufs = arena.partials(plan.assignment.num_buffers)
+        w, _ = dmav_cached(
+            pkg, m, v, threads, out=out, assignment=plan.assignment,
+            buffers=bufs, writers=plan.writers, out_dirty=True,
+            direct=plan.direct, direct_out=plan.direct_out,
+        )
+        np.testing.assert_allclose(w, matrix_to_dense(pkg, m) @ v, atol=1e-10)
+
+    def test_planned_cached_requires_writers(self):
+        pkg = DDPackage(4)
+        v = random_state(4, seed=1)
+        m = single_qubit_gate(pkg, H, 0)
+        with pytest.raises(ValueError):
+            dmav_cached(
+                pkg, m, v, 2, out=np.zeros_like(v),
+                buffers=[np.zeros_like(v), np.zeros_like(v)],
+            )
+
+    def test_planned_cached_rejects_short_buffer_list(self):
+        pkg = DDPackage(4)
+        plans = _plan_cache(pkg, 2)
+        v = random_state(4, seed=2)
+        m = single_qubit_gate(pkg, H, 3)
+        plan = plans.get(m)
+        assert plan.assignment.num_buffers == 2
+        with pytest.raises(ValueError):
+            dmav_cached(
+                pkg, m, v, 2, out=np.zeros_like(v),
+                assignment=plan.assignment, buffers=[np.zeros_like(v)],
+                writers=plan.writers,
+            )
+
+
+class TestBufferArena:
+    def test_output_allocated_once_then_recycled(self):
+        arena = BufferArena(8)
+        first, dirty = arena.output()
+        assert not dirty
+        assert np.all(first == 0)
+        consumed = np.arange(8, dtype=np.complex128)
+        arena.retire(consumed)
+        second, dirty = arena.output()
+        assert dirty
+        assert second is consumed
+        assert arena.output_allocs == 1
+
+    def test_retire_validates_shape(self):
+        arena = BufferArena(8)
+        with pytest.raises(ValueError):
+            arena.retire(np.zeros(4, dtype=np.complex128))
+
+    def test_partial_pool_grows_once_then_reuses(self):
+        arena = BufferArena(8)
+        first = arena.partials(2)
+        assert arena.partial_allocs == 2 and arena.partial_reuses == 0
+        again = arena.partials(2)
+        assert [b is a for a, b in zip(first, again)] == [True, True]
+        assert arena.partial_allocs == 2 and arena.partial_reuses == 2
+        arena.partials(3)
+        assert arena.partial_allocs == 3 and arena.partial_reuses == 4
+        assert arena.partial_bytes == 3 * 8 * 16
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            BufferArena(0)
 
 
 class TestGateSequences:

@@ -155,3 +155,61 @@ class TestConfig:
         cfg = FlatDDConfig()
         assert cfg.beta == 0.9
         assert cfg.epsilon == 2.0
+
+
+class TestPlanCachePipeline:
+    """Simulator-level behaviour of the DMAV plan compiler + arena."""
+
+    @pytest.mark.parametrize("threads", [1, 2, 4])
+    def test_plan_on_off_bit_identical(self, threads):
+        c = get_circuit("supremacy", 9)
+        on = FlatDDSimulator(threads=threads, plan_cache=True).run(c)
+        off = FlatDDSimulator(threads=threads, plan_cache=False).run(c)
+        assert on.metadata["plan_cache"] is True
+        assert off.metadata["plan_cache"] is False
+        assert np.array_equal(on.state, off.state)
+
+    def test_plan_counters_and_hit_rate(self):
+        c = get_circuit("qft", 10)
+        r = FlatDDSimulator(
+            threads=4, force_convert_at=0, plan_cache=True
+        ).run(c)
+        counters = r.metadata["obs"]["counters"]
+        hits = counters["dmav.plan.hits"]
+        misses = counters["dmav.plan.misses"]
+        assert hits > 0
+        # The structural memo's task-weighted service rate: QFT repeats
+        # no gate root, so anything >= 0.5 is pure sub-DD sharing.
+        assert hits / (hits + misses) >= 0.5
+        assert counters["dmav.plan.compiles"] > 0
+        assert counters["dmav.plan.invalidations"] == 0
+        assert r.metadata["obs"]["gauges"]["dmav.arena.bytes"]["value"] > 0
+
+    def test_arena_zero_allocations_after_warmup(self):
+        # The pool's high-water mark is bounded by the partition width
+        # (buffers <= threads), never by the gate count: after warm-up
+        # every per-gate buffer request is a reuse.
+        c = get_circuit("supremacy", 10)
+        r = FlatDDSimulator(
+            threads=4, cache_policy="always", force_convert_at=0,
+            plan_cache=True,
+        ).run(c)
+        counters = r.metadata["obs"]["counters"]
+        dmav_gates = counters["dmav.gates"]
+        assert counters["dmav.arena.partial_allocs"] <= 4
+        assert counters["dmav.arena.partial_reuses"] >= dmav_gates - 4
+        assert counters["dmav.arena.output_allocs"] == 1
+
+    def test_plan_off_emits_no_plan_counters(self):
+        c = get_circuit("qft", 8)
+        r = FlatDDSimulator(
+            threads=2, force_convert_at=0, plan_cache=False
+        ).run(c)
+        assert "dmav.plan.hits" not in r.metadata["obs"]["counters"]
+
+    def test_plan_cache_is_execution_only_in_digest(self):
+        from repro.common.config import config_digest
+
+        on = FlatDDConfig(threads=2, plan_cache=True)
+        off = FlatDDConfig(threads=2, plan_cache=False)
+        assert config_digest(on) == config_digest(off)

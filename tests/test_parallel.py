@@ -13,6 +13,7 @@ from repro.parallel import (
     chunk_bounds,
     simd_add,
     simd_mul,
+    simd_mul_into,
     simd_scale_into,
     validate_thread_count,
 )
@@ -126,6 +127,22 @@ class TestSimdStandins:
         np.testing.assert_allclose(out, 2j * src)
         assert COUNTERS.mul_calls == 1
         assert COUNTERS.mul_elements == 4
+
+    def test_simd_mul_into_matches_simd_mul(self):
+        COUNTERS.reset()
+        src = np.arange(4, dtype=complex)
+        dst = np.full(4, 99.0 + 0j)
+        simd_mul_into(dst, src, 2j)
+        # Same values and the same counter accounting as simd_mul, minus
+        # the temporary allocation.
+        np.testing.assert_array_equal(dst, simd_mul(src, 2j))
+        assert COUNTERS.mul_calls == 2
+        assert COUNTERS.mul_elements == 8
+
+    def test_simd_mul_into_disjoint_slices_of_one_buffer(self):
+        buf = np.arange(8, dtype=complex)
+        simd_mul_into(buf[4:], buf[:4], -1.0)
+        np.testing.assert_array_equal(buf[4:], -np.arange(4))
 
     def test_simd_add_accumulates_in_place(self):
         COUNTERS.reset()

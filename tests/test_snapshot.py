@@ -248,3 +248,83 @@ class TestRestoreVnode:
         # first pass installed.
         assert second.n is first.n
         assert fresh.unique_node_count == before
+
+
+class TestPlanCacheInvalidation:
+    """checkpoint_barrier / GC must invalidate DMAV plans, and resume
+    must stay bit-identical with the plan compiler enabled."""
+
+    def test_gc_bumps_epoch(self):
+        pkg = DDPackage(4)
+        assert pkg.gc_epoch == 0
+        pkg.collect_garbage([])
+        assert pkg.gc_epoch == 1
+
+    def test_checkpoint_barrier_bumps_epoch(self):
+        pkg, e = simulate_dd(get_circuit("ghz", 4))
+        before = pkg.gc_epoch
+        pkg.checkpoint_barrier([e])
+        assert pkg.gc_epoch == before + 1
+
+    def test_barrier_invalidates_compiled_plans(self):
+        from repro.backends.gatecache import build_gate_dd
+        from repro.circuits import Gate
+        from repro.common.config import DENSE_BLOCK_LEVEL
+        from repro.core.cost_model import CostModel
+        from repro.core.dmav import assign_tasks
+        from repro.core.plan import PlanCache
+
+        pkg = DDPackage(5)
+        plans = PlanCache(pkg, 2, CostModel(2), DENSE_BLOCK_LEVEL)
+        m = build_gate_dd(pkg, Gate("h", (0,)))
+        plans.get(m)
+        pkg.checkpoint_barrier([m])
+        plan = plans.get(m)
+        assert plans.invalidations == 1
+        assert plans.compiles == 2
+        # The recompiled plan must still mirror the live package exactly.
+        legacy = assign_tasks(pkg, m, 2)
+        assert [
+            [(id(node), off, c) for node, off, c in row]
+            for row in plan.row_tasks
+        ] == [
+            [(id(node), off, c) for node, off, c in row] for row in legacy
+        ]
+
+    @pytest.mark.parametrize("plan_cache", [True, False])
+    def test_array_phase_resume_bit_identical(self, tmp_path, plan_cache):
+        from repro.core import FlatDDSimulator
+        from repro.resilience import read_snapshot as _read
+
+        circuit = get_circuit("qft", 7)
+        path = tmp_path / "plan.ckpt"
+        cfg = FlatDDConfig(
+            threads=2, force_convert_at=1, plan_cache=plan_cache
+        )
+        full = FlatDDSimulator(cfg).run(
+            circuit, checkpoint_every=3, checkpoint_path=str(path)
+        )
+        assert _read(str(path)).phase == "array"
+        resumed = FlatDDSimulator(cfg).run(circuit, resume_from=str(path))
+        assert np.array_equal(full.state, resumed.state)
+
+    def test_plan_on_off_resume_all_bit_identical(self, tmp_path):
+        # The four-way grid: {plans on, off} x {uninterrupted, resumed}
+        # must land on the same bits, so the execution-only claim of
+        # FlatDDConfig.plan_cache survives the resilience path too.
+        from repro.core import FlatDDSimulator
+
+        circuit = get_circuit("supremacy", 8)
+        states = []
+        for plan_cache in (True, False):
+            path = tmp_path / f"grid-{plan_cache}.ckpt"
+            cfg = FlatDDConfig(threads=2, plan_cache=plan_cache)
+            full = FlatDDSimulator(cfg).run(
+                circuit, checkpoint_every=5, checkpoint_path=str(path)
+            )
+            resumed = FlatDDSimulator(cfg).run(
+                circuit, resume_from=str(path)
+            )
+            states.extend([full.state, resumed.state])
+        for other in states[1:]:
+            assert np.array_equal(states[0], other)
