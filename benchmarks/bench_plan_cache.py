@@ -30,7 +30,7 @@ from repro.circuits import get_circuit
 from repro.common.config import FlatDDConfig
 from repro.core import FlatDDSimulator
 
-from conftest import emit
+from conftest import emit, record
 
 WORKLOADS = [
     ("qft", 20),
@@ -98,6 +98,22 @@ def test_plan_cache_speedup(benchmark, threads):
         lambda: run_experiment(threads), rounds=1, iterations=1
     )
     emit("plan_cache", text)
+    record(
+        "plan_cache",
+        {
+            name: {
+                "array_phase_speedup": m["speedup"],
+                "plan_hits": m["counters"]["dmav.plan.hits"],
+                "plan_compiles": m["counters"]["dmav.plan.compiles"],
+                "arena_partial_allocs": (
+                    m["counters"]["dmav.arena.partial_allocs"]
+                ),
+                "plan_hit_rate": m["gauges"]["dmav.plan.hit_rate"]["value"],
+            }
+            for name, m in measured.items()
+        },
+        config_digest=f"threads={threads};repeats={REPEATS}",
+    )
     for name, m in measured.items():
         assert m["speedup"] >= MIN_SPEEDUP, (
             f"{name}: plan cache speedup {m['speedup']:.2f}x "

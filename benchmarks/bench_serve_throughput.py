@@ -16,7 +16,7 @@ from repro.circuits import get_circuit
 from repro.common.config import ServeConfig
 from repro.serve import SimulationService
 
-from conftest import emit
+from conftest import emit, record
 
 UNIQUE = 20
 COPIES = 3
@@ -80,6 +80,21 @@ def test_serve_throughput(benchmark, threads):
         run_experiment, args=(threads,), rounds=1, iterations=1
     )
     emit("serve_throughput", table)
+    record(
+        "serve_throughput",
+        {
+            label.replace(" ", "_"): {
+                "jobs_per_second": report.jobs_per_second,
+                "elapsed_seconds": report.elapsed_seconds,
+                "cache_hit_rate": report.cache["hit_rate"],
+            }
+            for label, report in reports.items()
+        },
+        config_digest=(
+            f"threads={threads};unique={UNIQUE};copies={COPIES};"
+            f"qubits={QUBITS};gates={GATES}"
+        ),
+    )
     for report in reports.values():
         assert report.ok and report.internal_errors == 0
     # 2 of every 3 jobs are duplicates; the cache must convert them.

@@ -22,6 +22,19 @@ def emit(name: str, text: str) -> None:
     sys.stdout.write(f"\n{text}\n[written to {path}]\n")
 
 
+def record(name: str, metrics: dict, config_digest: str = "") -> None:
+    """Persist one experiment's machine-readable ``BENCH_<name>.json``.
+
+    The human table (``emit``) and this record are two views of the same
+    run: the table goes into EXPERIMENTS.md, the record feeds
+    ``python -m repro bench-compare`` so CI can diff runs over time.
+    """
+    from repro.bench.registry import write_bench_record
+
+    path = write_bench_record(name, metrics, config_digest=config_digest)
+    sys.stdout.write(f"[bench record written to {path}]\n")
+
+
 @pytest.fixture(scope="session")
 def threads() -> int:
     """Thread count used by the experiments (paper: 16; scaled here)."""

@@ -1,21 +1,39 @@
-"""Benchmark harness: workloads, runners, scaling model, table rendering."""
+"""Benchmark harness: workloads, runners, records, tables, regression gate."""
 
 from repro.bench.model import ThreadScalingModel
+from repro.bench.registry import (
+    BenchRecord,
+    ComparisonReport,
+    MetricComparison,
+    bench_record_path,
+    compare_records,
+    load_bench_record,
+    machine_fingerprint,
+    write_bench_record,
+)
 from repro.bench.runners import BackendRow, ComparisonRow, compare_backends, run_backend
 from repro.bench.tables import render_series, render_table, write_result
 from repro.bench.workloads import DEEP_WORKLOADS, TABLE1_WORKLOADS, Workload, load
 
 __all__ = [
     "BackendRow",
+    "BenchRecord",
+    "ComparisonReport",
     "ComparisonRow",
     "DEEP_WORKLOADS",
+    "MetricComparison",
     "TABLE1_WORKLOADS",
     "ThreadScalingModel",
     "Workload",
+    "bench_record_path",
     "compare_backends",
+    "compare_records",
     "load",
+    "load_bench_record",
+    "machine_fingerprint",
     "render_series",
     "render_table",
     "run_backend",
+    "write_bench_record",
     "write_result",
 ]

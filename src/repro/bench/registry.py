@@ -1,0 +1,343 @@
+"""Benchmark-trajectory registry: machine-readable records + regression gate.
+
+Every benchmark table so far has been a human artifact (``emit`` writes
+``benchmarks/results/*.txt``).  This module adds the machine half: a
+:class:`BenchRecord` is one run's flat metric dict plus enough context
+to compare it honestly -- a machine fingerprint, the git revision, and a
+config digest -- serialized as ``BENCH_<name>.json``.  Two records of
+the same benchmark can then go through :func:`compare_records`, which
+applies a per-metric tolerance and a direction convention, producing the
+regression verdict behind ``python -m repro bench-compare``.
+
+Direction convention (which way is worse) is inferred from the metric
+name unless overridden:
+
+* ``*_seconds`` / ``*_s`` / ``*_ms`` / ``*_bytes`` / ``*_allocs`` /
+  ``*_misses`` -- lower is better (a rise is a regression).
+* ``*_per_second`` / ``*_rate`` / ``*_speedup`` / ``*_hits`` -- higher
+  is better (a drop is a regression).
+* anything else -- treated as lower-is-better, the conservative default
+  for cost-like metrics.
+
+Comparisons are ratio-based: metric ``m`` regresses when it is worse
+than baseline by more than ``threshold`` (relative).  Zero/near-zero
+baselines fall back to absolute comparison against ``threshold`` itself
+so a 0 -> 0.0001 jitter never fires the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "BenchRecord",
+    "MetricComparison",
+    "ComparisonReport",
+    "bench_record_path",
+    "compare_records",
+    "load_bench_record",
+    "machine_fingerprint",
+    "metric_direction",
+    "write_bench_record",
+]
+
+#: Record format version, bumped on breaking schema changes.
+SCHEMA_VERSION = 1
+
+_LOWER_SUFFIXES = (
+    "_seconds", "_s", "_ms", "_bytes", "_allocs", "_misses", "_errors",
+    "_retries", "_evictions",
+)
+_HIGHER_SUFFIXES = ("_per_second", "_rate", "_speedup", "_hits", "_fidelity")
+
+
+def metric_direction(name: str) -> str:
+    """``"lower"`` or ``"higher"``: which way is *better* for ``name``."""
+    if name.endswith(_HIGHER_SUFFIXES):
+        return "higher"
+    if name.endswith(_LOWER_SUFFIXES):
+        return "lower"
+    return "lower"
+
+
+def machine_fingerprint() -> dict:
+    """Hardware/software context a measurement is only comparable within."""
+    import numpy
+
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": platform.python_version(),
+        "numpy": numpy.__version__,
+        "cpus": os.cpu_count() or 0,
+    }
+
+
+def git_rev(cwd: str | None = None) -> str:
+    """Current git revision (short), or "unknown" outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=5, cwd=cwd,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+@dataclass
+class BenchRecord:
+    """One benchmark run: flat metrics plus provenance."""
+
+    name: str
+    #: Flat metric name -> numeric value.  Nested dicts are flattened at
+    #: write time (``{"a": {"b": 1}}`` -> ``{"a.b": 1}``).
+    metrics: dict[str, float]
+    machine: dict = field(default_factory=machine_fingerprint)
+    git_rev: str = field(default_factory=git_rev)
+    #: Digest of whatever configuration shaped the run (free-form; the
+    #: compare tool warns when baseline/current digests differ).
+    config_digest: str = ""
+    created: float = field(default_factory=time.time)
+    schema: int = SCHEMA_VERSION
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": self.schema,
+            "name": self.name,
+            "metrics": self.metrics,
+            "machine": self.machine,
+            "git_rev": self.git_rev,
+            "config_digest": self.config_digest,
+            "created": self.created,
+        }
+
+
+def _flatten(metrics: dict, prefix: str = "") -> dict[str, float]:
+    out: dict[str, float] = {}
+    for key, value in metrics.items():
+        name = f"{prefix}.{key}" if prefix else str(key)
+        if isinstance(value, dict):
+            out.update(_flatten(value, name))
+        elif isinstance(value, bool) or value is None:
+            continue
+        elif isinstance(value, (int, float)):
+            out[name] = float(value)
+    return out
+
+
+def bench_record_path(name: str, directory: str | None = None) -> str:
+    """``<dir>/BENCH_<name>.json``; dir defaults to ``$REPRO_BENCH_DIR``
+    then ``benchmarks/results/`` next to the repo root."""
+    if directory is None:
+        directory = os.environ.get("REPRO_BENCH_DIR")
+    if directory is None:
+        root = os.path.dirname(os.path.dirname(os.path.dirname(
+            os.path.dirname(os.path.abspath(__file__)))))
+        directory = os.path.join(root, "benchmarks", "results")
+    return os.path.join(directory, f"BENCH_{name}.json")
+
+
+def write_bench_record(
+    name: str,
+    metrics: dict,
+    directory: str | None = None,
+    config_digest: str = "",
+) -> str:
+    """Flatten ``metrics`` and write ``BENCH_<name>.json``; returns path."""
+    record = BenchRecord(
+        name=name,
+        metrics=_flatten(metrics),
+        config_digest=config_digest,
+    )
+    path = bench_record_path(name, directory)
+    os.makedirs(os.path.dirname(path), exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(record.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_bench_record(path: str) -> BenchRecord:
+    """Parse a ``BENCH_*.json`` file back into a :class:`BenchRecord`."""
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    if not isinstance(data, dict) or "metrics" not in data:
+        raise ValueError(f"{path}: not a benchmark record")
+    return BenchRecord(
+        name=data.get("name", os.path.basename(path)),
+        metrics={k: float(v) for k, v in data["metrics"].items()},
+        machine=data.get("machine", {}),
+        git_rev=data.get("git_rev", "unknown"),
+        config_digest=data.get("config_digest", ""),
+        created=data.get("created", 0.0),
+        schema=data.get("schema", SCHEMA_VERSION),
+    )
+
+
+@dataclass(frozen=True)
+class MetricComparison:
+    """One metric's baseline-vs-current verdict."""
+
+    name: str
+    baseline: float
+    current: float
+    direction: str
+    #: Relative change in the *worse* direction (positive = worse).
+    worsening: float
+    regressed: bool
+    improved: bool
+
+    def format_row(self) -> str:
+        arrow = "REGRESSED" if self.regressed else (
+            "improved" if self.improved else "ok"
+        )
+        return (
+            f"{self.name:<40s} {self.baseline:>12.6g} {self.current:>12.6g} "
+            f"{100.0 * self.worsening:>+8.1f}% {arrow}"
+        )
+
+
+@dataclass
+class ComparisonReport:
+    """Full bench-compare outcome over the shared metric set."""
+
+    baseline_name: str
+    current_name: str
+    threshold: float
+    rows: list[MetricComparison] = field(default_factory=list)
+    #: Metrics present in only one record (never a failure by itself).
+    missing_in_current: list[str] = field(default_factory=list)
+    missing_in_baseline: list[str] = field(default_factory=list)
+    warnings: list[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricComparison]:
+        return [r for r in self.rows if r.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def format_text(self) -> str:
+        head = (
+            f"bench-compare: {self.current_name} vs baseline "
+            f"{self.baseline_name} (threshold {100.0 * self.threshold:.0f}%)"
+        )
+        header = (
+            f"{'metric':<40s} {'baseline':>12s} {'current':>12s} "
+            f"{'worse by':>9s} verdict"
+        )
+        lines = [head, header, "-" * len(header)]
+        lines += [row.format_row() for row in self.rows]
+        for warning in self.warnings:
+            lines.append(f"warning: {warning}")
+        if self.missing_in_current:
+            lines.append(
+                "missing in current: " + ", ".join(self.missing_in_current)
+            )
+        if self.missing_in_baseline:
+            lines.append(
+                "new in current: " + ", ".join(self.missing_in_baseline)
+            )
+        verdict = (
+            "OK: no regressions"
+            if self.ok
+            else f"FAIL: {len(self.regressions)} metric(s) regressed"
+        )
+        lines.append(verdict)
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {
+            "baseline": self.baseline_name,
+            "current": self.current_name,
+            "threshold": self.threshold,
+            "ok": self.ok,
+            "regressions": [r.name for r in self.regressions],
+            "rows": [
+                {
+                    "metric": r.name,
+                    "baseline": r.baseline,
+                    "current": r.current,
+                    "direction": r.direction,
+                    "worsening": r.worsening,
+                    "regressed": r.regressed,
+                }
+                for r in self.rows
+            ],
+            "missing_in_current": self.missing_in_current,
+            "missing_in_baseline": self.missing_in_baseline,
+            "warnings": self.warnings,
+        }
+
+
+def compare_records(
+    baseline: BenchRecord,
+    current: BenchRecord,
+    threshold: float = 0.10,
+    per_metric_threshold: dict[str, float] | None = None,
+    directions: dict[str, str] | None = None,
+) -> ComparisonReport:
+    """Compare two records metric by metric with relative tolerance.
+
+    ``threshold`` is the default allowed relative worsening (0.10 =
+    10%); ``per_metric_threshold`` overrides it by exact metric name.
+    ``directions`` overrides the name-based better-direction inference.
+    """
+    if threshold < 0:
+        raise ValueError(f"threshold must be >= 0, got {threshold}")
+    report = ComparisonReport(
+        baseline_name=baseline.name,
+        current_name=current.name,
+        threshold=threshold,
+    )
+    if baseline.machine and current.machine and baseline.machine != current.machine:
+        report.warnings.append(
+            "machine fingerprints differ; timing ratios may be noise"
+        )
+    if (
+        baseline.config_digest
+        and current.config_digest
+        and baseline.config_digest != current.config_digest
+    ):
+        report.warnings.append("config digests differ")
+    shared = sorted(set(baseline.metrics) & set(current.metrics))
+    report.missing_in_current = sorted(
+        set(baseline.metrics) - set(current.metrics)
+    )
+    report.missing_in_baseline = sorted(
+        set(current.metrics) - set(baseline.metrics)
+    )
+    for name in shared:
+        base, cur = baseline.metrics[name], current.metrics[name]
+        direction = (directions or {}).get(name, metric_direction(name))
+        limit = (per_metric_threshold or {}).get(name, threshold)
+        signed = cur - base if direction == "lower" else base - cur
+        if abs(base) > 1e-12:
+            worsening = signed / abs(base)
+            regressed = worsening > limit
+            improved = worsening < -limit
+        else:
+            # Zero baseline: relative change is undefined; gate on the
+            # absolute move exceeding the tolerance itself.
+            worsening = signed
+            regressed = signed > limit
+            improved = signed < -limit
+        report.rows.append(
+            MetricComparison(
+                name=name,
+                baseline=base,
+                current=cur,
+                direction=direction,
+                worsening=worsening,
+                regressed=regressed,
+                improved=improved,
+            )
+        )
+    return report

@@ -13,6 +13,10 @@ Examples::
     python -m repro fuzz --plant-bug t-phase --out-dir /tmp/fuzz_demo
     python -m repro serve batch.jsonl --threads 4 --json
     python -m repro serve batch.jsonl --plant-bug transient-crash
+    python -m repro serve batch.jsonl --telemetry tele.jsonl \\
+        --prometheus metrics.prom --trace batch.json
+    python -m repro report tele.jsonl
+    python -m repro bench-compare BENCH_a.json BENCH_b.json --threshold 0.2
 
 ``--trace out.json`` writes a Chrome trace-event file (open in Perfetto
 or ``chrome://tracing``); ``--profile`` prints the per-phase breakdown;
@@ -241,10 +245,78 @@ def cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _report_trace_file(path: str) -> int:
+    """Summarize one telemetry/trace artifact as a terminal table.
+
+    Accepts a TelemetrySampler JSONL time series, a tracer JSONL event
+    stream, or a Chrome trace-event JSON file; picks by content, not
+    extension, so renamed artifacts still work.
+    """
+    from repro.obs import format_summary_table, format_telemetry_report
+    from repro.obs.telemetry import load_telemetry
+    from repro.obs.tracer import Span, Tracer
+
+    with open(path, "r", encoding="utf-8") as fh:
+        head = fh.read(4096).lstrip()
+    if head.startswith("{") and '"traceEvents"' in head:
+        # Chrome trace: rebuild the spans and reuse the --profile table.
+        with open(path, "r", encoding="utf-8") as fh:
+            events = json.load(fh).get("traceEvents", [])
+        tracer = Tracer()
+        for e in events:
+            if e.get("ph") != "X":
+                continue
+            tracer.spans.append(
+                Span(
+                    name=e.get("name", "?"),
+                    category=e.get("cat", "span"),
+                    start=e.get("ts", 0.0) / 1e6,
+                    duration=e.get("dur", 0.0) / 1e6,
+                    thread_id=e.get("tid", 0),
+                    args=e.get("args") or None,
+                )
+            )
+        job_spans = [s for s in tracer.spans if s.category == "job"]
+        print(f"trace {path}: {len(tracer.spans)} span(s), "
+              f"{len(job_spans)} job-tree span(s)")
+        print(format_summary_table(tracer, tracer.wall_seconds()))
+        return 0
+    try:
+        records = load_telemetry(path)
+    except ValueError as exc:
+        raise ReproError(
+            f"{path}: not a telemetry/trace file ({exc})"
+        ) from exc
+    if records and "counters" in records[0]:
+        print(format_telemetry_report(records, path))
+        return 0
+    # Tracer JSONL: reuse the phase table via reconstructed spans.
+    tracer = Tracer()
+    for r in records:
+        if r.get("type") != "span":
+            continue
+        tracer.spans.append(
+            Span(
+                name=r.get("name", "?"),
+                category=r.get("cat", "span"),
+                start=r.get("ts", 0.0),
+                duration=r.get("dur", 0.0),
+                thread_id=r.get("tid", 0),
+                depth=r.get("depth", 0),
+                args=r.get("args") or None,
+            )
+        )
+    print(f"trace {path}: {len(tracer.spans)} span(s)")
+    print(format_summary_table(tracer, tracer.wall_seconds()))
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
-    """Concatenate benchmarks/results/*.txt into one experiment report."""
+    """Summarize a trace/telemetry file, or concatenate bench results."""
     import glob
 
+    if args.trace_file:
+        return _report_trace_file(args.trace_file)
     results_dir = args.results_dir
     files = sorted(glob.glob(os.path.join(results_dir, "*.txt")))
     if not files:
@@ -327,11 +399,36 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.resume and not args.journal:
         raise ReproError("--resume requires --journal PATH")
     tracer = _make_tracer(args)
-    with plant_fault(args.plant_bug):
-        report, _jobs = run_manifest(
-            args.manifest, config=config, tracer=tracer,
-            journal_path=args.journal, resume=args.resume,
-        )
+    service = sampler = None
+    if args.telemetry or args.prometheus:
+        from repro.obs import TelemetrySampler
+        from repro.serve import SimulationService
+
+        service = SimulationService(config, tracer=tracer)
+        sampler = TelemetrySampler(
+            service.registry,
+            jsonl_path=args.telemetry,
+            interval_seconds=args.telemetry_interval,
+            prometheus_path=args.prometheus,
+        ).start()
+    try:
+        with plant_fault(args.plant_bug):
+            report, _jobs = run_manifest(
+                args.manifest, config=config, tracer=tracer,
+                service=service,
+                journal_path=args.journal, resume=args.resume,
+            )
+    finally:
+        if sampler is not None:
+            sampler.stop()
+            _log.info(
+                "telemetry: %d sample(s)%s%s", sampler.samples_taken,
+                f" -> {args.telemetry}" if args.telemetry else "",
+                f", prometheus -> {args.prometheus}" if args.prometheus
+                else "",
+            )
+        if service is not None:
+            service.close()
     if args.json:
         print(json.dumps(report.to_dict(), indent=2))
     else:
@@ -353,6 +450,41 @@ def cmd_serve(args: argparse.Namespace) -> int:
             print()
             print(format_summary_table(tracer, report.elapsed_seconds))
     return 0 if report.ok else 1
+
+
+def cmd_bench_compare(args: argparse.Namespace) -> int:
+    """Compare two BENCH_*.json records; non-zero exit on regression."""
+    from repro.bench.registry import compare_records, load_bench_record
+
+    try:
+        baseline = load_bench_record(args.baseline)
+        current = load_bench_record(args.current)
+    except (ValueError, json.JSONDecodeError) as exc:
+        raise ReproError(f"bad benchmark record: {exc}") from exc
+    per_metric: dict[str, float] = {}
+    for spec in args.metric_threshold or []:
+        name, sep, value = spec.partition("=")
+        try:
+            fraction = float(value)
+        except ValueError:
+            sep = ""
+        if not sep:
+            raise ReproError(
+                f"--metric-threshold takes NAME=FRACTION, got {spec!r}"
+            )
+        per_metric[name] = fraction
+    comparison = compare_records(
+        baseline, current,
+        threshold=args.threshold,
+        per_metric_threshold=per_metric,
+    )
+    if args.json:
+        print(json.dumps(comparison.to_dict(), indent=2))
+    else:
+        print(comparison.format_text())
+    if args.report_only:
+        return 0
+    return 0 if comparison.ok else 1
 
 
 def cmd_equivalence(args: argparse.Namespace) -> int:
@@ -499,7 +631,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_compare)
 
     p = sub.add_parser(
-        "report", help="collect benchmark result tables into one report"
+        "report",
+        help="summarize a trace/telemetry file, or collect benchmark "
+             "result tables into one report",
+    )
+    p.add_argument(
+        "trace_file", nargs="?", default=None,
+        help="telemetry JSONL, tracer JSONL, or Chrome trace file to "
+             "summarize as a terminal table (omit to collect benchmark "
+             "results instead)",
     )
     p.add_argument(
         "--results-dir",
@@ -508,6 +648,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--output", "-o", help="write the report here")
     p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
+        "bench-compare",
+        help="diff two BENCH_*.json benchmark records; exits non-zero "
+             "on a regression beyond the threshold",
+    )
+    p.add_argument("baseline", help="baseline BENCH_*.json record")
+    p.add_argument("current", help="current BENCH_*.json record")
+    p.add_argument("--threshold", type=float, default=0.10,
+                   help="allowed relative worsening per metric "
+                        "(default 0.10 = 10%%)")
+    p.add_argument("--metric-threshold", action="append", metavar="NAME=F",
+                   help="per-metric override, e.g. "
+                        "elapsed_seconds=0.25 (repeatable)")
+    p.add_argument("--report-only", action="store_true",
+                   help="always exit 0: print the comparison but do not "
+                        "gate (CI report mode)")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_bench_compare)
 
     p = sub.add_parser("summarize", help="circuit structure summary")
     _add_circuit_args(p)
@@ -591,6 +750,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="replay an existing --journal first: DONE jobs "
                         "complete from the result cache, the rest re-run")
+    p.add_argument("--telemetry", metavar="PATH", default=None,
+                   help="sample the service metrics registry on an "
+                        "interval into a JSONL time series "
+                        "(summarize later with 'repro report PATH')")
+    p.add_argument("--telemetry-interval", type=float, default=0.25,
+                   metavar="SECONDS",
+                   help="telemetry sampling interval (default 0.25s)")
+    p.add_argument("--prometheus", metavar="PATH", default=None,
+                   help="write a Prometheus text-exposition dump of the "
+                        "final metrics snapshot")
     p.add_argument("--json", action="store_true")
     p.add_argument("--trace", metavar="PATH",
                    help="write a Chrome trace-event JSON of the batch")

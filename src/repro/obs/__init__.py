@@ -8,7 +8,11 @@ timers:
 * :mod:`repro.obs.tracer` -- thread-safe span tracer (context-manager
   nesting, monotonic timestamps, instants, counter samples) with a
   zero-overhead :data:`NULL_TRACER` default when tracing is off.
-* :mod:`repro.obs.metrics` -- named counters/gauges registry.
+* :mod:`repro.obs.metrics` -- named counters/gauges/histograms registry
+  (log-spaced latency buckets with p50/p90/p99 snapshots).
+* :mod:`repro.obs.telemetry` -- interval sampler turning a registry into
+  a JSONL time series plus a Prometheus text dump, and the terminal
+  metric tables behind ``repro report``.
 * :mod:`repro.obs.export` -- JSONL and Chrome trace-event exporters
   (open the latter in Perfetto / ``chrome://tracing``).
 * :mod:`repro.obs.summary` -- per-phase aggregation and the text table
@@ -41,13 +45,21 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
 from repro.obs.summary import PhaseSummary, format_summary_table, summarize_phases
+from repro.obs.telemetry import (
+    TelemetrySampler,
+    format_metrics_table,
+    format_telemetry_report,
+    load_telemetry,
+    prometheus_text,
+)
 from repro.obs.tracer import NULL_TRACER, Instant, NullTracer, Sample, Span, Tracer
 
 __all__ = [
     "Counter",
     "Gauge",
+    "Histogram",
     "Instant",
     "MetricsRegistry",
     "NULL_TRACER",
@@ -55,13 +67,18 @@ __all__ = [
     "PhaseSummary",
     "Sample",
     "Span",
+    "TelemetrySampler",
     "Tracer",
     "build_obs",
     "chrome_trace_events",
+    "format_metrics_table",
     "format_summary_table",
+    "format_telemetry_report",
     "gate_cache_counters",
     "jsonl_events",
+    "load_telemetry",
     "package_counters",
+    "prometheus_text",
     "result_cache_counters",
     "summarize_phases",
     "write_chrome_trace",

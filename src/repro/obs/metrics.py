@@ -1,10 +1,12 @@
-"""Counters and gauges: the cumulative half of ``repro.obs``.
+"""Counters, gauges, and histograms: the cumulative half of ``repro.obs``.
 
 Spans answer "where did the time go"; the registry answers "how many /
-how much".  A :class:`MetricsRegistry` creates named :class:`Counter`
-(monotonic) and :class:`Gauge` (last-value, with min/max watermarks)
-instruments on demand, and snapshots them into plain dicts that travel
-in ``SimulationResult.metadata["obs"]`` and benchmark rows.
+how much / how is it distributed".  A :class:`MetricsRegistry` creates
+named :class:`Counter` (monotonic), :class:`Gauge` (last-value, with
+min/max watermarks), and :class:`Histogram` (log-spaced latency
+distribution) instruments on demand, and snapshots them into plain dicts
+that travel in ``SimulationResult.metadata["obs"]``, serve batch
+reports, and benchmark rows.
 
 All mutations take the registry's lock, so instruments can be bumped
 from worker threads (``TaskRunner`` tasks) without corruption.  The
@@ -12,13 +14,18 @@ counters surfaced from always-on sources (``DDPackage.stats``,
 ``GateDDCache.hits``) are plain ints updated inline by their owners and
 only *copied* into a snapshot here -- keeping the hot DD recursions free
 of locking.
+
+Snapshots emit name-sorted keys so two exports of the same registry
+state are byte-identical -- the telemetry time series and the benchmark
+regression gate both diff snapshots across runs.
 """
 
 from __future__ import annotations
 
+import math
 import threading
 
-__all__ = ["Counter", "Gauge", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
 
 
 class Counter:
@@ -62,45 +69,236 @@ class Gauge:
             self.updates += 1
 
 
+#: Default histogram range: 1 microsecond .. ~100 seconds, 8 buckets per
+#: decade.  Latencies below/above the range land in the first/overflow
+#: bucket, so observations are never dropped.
+_HIST_MIN = 1e-6
+_HIST_MAX = 100.0
+_HIST_BUCKETS_PER_DECADE = 8
+
+
+def _log_bounds(lo: float, hi: float, per_decade: int) -> list[float]:
+    """Upper bounds of log-spaced buckets covering [lo, hi]."""
+    decades = math.log10(hi / lo)
+    count = max(int(math.ceil(decades * per_decade)), 1)
+    step = decades / count
+    return [lo * 10 ** (step * (i + 1)) for i in range(count)]
+
+
+class Histogram:
+    """Fixed log-spaced-bucket distribution of non-negative observations.
+
+    Designed for latencies: the default buckets span 1us..100s with 8
+    buckets per decade (~33% relative quantile error, 41 buckets).  An
+    observation beyond the last bound lands in a single overflow bucket;
+    exact ``min``/``max``/``sum`` are tracked alongside, so the mean is
+    exact and only the interior percentiles are approximate.
+
+    Percentiles interpolate within the winning bucket (log-linear), and
+    are additionally clamped to the exact observed min/max -- so a
+    single-valued histogram reports that value at every percentile.
+    """
+
+    __slots__ = (
+        "name", "bounds", "buckets", "count", "sum", "min", "max", "_lock",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.Lock,
+        bounds: list[float] | None = None,
+    ) -> None:
+        self.name = name
+        self.bounds = (
+            list(bounds)
+            if bounds is not None
+            else _log_bounds(_HIST_MIN, _HIST_MAX, _HIST_BUCKETS_PER_DECADE)
+        )
+        if any(b <= a for a, b in zip(self.bounds, self.bounds[1:])):
+            raise ValueError(f"histogram {name}: bounds must be increasing")
+        #: One slot per bound plus the overflow bucket.
+        self.buckets = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min: float | None = None
+        self.max: float | None = None
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        """Record one observation (negative values are clamped to 0)."""
+        value = max(float(value), 0.0)
+        index = self._bucket_index(value)
+        with self._lock:
+            self.buckets[index] += 1
+            self.count += 1
+            self.sum += value
+            self.min = value if self.min is None else min(self.min, value)
+            self.max = value if self.max is None else max(self.max, value)
+
+    def _bucket_index(self, value: float) -> int:
+        # Binary search: first bound >= value (bisect over a short list).
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.bounds[mid] < value:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def percentile(self, q: float) -> float | None:
+        """Approximate q-th percentile (q in [0, 100]); None when empty."""
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        with self._lock:
+            return self._percentile_locked(q)
+
+    def _percentile_locked(self, q: float) -> float | None:
+        if self.count == 0:
+            return None
+        rank = q / 100.0 * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.buckets):
+            if bucket_count == 0:
+                continue
+            seen += bucket_count
+            if seen >= rank:
+                value = self._interpolate(index, rank - (seen - bucket_count),
+                                          bucket_count)
+                # Exact extremes beat bucket bounds.
+                return min(max(value, self.min), self.max)
+        return self.max
+
+    def _interpolate(self, index: int, into: float, bucket_count: int) -> float:
+        """Log-linear position within bucket ``index``."""
+        upper = (
+            self.bounds[index]
+            if index < len(self.bounds)
+            else max(self.max or 0.0, self.bounds[-1])
+        )
+        lower = self.bounds[index - 1] if index > 0 else 0.0
+        frac = min(max(into / bucket_count, 0.0), 1.0)
+        if lower <= 0.0 or upper <= lower:
+            return lower + (upper - lower) * frac
+        return lower * (upper / lower) ** frac
+
+    @property
+    def mean(self) -> float | None:
+        return self.sum / self.count if self.count else None
+
+    def snapshot(self) -> dict:
+        """Plain-dict view with the summary stats exports consume."""
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "mean": self.sum / self.count if self.count else None,
+                "min": self.min,
+                "max": self.max,
+                "p50": self._percentile_locked(50.0),
+                "p90": self._percentile_locked(90.0),
+                "p99": self._percentile_locked(99.0),
+            }
+
+    def bucket_counts(self) -> list[tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs, Prometheus-style.
+
+        The final pair uses ``inf`` as its bound and equals ``count``.
+        """
+        with self._lock:
+            out = []
+            cumulative = 0
+            for bound, n in zip(self.bounds, self.buckets):
+                cumulative += n
+                out.append((bound, cumulative))
+            out.append((math.inf, cumulative + self.buckets[-1]))
+            return out
+
+
 class MetricsRegistry:
-    """Create-on-demand collection of named counters and gauges."""
+    """Create-on-demand collection of named counters, gauges, histograms."""
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counters: dict[str, Counter] = {}
         self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    def _get_or_create(self, table: dict, name: str, factory):
+        # Fast path: a published instrument never changes identity, and
+        # CPython dict reads are atomic under the GIL, so a hit needs no
+        # lock.  A miss falls through to a locked setdefault -- when two
+        # threads race the first creation, exactly one instrument wins
+        # and both callers get it.
+        instrument = table.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = table.get(name)
+                if instrument is None:
+                    instrument = table.setdefault(name, factory())
+        return instrument
 
     def counter(self, name: str) -> Counter:
         """Get or create the counter ``name``."""
-        c = self._counters.get(name)
-        if c is None:
-            with self._lock:
-                c = self._counters.setdefault(name, Counter(name, self._lock))
-        return c
+        return self._get_or_create(
+            self._counters, name, lambda: Counter(name, self._lock)
+        )
 
     def gauge(self, name: str) -> Gauge:
         """Get or create the gauge ``name``."""
-        g = self._gauges.get(name)
-        if g is None:
-            with self._lock:
-                g = self._gauges.setdefault(name, Gauge(name, self._lock))
-        return g
+        return self._get_or_create(
+            self._gauges, name, lambda: Gauge(name, self._lock)
+        )
+
+    def histogram(
+        self, name: str, bounds: list[float] | None = None
+    ) -> Histogram:
+        """Get or create the histogram ``name``.
+
+        ``bounds`` only applies on first creation; later calls return
+        the existing instrument unchanged.
+        """
+        return self._get_or_create(
+            self._histograms, name, lambda: Histogram(name, self._lock, bounds)
+        )
 
     def snapshot(self) -> dict:
-        """Plain-dict view: ``{"counters": {...}, "gauges": {...}}``.
+        """Plain-dict view with name-sorted keys (deterministic exports).
 
-        Gauges expand to ``{"value", "min", "max", "updates"}`` so a
-        consumer can tell a steady gauge from a swinging one.
+        ``{"counters": {...}, "gauges": {...}, "histograms": {...}}``;
+        gauges expand to ``{"value", "min", "max", "updates"}`` so a
+        consumer can tell a steady gauge from a swinging one, and
+        histograms expand to their summary stats
+        (``count``/``sum``/``mean``/``min``/``max``/``p50``/``p90``/``p99``).
         """
         with self._lock:
-            counters = {name: c.value for name, c in self._counters.items()}
-            gauges = {
-                name: {
+            counters = {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            }
+            gauges = {}
+            for name in sorted(self._gauges):
+                g = self._gauges[name]
+                gauges[name] = {
                     "value": g.value,
                     "min": g.min,
                     "max": g.max,
                     "updates": g.updates,
                 }
-                for name, g in self._gauges.items()
-            }
-        return {"counters": counters, "gauges": gauges}
+            # Histogram.snapshot() takes the shared lock; build the dict
+            # from percentile math inline to stay reentrant-free.
+            histograms = {}
+            for name in sorted(self._histograms):
+                h = self._histograms[name]
+                histograms[name] = {
+                    "count": h.count,
+                    "sum": h.sum,
+                    "mean": h.sum / h.count if h.count else None,
+                    "min": h.min,
+                    "max": h.max,
+                    "p50": h._percentile_locked(50.0),
+                    "p90": h._percentile_locked(90.0),
+                    "p99": h._percentile_locked(99.0),
+                }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

@@ -1,0 +1,281 @@
+"""Telemetry: periodic registry snapshots as a machine-readable time series.
+
+Counters and histograms answer "what happened over the whole run"; the
+:class:`TelemetrySampler` answers "what was happening *over time*" -- it
+snapshots a :class:`~repro.obs.metrics.MetricsRegistry` on a fixed
+interval from a daemon thread and appends each snapshot as one JSONL
+record, so a long serve batch leaves behind a trajectory (queue depth,
+cache hit counters, latency percentiles per tick) instead of a single
+final number.  On ``stop()`` it takes a final sample and optionally
+writes a Prometheus text-exposition dump of the last snapshot -- the
+shape a scrape endpoint would serve, usable directly with
+``promtool``/Grafana ingestion for ad-hoc inspection.
+
+The terminal side lives here too: :func:`format_metrics_table` renders
+one snapshot (the ``repro report`` summary of a telemetry file or a
+serve report's latency block) as aligned text.
+
+Every record carries **both** clocks: ``ts`` (``time.time``, wall,
+comparable across processes) and ``ts_mono`` (``time.perf_counter``,
+monotonic, safe for intra-process durations) -- same convention as the
+serve journal.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import threading
+import time
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "TelemetrySampler",
+    "format_metrics_table",
+    "format_telemetry_report",
+    "load_telemetry",
+    "prometheus_text",
+]
+
+
+class TelemetrySampler:
+    """Samples a registry on an interval into a JSONL time series.
+
+    Usage::
+
+        registry = MetricsRegistry()
+        with TelemetrySampler(registry, "telemetry.jsonl",
+                              interval_seconds=0.5) as sampler:
+            ...  # run the batch
+        # telemetry.jsonl now holds one snapshot per tick + a final one
+
+    The sampling thread is a daemon and wakes via an :class:`Event`, so
+    ``stop()`` returns promptly mid-interval.  ``sample_now()`` can also
+    be called without ``start()`` for purely manual sampling.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        jsonl_path: str | None = None,
+        interval_seconds: float = 1.0,
+        prometheus_path: str | None = None,
+    ) -> None:
+        if interval_seconds <= 0:
+            raise ValueError(
+                f"interval_seconds must be positive, got {interval_seconds}"
+            )
+        self.registry = registry
+        self.jsonl_path = jsonl_path
+        self.interval_seconds = interval_seconds
+        self.prometheus_path = prometheus_path
+        self.samples_taken = 0
+        self._fh = open(jsonl_path, "w", encoding="utf-8") if jsonl_path else None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: threading.Thread | None = None
+        self._last_snapshot: dict | None = None
+
+    # -- sampling -----------------------------------------------------
+
+    def sample_now(self) -> dict:
+        """Take one snapshot record and append it to the JSONL file."""
+        record = {
+            "ts": time.time(),
+            "ts_mono": time.perf_counter(),
+            "seq": self.samples_taken,
+        }
+        record.update(self.registry.snapshot())
+        with self._lock:
+            self.samples_taken += 1
+            record["seq"] = self.samples_taken - 1
+            self._last_snapshot = record
+            if self._fh is not None:
+                self._fh.write(
+                    json.dumps(record, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+                self._fh.flush()
+        return record
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_seconds):
+            self.sample_now()
+
+    # -- lifecycle ----------------------------------------------------
+
+    def start(self) -> "TelemetrySampler":
+        """Begin periodic sampling (idempotent)."""
+        if self._thread is None:
+            self._stop.clear()
+            self._thread = threading.Thread(
+                target=self._run, name="repro-telemetry", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def stop(self) -> dict:
+        """Stop sampling, take a final snapshot, flush files; returns it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+        final = self.sample_now()
+        with self._lock:
+            if self._fh is not None:
+                self._fh.close()
+                self._fh = None
+        if self.prometheus_path is not None:
+            with open(self.prometheus_path, "w", encoding="utf-8") as fh:
+                fh.write(prometheus_text(self.registry))
+        return final
+
+    def __enter__(self) -> "TelemetrySampler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition
+# ---------------------------------------------------------------------------
+
+
+def _prom_name(name: str) -> str:
+    """Metric name mapped to Prometheus conventions (dots -> underscores)."""
+    out = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return f"repro_{out}"
+
+
+def _prom_value(value: float | None) -> str:
+    if value is None or (isinstance(value, float) and math.isnan(value)):
+        return "NaN"
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry) -> str:
+    """Render the registry in the Prometheus text exposition format.
+
+    Counters/gauges map 1:1; histograms emit the standard cumulative
+    ``_bucket{le=...}`` series plus ``_sum`` and ``_count``.  Names are
+    prefixed ``repro_`` with dots flattened to underscores, so
+    ``serve.latency.e2e`` scrapes as ``repro_serve_latency_e2e``.
+    """
+    snap = registry.snapshot()
+    lines: list[str] = []
+    for name, value in snap["counters"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} counter")
+        lines.append(f"{prom} {value}")
+    for name, gauge in snap["gauges"].items():
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom} {_prom_value(gauge['value'])}")
+    for name in snap["histograms"]:
+        hist = registry.histogram(name)
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} histogram")
+        for bound, cumulative in hist.bucket_counts():
+            le = "+Inf" if bound == math.inf else _prom_value(bound)
+            lines.append(f'{prom}_bucket{{le="{le}"}} {cumulative}')
+        lines.append(f"{prom}_sum {_prom_value(hist.sum)}")
+        lines.append(f"{prom}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# Terminal summaries (repro report)
+# ---------------------------------------------------------------------------
+
+
+def _fmt(value, unit_seconds: bool = False) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if unit_seconds:
+            return f"{value * 1e3:.3f}ms" if value < 1.0 else f"{value:.3f}s"
+        return f"{value:.6g}"
+    return str(value)
+
+
+def format_metrics_table(snapshot: dict, title: str = "metrics") -> str:
+    """Render one registry snapshot as an aligned terminal table.
+
+    Histograms get the full distribution row (count, mean, p50/p90/p99,
+    max); counters and gauges get compact value rows.  Latency-named
+    instruments (``*.latency.*``, ``*_seconds``) format as durations.
+    """
+    lines = [title, "=" * len(title)]
+    histograms = snapshot.get("histograms", {})
+    if histograms:
+        header = (
+            f"{'histogram':<34s} {'count':>7s} {'mean':>10s} "
+            f"{'p50':>10s} {'p90':>10s} {'p99':>10s} {'max':>10s}"
+        )
+        lines += [header, "-" * len(header)]
+        for name, h in histograms.items():
+            seconds = "latency" in name or name.endswith("_seconds")
+            lines.append(
+                f"{name:<34s} {h['count']:>7d} "
+                f"{_fmt(h['mean'], seconds):>10s} "
+                f"{_fmt(h['p50'], seconds):>10s} "
+                f"{_fmt(h['p90'], seconds):>10s} "
+                f"{_fmt(h['p99'], seconds):>10s} "
+                f"{_fmt(h['max'], seconds):>10s}"
+            )
+    counters = snapshot.get("counters", {})
+    if counters:
+        lines.append("")
+        lines.append(f"{'counter':<46s} {'value':>12s}")
+        lines.append("-" * 59)
+        for name, value in counters.items():
+            lines.append(f"{name:<46s} {value:>12d}")
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        lines.append("")
+        header = f"{'gauge':<34s} {'value':>12s} {'min':>12s} {'max':>12s}"
+        lines += [header, "-" * len(header)]
+        for name, g in gauges.items():
+            lines.append(
+                f"{name:<34s} {_fmt(g['value']):>12s} "
+                f"{_fmt(g['min']):>12s} {_fmt(g['max']):>12s}"
+            )
+    return "\n".join(lines)
+
+
+def load_telemetry(path: str) -> list[dict]:
+    """Parse a TelemetrySampler JSONL file back into snapshot records."""
+    records: list[dict] = []
+    with open(path, encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: invalid telemetry record: {exc}"
+                ) from exc
+            records.append(record)
+    return records
+
+
+def format_telemetry_report(records: list[dict], path: str = "") -> str:
+    """Summary of a telemetry time series: span, ticks, final snapshot."""
+    if not records:
+        return f"telemetry {path}: empty"
+    first, last = records[0], records[-1]
+    span = last.get("ts", 0.0) - first.get("ts", 0.0)
+    head = (
+        f"telemetry {path}: {len(records)} sample(s) over {span:.3f}s"
+    )
+    return head + "\n\n" + format_metrics_table(last, title="final snapshot")

@@ -47,6 +47,7 @@ from repro.serve.service import (
     load_manifest,
     run_manifest,
 )
+from repro.serve.trace import JobTraceContext, latency_histogram_names
 from repro.serve.workers import WorkerPool, clamp_threads
 
 __all__ = [
@@ -54,6 +55,8 @@ __all__ = [
     "BatchScheduler",
     "CacheEntry",
     "Job",
+    "JobTraceContext",
+    "latency_histogram_names",
     "JobJournal",
     "JobQueue",
     "JobResult",

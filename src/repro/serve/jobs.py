@@ -35,6 +35,7 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.common.config import FlatDDConfig, config_digest
 from repro.common.errors import ServeError
+from repro.serve.trace import JobTraceContext
 
 __all__ = ["Job", "JobResult", "JobState", "config_digest"]
 
@@ -132,6 +133,11 @@ class Job:
     observers: list[Callable[["Job", JobState, JobState], None]] = field(
         default_factory=list, repr=False
     )
+    #: Per-job trace context: lifecycle timestamps stamped by the queue,
+    #: scheduler, and workers, folded into the ``serve.latency.*``
+    #: histograms and the per-job span tree at completion (created at
+    #: admission; see :mod:`repro.serve.trace`).
+    trace: JobTraceContext | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if self.max_retries < 0:
@@ -170,7 +176,7 @@ class Job:
 
     def summary(self) -> dict:
         """JSON-serializable snapshot (CLI --json, logs)."""
-        return {
+        out = {
             "job_id": self.job_id,
             "circuit": self.circuit.name,
             "qubits": self.circuit.num_qubits,
@@ -182,3 +188,8 @@ class Job:
             "cache_hit": bool(self.result and self.result.cache_hit),
             "error": self.error,
         }
+        if self.trace is not None:
+            latency = self.trace.summary()
+            if latency:
+                out["latency"] = latency
+        return out

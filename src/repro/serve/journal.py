@@ -72,7 +72,13 @@ class JobJournal:
                 "gates": len(job.circuit.gates),
                 "backend": job.backend,
                 "shots": job.shots,
+                # Dual clocks: ``ts`` (wall) orders events across
+                # processes/restarts; ``ts_mono`` (perf_counter, the
+                # clock worker deadlines use) lets a replay reconstruct
+                # queue-wait/run durations within one process without
+                # wall-clock jumps (NTP steps, DST) corrupting them.
                 "ts": time.time(),
+                "ts_mono": time.perf_counter(),
             }
         )
         job.observers.append(self._on_transition)
@@ -86,6 +92,7 @@ class JobJournal:
             "from": old_state.value,
             "to": new_state.value,
             "ts": time.time(),
+            "ts_mono": time.perf_counter(),
         }
         if new_state is JobState.DONE and job.result is not None:
             record["cache_key"] = job.cache_key()

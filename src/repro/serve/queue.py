@@ -22,6 +22,7 @@ from collections import Counter
 
 from repro.common.errors import AdmissionError
 from repro.serve.jobs import Job, JobState
+from repro.serve.trace import JobTraceContext
 
 __all__ = ["JobQueue"]
 
@@ -89,6 +90,13 @@ class JobQueue:
             job.seq = next(self._seq)
             if not job.job_id:
                 job.job_id = f"job-{job.seq:06d}"
+            # Admission is where the job becomes real: root the per-job
+            # trace here so queue-wait starts at the enqueue instant.
+            if job.trace is None:
+                job.trace = JobTraceContext(job_id=job.job_id)
+                job.trace.mark("submit")
+            job.trace.job_id = job.job_id
+            job.trace.mark("enqueue")
             deadline = (
                 job.deadline_seconds if job.deadline_seconds is not None else _INF
             )
@@ -123,6 +131,8 @@ class JobQueue:
         while self._heap:
             _, _, _, job = heapq.heappop(self._heap)
             if job.state is JobState.PENDING:
+                if job.trace is not None:
+                    job.trace.mark("dequeue")
                 return job
         return None
 
@@ -149,6 +159,8 @@ class JobQueue:
             if job is None or job.state is not JobState.PENDING:
                 return False
             job.transition(JobState.CANCELLED)
+            if job.trace is not None:
+                job.trace.mark("complete")
             return True
 
     def __len__(self) -> int:

@@ -71,6 +71,8 @@ class BatchScheduler:
         with self.tracer.span("schedule", "serve", jobs=len(jobs)):
             by_key: dict[str, BatchGroup] = {}
             for job in jobs:
+                if job.trace is not None:
+                    job.trace.mark("schedule")
                 key = job.cache_key()
                 group = by_key.get(key)
                 if group is None:

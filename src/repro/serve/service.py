@@ -92,6 +92,12 @@ class ServeReport:
     #: runs (result-cache hits carry no obs), None when no fresh flatdd
     #: run reached the array phase with plans enabled.
     dmav: dict | None = None
+    #: Latency distributions (``serve.latency.*`` histogram snapshots):
+    #: ``{"queue_wait"|"run"|"e2e": stats, "tiers": {priority: {...}}}``
+    #: where stats is ``{count, mean, min, max, p50, p90, p99}``.
+    #: Cumulative over the service lifetime (histograms cannot be
+    #: windowed per drain without losing their distribution).
+    latency: dict | None = None
 
     @property
     def jobs_per_second(self) -> float:
@@ -121,6 +127,7 @@ class ServeReport:
             "job_rows": self.job_rows,
             "recovery": self.recovery,
             "dmav": self.dmav,
+            "latency": self.latency,
         }
 
     def format_text(self) -> str:
@@ -167,6 +174,19 @@ class ServeReport:
                 f"{self.dmav['arena_bytes_peak'] / (1024 * 1024):.2f} "
                 f"runs={self.dmav['runs']}"
             )
+        if self.latency:
+            def _ms(v):
+                return "-" if v is None else f"{v * 1e3:.1f}ms"
+
+            for metric in ("queue_wait", "run", "e2e"):
+                stats = self.latency.get(metric)
+                if not stats or not stats.get("count"):
+                    continue
+                lines.append(
+                    f"  latency {metric}: p50={_ms(stats['p50'])} "
+                    f"p90={_ms(stats['p90'])} p99={_ms(stats['p99'])} "
+                    f"mean={_ms(stats['mean'])} n={stats['count']}"
+                )
         return "\n".join(lines)
 
 
@@ -314,10 +334,36 @@ class SimulationService:
             job_rows=[job.summary() for job in all_jobs],
         )
         report.dmav = _aggregate_dmav(all_jobs)
+        report.latency = self._latency_snapshot()
         self.registry.gauge("serve.drain.jobs_per_second").set(
             report.jobs_per_second
         )
         return report
+
+    def _latency_snapshot(self) -> dict | None:
+        """Fold ``serve.latency.*`` histograms into the report's block.
+
+        Aggregate metrics keep their bare name (``queue_wait``/``run``/
+        ``e2e``); per-priority instruments group under ``tiers`` keyed by
+        the priority value.  None before any job has executed.
+        """
+        histograms = self.registry.snapshot()["histograms"]
+        out: dict = {}
+        tiers: dict[str, dict] = {}
+        for name, stats in histograms.items():
+            if not name.startswith("serve.latency."):
+                continue
+            rest = name[len("serve.latency."):]
+            metric, sep, tier = rest.partition(".tier")
+            if sep:
+                tiers.setdefault(tier, {})[metric] = stats
+            else:
+                out[metric] = stats
+        if not out:
+            return None
+        if tiers:
+            out["tiers"] = tiers
+        return out
 
     def obs_snapshot(self) -> dict:
         """Registry + cache counters, shaped like ``metadata["obs"]``."""

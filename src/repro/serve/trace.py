@@ -1,0 +1,168 @@
+"""Per-job trace propagation across the queue/scheduler/worker boundary.
+
+A job's life crosses three thread domains -- the submitting thread
+(admission), the drain loop (scheduling), and a worker slot (execution)
+-- and the plain span tracer cannot connect those into one tree because
+each domain records on its own thread track.  A :class:`JobTraceContext`
+rides *on the job* instead: every stage stamps its lifecycle events
+(``submit``/``enqueue``/``dequeue``/``schedule``/``run``/``complete``)
+with both clocks, and at completion the context is folded back into
+
+* the three ``serve.latency.*`` histograms (queue-wait, run, end-to-end),
+  overall and per priority tier, and
+* one **connected span tree per job** in the tracer: a ``job <id>`` root
+  span covering enqueue-to-terminal with ``queue_wait`` and ``run``
+  child spans, all emitted on one logical thread track per job
+  (``JOB_TRACK_BASE + seq``), so a Chrome trace renders each job as its
+  own nested lane regardless of which OS threads touched it.
+
+Timestamps: ``time.perf_counter()`` for durations (monotonic, matches
+the tracer's clock) plus ``time.time()`` for cross-process correlation
+-- the same dual-clock convention as the serve journal.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "JOB_TRACK_BASE",
+    "JobTraceContext",
+    "LATENCY_METRICS",
+    "latency_histogram_names",
+]
+
+#: Logical Chrome-trace thread ids for per-job lanes sit far above real
+#: worker-slot ids so the remapper never collides them with OS threads.
+JOB_TRACK_BASE = 1_000_000
+
+#: The serve latency metric family, in report order.
+LATENCY_METRICS = ("queue_wait", "run", "e2e")
+
+#: Lifecycle events a context will accept (in expected order).
+_EVENTS = ("submit", "enqueue", "dequeue", "schedule", "run", "complete")
+
+
+def latency_histogram_names(priority: int | None = None) -> list[str]:
+    """Names of the serve latency histograms (aggregate or one tier)."""
+    suffix = "" if priority is None else f".tier{priority}"
+    return [f"serve.latency.{m}{suffix}" for m in LATENCY_METRICS]
+
+
+@dataclass
+class JobTraceContext:
+    """Dual-clock lifecycle timestamps of one job, stamped stage by stage."""
+
+    job_id: str = ""
+    #: event name -> perf_counter timestamp.
+    mono: dict[str, float] = field(default_factory=dict)
+    #: event name -> wall-clock timestamp (time.time).
+    wall: dict[str, float] = field(default_factory=dict)
+    #: Attempt count at completion (mirrors Job.attempts for the span args).
+    attempts: int = 0
+
+    def mark(self, event: str) -> None:
+        """Stamp ``event`` now on both clocks (first stamp wins)."""
+        if event not in _EVENTS:
+            raise ValueError(f"unknown trace event {event!r}")
+        if event not in self.mono:
+            self.mono[event] = time.perf_counter()
+            self.wall[event] = time.time()
+
+    def _interval(self, start: str, end: str) -> float | None:
+        a, b = self.mono.get(start), self.mono.get(end)
+        if a is None or b is None:
+            return None
+        return max(b - a, 0.0)
+
+    # -- derived latencies (None until the relevant events exist) ------
+
+    @property
+    def queue_wait_seconds(self) -> float | None:
+        """Enqueue to worker pickup."""
+        return self._interval("enqueue", "run")
+
+    @property
+    def run_seconds(self) -> float | None:
+        """Worker pickup to terminal state (includes retries/backoff)."""
+        return self._interval("run", "complete")
+
+    @property
+    def e2e_seconds(self) -> float | None:
+        """Enqueue to terminal state: what the submitter experienced."""
+        return self._interval("enqueue", "complete")
+
+    def latencies(self) -> dict[str, float]:
+        """The non-None latency metrics as ``{metric: seconds}``."""
+        out = {}
+        for metric in LATENCY_METRICS:
+            value = getattr(self, f"{metric}_seconds")
+            if value is not None:
+                out[metric] = value
+        return out
+
+    # -- folding back into the observability layer ---------------------
+
+    def observe(self, registry, priority: int = 0) -> None:
+        """Record this job's latencies into the serve histograms.
+
+        Each metric lands twice: the aggregate ``serve.latency.<m>`` and
+        the per-tier ``serve.latency.<m>.tier<priority>``.
+        """
+        for metric, seconds in self.latencies().items():
+            registry.histogram(f"serve.latency.{metric}").observe(seconds)
+            registry.histogram(
+                f"serve.latency.{metric}.tier{priority}"
+            ).observe(seconds)
+
+    def emit_spans(self, tracer, seq: int = 0, state: str = "") -> None:
+        """Write the job's connected span tree onto its own trace lane.
+
+        Emits a root ``job <id>`` span (enqueue..complete) with nested
+        ``queue_wait`` and ``run`` children, all on logical thread
+        ``JOB_TRACK_BASE + seq``.  No-op until the job completed or on a
+        disabled tracer.
+        """
+        if not getattr(tracer, "enabled", False):
+            return
+        start = self.mono.get("enqueue", self.mono.get("submit"))
+        end = self.mono.get("complete")
+        if start is None or end is None:
+            return
+        track = JOB_TRACK_BASE + max(seq, 0)
+        tracer.record(
+            f"job {self.job_id}", "job", start, end,
+            thread_id=track, depth=0,
+            job_id=self.job_id, state=state, attempts=self.attempts,
+        )
+        run_start = self.mono.get("run")
+        if run_start is not None:
+            tracer.record(
+                "queue_wait", "job", start, run_start,
+                thread_id=track, depth=1, job_id=self.job_id,
+            )
+            tracer.record(
+                "run", "job", run_start, end,
+                thread_id=track, depth=1,
+                job_id=self.job_id, attempts=self.attempts,
+            )
+        # Every stamped lifecycle event as a point marker on the same
+        # lane, so the stage boundaries stay visible inside the tree.
+        for event in _EVENTS:
+            ts = self.mono.get(event)
+            if ts is not None:
+                tracer.instant(
+                    f"job.{event}", "job", ts=ts,
+                    thread_id=track, job_id=self.job_id,
+                )
+
+    def summary(self) -> dict:
+        """JSON-serializable latency block for job rows / journals."""
+        out: dict = {
+            metric: round(seconds, 6)
+            for metric, seconds in self.latencies().items()
+        }
+        if "submit" in self.wall:
+            out["submitted_at"] = self.wall["submit"]
+        return out

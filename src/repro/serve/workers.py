@@ -110,6 +110,7 @@ class WorkerPool:
         try:
             for job in group.jobs:
                 self._run_job(job, cache)
+                self._finalize_trace(job)
         except Exception:
             # A bug in the worker itself: quarantine the whole group but
             # keep the pool alive.
@@ -122,11 +123,28 @@ class WorkerPool:
                         job.transition(JobState.RUNNING)
                     job.error = "internal worker error (see service log)"
                     job.transition(JobState.FAILED)
+                    self._finalize_trace(job)
+
+    def _finalize_trace(self, job: Job) -> None:
+        """Fold a terminal job's trace into histograms and the span tree.
+
+        Cancelled jobs never ran, so they contribute no latency samples;
+        their (empty) lane is skipped too.
+        """
+        trace = job.trace
+        if trace is None or not job.done or job.state is JobState.CANCELLED:
+            return
+        trace.mark("complete")
+        trace.attempts = job.attempts
+        trace.observe(self.registry, priority=job.priority)
+        trace.emit_spans(self.tracer, seq=job.seq, state=job.state.value)
 
     def _run_job(self, job: Job, cache: ResultCache) -> None:
         if job.state is JobState.CANCELLED:
             return
         job.transition(JobState.RUNNING)
+        if job.trace is not None:
+            job.trace.mark("run")
         key = job.cache_key()
         entry = cache.get(key)
         if entry is not None:

@@ -1,0 +1,227 @@
+"""Benchmark record registry and the bench-compare regression gate."""
+
+import json
+
+import pytest
+
+from repro.bench.registry import (
+    BenchRecord,
+    compare_records,
+    load_bench_record,
+    machine_fingerprint,
+    metric_direction,
+    write_bench_record,
+)
+from repro.cli import main
+
+
+def _record(name, metrics, **kw):
+    return BenchRecord(name=name, metrics=metrics, **kw)
+
+
+class TestDirections:
+    @pytest.mark.parametrize(
+        "name,expected",
+        [
+            ("run_seconds", "lower"),
+            ("wall_ms", "lower"),
+            ("peak_bytes", "lower"),
+            ("cache_misses", "lower"),
+            ("partial_allocs", "lower"),
+            ("jobs_per_second", "higher"),
+            ("hit_rate", "higher"),
+            ("array_phase_speedup", "higher"),
+            ("plan_hits", "higher"),
+            ("mystery_metric", "lower"),  # conservative default
+        ],
+    )
+    def test_suffix_inference(self, name, expected):
+        assert metric_direction(name) == expected
+
+
+class TestRecords:
+    def test_write_load_roundtrip_flattens_nested(self, tmp_path):
+        path = write_bench_record(
+            "demo",
+            {"qft-20": {"speedup": 1.5, "skip_me": True, "none": None},
+             "flat_seconds": 2.0},
+            directory=str(tmp_path),
+            config_digest="threads=4",
+        )
+        assert path.endswith("BENCH_demo.json")
+        rec = load_bench_record(path)
+        assert rec.metrics == {"qft-20.speedup": 1.5, "flat_seconds": 2.0}
+        assert rec.config_digest == "threads=4"
+        assert rec.machine == machine_fingerprint()
+
+    def test_load_rejects_non_record(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({"no": "metrics"}))
+        with pytest.raises(ValueError, match="not a benchmark record"):
+            load_bench_record(str(path))
+
+
+class TestCompare:
+    def test_identical_records_ok(self):
+        metrics = {"run_seconds": 1.0, "jobs_per_second": 50.0}
+        report = compare_records(
+            _record("a", metrics), _record("b", dict(metrics))
+        )
+        assert report.ok
+        assert not report.regressions
+        assert "OK: no regressions" in report.format_text()
+
+    def test_twenty_percent_slowdown_regresses_at_ten(self):
+        report = compare_records(
+            _record("a", {"run_seconds": 1.0}),
+            _record("b", {"run_seconds": 1.2}),
+            threshold=0.10,
+        )
+        assert not report.ok
+        (row,) = report.regressions
+        assert row.worsening == pytest.approx(0.2)
+        assert "FAIL: 1 metric(s) regressed" in report.format_text()
+
+    def test_direction_flips_for_throughput(self):
+        # Throughput dropping is the regression; rising is an improvement.
+        report = compare_records(
+            _record("a", {"jobs_per_second": 100.0}),
+            _record("b", {"jobs_per_second": 79.0}),
+            threshold=0.20,
+        )
+        assert not report.ok
+        up = compare_records(
+            _record("a", {"jobs_per_second": 100.0}),
+            _record("b", {"jobs_per_second": 150.0}),
+            threshold=0.20,
+        )
+        assert up.ok and up.rows[0].improved
+
+    def test_per_metric_threshold_overrides_default(self):
+        report = compare_records(
+            _record("a", {"run_seconds": 1.0}),
+            _record("b", {"run_seconds": 1.2}),
+            threshold=0.10,
+            per_metric_threshold={"run_seconds": 0.5},
+        )
+        assert report.ok
+
+    def test_zero_baseline_uses_absolute_gate(self):
+        report = compare_records(
+            _record("a", {"errors": 0.0}),
+            _record("b", {"errors": 0.05}),
+            threshold=0.10,
+        )
+        assert report.ok  # 0 -> 0.05 below the 0.10 absolute gate
+        report = compare_records(
+            _record("a", {"errors": 0.0}),
+            _record("b", {"errors": 2.0}),
+            threshold=0.10,
+        )
+        assert not report.ok
+
+    def test_disjoint_metrics_reported_not_failed(self):
+        report = compare_records(
+            _record("a", {"old_seconds": 1.0, "shared_seconds": 1.0}),
+            _record("b", {"new_seconds": 1.0, "shared_seconds": 1.0}),
+        )
+        assert report.ok
+        assert report.missing_in_current == ["old_seconds"]
+        assert report.missing_in_baseline == ["new_seconds"]
+
+    def test_machine_and_config_mismatch_warn(self):
+        report = compare_records(
+            _record("a", {"x_seconds": 1.0},
+                    machine={"cpus": 1}, config_digest="t=1"),
+            _record("b", {"x_seconds": 1.0},
+                    machine={"cpus": 64}, config_digest="t=4"),
+        )
+        assert report.ok
+        assert len(report.warnings) == 2
+
+    def test_negative_threshold_rejected(self):
+        with pytest.raises(ValueError):
+            compare_records(
+                _record("a", {}), _record("b", {}), threshold=-0.1
+            )
+
+
+class TestCLI:
+    @pytest.fixture
+    def records(self, tmp_path):
+        base = {"run_seconds": 1.0, "jobs_per_second": 100.0}
+        paths = {
+            "base": write_bench_record("base", base, str(tmp_path)),
+            "same": write_bench_record("same", dict(base), str(tmp_path)),
+            "regressed": write_bench_record(
+                "regressed",
+                {"run_seconds": 1.2, "jobs_per_second": 100.0},
+                str(tmp_path),
+            ),
+        }
+        return paths
+
+    def test_identical_exits_zero(self, records, capsys):
+        code = main(["bench-compare", records["base"], records["same"]])
+        assert code == 0
+        assert "OK: no regressions" in capsys.readouterr().out
+
+    def test_synthetic_regression_exits_nonzero(self, records, capsys):
+        code = main(
+            ["bench-compare", records["base"], records["regressed"],
+             "--threshold", "0.10"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "run_seconds" in out
+
+    def test_report_only_masks_exit_code(self, records, capsys):
+        code = main(
+            ["bench-compare", records["base"], records["regressed"],
+             "--report-only"]
+        )
+        assert code == 0
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_metric_threshold_flag(self, records):
+        code = main(
+            ["bench-compare", records["base"], records["regressed"],
+             "--metric-threshold", "run_seconds=0.5"]
+        )
+        assert code == 0
+
+    def test_json_output(self, records, capsys):
+        code = main(
+            ["bench-compare", records["base"], records["regressed"], "--json"]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is False
+        assert payload["regressions"] == ["run_seconds"]
+
+    def test_bad_metric_threshold_spec_errors(self, records, capsys):
+        code = main(
+            ["bench-compare", records["base"], records["same"],
+             "--metric-threshold", "garbage"]
+        )
+        assert code == 2
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        code = main(
+            ["bench-compare", str(tmp_path / "nope.json"),
+             str(tmp_path / "nada.json")]
+        )
+        assert code == 2
+
+    def test_committed_seed_baseline_compares_clean(self, capsys):
+        # The CI report step diffs against this committed file; it must
+        # stay loadable and self-consistent.
+        import os
+
+        root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+        baseline = os.path.join(
+            root, "benchmarks", "baselines", "BENCH_plan_cache_smoke.json"
+        )
+        code = main(["bench-compare", baseline, baseline])
+        assert code == 0
+        assert "OK: no regressions" in capsys.readouterr().out

@@ -140,3 +140,36 @@ class TestReport:
     def test_empty_dir_errors(self, tmp_path, capsys):
         assert main(["report", "--results-dir", str(tmp_path)]) == 1
         assert "no result files" in capsys.readouterr().err
+
+    def test_summarizes_telemetry_jsonl(self, tmp_path, capsys):
+        from repro.obs import MetricsRegistry, TelemetrySampler
+
+        reg = MetricsRegistry()
+        reg.counter("serve.jobs.done").inc(5)
+        reg.histogram("serve.latency.e2e").observe(0.02)
+        path = str(tmp_path / "tele.jsonl")
+        sampler = TelemetrySampler(reg, jsonl_path=path)
+        sampler.sample_now()
+        sampler.stop()
+        assert main(["report", path]) == 0
+        out = capsys.readouterr().out
+        assert "2 sample(s)" in out
+        assert "serve.latency.e2e" in out
+        assert "serve.jobs.done" in out
+
+    def test_summarizes_chrome_trace(self, tmp_path, capsys):
+        trace = str(tmp_path / "t.json")
+        assert main(
+            ["simulate", "--family", "ghz", "--qubits", "4",
+             "--trace", trace]
+        ) == 0
+        capsys.readouterr()
+        assert main(["report", trace]) == 0
+        out = capsys.readouterr().out
+        assert "span(s)" in out
+        assert "phase" in out
+
+    def test_rejects_unrecognizable_file(self, tmp_path, capsys):
+        path = tmp_path / "junk.json"
+        path.write_text("plain text, not a trace\n")
+        assert main(["report", str(path)]) == 2

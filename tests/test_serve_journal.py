@@ -60,6 +60,20 @@ class TestJobJournal:
         )
         assert np.array_equal(decoded, state)
 
+    def test_records_carry_both_clocks(self, tmp_path):
+        # Wall time ("ts") correlates across processes; monotonic time
+        # ("ts_mono") yields durations immune to clock steps.
+        path = str(tmp_path / "j.jsonl")
+        job = Job(get_circuit("ghz", 3), job_id="clocks")
+        with JobJournal(path) as journal:
+            journal.attach(job)
+            job.transition(JobState.RUNNING)
+        for record in read_records(path):
+            assert record["ts"] > 1e9, record["type"]
+            assert 0 < record["ts_mono"] < 1e9, record["type"]
+        a, b = read_records(path)
+        assert b["ts_mono"] >= a["ts_mono"]
+
     def test_failed_transition_carries_error(self, tmp_path):
         path = str(tmp_path / "j.jsonl")
         job = Job(get_circuit("ghz", 3), job_id="boom")

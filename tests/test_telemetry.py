@@ -1,0 +1,247 @@
+"""Histogram math, the telemetry sampler, and Prometheus/terminal exports."""
+
+import json
+import math
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import (
+    Histogram,
+    MetricsRegistry,
+    TelemetrySampler,
+    format_metrics_table,
+    format_telemetry_report,
+    load_telemetry,
+    prometheus_text,
+)
+
+
+def _observe_all(hist, values):
+    for v in values:
+        hist.observe(v)
+
+
+class TestHistogramMath:
+    """Percentile accuracy against numpy on known distributions."""
+
+    @pytest.mark.parametrize(
+        "dist",
+        [
+            lambda rng: rng.uniform(1e-4, 1e-1, size=5000),
+            lambda rng: rng.lognormal(mean=-6.0, sigma=1.5, size=5000),
+            lambda rng: np.abs(rng.normal(1e-3, 5e-4, size=5000)),
+        ],
+        ids=["uniform", "lognormal", "halfnormal"],
+    )
+    def test_percentiles_track_numpy_quantiles(self, dist):
+        rng = np.random.default_rng(7)
+        values = dist(rng)
+        hist = MetricsRegistry().histogram("h")
+        _observe_all(hist, values)
+        for q in (50.0, 90.0, 99.0):
+            exact = float(np.quantile(values, q / 100.0))
+            approx = hist.percentile(q)
+            # 8 buckets/decade gives ~33% worst-case relative bucket
+            # width; interpolation lands far closer in practice.
+            assert approx == pytest.approx(exact, rel=0.35), q
+
+    def test_mean_and_sum_are_exact(self):
+        values = [0.001, 0.002, 0.004, 0.008]
+        hist = MetricsRegistry().histogram("h")
+        _observe_all(hist, values)
+        assert hist.sum == pytest.approx(sum(values))
+        assert hist.mean == pytest.approx(sum(values) / len(values))
+
+    def test_single_value_reports_it_everywhere(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(0.0042)
+        snap = hist.snapshot()
+        for key in ("min", "max", "mean", "p50", "p90", "p99"):
+            assert snap[key] == pytest.approx(0.0042), key
+
+    def test_percentiles_clamped_to_observed_extremes(self):
+        hist = MetricsRegistry().histogram("h")
+        _observe_all(hist, [0.010, 0.011, 0.012])
+        assert hist.percentile(0.0) >= 0.010
+        assert hist.percentile(100.0) <= 0.012
+
+    def test_empty_histogram_snapshots_to_none(self):
+        snap = MetricsRegistry().histogram("h").snapshot()
+        assert snap["count"] == 0
+        assert snap["p50"] is None and snap["mean"] is None
+
+    def test_out_of_range_observations_kept(self):
+        hist = MetricsRegistry().histogram("h")
+        hist.observe(1e-9)   # below first bound
+        hist.observe(1e6)    # beyond last bound -> overflow bucket
+        hist.observe(-1.0)   # clamped to 0
+        assert hist.count == 3
+        assert hist.min == 0.0
+        assert hist.max == 1e6
+        bounds, cumulative = zip(*hist.bucket_counts())
+        assert bounds[-1] == math.inf
+        assert cumulative[-1] == 3
+
+    def test_custom_bounds_validated(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("bad", bounds=[2.0, 1.0])
+        hist = reg.histogram("ok", bounds=[1.0, 10.0])
+        hist.observe(5.0)
+        assert hist.bucket_counts()[1] == (10.0, 1)
+
+    def test_percentile_rejects_out_of_range_q(self):
+        hist = MetricsRegistry().histogram("h")
+        with pytest.raises(ValueError):
+            hist.percentile(101.0)
+
+    def test_concurrent_observations_lose_nothing(self):
+        hist = MetricsRegistry().histogram("h")
+        per_thread, threads = 2000, 8
+
+        def worker(seed):
+            rng = np.random.default_rng(seed)
+            for v in rng.uniform(1e-5, 1e-2, size=per_thread):
+                hist.observe(float(v))
+
+        pool = [
+            threading.Thread(target=worker, args=(i,)) for i in range(threads)
+        ]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        assert hist.count == per_thread * threads
+        assert sum(n for _, n in zip(hist.bounds, hist.buckets)) <= hist.count
+        assert hist.bucket_counts()[-1][1] == hist.count
+
+
+class TestRegistry:
+    def test_snapshot_keys_sorted(self):
+        reg = MetricsRegistry()
+        for name in ("zeta", "alpha", "mid"):
+            reg.counter(name).inc()
+            reg.gauge(name).set(1.0)
+            reg.histogram(name).observe(0.001)
+        snap = reg.snapshot()
+        for table in ("counters", "gauges", "histograms"):
+            assert list(snap[table]) == ["alpha", "mid", "zeta"], table
+
+    def test_concurrent_instrument_creation_yields_one_instance(self):
+        reg = MetricsRegistry()
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            for i in range(50):
+                c = reg.counter(f"c{i}")
+                c.inc()
+                seen.append((i, id(c)))
+
+        pool = [threading.Thread(target=worker) for _ in range(8)]
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        ids = {}
+        for i, ident in seen:
+            ids.setdefault(i, set()).add(ident)
+        assert all(len(s) == 1 for s in ids.values())
+        assert all(reg.counter(f"c{i}").value == 8 * 1 for i in range(50))
+
+
+class TestTelemetrySampler:
+    def test_jsonl_series_carries_both_clocks(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("jobs").inc(3)
+        path = str(tmp_path / "tele.jsonl")
+        sampler = TelemetrySampler(reg, jsonl_path=path, interval_seconds=0.01)
+        sampler.sample_now()
+        reg.counter("jobs").inc(2)
+        sampler.stop()
+        records = load_telemetry(path)
+        assert len(records) == 2
+        assert [r["seq"] for r in records] == [0, 1]
+        for r in records:
+            assert r["ts"] > 1e9          # wall clock epoch seconds
+            assert 0 < r["ts_mono"] < 1e9  # monotonic, process-relative
+        assert records[0]["counters"]["jobs"] == 3
+        assert records[1]["counters"]["jobs"] == 5
+
+    def test_background_thread_samples_on_interval(self, tmp_path):
+        reg = MetricsRegistry()
+        path = str(tmp_path / "tele.jsonl")
+        with TelemetrySampler(reg, jsonl_path=path, interval_seconds=0.01):
+            done = threading.Event()
+            done.wait(0.08)
+        records = load_telemetry(path)
+        # At least a couple of interval ticks plus the final stop() sample.
+        assert len(records) >= 3
+        assert [r["seq"] for r in records] == list(range(len(records)))
+
+    def test_prometheus_dump_written_on_stop(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("serve.jobs.done").inc(4)
+        reg.histogram("serve.latency.e2e").observe(0.01)
+        prom = str(tmp_path / "metrics.prom")
+        sampler = TelemetrySampler(reg, prometheus_path=prom)
+        sampler.stop()
+        text = open(prom).read()
+        assert "# TYPE repro_serve_jobs_done counter" in text
+        assert "repro_serve_jobs_done 4" in text
+        assert 'repro_serve_latency_e2e_bucket{le="+Inf"} 1' in text
+        assert "repro_serve_latency_e2e_count 1" in text
+
+    def test_rejects_nonpositive_interval(self):
+        with pytest.raises(ValueError):
+            TelemetrySampler(MetricsRegistry(), interval_seconds=0.0)
+
+
+class TestExports:
+    def test_prometheus_histogram_buckets_cumulative(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat", bounds=[0.001, 0.01, 0.1])
+        _observe_all(h, [0.0005, 0.005, 0.05, 5.0])
+        text = prometheus_text(reg)
+        assert 'repro_lat_bucket{le="0.001"} 1' in text
+        assert 'repro_lat_bucket{le="0.01"} 2' in text
+        assert 'repro_lat_bucket{le="0.1"} 3' in text
+        assert 'repro_lat_bucket{le="+Inf"} 4' in text
+        assert "repro_lat_count 4" in text
+
+    def test_metrics_table_renders_all_sections(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.jobs.done").inc(7)
+        reg.gauge("queue.depth").set(3.0)
+        reg.histogram("serve.latency.run").observe(0.002)
+        table = format_metrics_table(reg.snapshot(), title="snap")
+        assert "snap" in table
+        assert "serve.latency.run" in table and "2.000ms" in table
+        assert "serve.jobs.done" in table and "7" in table
+        assert "queue.depth" in table
+
+    def test_telemetry_report_roundtrip(self, tmp_path):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        path = str(tmp_path / "t.jsonl")
+        sampler = TelemetrySampler(reg, jsonl_path=path)
+        sampler.sample_now()
+        sampler.stop()
+        report = format_telemetry_report(load_telemetry(path), path)
+        assert "2 sample(s)" in report
+        assert "final snapshot" in report
+
+    def test_load_telemetry_rejects_garbage(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"ok": 1}\nnot json\n')
+        with pytest.raises(ValueError, match="bad.jsonl:2"):
+            load_telemetry(str(path))
+
+    def test_snapshot_is_json_serializable(self):
+        reg = MetricsRegistry()
+        reg.histogram("h").observe(0.5)
+        snap = reg.snapshot()
+        assert json.loads(json.dumps(snap)) == snap
