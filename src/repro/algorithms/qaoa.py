@@ -42,17 +42,38 @@ class QAOA:
         rounds: int = 1,
         simulator: Simulator | None = None,
         minimize: bool = False,
+        sweep: bool | None = None,
     ) -> None:
         self.cost = cost
         self.ansatz = QAOAAnsatz(cost, num_qubits, rounds)
         self.simulator = simulator or FlatDDSimulator(threads=2)
         self.sign = 1.0 if not minimize else -1.0
+        if sweep is None:
+            sweep = hasattr(self.simulator, "simulate_sweep")
+        self.sweep = bool(sweep)
+        self._template = None
         self.evaluations = 0
 
     def expectation(self, params: np.ndarray) -> float:
         state = self.simulator.run(self.ansatz.build(params)).state
         self.evaluations += 1
         return float(self.cost.expectation(state).real)
+
+    def _expectations(self, rows: list[np.ndarray]) -> list[float]:
+        """``<cost>`` for a batch of parameter vectors.
+
+        With ``sweep`` enabled the grid goes through the simulator's
+        batched ``simulate_sweep`` path; the sweep bit-identity contract
+        keeps the optimization trajectory identical to per-row runs.
+        """
+        if not self.sweep:
+            return [self.expectation(r) for r in rows]
+        if self._template is None:
+            self._template = self.ansatz.build(rows[0])
+        param_rows = [self.ansatz.build(r).extract_params() for r in rows]
+        states = self.simulator.simulate_sweep(self._template, param_rows).states
+        self.evaluations += len(rows)
+        return [float(self.cost.expectation(state).real) for state in states]
 
     def optimize(
         self,
@@ -70,11 +91,14 @@ class QAOA:
         for _ in range(sweeps):
             for k in range(params.size):
                 candidates = params[k] + np.linspace(-span / 2, span / 2, grid)
-                values = []
+                trials = []
                 for cand in candidates:
                     trial = params.copy()
                     trial[k] = cand
-                    values.append(self.sign * self.expectation(trial))
+                    trials.append(trial)
+                values = [
+                    self.sign * e for e in self._expectations(trials)
+                ]
                 params[k] = candidates[int(np.argmax(values))]
                 history.append(self.sign * max(values))
             span /= 2.0

@@ -48,12 +48,17 @@ class VQE:
         hamiltonian: PauliSum,
         ansatz,
         simulator: Simulator | None = None,
+        sweep: bool | None = None,
     ) -> None:
         if not len(hamiltonian):
             raise SimulationError("empty Hamiltonian")
         self.hamiltonian = hamiltonian
         self.ansatz = ansatz
         self.simulator = simulator or FlatDDSimulator(threads=2)
+        if sweep is None:
+            sweep = hasattr(self.simulator, "simulate_sweep")
+        self.sweep = bool(sweep)
+        self._template = None
         self.evaluations = 0
 
     # ------------------------------------------------------------------
@@ -64,20 +69,46 @@ class VQE:
         self.evaluations += 1
         return float(self.hamiltonian.expectation(state).real)
 
+    def _energies(self, rows: list[np.ndarray]) -> list[float]:
+        """Energies for a batch of parameter vectors.
+
+        With ``sweep`` enabled the whole batch goes through the
+        simulator's ``simulate_sweep`` path (one DD/conversion per unique
+        prefix, batched array replay); otherwise each row is a single-shot
+        ``run``.  The sweep contract makes both bit-identical, and either
+        way one evaluation is counted per row.
+        """
+        if not self.sweep:
+            return [self.energy(r) for r in rows]
+        if self._template is None:
+            self._template = self.ansatz.build(rows[0])
+        param_rows = [self.ansatz.build(r).extract_params() for r in rows]
+        states = self.simulator.simulate_sweep(self._template, param_rows).states
+        self.evaluations += len(rows)
+        return [
+            float(self.hamiltonian.expectation(state).real)
+            for state in states
+        ]
+
     def gradient(self, params: np.ndarray) -> np.ndarray:
         """Exact gradient via the parameter-shift rule.
 
         For a gate exp(-i theta P/2) (P a Pauli), dE/dtheta =
-        (E(theta + pi/2) - E(theta - pi/2)) / 2.
+        (E(theta + pi/2) - E(theta - pi/2)) / 2.  All 2P shifted
+        evaluations form one batch for :meth:`_energies`.
         """
+        rows: list[np.ndarray] = []
+        for k in range(params.size):
+            plus = params.copy()
+            plus[k] += np.pi / 2
+            minus = params.copy()
+            minus[k] -= np.pi / 2
+            rows.append(plus)
+            rows.append(minus)
+        energies = self._energies(rows)
         grad = np.zeros_like(params, dtype=float)
         for k in range(params.size):
-            shifted = params.copy()
-            shifted[k] += np.pi / 2
-            plus = self.energy(shifted)
-            shifted[k] -= np.pi
-            minus = self.energy(shifted)
-            grad[k] = 0.5 * (plus - minus)
+            grad[k] = 0.5 * (energies[2 * k] - energies[2 * k + 1])
         return grad
 
     def minimize(

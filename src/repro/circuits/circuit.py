@@ -175,7 +175,55 @@ class Circuit:
     def used_qubits(self) -> set[int]:
         return {q for g in self.gates for q in g.qubits}
 
-    def fingerprint(self) -> str:
+    # ------------------------------------------------------------------
+    # Parameter binding (sweep support)
+    # ------------------------------------------------------------------
+
+    @property
+    def num_param_slots(self) -> int:
+        """Total gate-parameter slots, in gate order.
+
+        This is the row width :meth:`bind` expects -- *not* necessarily an
+        ansatz's logical parameter count (one logical parameter may feed
+        several gate slots; see ``repro.algorithms.ansatz``).
+        """
+        return sum(len(g.params) for g in self.gates)
+
+    def extract_params(self) -> tuple[float, ...]:
+        """All gate parameters flattened in gate order (``bind``'s inverse)."""
+        return tuple(p for g in self.gates for p in g.params)
+
+    def bind(self, values) -> "Circuit":
+        """A new circuit with every gate-parameter slot replaced in order.
+
+        ``values`` supplies one float per slot, consumed sequentially in
+        gate order (``len(values)`` must equal :attr:`num_param_slots`;
+        :class:`~repro.common.errors.CircuitError` otherwise).
+        Parameterless gates are reused as-is.  ``circuit.bind(
+        circuit.extract_params())`` reproduces the circuit exactly.
+        """
+        import dataclasses
+
+        values = tuple(float(v) for v in values)
+        if len(values) != self.num_param_slots:
+            raise CircuitError(
+                f"bind() got {len(values)} values for "
+                f"{self.num_param_slots} parameter slots"
+            )
+        bound = Circuit(self.num_qubits, name=self.name)
+        pos = 0
+        for g in self.gates:
+            k = len(g.params)
+            if k:
+                bound.append(
+                    dataclasses.replace(g, params=values[pos:pos + k])
+                )
+                pos += k
+            else:
+                bound.gates.append(g)
+        return bound
+
+    def fingerprint(self, params=None) -> str:
         """Stable SHA-256 content hash of the circuit's semantics.
 
         The digest covers the qubit count and, per gate in sequence, the
@@ -185,11 +233,18 @@ class Circuit:
         The circuit ``name`` is deliberately excluded: two circuits with
         the same gates are the same workload.
 
+        ``params``, when given, is a parameter row for :meth:`bind`: the
+        digest is that of the *bound* circuit, so a sweep row keys caches
+        exactly like the equivalent single-shot circuit
+        (``c.fingerprint(params=row) == c.bind(row).fingerprint()``).
+
         This is the content-address used by the serving layer's result
         cache (:mod:`repro.serve.cache`) and handy standalone for
         deduplicating fuzz corpora.  The leading ``v1`` tag versions the
         encoding so a future change cannot silently alias old keys.
         """
+        if params is not None:
+            return self.bind(params).fingerprint()
         h = hashlib.sha256()
         h.update(f"v1;n={self.num_qubits}".encode("ascii"))
         for g in self.gates:

@@ -203,6 +203,89 @@ def cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_param_rows(path: str) -> list[tuple]:
+    """Parameter rows from a JSON array-of-arrays or JSONL file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        text = fh.read()
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError:
+        doc = [
+            json.loads(line)
+            for line in text.splitlines()
+            if line.strip() and not line.strip().startswith("#")
+        ]
+    if not isinstance(doc, list) or not all(
+        isinstance(row, list) for row in doc
+    ):
+        raise ReproError(
+            f"{path}: expected a JSON array of parameter rows "
+            "(or JSONL, one row per line)"
+        )
+    return [tuple(float(x) for x in row) for row in doc]
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Batched parameter sweep (``simulate_sweep``) of one template."""
+    circuit = _load_circuit(args)
+    if (args.params is None) == (args.points is None):
+        raise ReproError("provide exactly one of --params FILE or --points N")
+    if args.params is not None:
+        rows = _load_param_rows(args.params)
+    else:
+        if args.points < 1:
+            raise ReproError("--points must be >= 1")
+        rng = np.random.default_rng(args.sweep_seed)
+        slots = circuit.num_param_slots
+        rows = [
+            tuple(rng.uniform(-np.pi, np.pi, slots))
+            for _ in range(args.points)
+        ]
+    sim = FlatDDSimulator(
+        threads=args.threads,
+        fusion=args.fusion,
+        memory_budget_bytes=args.memory_budget,
+        force_convert_at=args.force_convert_at,
+    )
+    _log.info(
+        "sweeping %s (%d qubits, %d gates) over %d row(s) on %s",
+        circuit.name, circuit.num_qubits, len(circuit.gates), len(rows),
+        sim.name,
+    )
+    result = sim.simulate_sweep(
+        circuit, rows, checkpoint_path=args.checkpoint
+    )
+    runtime = result.runtime_seconds
+    payload = {
+        "circuit": circuit.name,
+        "qubits": circuit.num_qubits,
+        "gates": len(circuit.gates),
+        "backend": result.backend,
+        "rows": result.num_rows,
+        "unique_rows": result.metadata.get("unique_rows"),
+        "groups": result.metadata.get("groups"),
+        "mode": result.metadata.get("mode"),
+        "runtime_seconds": round(runtime, 6),
+        "rows_per_second": round(result.num_rows / runtime, 3)
+        if runtime else 0.0,
+        "peak_memory_mb": round(
+            result.peak_memory_bytes / (1024 * 1024), 3
+        ),
+    }
+    if args.json:
+        obs = result.metadata.get("obs")
+        if obs is not None:
+            payload["obs"] = {
+                "counters": obs.get("counters", {}),
+                "gauges": obs.get("gauges", {}),
+            }
+        print(json.dumps(payload, indent=2))
+    else:
+        for key, value in payload.items():
+            print(f"{key}: {value}")
+    return 0
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     circuit = _load_circuit(args)
     rows = []
@@ -616,6 +699,38 @@ def build_parser() -> argparse.ArgumentParser:
                         "breach converts early, array-phase breach "
                         "checkpoints and exits with code 3")
     p.set_defaults(func=cmd_simulate)
+
+    p = sub.add_parser(
+        "sweep",
+        help="batched parameter sweep of one circuit template "
+             "(flatdd simulate_sweep; see docs/PERFORMANCE.md)",
+    )
+    _add_circuit_args(p)
+    p.add_argument("--params", metavar="PATH", default=None,
+                   help="JSON array (or JSONL) of parameter rows binding "
+                        "the template's parameter slots")
+    p.add_argument("--points", type=int, default=None, metavar="N",
+                   help="generate N random rows uniform in [-pi, pi) "
+                        "instead of --params")
+    p.add_argument("--sweep-seed", type=int, default=0,
+                   help="rng seed for --points row generation")
+    p.add_argument("--threads", type=int, default=4)
+    p.add_argument("--fusion", default="none",
+                   choices=["none", "cost", "koperations"])
+    p.add_argument("--force-convert-at", type=int, default=None,
+                   metavar="GATE",
+                   help="force DD-to-array conversion right after this "
+                        "gate index instead of waiting for the EWMA "
+                        "trigger")
+    p.add_argument("--memory-budget", type=int, default=None,
+                   help="memory budget in bytes; a mid-sweep breach "
+                        "checkpoints (with --checkpoint) and exits "
+                        "with code 3")
+    p.add_argument("--checkpoint", metavar="PATH", default=None,
+                   help="write the diagnostic sweep snapshot here on a "
+                        "memory-budget breach")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_sweep)
 
     p = sub.add_parser("compare", help="run all three backends")
     _add_circuit_args(p)

@@ -21,6 +21,7 @@ from repro.core.dmav import (
     dmav_cached,
     dmav_nocache,
     run_border_task,
+    run_border_task_batch,
 )
 from repro.core.ewma import EWMAMonitor, EWMASample
 from repro.core.fusion import (
@@ -30,6 +31,7 @@ from repro.core.fusion import (
     identity_levels,
 )
 from repro.core.simulator import FlatDDSimulator
+from repro.core.sweep import SweepResult, run_sweep
 
 __all__ = [
     "CacheAssignment",
@@ -42,6 +44,7 @@ __all__ = [
     "FlatDDSimulator",
     "FusionResult",
     "GateCost",
+    "SweepResult",
     "assign_cache_tasks",
     "assign_tasks",
     "convert_ddsim_scalar",
@@ -55,4 +58,6 @@ __all__ = [
     "mac_count",
     "plan_conversion",
     "run_border_task",
+    "run_border_task_batch",
+    "run_sweep",
 ]

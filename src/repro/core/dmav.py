@@ -34,7 +34,14 @@ from repro.parallel.partition import border_level
 from repro.parallel.pool import TaskRunner, validate_thread_count
 from repro.parallel.simd import simd_add, simd_mul_into
 
-__all__ = ["DMAVStats", "assign_tasks", "dmav_nocache", "dmav_cached", "run_border_task"]
+__all__ = [
+    "DMAVStats",
+    "assign_tasks",
+    "dmav_nocache",
+    "dmav_cached",
+    "run_border_task",
+    "run_border_task_batch",
+]
 
 
 @dataclass
@@ -221,6 +228,281 @@ def _apply_batched(
         if not written[i]:
             out[:, i * half:(i + 1) * half] = 0.0
     return out
+
+
+def _lockstep_rowwise(
+    pkg: DDPackage,
+    nodes: list[DDNode],
+    vten: np.ndarray,
+    dense_level: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Exact per-row fallback: the single-shot kernel on each batch row."""
+    if out is None:
+        out = np.empty(vten.shape, dtype=np.complex128)
+    for b, node in enumerate(nodes):
+        out[b] = _apply_batched(pkg, node, vten[b], dense_level)
+    return out
+
+
+def _partition_sig(node: DDNode) -> tuple[int, ...]:
+    """Child-grouping signature of one node's four 2x2-block edges.
+
+    Position ``k`` maps to ``-1`` (zero edge) or the first-occurrence
+    index of its child node within this node's edges.  Two nodes with
+    equal signatures group their children identically, which is what the
+    lockstep generic branch needs to run one stacked recursion per group.
+    """
+    seen: dict[int, int] = {}
+    sig = []
+    for child in node.edges:
+        if child.is_zero:
+            sig.append(-1)
+        else:
+            sig.append(seen.setdefault(id(child.n), len(seen)))
+    return tuple(sig)
+
+
+def _apply_lockstep(
+    pkg: DDPackage,
+    nodes: list[DDNode],
+    vten: np.ndarray,
+    dense_level: int,
+    out: np.ndarray | None = None,
+) -> np.ndarray:
+    """Apply per-row gate sub-DDs to a batch of vector blocks in lockstep.
+
+    ``vten`` has shape ``(rows, m, 2**(level+1))``: row ``b``'s
+    ``(m, size)`` slice is exactly the ``vmat`` the single-shot kernel
+    (:func:`_apply_batched`) sees for that row at this recursion point,
+    and ``nodes[b]`` is that row's sub-DD (rows of a parameter sweep share
+    structure but differ in edge weights, so the node *objects* usually
+    differ).  Every branch mirrors ``_apply_batched`` with the batch as a
+    leading broadcast axis: each gemm becomes a broadcast matmul whose
+    trailing two dimensions equal the single-shot gemm shape (numpy
+    evaluates broadcast matmuls slice-by-slice with the same kernel, so
+    each row's result is bit-identical to its single-shot run), and every
+    scale/accumulate stays elementwise.  Whenever the rows' DDs disagree
+    structurally -- different branch taken, different child partition --
+    the whole level drops to :func:`_lockstep_rowwise`, which is exact by
+    construction, just not batched.  ``out`` follows ``_apply_batched``'s
+    best-effort contract (must be C-contiguous here; callers pass None or
+    a buffer this module allocated).
+    """
+    n0 = nodes[0]
+    flags = [nd is TERMINAL or is_identity(pkg, nd) for nd in nodes]
+    if all(flags):
+        return vten
+    if any(flags):
+        return _lockstep_rowwise(pkg, nodes, vten, dense_level, out)
+    level = n0.level
+    if any(nd.level != level for nd in nodes):
+        return _lockstep_rowwise(pkg, nodes, vten, dense_level, out)
+    rows, m, size = vten.shape
+    shared = all(nd is n0 for nd in nodes)
+    if level <= dense_level:
+        if shared:
+            block_t = dense_matrix_block(pkg, n0).T
+        else:
+            block_t = np.stack(
+                [dense_matrix_block(pkg, nd) for nd in nodes]
+            ).transpose(0, 2, 1)
+        if out is None:
+            return vten @ block_t
+        np.matmul(vten, block_t, out=out)
+        return out
+    collapsed = [kron_collapse(pkg, nd, dense_level) for nd in nodes]
+    if collapsed[0] is not None:
+        if any(c is None for c in collapsed):
+            return _lockstep_rowwise(pkg, nodes, vten, dense_level, out)
+        bases = [c[1] for c in collapsed]
+        term = [base is TERMINAL for base in bases]
+        if all(term):
+            d = (
+                collapsed[0][0]
+                if shared
+                else np.stack([c[0] for c in collapsed])[:, None, :]
+            )
+            if out is None:
+                return vten * d
+            np.multiply(vten, d, out=out)
+            return out
+        if any(term) or any(b.level != bases[0].level for b in bases):
+            return _lockstep_rowwise(pkg, nodes, vten, dense_level, out)
+        if shared:
+            block_t = dense_matrix_block(pkg, bases[0]).T
+            d = collapsed[0][0][None, None, :, None]
+        else:
+            block_t = np.stack(
+                [dense_matrix_block(pkg, b) for b in bases]
+            ).transpose(0, 2, 1)[:, None]
+            d = np.stack([c[0] for c in collapsed])[:, None, :, None]
+        bs = 2 << bases[0].level
+        shape4 = (rows, m, size // bs, bs)
+        if out is None:
+            folded = vten.reshape(shape4) @ block_t
+        else:
+            folded = out.reshape(shape4)
+            np.matmul(vten.reshape(shape4), block_t, out=folded)
+        folded *= d
+        return folded.reshape(rows, m, size)
+    half = size // 2
+
+    def passthrough(nd: DDNode) -> bool:
+        e00, e01, e10, e11 = nd.edges
+        return (
+            e01.is_zero
+            and e10.is_zero
+            and not e00.is_zero
+            and not e11.is_zero
+            and e00.n is e11.n
+        )
+
+    pts = [passthrough(nd) for nd in nodes]
+    if pts[0] or any(pts):
+        if not all(pts):
+            return _lockstep_rowwise(pkg, nodes, vten, dense_level, out)
+        children = [nd.edges[0].n for nd in nodes]
+        units = [nd.edges[0].w == 1 and nd.edges[3].w == 1 for nd in nodes]
+        if all(units):
+            folded = _apply_lockstep(
+                pkg,
+                children,
+                vten.reshape(rows, 2 * m, half),
+                dense_level,
+                None if out is None else out.reshape(rows, 2 * m, half),
+            )
+            return folded.reshape(rows, m, size)
+        if any(units):
+            # Single-shot takes the scaled branch only for non-unit
+            # weights; mixed rows would diverge in signed zeros -- stay
+            # strict and replay per row.
+            return _lockstep_rowwise(pkg, nodes, vten, dense_level, out)
+        folded = _apply_lockstep(
+            pkg, children, vten.reshape(rows, 2 * m, half), dense_level
+        )
+        scale = np.array(
+            [[nd.edges[0].w, nd.edges[3].w] for nd in nodes],
+            dtype=np.complex128,
+        )[:, None, :, None]
+        f4 = folded.reshape(rows, m, 2, half)
+        if out is None:
+            return (f4 * scale).reshape(rows, m, size)
+        np.multiply(f4, scale, out=out.reshape(rows, m, 2, half))
+        return out
+    sig = _partition_sig(n0)
+    if any(_partition_sig(nd) != sig for nd in nodes[1:]):
+        return _lockstep_rowwise(pkg, nodes, vten, dense_level, out)
+    # Group positions exactly like the single-shot kernel: by child node,
+    # insertion order.  Equal signatures make the grouping identical for
+    # every row, so one stacked lockstep recursion serves each group.
+    positions: list[list[int]] = []
+    for k, gid in enumerate(sig):
+        if gid < 0:
+            continue
+        if gid == len(positions):
+            positions.append([k])
+        else:
+            positions[gid].append(k)
+    group_nodes = [
+        [nd.edges[ks[0]].n for nd in nodes] for ks in positions
+    ]
+    group_idn = []
+    for gnodes in group_nodes:
+        gf = [gn is TERMINAL or is_identity(pkg, gn) for gn in gnodes]
+        if any(gf) and not all(gf):
+            return _lockstep_rowwise(pkg, nodes, vten, dense_level, out)
+        group_idn.append(all(gf))
+    halves = (vten[:, :, :half], vten[:, :, half:])
+    if out is None:
+        out = np.empty((rows, m, size), dtype=np.complex128)
+    written = [False, False]
+    for ks, gnodes, idn in zip(positions, group_nodes, group_idn):
+        uses = [divmod(k, 2) for k in ks]
+        if idn:
+            result = halves
+            slot = {0: 0, 1: 1}
+        else:
+            js = sorted({j for _i, j in uses})
+            if len(js) == 1:
+                stacked = halves[js[0]]
+            else:
+                stacked = np.concatenate([halves[j] for j in js], axis=1)
+            res = _apply_lockstep(pkg, gnodes, stacked, dense_level)
+            slot = {j: pos for pos, j in enumerate(js)}
+            result = [
+                res[:, pos * m:(pos + 1) * m, :] for pos in range(len(js))
+            ]
+        for i, j in uses:
+            wts = np.array(
+                [nd.edges[2 * i + j].w for nd in nodes], dtype=np.complex128
+            )[:, None, None]
+            block = result[slot[j]]
+            dst = out[:, :, i * half:(i + 1) * half]
+            if written[i]:
+                dst += wts * block
+            else:
+                np.multiply(wts, block, out=dst)
+                written[i] = True
+    for i in (0, 1):
+        if not written[i]:
+            out[:, :, i * half:(i + 1) * half] = 0.0
+    return out
+
+
+def run_border_task_batch(
+    pkg: DDPackage,
+    nodes: list[DDNode],
+    coeffs,
+    vin: np.ndarray,
+    wout: np.ndarray,
+    dense_level: int = DENSE_BLOCK_LEVEL,
+    accumulate: bool = True,
+) -> None:
+    """Batched Run: per-row border sub-matrices over pre-sliced batch views.
+
+    ``vin``/``wout`` are the task's input and output column ranges as
+    ``(rows, size)`` views (``(rows, 1)`` for terminal tasks); the caller
+    (:mod:`repro.core.sweep`) slices them out of tile-major batch buffers
+    so that chunk-aligned tasks arrive C-contiguous and need no gather
+    copy.  Row ``b`` reproduces ``run_border_task(pkg, nodes[b],
+    coeffs[b], ...)`` on its own state -- bit-identical up to signed
+    zeros (``np.array_equal``), the repo-wide replay guarantee.  The
+    caller guarantees structural congruence of the per-row plans: all
+    rows' nodes at one task index are terminal together or not, and
+    offsets match.  Terminal tasks touch single elements and must stay
+    scalar Python complex arithmetic (vectorized complex ops round
+    differently); everything else goes through the lockstep kernel.
+    """
+    if nodes[0] is TERMINAL:
+        if accumulate:
+            for b, c in enumerate(coeffs):
+                wout[b, 0] += c * vin[b, 0]
+        else:
+            for b, c in enumerate(coeffs):
+                wout[b, 0] = c * vin[b, 0]
+        return
+    rows, size = vin.shape
+    if not vin.flags.c_contiguous:
+        vin = np.ascontiguousarray(vin)
+    v3 = vin.reshape(rows, 1, size)
+    carr = np.asarray(coeffs, dtype=np.complex128)[:, None]
+    if accumulate:
+        res = _apply_lockstep(pkg, nodes, v3, dense_level)[:, 0, :]
+        wout += carr * res
+        return
+    # Assigning tasks forward their output slice as the kernel's result
+    # destination exactly like the single-shot path: the kernel either
+    # writes it in place (same bits as returning a fresh array, per its
+    # contract) or ignores it, in which case the scale/copy below lands
+    # the values.  Aliased multiplies are element-aligned, hence defined.
+    fwd = wout.reshape(rows, 1, size) if wout.flags.c_contiguous else None
+    res = _apply_lockstep(pkg, nodes, v3, dense_level, fwd)[:, 0, :]
+    if all(c == 1.0 + 0j for c in coeffs):
+        if not np.may_share_memory(res, wout):
+            np.copyto(wout, res)
+        return
+    np.multiply(carr, res, out=wout)
 
 
 def run_border_task(

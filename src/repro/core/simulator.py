@@ -43,6 +43,7 @@ from repro.obs.tracer import NULL_TRACER
 from repro.parallel.arena import BufferArena
 from repro.parallel.pool import TaskRunner, validate_thread_count
 from repro.resilience.guard import MemoryGuard
+from repro.common.errors import CheckpointError
 from repro.resilience.snapshot import (
     Snapshot,
     decode_array_state,
@@ -132,6 +133,15 @@ class FlatDDSimulator(Simulator):
                 resume_path = str(resume_from)
                 resume = read_snapshot(resume_path)
             validate_snapshot(resume, circuit, cfg_digest, path=resume_path)
+            if resume.phase == "sweep":
+                # Sweep snapshots are diagnostic batch dumps; a sweep row
+                # is not a single-shot run and cannot be resumed as one.
+                raise CheckpointError(
+                    "cannot resume a single-shot run from a sweep-phase "
+                    "snapshot (sweep snapshots preserve batch contents "
+                    "for diagnosis only)",
+                    path=resume_path,
+                )
         guard = MemoryGuard(cfg.memory_budget_bytes)
         checkpoints_written = 0
         tr = tracer if tracer is not None else NULL_TRACER
@@ -570,6 +580,36 @@ class FlatDDSimulator(Simulator):
             peak_memory_bytes=meter.peak_bytes,
             gate_trace=trace,
             metadata=metadata,
+        )
+
+    # ------------------------------------------------------------------
+
+    def simulate_sweep(
+        self,
+        circuit: Circuit,
+        param_sets,
+        tracer=None,
+        checkpoint_path: str | None = None,
+    ):
+        """Run ``circuit`` bound with every parameter row of ``param_sets``.
+
+        Returns a :class:`~repro.core.sweep.SweepResult` whose
+        ``states[i]`` is bit-identical (``np.array_equal``) to
+        ``self.run(circuit.bind(param_sets[i])).state``.  The sweep
+        deduplicates identical rows, shares one DD phase / conversion /
+        plan compilation across rows with a common gate prefix, and
+        replays the remaining gates as batched matrix x matrix kernels;
+        see :func:`repro.core.sweep.run_sweep` for the full contract.
+
+        ``checkpoint_path`` receives a diagnostic sweep-phase snapshot on
+        a memory-guard breach; such snapshots cannot seed
+        ``run(resume_from=...)``.
+        """
+        from repro.core.sweep import run_sweep
+
+        return run_sweep(
+            self, circuit, param_sets, tracer=tracer,
+            checkpoint_path=checkpoint_path,
         )
 
 

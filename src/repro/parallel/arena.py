@@ -42,11 +42,38 @@ __all__ = ["BufferArena"]
 class BufferArena:
     """Reusable output + partial-buffer memory for one DMAV phase."""
 
-    def __init__(self, size: int) -> None:
+    def __init__(
+        self, size: int, rows: int | None = None, tiles: int | None = None
+    ) -> None:
         if size < 1:
             raise ValueError(f"arena size must be >= 1, got {size}")
+        if rows is not None and rows < 1:
+            raise ValueError(f"arena rows must be >= 1, got {rows}")
+        if tiles is not None:
+            if rows is None:
+                raise ValueError("arena tiles require rows")
+            if tiles < 1 or size % tiles:
+                raise ValueError(
+                    f"arena tiles must divide size, got {tiles} for {size}"
+                )
         #: Amplitudes per buffer (``2**n``).
         self.size = size
+        #: Batch rows per buffer (``None`` = single-shot 1-D buffers).
+        #: The sweep path (:mod:`repro.core.sweep`) hands every DMAV gate
+        #: a batched ping-pong output and batched partials so the whole
+        #: batch shares one arena warm-up.
+        self.rows = rows
+        #: Batched buffers are *tile-major*: ``(tiles, rows, size//tiles)``
+        #: with one tile per DMAV thread chunk, so every chunk-aligned
+        #: task slice is one C-contiguous ``(rows, chunk)`` block instead
+        #: of a strided column range of a ``(rows, 2**n)`` array.
+        self.tiles = tiles
+        if rows is None:
+            self._shape: tuple[int, ...] = (size,)
+        elif tiles is None:
+            self._shape = (rows, size)
+        else:
+            self._shape = (tiles, rows, size // tiles)
         self._output: np.ndarray | None = None
         self._output_dirty = False
         self._partials: list[np.ndarray] = []
@@ -67,17 +94,17 @@ class BufferArena:
         them only for slices no task writes.
         """
         if self._output is None:
-            self._output = np.zeros(self.size, dtype=np.complex128)
+            self._output = np.zeros(self._shape, dtype=np.complex128)
             self._output_dirty = False
             self.output_allocs += 1
         return self._output, self._output_dirty
 
     def retire(self, state: np.ndarray) -> None:
         """Recycle the consumed input state as the next output buffer."""
-        if state.shape != (self.size,):
+        if state.shape != self._shape:
             raise ValueError(
-                f"retired array has shape {state.shape}, arena size "
-                f"{self.size}"
+                f"retired array has shape {state.shape}, arena shape "
+                f"{self._shape}"
             )
         self._output = state
         self._output_dirty = True
@@ -94,7 +121,7 @@ class BufferArena:
         have = len(self._partials)
         self.partial_reuses += min(count, have)
         while len(self._partials) < count:
-            self._partials.append(np.empty(self.size, dtype=np.complex128))
+            self._partials.append(np.empty(self._shape, dtype=np.complex128))
             self.partial_allocs += 1
         return self._partials[:count]
 

@@ -84,19 +84,21 @@ class MemoryGuard:
         observed_bytes: int,
         gate_index: int | None,
         checkpoint: Callable[[], str | None] | None = None,
+        phase: str = "array",
     ) -> None:
         """Array-phase check; raises on breach.
 
         ``checkpoint`` is invoked (once) on breach to persist a resumable
         snapshot; its return value (the path, or None when the run has no
         checkpoint path configured) is carried on the raised
-        :class:`ResourceExhaustedError`.
+        :class:`ResourceExhaustedError`.  ``phase`` labels the breach
+        ("array" for single-shot DMAV, "sweep" for batched replay).
         """
         if self.budget_bytes is None or observed_bytes <= self.budget_bytes:
             return
         path = checkpoint() if checkpoint is not None else None
         raise ResourceExhaustedError(
-            phase="array",
+            phase=phase,
             observed_bytes=observed_bytes,
             budget_bytes=self.budget_bytes,
             gate_index=gate_index,

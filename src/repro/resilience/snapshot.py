@@ -52,6 +52,7 @@ __all__ = [
     "read_snapshot",
     "snapshot_array_phase",
     "snapshot_dd_phase",
+    "snapshot_sweep_phase",
     "validate_snapshot",
     "write_snapshot",
 ]
@@ -145,6 +146,39 @@ def snapshot_array_phase(
     )
 
 
+def snapshot_sweep_phase(
+    pkg,
+    states: np.ndarray,
+    convert_at: int | None,
+    gate_cursor: int,
+    circuit,
+    config_digest: str,
+) -> Snapshot:
+    """Build a sweep-phase snapshot of a batched parameter-sweep group.
+
+    ``states`` is the ``(rows, 2**n)`` batch mid-replay.  Sweep snapshots
+    are *diagnostic*: they preserve the batch contents on a memory-guard
+    breach (so the work is not lost on the raised
+    :class:`~repro.common.errors.ResourceExhaustedError`), but
+    ``FlatDDSimulator.run`` refuses to resume from them -- a sweep row is
+    not a single-shot run.  The fingerprint pins the *template* circuit.
+    """
+    states = np.ascontiguousarray(states)
+    return Snapshot(
+        phase="sweep",
+        gate_cursor=gate_cursor,
+        num_qubits=circuit.num_qubits,
+        circuit_fingerprint=circuit.fingerprint(),
+        config_digest=config_digest,
+        data={
+            "states_b64": base64.b64encode(states.tobytes()).decode("ascii"),
+            "rows": int(states.shape[0]),
+            "convert_at": convert_at,
+            "ctable": pkg.ctable.dump(),
+        },
+    )
+
+
 def decode_array_state(snapshot: Snapshot) -> np.ndarray:
     """Decode the flat amplitude array of an array-phase snapshot."""
     if snapshot.phase != "array":
@@ -225,7 +259,7 @@ def read_snapshot(path: str) -> Snapshot:
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise CheckpointError(f"malformed snapshot payload: {exc}", path=path)
-    if snapshot.phase not in ("dd", "array"):
+    if snapshot.phase not in ("dd", "array", "sweep"):
         raise CheckpointError(
             f"unknown snapshot phase {snapshot.phase!r}", path=path
         )

@@ -110,6 +110,13 @@ class Job:
     #: for different shots/seeds.
     shots: int = 0
     sample_seed: int = 0
+    #: Parameter-sweep rows.  When set, the job is a *sweep job*: the
+    #: circuit is a template, each row binds its parameter slots, and the
+    #: result's ``state`` is the ``(rows, 2**n)`` stack from
+    #: :meth:`~repro.core.simulator.FlatDDSimulator.simulate_sweep`.
+    #: Mutually exclusive with ``shots`` (per-row states, not one
+    #: distribution to sample).
+    param_sets: list[tuple] | None = None
     #: Larger runs earlier; ties break on earlier deadline, then FIFO.
     priority: int = 0
     #: Wall-clock budget for execution (None = service default).
@@ -150,11 +157,47 @@ class Job:
             )
         if self.shots < 0:
             raise ServeError(f"shots must be >= 0, got {self.shots}")
+        if self.param_sets is not None:
+            if len(self.param_sets) == 0:
+                raise ServeError(
+                    "sweep jobs need at least one parameter set"
+                )
+            if self.shots:
+                raise ServeError(
+                    "sweep jobs return per-row states and cannot sample "
+                    "shots; submit single-shot jobs to sample"
+                )
 
     def cache_key(self) -> str:
-        """Content address of this job's simulation output."""
+        """Content address of this job's simulation output.
+
+        Sweep jobs hash every row's *bound* fingerprint in order, so two
+        sweep submissions group (and dedup) only when their whole row
+        lists match.
+        """
+        if self.param_sets is not None:
+            rows = ";".join(
+                self.circuit.fingerprint(params=row)
+                for row in self.param_sets
+            )
+            return hashlib.sha256(
+                f"sweep;{rows};{self.backend};"
+                f"{config_digest(self.config)}".encode("ascii")
+            ).hexdigest()
         return hashlib.sha256(
             f"{self.circuit.fingerprint()};{self.backend};"
+            f"{config_digest(self.config)}".encode("ascii")
+        ).hexdigest()
+
+    def row_cache_key(self, row) -> str:
+        """Content address of one sweep row's state.
+
+        Identical to the :meth:`cache_key` of a single-shot job for the
+        bound circuit (``circuit.bind(row)``), so sweep rows and
+        single-shot submissions serve each other from the result cache.
+        """
+        return hashlib.sha256(
+            f"{self.circuit.fingerprint(params=row)};{self.backend};"
             f"{config_digest(self.config)}".encode("ascii")
         ).hexdigest()
 
@@ -188,6 +231,8 @@ class Job:
             "cache_hit": bool(self.result and self.result.cache_hit),
             "error": self.error,
         }
+        if self.param_sets is not None:
+            out["sweep_rows"] = len(self.param_sets)
         if self.trace is not None:
             latency = self.trace.summary()
             if latency:

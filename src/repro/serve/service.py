@@ -25,9 +25,11 @@ A **batch manifest** is JSON Lines, one job per line (blank lines and
 
 Recognized keys: circuit source (``family``+``qubits`` [+``seed``,
 ``kwargs``] | ``qasm`` | ``qasm_file``), ``backend``, ``shots``,
-``sample_seed``, ``priority``, ``deadline_seconds``, ``max_retries``,
-``job_id``, ``name``, and ``repeat`` (duplicate the entry N times --
-handy for cache-hit demos and stress manifests).  See docs/SERVING.md.
+``sample_seed``, ``param_sets`` (list of parameter rows: the entry
+becomes a batched sweep job, see docs/SERVING.md), ``priority``,
+``deadline_seconds``, ``max_retries``, ``job_id``, ``name``, and
+``repeat`` (duplicate the entry N times -- handy for cache-hit demos
+and stress manifests).  See docs/SERVING.md.
 """
 
 from __future__ import annotations
@@ -66,7 +68,7 @@ _log = logging.getLogger("repro.serve.service")
 #: part of the circuit source).
 _JOB_KEYS = {
     "backend", "shots", "sample_seed", "priority", "deadline_seconds",
-    "max_retries", "job_id",
+    "max_retries", "job_id", "param_sets",
 }
 _SOURCE_KEYS = {"family", "qubits", "seed", "kwargs", "qasm", "qasm_file", "name"}
 _META_KEYS = {"repeat"}
@@ -493,6 +495,18 @@ def jobs_from_manifest(
         if repeat < 1:
             raise ServeError(f"manifest line {line}: repeat must be >= 1")
         circuit = _circuit_from_entry(entry, base_dir)
+        param_sets = entry.get("param_sets")
+        if param_sets is not None:
+            if not isinstance(param_sets, list) or not all(
+                isinstance(row, (list, tuple)) for row in param_sets
+            ):
+                raise ServeError(
+                    f"manifest line {line}: param_sets must be a list of "
+                    "parameter rows"
+                )
+            param_sets = [
+                tuple(float(x) for x in row) for row in param_sets
+            ]
         for copy in range(repeat):
             job_id = entry.get("job_id", "")
             if not job_id and isinstance(line, int):
@@ -509,6 +523,7 @@ def jobs_from_manifest(
                     config=flatdd_config,
                     shots=int(entry.get("shots", 0)),
                     sample_seed=int(entry.get("sample_seed", 0)) + copy,
+                    param_sets=param_sets,
                     priority=int(entry.get("priority", 0)),
                     deadline_seconds=entry.get("deadline_seconds"),
                     max_retries=int(

@@ -145,6 +145,9 @@ class WorkerPool:
         job.transition(JobState.RUNNING)
         if job.trace is not None:
             job.trace.mark("run")
+        if job.param_sets is not None:
+            self._run_sweep_job(job, cache)
+            return
         key = job.cache_key()
         entry = cache.get(key)
         if entry is not None:
@@ -173,6 +176,52 @@ class WorkerPool:
             result.runtime_seconds,
             cache_hit=False,
             metadata=dict(result.metadata),
+        )
+
+    def _run_sweep_job(self, job: Job, cache: ResultCache) -> None:
+        """Sweep jobs: per-row content addressing over the shared cache.
+
+        Each row keys the cache exactly like the equivalent single-shot
+        job (bound-circuit fingerprint, see ``Job.row_cache_key``), so
+        sweep rows and single-shot submissions serve each other.  All
+        rows cached means zero execution; otherwise one batched
+        ``simulate_sweep`` produces every row and publishes each under
+        its row key.
+        """
+        row_keys = [job.row_cache_key(row) for row in job.param_sets]
+        entries = [cache.get(k) for k in row_keys]
+        if all(entry is not None for entry in entries):
+            self.registry.counter("serve.jobs.cache_hits").inc()
+            self._finish(
+                job,
+                np.vstack([entry.state for entry in entries]),
+                max(entry.runtime_seconds for entry in entries),
+                cache_hit=True,
+                metadata={"mode": "sweep", "rows": len(row_keys)},
+            )
+            return
+        result = self._execute_with_retry(job)
+        if result is None:
+            return  # already FAILED or TIMEOUT
+        published = set()
+        for row_key, row_state in zip(row_keys, result.states):
+            if row_key in published:
+                continue
+            published.add(row_key)
+            cache.put(
+                row_key,
+                row_state.copy(),
+                result.runtime_seconds,
+                metadata={"backend": result.backend, "producer": job.job_id},
+            )
+        metadata = dict(result.metadata)
+        metadata.setdefault("mode", "sweep")
+        self._finish(
+            job,
+            result.states,
+            result.runtime_seconds,
+            cache_hit=False,
+            metadata=metadata,
         )
 
     def _finish(
@@ -263,10 +312,18 @@ class WorkerPool:
     def _attempt(self, job: Job, max_seconds: float | None):
         sim = self._make_simulator(job)
         kwargs: dict = {}
-        if max_seconds is not None and job.backend in ("flatdd", "ddsim"):
-            kwargs["max_seconds"] = max_seconds
         if self.tracer.enabled:
             kwargs["tracer"] = self.tracer
+        if job.param_sets is not None:
+            if not hasattr(sim, "simulate_sweep"):
+                raise ServeError(
+                    f"backend {job.backend!r} does not support sweep jobs"
+                )
+            # No cooperative max_seconds for sweeps; the wall-clock
+            # deadline check in _execute_with_retry still applies.
+            return sim.simulate_sweep(job.circuit, job.param_sets, **kwargs)
+        if max_seconds is not None and job.backend in ("flatdd", "ddsim"):
+            kwargs["max_seconds"] = max_seconds
         return sim.run(job.circuit, **kwargs)
 
     def _make_simulator(self, job: Job):

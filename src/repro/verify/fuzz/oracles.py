@@ -437,6 +437,62 @@ def oracle_checkpoint_resume(
     )
 
 
+def oracle_sweep_consistency(
+    circuit: Circuit, ctx: OracleContext
+) -> OracleOutcome:
+    """Every batched-sweep row must be *bit-identical* to its own run.
+
+    Builds a small sweep from the fuzzed circuit's own parameters:
+    deterministic per-slot perturbations (no randomness in the oracle)
+    plus a duplicate row to exercise deduplication, swept twice -- once
+    EWMA-timed and once with conversion forced at gate 0 so the batched
+    DMAV replay is guaranteed to run.  Equality is ``np.array_equal``,
+    not a tolerance: the lockstep kernels replay the single-shot gemm
+    shapes per row (:mod:`repro.core.sweep`), so any drift is a real
+    batching bug, not float noise.
+    """
+    t0 = time.perf_counter()
+    if len(circuit.gates) < 2:
+        return _skip(
+            "sweep_consistency", "metamorphic", "needs >= 2 gates", t0
+        )
+    base = circuit.extract_params()
+    rows = [
+        base,
+        tuple(p + 0.1 + 0.01 * j for j, p in enumerate(base)),
+        tuple(p - 0.2 + 0.03 * j for j, p in enumerate(base)),
+        base,  # duplicate: must come back via the dedup fan-out
+    ]
+    threads = ctx._effective_threads(None)
+    err = 0.0
+    identical = True
+    for fca in (None, 0):
+        sim = FlatDDSimulator(
+            FlatDDConfig(threads=threads, force_convert_at=fca)
+        )
+        result = sim.simulate_sweep(circuit, rows)
+        for i, row in enumerate(rows):
+            ref = sim.run(circuit.bind(row)).state
+            if not np.array_equal(result.states[i], ref):
+                identical = False
+                err = max(
+                    err, float(np.max(np.abs(result.states[i] - ref)))
+                )
+    return OracleOutcome(
+        oracle="sweep_consistency",
+        family="metamorphic",
+        passed=identical,
+        max_error=err,
+        tier="tight" if identical else "violation",
+        detail=(
+            f"simulate_sweep over {len(rows)} parameter rows "
+            "(EWMA-timed and force_convert_at=0) vs per-row run(), "
+            "bit-exact comparison"
+        ),
+        seconds=time.perf_counter() - t0,
+    )
+
+
 #: name -> (family, oracle function).  Iteration order is cheap-first so a
 #: budgeted campaign still covers the differential core on every circuit.
 ORACLES: dict[str, tuple[str, callable]] = {
@@ -452,6 +508,7 @@ ORACLES: dict[str, tuple[str, callable]] = {
     "inverse_roundtrip": ("metamorphic", oracle_inverse_roundtrip),
     "plan_cache": ("metamorphic", oracle_plan_cache_equivalence),
     "checkpoint_resume": ("metamorphic", oracle_checkpoint_resume),
+    "sweep_consistency": ("metamorphic", oracle_sweep_consistency),
 }
 
 ORACLE_FAMILIES: tuple[str, ...] = ("differential", "metamorphic")

@@ -11,6 +11,7 @@ from repro.algorithms import (
 )
 from repro.backends import StatevectorSimulator
 from repro.common.errors import CircuitError, SimulationError
+from repro.core import FlatDDSimulator
 from repro.observables import (
     PauliString,
     PauliSum,
@@ -146,3 +147,79 @@ class TestQAOA:
         cost = maxcut([(0, 1)])
         with pytest.raises(SimulationError):
             QAOA(cost, 2, simulator=StatevectorSimulator()).optimize(grid=2)
+
+
+class TestSweepParity:
+    """The batched sweep path must reproduce the legacy per-row path.
+
+    ``simulate_sweep`` promises bit-identical states, so a whole VQE /
+    QAOA optimization run through the sweep path must land on *exactly*
+    the same energies, parameters, and evaluation counts as the legacy
+    loop with the same simulator config and rng seed.
+    """
+
+    def test_sweep_auto_detection(self):
+        ham = transverse_field_ising(2, j=1.0, h=0.5, periodic=False)
+        ansatz = HardwareEfficientAnsatz(2, layers=1)
+        assert VQE(ham, ansatz, FlatDDSimulator(threads=1)).sweep
+        assert not VQE(ham, ansatz, StatevectorSimulator()).sweep
+        cost = maxcut([(0, 1)])
+        assert QAOA(cost, 2, simulator=FlatDDSimulator(threads=1)).sweep
+        assert not QAOA(cost, 2, simulator=StatevectorSimulator()).sweep
+        # explicit override beats detection
+        assert not VQE(
+            ham, ansatz, FlatDDSimulator(threads=1), sweep=False
+        ).sweep
+
+    def test_vqe_sweep_matches_legacy(self):
+        n = 3
+        ham = transverse_field_ising(n, j=1.0, h=0.6, periodic=False)
+        ansatz = HardwareEfficientAnsatz(n, layers=1)
+        results = {}
+        for sweep in (False, True):
+            vqe = VQE(
+                ham, ansatz, FlatDDSimulator(threads=2), sweep=sweep
+            )
+            results[sweep] = vqe.minimize(
+                iterations=3, learning_rate=0.15, seed=5
+            )
+        legacy, swept = results[False], results[True]
+        assert swept.energy == legacy.energy
+        assert np.array_equal(swept.parameters, legacy.parameters)
+        assert swept.energy_history == legacy.energy_history
+        assert swept.gradient_norms == legacy.gradient_norms
+        assert swept.evaluations == legacy.evaluations
+
+    def test_vqe_gradient_sweep_matches_legacy(self):
+        n = 3
+        ham = transverse_field_ising(n, j=1.0, h=0.6, periodic=False)
+        ansatz = HardwareEfficientAnsatz(n, layers=1)
+        rng = np.random.default_rng(9)
+        params = rng.uniform(0, 2 * np.pi, ansatz.num_parameters)
+        grads = {}
+        for sweep in (False, True):
+            vqe = VQE(
+                ham, ansatz, FlatDDSimulator(threads=2), sweep=sweep
+            )
+            grads[sweep] = vqe.gradient(params)
+        assert np.array_equal(grads[True], grads[False])
+
+    def test_qaoa_sweep_matches_legacy(self):
+        cost = maxcut([(0, 1), (1, 2), (0, 2)])
+        results = {}
+        for sweep in (False, True):
+            qaoa = QAOA(
+                cost,
+                3,
+                rounds=1,
+                simulator=FlatDDSimulator(threads=2),
+                sweep=sweep,
+            )
+            results[sweep] = qaoa.optimize(grid=5, sweeps=1, seed=1)
+        legacy, swept = results[False], results[True]
+        assert swept.expectation == legacy.expectation
+        assert np.array_equal(swept.parameters, legacy.parameters)
+        assert swept.expectation_history == legacy.expectation_history
+        assert swept.best_bitstring == legacy.best_bitstring
+        assert swept.best_bitstring_value == legacy.best_bitstring_value
+        assert swept.evaluations == legacy.evaluations

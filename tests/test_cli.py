@@ -69,6 +69,82 @@ class TestSimulate:
         assert main(["simulate", "/nonexistent.qasm"]) == 2
 
 
+class TestSweep:
+    @pytest.fixture
+    def template_file(self, tmp_path):
+        from repro.circuits import Circuit
+
+        c = Circuit(3, name="tpl")
+        for q in range(3):
+            c.h(q)
+        for q in range(3):
+            c.ry(0.0, q)
+        path = tmp_path / "tpl.qasm"
+        path.write_text(to_qasm(c))
+        return str(path)
+
+    def test_points_json_counters(self, template_file, capsys):
+        assert main(
+            ["sweep", template_file, "--points", "4", "--threads", "2",
+             "--force-convert-at", "2", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["rows"] == 4
+        assert payload["mode"] == "batched"
+        counters = payload["obs"]["counters"]
+        assert counters["dmav.sweep.rows"] == 4
+        assert counters["dmav.sweep.unique_rows"] == 4
+        assert (
+            counters["dmav.sweep.gates_batched"]
+            + counters["dmav.sweep.gates_rowloop"]
+        ) > 0
+
+    def test_params_file(self, template_file, tmp_path, capsys):
+        rows = tmp_path / "rows.json"
+        rows.write_text(json.dumps([[0.1, 0.2, 0.3], [0.4, 0.5, 0.6]]))
+        assert main(
+            ["sweep", template_file, "--params", str(rows), "--threads", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rows: 2" in out
+
+    def test_params_jsonl_file(self, template_file, tmp_path, capsys):
+        rows = tmp_path / "rows.jsonl"
+        rows.write_text("# rows\n[0.1, 0.2, 0.3]\n[0.4, 0.5, 0.6]\n")
+        assert main(
+            ["sweep", template_file, "--params", str(rows), "--threads", "2",
+             "--json"]
+        ) == 0
+        assert json.loads(capsys.readouterr().out)["rows"] == 2
+
+    def test_requires_exactly_one_row_source(self, template_file, capsys):
+        assert main(["sweep", template_file]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_bad_params_file_errors(self, template_file, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"not": "rows"}')
+        assert main(
+            ["sweep", template_file, "--params", str(bad)]
+        ) == 2
+        assert "parameter rows" in capsys.readouterr().err
+
+    def test_memory_budget_breach_exits_3_with_snapshot(
+        self, template_file, tmp_path, capsys
+    ):
+        ckpt = tmp_path / "sweep.ckpt"
+        code = main(
+            ["sweep", template_file, "--points", "3", "--threads", "2",
+             "--force-convert-at", "0", "--memory-budget", "1",
+             "--checkpoint", str(ckpt)]
+        )
+        assert code == 3
+        assert ckpt.exists()
+        from repro.resilience.snapshot import read_snapshot
+
+        assert read_snapshot(str(ckpt)).phase == "sweep"
+
+
 class TestCompare:
     def test_compare_reports_all_backends(self, capsys):
         assert main(

@@ -156,3 +156,87 @@ class TestValidation:
 
     def test_edge_canonicalizes_zero(self, pkg3):
         assert pkg3.edge(1e-15, TERMINAL) is ZERO_EDGE
+
+
+class TestBuildMarkRewind:
+    def _dd_weights(self, e):
+        out = []
+        stack = [e]
+        seen = set()
+        while stack:
+            cur = stack.pop()
+            out.append(cur.w)
+            if cur.is_zero or id(cur.n) in seen or cur.n.is_terminal:
+                continue
+            seen.add(id(cur.n))
+            stack.extend(cur.n.edges)
+        return out
+
+    def test_rewind_restores_counters_and_tables(self):
+        pkg = DDPackage(3)
+        single_qubit_gate(pkg, H, 0)
+        mark = pkg.build_mark()
+        mnodes = pkg.matrix_node_count
+        created = pkg.nodes_created
+        ct = len(pkg.ctable)
+        u = np.array([[0.6, 0.8], [0.8, -0.6]])
+        single_qubit_gate(pkg, u, 2)
+        assert pkg.matrix_node_count > mnodes
+        pkg.rewind_to_mark(mark)
+        assert pkg.matrix_node_count == mnodes
+        assert pkg.nodes_created == created
+        assert len(pkg.ctable) == ct
+
+    def test_rebuild_after_rewind_is_bit_identical(self):
+        theta = 0.37281
+        c, s = math.cos(theta / 2), math.sin(theta / 2)
+        ry = np.array([[c, -s], [s, c]])
+        other = np.array([[0.28, 0.96], [0.96, -0.28]])
+        pkg = DDPackage(3)
+        single_qubit_gate(pkg, H, 1)
+        mark = pkg.build_mark()
+        first = single_qubit_gate(pkg, ry, 0)
+        first_idx = first.n.idx
+        first_w = self._dd_weights(first)
+        pkg.rewind_to_mark(mark)
+        # An interleaved different build must leave no trace ...
+        single_qubit_gate(pkg, other, 2)
+        pkg.rewind_to_mark(mark)
+        again = single_qubit_gate(pkg, ry, 0)
+        # ... so the rebuild sees the same creation order and weights.
+        assert again.n.idx == first_idx
+        assert self._dd_weights(again) == first_w
+
+    def test_evicted_nodes_stay_valid_through_kept_edges(self):
+        pkg = DDPackage(3)
+        mark = pkg.build_mark()
+        kept = single_qubit_gate(pkg, H, 1)
+        pkg.rewind_to_mark(mark)
+        dense = matrix_to_dense(pkg, kept)
+        expect = np.kron(np.eye(2), np.kron(H, np.eye(2)))
+        np.testing.assert_allclose(dense, expect, atol=1e-12)
+
+    def test_rewind_across_gc_rejected(self):
+        pkg = DDPackage(3)
+        mark = pkg.build_mark()
+        e = single_qubit_gate(pkg, H, 0)
+        pkg.collect_garbage([e])
+        with pytest.raises(DDError):
+            pkg.rewind_to_mark(mark)
+
+    def test_gate_cache_rewind_drops_added_entries(self):
+        from repro.backends.gatecache import GateDDCache
+        from repro.circuits.gates import Gate
+
+        pkg = DDPackage(3)
+        cache = GateDDCache(pkg)
+        cache.get(Gate("h", (0,)))
+        m = cache.mark()
+        cache.get(Gate("ry", (1,), params=(0.5,)))
+        assert len(cache) == m + 1
+        cache.rewind(m)
+        assert len(cache) == m
+        # The surviving prefix entry still serves lookups.
+        hits = cache.hits
+        cache.get(Gate("h", (0,)))
+        assert cache.hits == hits + 1

@@ -84,6 +84,64 @@ class TestFloatFormatting:
         assert a.fingerprint() != b.fingerprint()
 
 
+class TestParameterBinding:
+    """``fingerprint(params=row)`` — the sweep-row content address.
+
+    A sweep row must key caches exactly like the equivalent single-shot
+    circuit, and inherit all the stability properties of the plain
+    fingerprint (alias spellings, float formatting noise).
+    """
+
+    def _ansatz(self) -> Circuit:
+        c = Circuit(2)
+        c.h(0).h(1)
+        c.ry(0.0, 0).ry(0.0, 1).cx(0, 1).rz(0.0, 1)
+        return c
+
+    def test_bound_variant_matches_explicit_bind(self):
+        c = self._ansatz()
+        row = (0.4, -1.2, 2.5)
+        assert c.fingerprint(params=row) == c.bind(row).fingerprint()
+
+    def test_distinct_rows_distinct_hashes(self):
+        c = self._ansatz()
+        a = c.fingerprint(params=(0.1, 0.2, 0.3))
+        b = c.fingerprint(params=(0.1, 0.2, 0.4))
+        assert a != b
+
+    def test_bound_hash_differs_from_template_hash(self):
+        c = self._ansatz()
+        assert c.fingerprint(params=(1.0, 2.0, 3.0)) != c.fingerprint()
+
+    def test_binding_does_not_mutate_template(self):
+        c = self._ansatz()
+        before = c.fingerprint()
+        c.fingerprint(params=(0.7, 0.8, 0.9))
+        assert c.fingerprint() == before
+
+    def test_float_noise_collapses_through_binding(self):
+        c = Circuit(1).rx(0.0, 0)
+        assert c.fingerprint(params=(0.1 + 0.2,)) == c.fingerprint(
+            params=(0.3,)
+        )
+
+    def test_negative_zero_normalizes_through_binding(self):
+        c = Circuit(1).rz(1.0, 0)
+        assert c.fingerprint(params=(0.0,)) == c.fingerprint(params=(-0.0,))
+
+    def test_parameterized_aliases_hash_alike_when_bound(self):
+        # cp and cu1 are spellings of the same controlled-phase gate.
+        a = Circuit(2).append(Gate("cp", (1,), (0,), params=(0.0,)))
+        b = Circuit(2).append(Gate("cu1", (1,), (0,), params=(0.0,)))
+        row = (0.625,)
+        assert a.fingerprint(params=row) == b.fingerprint(params=row)
+
+    def test_identity_binding_matches_plain_fingerprint(self):
+        # Re-binding a circuit's own parameters is a no-op for the hash.
+        c = Circuit(2).ry(0.4, 0).rz(-0.9, 1)
+        assert c.fingerprint(params=c.extract_params()) == c.fingerprint()
+
+
 class TestSensitivity:
     def test_gate_order_matters(self):
         a = Circuit(2).h(0).x(1)

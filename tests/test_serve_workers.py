@@ -189,3 +189,94 @@ class TestIsolation:
         assert svc.pool.internal_errors == 1
         assert healthy.state is JobState.DONE
         svc.close()
+
+
+def _sweep_template(n=3):
+    from repro.circuits import Circuit
+
+    c = Circuit(n, name="sweep-serve")
+    for q in range(n):
+        c.h(q)
+    for q in range(n):
+        c.ry(0.0, q)
+    return c
+
+
+class TestSweepJobs:
+    def test_sweep_rows_match_single_shot_jobs(self):
+        c = _sweep_template()
+        rows = [
+            tuple(0.1 * (k + 1) + 0.2 * q for q in range(3))
+            for k in range(3)
+        ]
+        svc = SimulationService(threads=2, **FAST_RETRY)
+        sweep_id = svc.submit(Job(circuit=c, param_sets=rows))
+        single_ids = [svc.submit(c.bind(row)) for row in rows]
+        report = svc.drain()
+        assert report.ok
+        sweep = svc.result(sweep_id)
+        assert sweep.state.shape == (3, 8)
+        for i, job_id in enumerate(single_ids):
+            assert np.array_equal(
+                sweep.state[i], svc.result(job_id).state
+            )
+        svc.close()
+
+    def test_sweep_rows_seed_the_shared_cache(self):
+        c = _sweep_template()
+        rows = [(0.1, 0.2, 0.3), (0.4, 0.5, 0.6)]
+        svc = SimulationService(threads=2, **FAST_RETRY)
+        svc.submit(Job(circuit=c, param_sets=rows))
+        svc.drain()
+        # A later single-shot submission of a bound row is a cache hit.
+        job_id = svc.submit(c.bind(rows[1]))
+        svc.drain()
+        assert svc.result(job_id).cache_hit
+        # ...and a later identical sweep assembles entirely from cache.
+        sweep_id = svc.submit(Job(circuit=c, param_sets=rows))
+        svc.drain()
+        result = svc.result(sweep_id)
+        assert result.cache_hit
+        assert result.state.shape == (2, 8)
+        svc.close()
+
+    def test_single_shot_results_serve_sweep_rows(self):
+        c = _sweep_template()
+        rows = [(0.7, 0.1, 0.4)]
+        svc = SimulationService(threads=2, **FAST_RETRY)
+        single_id = svc.submit(c.bind(rows[0]))
+        svc.drain()
+        sweep_id = svc.submit(Job(circuit=c, param_sets=rows))
+        svc.drain()
+        result = svc.result(sweep_id)
+        assert result.cache_hit
+        assert np.array_equal(result.state[0], svc.result(single_id).state)
+        svc.close()
+
+    def test_shots_conflict_rejected(self):
+        from repro.common.errors import ServeError
+
+        with pytest.raises(ServeError, match="cannot sample"):
+            Job(circuit=_sweep_template(), param_sets=[(0, 0, 0)], shots=10)
+
+    def test_empty_param_sets_rejected(self):
+        from repro.common.errors import ServeError
+
+        with pytest.raises(ServeError, match="at least one"):
+            Job(circuit=_sweep_template(), param_sets=[])
+
+    def test_unsupported_backend_fails_permanently(self):
+        svc = SimulationService(threads=2, **FAST_RETRY)
+        job_id = svc.submit(
+            Job(
+                circuit=_sweep_template(),
+                backend="quantumpp",
+                param_sets=[(0.1, 0.2, 0.3)],
+            )
+        )
+        svc.drain()
+        job = svc.poll(job_id)
+        assert job.state is JobState.FAILED
+        assert job.attempts == 1  # permanent: no retries burned
+        assert "does not support sweep jobs" in job.error
+        svc.close()

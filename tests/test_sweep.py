@@ -1,0 +1,267 @@
+"""Batched parameter-sweep execution (``simulate_sweep``).
+
+The sweep contract is *bit-identity*: every row of the batch must equal
+(``np.array_equal``) the state of a single-shot ``run()`` on the
+equivalently bound circuit under the same config.  These tests pin that
+contract across batch shapes, thread counts, cache policies, and the
+degenerate inputs the API must reject, plus the memory-guard behaviour
+mid-sweep.
+"""
+
+import base64
+import os
+
+import numpy as np
+import pytest
+
+from repro.circuits.circuit import Circuit
+from repro.circuits.generators.regular import qft
+from repro.common.errors import (
+    CheckpointError,
+    CircuitError,
+    ReproError,
+    ResourceExhaustedError,
+    SimulationError,
+)
+from repro.core.simulator import FlatDDSimulator
+from repro.resilience.snapshot import read_snapshot
+from repro.verify.fuzz.oracles import phase_aligned_error
+
+
+def _template(n=4, layers=2):
+    """Hardware-efficient template with a leading H column.
+
+    The H column gives every bound row an identical gate prefix, so a
+    sweep with ``force_convert_at=0`` shares one DD phase per group.
+    """
+    c = Circuit(n, name="sweep-template")
+    for q in range(n):
+        c.h(q)
+    for _ in range(layers):
+        for q in range(n):
+            c.ry(0.0, q)
+        for q in range(n):
+            c.rz(0.0, q)
+        for q in range(n - 1):
+            c.cx(q, q + 1)
+    return c
+
+
+def _rows(circuit, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return [
+        tuple(rng.uniform(-np.pi, np.pi, circuit.num_param_slots))
+        for _ in range(count)
+    ]
+
+
+def _assert_rows_identical(sim, circuit, rows, result):
+    for i, row in enumerate(rows):
+        ref = sim.run(circuit.bind(row)).state
+        assert np.array_equal(result.states[i], ref), (
+            f"row {i} diverged: max|diff|="
+            f"{np.max(np.abs(result.states[i] - ref))}"
+        )
+
+
+# ---------------------------------------------------------------------------
+# Shape and degenerate-input behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_batch_of_one_matches_single_shot():
+    c = _template()
+    sim = FlatDDSimulator(threads=2, force_convert_at=0)
+    rows = _rows(c, 1)
+    result = sim.simulate_sweep(c, rows)
+    assert result.states.shape == (1, 1 << c.num_qubits)
+    assert result.num_rows == 1
+    _assert_rows_identical(sim, c, rows, result)
+
+
+def test_empty_param_sets_rejected_with_structured_error():
+    sim = FlatDDSimulator(threads=1)
+    with pytest.raises(SimulationError) as exc:
+        sim.simulate_sweep(_template(), [])
+    assert isinstance(exc.value, ReproError)
+    assert "at least one parameter set" in str(exc.value)
+
+
+def test_wrong_row_width_rejected():
+    c = _template()
+    sim = FlatDDSimulator(threads=1)
+    with pytest.raises(CircuitError):
+        sim.simulate_sweep(c, [(0.1, 0.2)])
+
+
+def test_non_parameterized_circuit_sweeps():
+    ghz = Circuit(4, name="ghz").h(0)
+    for q in range(3):
+        ghz.cx(q, q + 1)
+    assert ghz.num_param_slots == 0
+    sim = FlatDDSimulator(threads=2)
+    result = sim.simulate_sweep(ghz, [(), (), ()])
+    ref = sim.run(ghz).state
+    for i in range(3):
+        assert np.array_equal(result.states[i], ref)
+    # all three rows are the same circuit: one simulation, fanned out
+    assert result.metadata["unique_rows"] == 1
+
+
+def test_duplicate_rows_deduplicated_and_fanned_out():
+    c = _template()
+    sim = FlatDDSimulator(threads=2, force_convert_at=0)
+    rows = _rows(c, 3)
+    rows = [rows[0], rows[1], rows[0], rows[2], rows[1]]
+    result = sim.simulate_sweep(c, rows)
+    assert result.metadata["rows"] == 5
+    assert result.metadata["unique_rows"] == 3
+    assert np.array_equal(result.states[0], result.states[2])
+    assert np.array_equal(result.states[1], result.states[4])
+    _assert_rows_identical(sim, c, rows, result)
+
+
+def test_qft_identical_rows_collapse_to_one_group():
+    c = qft(5)
+    sim = FlatDDSimulator(threads=2)
+    row = c.extract_params()
+    result = sim.simulate_sweep(c, [row] * 4)
+    ref = sim.run(c).state
+    for i in range(4):
+        assert np.array_equal(result.states[i], ref)
+    assert result.metadata["unique_rows"] == 1
+    assert result.metadata["groups"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Batch sizes vs thread counts
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("batch", [1, 3, 4, 9])
+def test_batch_sizes_straddling_thread_count(batch):
+    """Batches below, at, and above the thread count all stay exact."""
+    c = _template(n=4, layers=1)
+    sim = FlatDDSimulator(threads=4, force_convert_at=0)
+    rows = _rows(c, batch, seed=batch)
+    result = sim.simulate_sweep(c, rows)
+    assert result.states.shape == (batch, 16)
+    _assert_rows_identical(sim, c, rows, result)
+
+
+def test_thread_count_invariance():
+    """Sweep(t) is bit-equal to run(t); states agree across thread counts.
+
+    Bit-identity is only promised *at the same thread count* (DMAV task
+    splits differ across counts, like the existing thread-invariance
+    oracle); across counts the states must still agree to 1e-9 up to
+    global phase.
+    """
+    c = _template(n=4, layers=2)
+    rows = _rows(c, 5, seed=7)
+    per_thread = {}
+    for t in (1, 2, 4):
+        sim = FlatDDSimulator(threads=t, force_convert_at=0)
+        result = sim.simulate_sweep(c, rows)
+        _assert_rows_identical(sim, c, rows, result)
+        per_thread[t] = result.states
+    for t in (2, 4):
+        for i in range(len(rows)):
+            err = phase_aligned_error(per_thread[1][i], per_thread[t][i])
+            assert err <= 1e-9
+
+
+@pytest.mark.parametrize("policy", ["auto", "always", "never"])
+def test_cache_policies_bit_identical(policy):
+    c = _template(n=4, layers=2)
+    sim = FlatDDSimulator(threads=2, cache_policy=policy, force_convert_at=0)
+    rows = _rows(c, 4, seed=3)
+    result = sim.simulate_sweep(c, rows)
+    _assert_rows_identical(sim, c, rows, result)
+
+
+def test_ewma_timed_sweep_matches_runs():
+    """No forced conversion: grouping follows each row's own trigger."""
+    c = _template(n=4, layers=2)
+    sim = FlatDDSimulator(threads=2)
+    rows = _rows(c, 3, seed=11)
+    result = sim.simulate_sweep(c, rows)
+    _assert_rows_identical(sim, c, rows, result)
+
+
+def test_fusion_falls_back_to_per_row_runs():
+    c = _template(n=3, layers=1)
+    sim = FlatDDSimulator(threads=2, fusion="koperations")
+    rows = _rows(c, 3, seed=5)
+    rows.append(rows[0])
+    result = sim.simulate_sweep(c, rows)
+    assert result.metadata["mode"] == "fallback-fusion"
+    _assert_rows_identical(sim, c, rows, result)
+
+
+# ---------------------------------------------------------------------------
+# Observability
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_metadata_counters():
+    c = _template(n=4, layers=1)
+    sim = FlatDDSimulator(threads=2, force_convert_at=0)
+    rows = _rows(c, 4, seed=1)
+    result = sim.simulate_sweep(c, rows)
+    counters = result.metadata["obs"]["counters"]
+    assert counters["dmav.sweep.rows"] == 4
+    assert counters["dmav.sweep.unique_rows"] == 4
+    assert counters["dmav.sweep.groups"] == result.metadata["groups"]
+    assert (
+        counters["dmav.sweep.gates_batched"]
+        + counters["dmav.sweep.gates_rowloop"]
+    ) > 0
+    assert result.runtime_seconds > 0
+    assert result.peak_memory_bytes > 0
+    assert result.backend == sim.name
+
+
+# ---------------------------------------------------------------------------
+# Memory guard mid-sweep
+# ---------------------------------------------------------------------------
+
+
+def test_guard_breach_mid_sweep_checkpoints_cleanly(tmp_path):
+    """A budget breach in the batched replay writes a sweep snapshot and
+    raises the structured error; the snapshot is diagnostic only."""
+    c = _template(n=4, layers=1)
+    path = os.fspath(tmp_path / "sweep.ckpt")
+    sim = FlatDDSimulator(
+        threads=2, force_convert_at=0, memory_budget_bytes=1
+    )
+    rows = _rows(c, 3, seed=2)
+    with pytest.raises(ResourceExhaustedError) as exc:
+        sim.simulate_sweep(c, rows, checkpoint_path=path)
+    err = exc.value
+    assert err.phase == "sweep"
+    assert err.budget_bytes == 1
+    assert err.checkpoint_path == path
+    snap = read_snapshot(path)
+    assert snap.phase == "sweep"
+    assert snap.num_qubits == 4
+    assert snap.circuit_fingerprint == c.fingerprint()
+    assert snap.data["rows"] == 3
+    raw = base64.b64decode(snap.data["states_b64"])
+    states = np.frombuffer(raw, dtype=np.complex128).reshape(3, 16)
+    assert states.shape == (3, 16)
+    # sweep snapshots cannot seed a single-shot resume (same config, so
+    # the digest pin passes and the phase rejection is what fires)
+    with pytest.raises(CheckpointError, match="sweep-phase"):
+        sim.run(c, resume_from=path)
+
+
+def test_guard_breach_without_checkpoint_path(tmp_path):
+    c = _template(n=4, layers=1)
+    sim = FlatDDSimulator(
+        threads=2, force_convert_at=0, memory_budget_bytes=1
+    )
+    with pytest.raises(ResourceExhaustedError) as exc:
+        sim.simulate_sweep(c, _rows(c, 2))
+    assert exc.value.phase == "sweep"
+    assert exc.value.checkpoint_path is None
