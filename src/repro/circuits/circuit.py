@@ -223,6 +223,59 @@ class Circuit:
                 bound.gates.append(g)
         return bound
 
+    def to_wire(self) -> dict:
+        """JSON-serializable form of the circuit (see :meth:`from_wire`).
+
+        Gates are ``[name, targets, controls, params]`` rows; parameters
+        survive exactly (JSON doubles round-trip bit-for-bit), so the
+        rebuilt circuit has an identical :meth:`fingerprint`.  This is
+        the job payload the cluster wire protocol ships to worker
+        processes.
+        """
+        return {
+            "num_qubits": self.num_qubits,
+            "name": self.name,
+            "gates": [
+                [
+                    g.name,
+                    list(g.targets),
+                    list(g.controls),
+                    [float(p) for p in g.params],
+                ]
+                for g in self.gates
+            ],
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "Circuit":
+        """Rebuild a circuit from :meth:`to_wire` output.
+
+        Gate validation reruns on every row, so a malformed payload
+        raises :class:`~repro.common.errors.CircuitError` instead of
+        constructing an unrunnable circuit.
+        """
+        try:
+            circuit = cls(
+                int(data["num_qubits"]), name=str(data.get("name", "circuit"))
+            )
+            rows = data["gates"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CircuitError(f"bad wire circuit {data!r}: {exc}") from exc
+        for row in rows:
+            try:
+                name, targets, controls, params = row
+            except (TypeError, ValueError) as exc:
+                raise CircuitError(f"bad wire gate row {row!r}") from exc
+            circuit.append(
+                Gate(
+                    name=str(name),
+                    targets=tuple(int(q) for q in targets),
+                    controls=tuple(int(q) for q in controls),
+                    params=tuple(float(p) for p in params),
+                )
+            )
+        return circuit
+
     def fingerprint(self, params=None) -> str:
         """Stable SHA-256 content hash of the circuit's semantics.
 

@@ -12,6 +12,7 @@ Examples::
     python -m repro fuzz --seed 0 --iterations 50
     python -m repro fuzz --plant-bug t-phase --out-dir /tmp/fuzz_demo
     python -m repro serve batch.jsonl --threads 4 --json
+    python -m repro serve batch.jsonl --processes 4 --journal wal.jsonl
     python -m repro serve batch.jsonl --plant-bug transient-crash
     python -m repro serve batch.jsonl --telemetry tele.jsonl \\
         --prometheus metrics.prom --trace batch.json
@@ -483,11 +484,33 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise ReproError("--resume requires --journal PATH")
     tracer = _make_tracer(args)
     service = sampler = None
+    if args.processes > 0:
+        import signal
+
+        from repro.cluster.broker import ClusterService
+
+        service = ClusterService(
+            config, tracer=tracer, processes=args.processes,
+            journal_path=args.journal,
+        )
+
+        def _graceful_drain(signum, frame):
+            _log.warning(
+                "SIGTERM: draining the fleet (in-flight jobs finish, the "
+                "rest stay journaled for --resume)"
+            )
+            service.request_drain()
+
+        try:
+            signal.signal(signal.SIGTERM, _graceful_drain)
+        except ValueError:  # pragma: no cover - not the main thread
+            pass
     if args.telemetry or args.prometheus:
         from repro.obs import TelemetrySampler
         from repro.serve import SimulationService
 
-        service = SimulationService(config, tracer=tracer)
+        if service is None:
+            service = SimulationService(config, tracer=tracer)
         sampler = TelemetrySampler(
             service.registry,
             jsonl_path=args.telemetry,
@@ -846,6 +869,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="concurrent worker slots in the pool")
     p.add_argument("--thread-pool", action="store_true",
                    help="run worker slots on real threads (default inline)")
+    p.add_argument("--processes", type=int, default=0, metavar="N",
+                   help="execute on a fleet of N worker processes instead "
+                        "of in-process threads (escapes the GIL; see "
+                        "docs/SERVING.md 'Process fleet')")
     p.add_argument("--queue-capacity", type=int, default=4096,
                    help="admission limit; beyond it jobs are rejected")
     p.add_argument("--max-qubits", type=int, default=26,

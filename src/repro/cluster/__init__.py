@@ -1,0 +1,44 @@
+"""repro.cluster -- multi-process serving fleet.
+
+The serving layer's admission-controlled queue, dedup scheduler, result
+cache, journal, and reports all live in :mod:`repro.serve`; this package
+adds the machinery to execute those batches across **OS processes**
+instead of threads, escaping the GIL for CPU-bound simulation:
+
+* :mod:`~repro.cluster.protocol` -- length-prefixed JSON+binary framing.
+* :mod:`~repro.cluster.transport` -- loopback-TCP connections.
+* :mod:`~repro.cluster.worker` -- the worker-process entry point.
+* :mod:`~repro.cluster.supervisor` -- process spawn/watch/respawn.
+* :mod:`~repro.cluster.broker` -- dispatch, fan-out, fault handling, and
+  :class:`~repro.cluster.broker.ClusterService` (the drop-in service).
+
+``repro serve --processes N`` is the CLI surface; see docs/SERVING.md.
+"""
+
+from repro.cluster.protocol import (
+    MAX_HEADER_BYTES,
+    MAX_PAYLOAD_BYTES,
+    pack_frame,
+    read_frame,
+    unpack_frame,
+)
+
+__all__ = [
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "ClusterDispatcher",
+    "ClusterService",
+    "pack_frame",
+    "read_frame",
+    "unpack_frame",
+]
+
+
+def __getattr__(name):
+    # Lazy: importing repro.cluster from a spawned worker must not drag
+    # in the broker (and its service/scheduler imports) before needed.
+    if name in ("ClusterDispatcher", "ClusterService"):
+        from repro.cluster import broker
+
+        return getattr(broker, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

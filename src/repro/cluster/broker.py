@@ -1,0 +1,591 @@
+"""Broker: dispatches batch groups to worker processes over the wire.
+
+:class:`ClusterDispatcher` is the process-fleet drop-in for the
+in-process :class:`~repro.serve.workers.WorkerPool`: it exposes the same
+``execute_groups(groups, cache) / internal_errors / close()`` surface,
+so :class:`~repro.serve.service.SimulationService.drain` (and therefore
+manifests, reports, journaling, and ``--resume``) work unchanged on top
+of it.  :class:`ClusterService` is exactly that composition.
+
+Semantics mirror the thread pool's group execution on purpose -- the
+fleet must be bit-identical to a single process:
+
+* A group's *representative* job is dispatched to one worker; members
+  are fanned out from the result cache when it completes (cache hits by
+  construction, same as the in-process path).
+* A FAILED/TIMEOUT representative fails alone; the group requeues so the
+  next member executes fresh.
+* Shots are (re)sampled broker-side by the shared
+  :func:`~repro.serve.workers.finish_job` from ``(state, sample_seed)``.
+
+Fault handling:
+
+* **Dead workers** are detected two ways: the per-connection reader
+  thread sees the socket EOF within milliseconds of a crash/SIGKILL, and
+  a stale heartbeat (worker alive but wedged) gets the process killed,
+  which becomes that same EOF.  Either way the in-flight job requeues.
+* **Requeues are bounded** by the job's existing retry budget
+  (``max_retries``): each fatal dispatch burns one retry; past the
+  budget the job FAILs permanently, exactly like a persistent transient
+  fault in-process.
+* **Crashed slots respawn** within a small budget, so one bad worker
+  does not shrink the fleet for the rest of the batch.
+* **Graceful drain** (:meth:`ClusterDispatcher.request_drain`, wired to
+  SIGTERM by the CLI) stops new dispatch, lets in-flight jobs finish,
+  and leaves the rest PENDING for ``--resume``.
+"""
+
+from __future__ import annotations
+
+import logging
+import queue as queue_mod
+import secrets
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from repro.cluster import protocol
+from repro.cluster.supervisor import WorkerSupervisor, worker_spec
+from repro.cluster.transport import Connection, Listener
+from repro.common.config import ServeConfig
+from repro.common.errors import ProtocolError, ServeError
+from repro.common.wire import array_from_bytes
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.serve.cache import ResultCache
+from repro.serve.jobs import Job, JobState
+from repro.serve.service import SimulationService
+from repro.serve.workers import (
+    finalize_job_trace,
+    finish_job,
+    publish_sweep_rows,
+)
+
+__all__ = ["ClusterDispatcher", "ClusterService"]
+
+_log = logging.getLogger("repro.cluster.broker")
+
+#: How often workers beat, and how long silence means "wedged".
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
+DEFAULT_HEARTBEAT_TIMEOUT = 15.0
+
+
+class ClusterDispatcher:
+    """Owns the fleet: listener, worker lifecycles, and job dispatch."""
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        tracer=None,
+        registry: MetricsRegistry | None = None,
+        processes: int = 2,
+        journal_path: str | None = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+    ) -> None:
+        if processes < 1:
+            raise ServeError(f"need at least 1 process, got {processes}")
+        self.config = config or ServeConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.processes = processes
+        self.heartbeat_timeout = heartbeat_timeout
+        self.internal_errors = 0
+        self.listener = Listener()
+        #: Per-spawn secret: a connecting peer that cannot echo it is not
+        #: one of our workers and is dropped at the handshake.
+        self.token = secrets.token_hex(16)
+        self.supervisor = WorkerSupervisor(
+            processes,
+            make_spec=lambda slot: worker_spec(
+                slot,
+                self.listener.host,
+                self.listener.port,
+                self.token,
+                self.config,
+                journal_path,
+                heartbeat_interval,
+            ),
+        )
+        #: Reader/accept threads publish here; only the dispatch loop
+        #: (the thread inside ``execute_groups``) consumes.
+        self._events: queue_mod.Queue = queue_mod.Queue()
+        self._conns: dict[int, Connection] = {}
+        self._lock = threading.Lock()
+        self._last_beat: dict[int, float] = {}
+        self._started = False
+        self._closed = False
+        self._draining = False
+        # Fleet stats surfaced in the serve report's ``cluster`` block.
+        self.dispatched = 0
+        self.results = 0
+        self.worker_deaths = 0
+        self.requeues = 0
+
+    # -- fleet lifecycle ----------------------------------------------
+
+    def start(self) -> None:
+        """Spawn the fleet and begin accepting connect-backs (idempotent)."""
+        if self._started:
+            return
+        self._started = True
+        self.supervisor.start_all()
+        threading.Thread(
+            target=self._accept_loop, name="cluster-accept", daemon=True
+        ).start()
+
+    def request_drain(self) -> None:
+        """Graceful drain: no new dispatch; in-flight jobs finish."""
+        self._draining = True
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            conns = list(self._conns.values())
+        for conn in conns:
+            try:
+                conn.send({"type": protocol.MSG_DRAIN})
+            except OSError:
+                pass
+        self.supervisor.terminate_all()
+        for conn in conns:
+            conn.close()
+        self.listener.close()
+
+    # -- connection plumbing (accept + reader threads) -----------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            conn = self.listener.accept(timeout=0.2)
+            if conn is None:
+                continue
+            threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_connection(self, conn: Connection) -> None:
+        """Handshake one connect-back, then pump its frames as events."""
+        try:
+            frame = conn.recv()
+        except (ProtocolError, OSError):
+            conn.close()
+            return
+        if frame is None:
+            conn.close()
+            return
+        header, _ = frame
+        if header.get("type") != protocol.MSG_HELLO or not secrets.compare_digest(
+            str(header.get("token", "")), self.token
+        ):
+            _log.warning("rejecting connection with bad hello/token")
+            conn.close()
+            return
+        slot = int(header.get("slot", -1))
+        with self._lock:
+            self._conns[slot] = conn
+        self._events.put(("up", slot, conn, None, None))
+        while True:
+            try:
+                frame = conn.recv()
+            except (ProtocolError, OSError):
+                break
+            if frame is None:
+                break
+            msg, payload = frame
+            kind = msg["type"]
+            if kind == protocol.MSG_HEARTBEAT:
+                self._events.put(("beat", slot, conn, None, None))
+            elif kind == protocol.MSG_RESULT:
+                self._events.put(("result", slot, conn, msg, payload))
+            elif kind == protocol.MSG_BYE:
+                break
+        self._events.put(("down", slot, conn, None, None))
+
+    # -- the dispatch loop --------------------------------------------
+
+    def execute_groups(self, groups, cache: ResultCache) -> None:
+        """Run every group on the fleet; never raises on behalf of a job."""
+        if not groups:
+            return
+        # The fleet spawns lazily inside _fill_workers: a drain whose
+        # groups are all served from cache (e.g. a full --resume) never
+        # pays for worker processes at all.
+        now = time.monotonic()
+        with self._lock:
+            ready = set(self._conns)
+        for slot in ready:
+            # Fresh staleness baseline per drain: beats queued between
+            # drains have not been consumed yet and must not read as
+            # silence.
+            self._last_beat[slot] = now
+        pending: deque = deque(groups)
+        inflight: dict[int, tuple] = {}
+        dispatch_counts: dict[str, int] = {}
+        while pending or inflight:
+            if self._draining and not inflight:
+                break  # leave the rest PENDING for --resume
+            if not self._draining:
+                self._fill_workers(pending, ready, inflight, dispatch_counts, cache)
+            if not pending and not inflight:
+                break
+            try:
+                kind, slot, conn, msg, payload = self._events.get(timeout=0.2)
+            except queue_mod.Empty:
+                self._on_idle_tick(pending, ready, inflight, dispatch_counts, cache)
+                continue
+            if kind == "up":
+                self._last_beat[slot] = time.monotonic()
+                if slot not in inflight:
+                    ready.add(slot)
+            elif kind == "beat":
+                with self._lock:
+                    current = self._conns.get(slot)
+                if current is conn:
+                    self._last_beat[slot] = time.monotonic()
+                    self.registry.counter("cluster.heartbeats").inc()
+            elif kind == "result":
+                entry = inflight.get(slot)
+                if entry is None or entry[2] is not conn:
+                    continue  # stale frame from a replaced connection
+                group, job, _ = inflight.pop(slot)
+                ready.add(slot)
+                self.registry.gauge(f"cluster.worker.w{slot}.inflight").set(0)
+                self._handle_result(
+                    group, job, msg, payload, cache, pending
+                )
+            elif kind == "down":
+                self._on_worker_down(
+                    slot, conn, pending, inflight, ready, dispatch_counts
+                )
+
+    def _fill_workers(
+        self, pending, ready, inflight, dispatch_counts, cache
+    ) -> None:
+        """Serve cached groups, then hand one group to each idle worker."""
+        while pending:
+            group = pending[0]
+            job = self._next_member(group)
+            if job is None:
+                pending.popleft()
+                continue
+            if self._serve_group_from_cache(group, job, cache):
+                pending.popleft()
+                continue
+            self.start()  # this group needs a real worker
+            if not ready:
+                return
+            pending.popleft()
+            slot = min(ready)  # deterministic placement, lowest slot first
+            ready.discard(slot)
+            if not self._dispatch(slot, group, job, inflight, dispatch_counts):
+                pending.appendleft(group)  # connection raced away; retry
+
+    @staticmethod
+    def _next_member(group) -> Job | None:
+        """The group's current representative: redispatch a RUNNING rep
+        (its worker died), else the first still-PENDING member."""
+        for job in group.jobs:
+            if job.state is JobState.RUNNING:
+                return job
+        for job in group.jobs:
+            if job.state is JobState.PENDING:
+                return job
+        return None
+
+    def _dispatch(
+        self, slot: int, group, job: Job, inflight, dispatch_counts
+    ) -> bool:
+        with self._lock:
+            conn = self._conns.get(slot)
+        if conn is None:  # pragma: no cover - raced a disconnect
+            return False
+        if job.state is JobState.PENDING:
+            job.transition(JobState.RUNNING)
+        if job.trace is not None:
+            job.trace.mark("run")
+        dispatch_counts[job.job_id] = dispatch_counts.get(job.job_id, 0) + 1
+        try:
+            conn.send(
+                {"type": protocol.MSG_JOB, "job": job.to_wire()},
+                b"",
+            )
+        except OSError:
+            # The reader thread will surface this as a "down" event,
+            # which requeues the job like any other dead worker.
+            pass
+        inflight[slot] = (group, job, conn)
+        self.dispatched += 1
+        self.registry.counter("cluster.jobs.dispatched").inc()
+        self.registry.counter(f"cluster.worker.w{slot}.jobs").inc()
+        self.registry.gauge(f"cluster.worker.w{slot}.inflight").set(1)
+        return True
+
+    # -- completing jobs ----------------------------------------------
+
+    def _serve_group_from_cache(self, group, rep: Job, cache) -> bool:
+        """Finish the whole group from cache if its result is present.
+
+        Mirrors the in-process pool's cache-check-before-execute; this
+        is also what makes ``--resume`` zero-re-execution: journal-seeded
+        entries complete their groups without any dispatch.
+        """
+        if rep.param_sets is not None:
+            entries = [
+                cache.get(rep.row_cache_key(row)) for row in rep.param_sets
+            ]
+            if any(entry is None for entry in entries):
+                return False
+            state = np.vstack([entry.state for entry in entries])
+            runtime = max(entry.runtime_seconds for entry in entries)
+            metadata = {"mode": "sweep", "rows": len(entries)}
+        else:
+            entry = cache.get(group.key)
+            if entry is None:
+                return False
+            state = entry.state
+            runtime = entry.runtime_seconds
+            metadata = entry.metadata
+        for job in group.jobs:
+            if job.done:
+                continue
+            if job.state is JobState.PENDING:
+                job.transition(JobState.RUNNING)
+            if job.trace is not None:
+                job.trace.mark("run")
+            self.registry.counter("serve.jobs.cache_hits").inc()
+            finish_job(job, state, runtime, True, dict(metadata), self.registry)
+            finalize_job_trace(job, self.registry, self.tracer)
+        return True
+
+    def _handle_result(
+        self, group, job: Job, msg: dict, payload: bytes, cache, pending
+    ) -> None:
+        self.results += 1
+        self.registry.counter("cluster.results").inc()
+        job.attempts = max(job.attempts, int(msg.get("attempts", 1)))
+        if msg.get("internal_error"):
+            self.internal_errors += 1
+            self.registry.counter("serve.worker.internal_errors").inc()
+        state_name = msg.get("state")
+        if state_name == JobState.DONE.value:
+            try:
+                state = array_from_bytes(msg["array"], payload)
+            except (ProtocolError, KeyError) as exc:
+                # A corrupt result is a transient fault: requeue within
+                # the retry budget rather than trusting bad bytes.
+                _log.warning(
+                    "discarding corrupt result for job %s: %s",
+                    job.job_id, exc,
+                )
+                self._requeue_or_fail(
+                    group, job, pending, None,
+                    f"corrupt result frame: {exc}",
+                )
+                return
+            wire = msg.get("result") or {}
+            runtime = float(wire.get("runtime_seconds", 0.0))
+            backend = wire.get("backend", job.backend)
+            metadata = dict(wire.get("metadata") or {})
+            if job.param_sets is not None:
+                publish_sweep_rows(job, state, runtime, cache, backend)
+                metadata.setdefault("mode", "sweep")
+                finish_job(
+                    job, state, runtime, False, metadata, self.registry
+                )
+            else:
+                entry = cache.put(
+                    group.key,
+                    state,
+                    runtime,
+                    metadata={"backend": backend, "producer": job.job_id},
+                )
+                finish_job(
+                    job,
+                    entry.state if entry is not None else state,
+                    runtime,
+                    False,
+                    metadata,
+                    self.registry,
+                )
+            finalize_job_trace(job, self.registry, self.tracer)
+            if len(group.jobs) > 1:
+                # Fan the duplicates out from the cache (bit-identical
+                # states by construction, same as the in-process pool).
+                self._serve_group_from_cache(group, job, cache)
+        else:
+            job.error = msg.get("error") or f"worker reported {state_name}"
+            if state_name == JobState.TIMEOUT.value:
+                job.transition(JobState.TIMEOUT)
+                self.registry.counter("serve.jobs.timeout").inc()
+                self.tracer.instant("job_timeout", "serve", job_id=job.job_id)
+            else:
+                job.transition(JobState.FAILED)
+                self.registry.counter("serve.jobs.failed").inc()
+                self.tracer.instant("job_failed", "serve", job_id=job.job_id)
+            _log.warning("job %s %s: %s", job.job_id, state_name, job.error)
+            finalize_job_trace(job, self.registry, self.tracer)
+            if any(not j.done for j in group.jobs):
+                # Next member becomes the representative and runs fresh.
+                pending.appendleft(group)
+
+    # -- fault paths ---------------------------------------------------
+
+    def _on_worker_down(
+        self, slot, conn, pending, inflight, ready, dispatch_counts
+    ) -> None:
+        with self._lock:
+            if self._conns.get(slot) is conn:
+                del self._conns[slot]
+        ready.discard(slot)
+        self._last_beat.pop(slot, None)
+        entry = inflight.get(slot)
+        if entry is not None and entry[2] is conn:
+            group, job, _ = inflight.pop(slot)
+            self.worker_deaths += 1
+            self.registry.counter("cluster.worker.deaths").inc()
+            self.registry.gauge(f"cluster.worker.w{slot}.inflight").set(0)
+            _log.warning(
+                "worker %d died with job %s in flight", slot, job.job_id
+            )
+            self._requeue_or_fail(
+                group, job, pending, dispatch_counts,
+                "worker process died while running the job",
+            )
+        if (pending or inflight) and not self._draining and not self._closed:
+            if self.supervisor.respawn(slot):
+                self.registry.counter("cluster.respawns").inc()
+
+    def _requeue_or_fail(
+        self, group, job: Job, pending, dispatch_counts, reason: str
+    ) -> None:
+        """Requeue a lost in-flight job, bounded by its retry budget."""
+        dispatches = (
+            dispatch_counts.get(job.job_id, 1)
+            if dispatch_counts is not None
+            else job.attempts or 1
+        )
+        if dispatches > job.max_retries:
+            job.error = (
+                f"{reason}; {dispatches} dispatch(es) spent the retry budget"
+            )
+            job.transition(JobState.FAILED)
+            self.registry.counter("serve.jobs.failed").inc()
+            self.tracer.instant("job_failed", "serve", job_id=job.job_id)
+            finalize_job_trace(job, self.registry, self.tracer)
+            if any(not j.done for j in group.jobs):
+                pending.appendleft(group)
+            return
+        self.requeues += 1
+        self.registry.counter("cluster.requeues").inc()
+        self.registry.counter("serve.jobs.retries").inc()
+        self.tracer.instant(
+            "requeue", "serve", job_id=job.job_id, reason=reason
+        )
+        # The job stays RUNNING (same as in-process retries); it is the
+        # group's representative again on the next dispatch.
+        pending.appendleft(group)
+
+    def _on_idle_tick(
+        self, pending, ready, inflight, dispatch_counts, cache
+    ) -> None:
+        """No events for a beat: check heartbeats and silent deaths."""
+        now = time.monotonic()
+        for slot, beat in list(self._last_beat.items()):
+            if now - beat > self.heartbeat_timeout:
+                _log.warning(
+                    "worker %d heartbeat stale (%.1fs); killing it",
+                    slot, now - beat,
+                )
+                del self._last_beat[slot]
+                self.supervisor.kill(slot)
+                with self._lock:
+                    conn = self._conns.get(slot)
+                if conn is not None:
+                    conn.close()  # reader EOF turns this into "down"
+        # Workers that died before ever connecting make no events.
+        with self._lock:
+            connected = set(self._conns)
+        for slot in self.supervisor.poll_dead():
+            if slot not in connected and pending:
+                if self.supervisor.respawn(slot):
+                    self.registry.counter("cluster.respawns").inc()
+        if (
+            self._started
+            and not ready
+            and not inflight
+            and pending
+            and self.supervisor.alive == 0
+        ):
+            # The whole fleet is gone and cannot come back: fail what is
+            # left instead of waiting forever.
+            _log.error("no live workers remain; failing %d group(s)",
+                       len(pending))
+            while pending:
+                group = pending.popleft()
+                for job in group.jobs:
+                    if job.done:
+                        continue
+                    if job.state is JobState.PENDING:
+                        job.transition(JobState.RUNNING)
+                    job.error = "no live worker processes remain"
+                    job.transition(JobState.FAILED)
+                    self.registry.counter("serve.jobs.failed").inc()
+                    finalize_job_trace(job, self.registry, self.tracer)
+
+    # -- reporting -----------------------------------------------------
+
+    def cluster_stats(self) -> dict:
+        """The serve report's ``cluster`` block."""
+        with self._lock:
+            connected = len(self._conns)
+        return {
+            "processes": self.processes,
+            "connected": connected,
+            "dispatched": self.dispatched,
+            "results": self.results,
+            "worker_deaths": self.worker_deaths,
+            "requeues": self.requeues,
+            "respawns": self.supervisor.respawns,
+            "drained": self._draining,
+        }
+
+
+class ClusterService(SimulationService):
+    """A :class:`SimulationService` whose execution engine is the fleet.
+
+    Identical public surface -- submit/poll/cancel/drain, manifests,
+    journaling, ``--resume`` -- with the in-process worker pool swapped
+    for a :class:`ClusterDispatcher`.  Worker processes are spawned
+    lazily on the first drain that has work.
+    """
+
+    def __init__(
+        self,
+        config: ServeConfig | None = None,
+        tracer=None,
+        processes: int = 2,
+        journal_path: str | None = None,
+        heartbeat_interval: float = DEFAULT_HEARTBEAT_INTERVAL,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        **overrides,
+    ) -> None:
+        super().__init__(config, tracer=tracer, **overrides)
+        self.pool.close()  # replace the thread pool with the fleet
+        self.processes = processes
+        self.pool = ClusterDispatcher(
+            self.config,
+            tracer=self.tracer,
+            registry=self.registry,
+            processes=processes,
+            journal_path=journal_path,
+            heartbeat_interval=heartbeat_interval,
+            heartbeat_timeout=heartbeat_timeout,
+        )
+
+    def request_drain(self) -> None:
+        """Graceful SIGTERM path: finish in-flight work, keep the rest."""
+        self.pool.request_drain()

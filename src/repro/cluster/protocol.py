@@ -1,0 +1,223 @@
+"""Length-prefixed wire protocol for the process fleet.
+
+One **frame** carries one message: a fixed 12-byte prefix, a JSON header,
+and an optional opaque binary payload (final state vectors ship as raw
+complex128 bytes, never base64, so a result frame costs one memcpy)::
+
+    +-------+------------+-------------+----------------+---------------+
+    | magic | header_len | payload_len | header (JSON)  | payload (raw) |
+    | 4 B   | u32 BE     | u32 BE      | header_len B   | payload_len B |
+    +-------+------------+-------------+----------------+---------------+
+
+The magic (``b"RPF1"``) pins both the protocol identity and its version;
+a reader that sees anything else is talking to the wrong peer or lost
+framing, and the only safe move is to drop the connection.  Malformed
+input always raises a structured
+:class:`~repro.common.errors.ProtocolError` (``exc.kind`` says why) --
+truncated frames, oversized declarations, and undecodable headers can
+never hang a reader or desynchronize silently.
+
+Message headers are dicts with a mandatory ``"type"`` key.  The fleet
+uses six types (:data:`MSG_HELLO`, :data:`MSG_HEARTBEAT`,
+:data:`MSG_JOB`, :data:`MSG_RESULT`, :data:`MSG_DRAIN`, :data:`MSG_BYE`);
+the framing itself is type-agnostic and reusable.
+
+Size bounds: headers are small control data (4 MiB cap); payloads hold
+state vectors -- the default 1 GiB cap fits a 26-qubit complex128 state,
+matching the serve layer's ``max_qubits`` admission default.  Both caps
+are enforced on *declared* lengths before any allocation, so a corrupt
+or hostile prefix cannot OOM the reader.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Callable
+
+from repro.common.errors import ProtocolError
+
+__all__ = [
+    "MAGIC",
+    "MAX_HEADER_BYTES",
+    "MAX_PAYLOAD_BYTES",
+    "MSG_BYE",
+    "MSG_DRAIN",
+    "MSG_HEARTBEAT",
+    "MSG_HELLO",
+    "MSG_JOB",
+    "MSG_RESULT",
+    "PREFIX_BYTES",
+    "pack_frame",
+    "read_frame",
+    "unpack_frame",
+]
+
+#: Protocol identity + version, first bytes of every frame.
+MAGIC = b"RPF1"
+
+_PREFIX = struct.Struct("!4sII")
+
+#: Size of the fixed frame prefix (magic + two u32 lengths).
+PREFIX_BYTES = _PREFIX.size
+
+#: Headers are JSON control data; anything bigger is a framing error.
+MAX_HEADER_BYTES = 4 * 1024 * 1024
+
+#: Payload cap: one complex128 state of 26 qubits is exactly 1 GiB.
+MAX_PAYLOAD_BYTES = 1024 ** 3
+
+# Fleet message types.
+MSG_HELLO = "hello"
+MSG_HEARTBEAT = "heartbeat"
+MSG_JOB = "job"
+MSG_RESULT = "result"
+MSG_DRAIN = "drain"
+MSG_BYE = "bye"
+
+
+def pack_frame(
+    header: dict,
+    payload: bytes = b"",
+    *,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_payload_bytes: int = MAX_PAYLOAD_BYTES,
+) -> bytes:
+    """Encode one message as a complete frame.
+
+    The sender enforces the same size caps as the reader, so an
+    oversized message fails loudly at the producer instead of poisoning
+    the stream for the peer.
+    """
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError(
+            "malformed_header",
+            f"frame header must be a dict with a 'type' key, got "
+            f"{header!r}",
+        )
+    blob = json.dumps(
+        header, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    if len(blob) > max_header_bytes:
+        raise ProtocolError(
+            "oversized_header",
+            f"header is {len(blob)} bytes, cap is {max_header_bytes}",
+        )
+    if len(payload) > max_payload_bytes:
+        raise ProtocolError(
+            "oversized_payload",
+            f"payload is {len(payload)} bytes, cap is "
+            f"{max_payload_bytes}",
+        )
+    return _PREFIX.pack(MAGIC, len(blob), len(payload)) + blob + payload
+
+
+def _read_exact(
+    read: Callable[[int], bytes], n: int, *, eof_ok: bool = False
+) -> bytes | None:
+    """Read exactly ``n`` bytes from ``read(k) -> up-to-k bytes``.
+
+    ``b""`` from ``read`` means EOF.  EOF before the first byte returns
+    None when ``eof_ok`` (a clean close between frames); EOF anywhere
+    else is a truncated frame and raises.
+    """
+    chunks: list[bytes] = []
+    got = 0
+    while got < n:
+        chunk = read(n - got)
+        if not chunk:
+            if eof_ok and got == 0:
+                return None
+            raise ProtocolError(
+                "truncated",
+                f"stream ended after {got} of {n} expected bytes",
+            )
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(
+    read: Callable[[int], bytes],
+    *,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_payload_bytes: int = MAX_PAYLOAD_BYTES,
+) -> tuple[dict, bytes] | None:
+    """Read one complete frame from a blocking ``read(n)`` source.
+
+    Returns ``(header, payload)``, or None on a clean EOF at a frame
+    boundary (the peer closed between messages).  Any other shortfall or
+    corruption raises :class:`~repro.common.errors.ProtocolError`.
+    """
+    prefix = _read_exact(read, PREFIX_BYTES, eof_ok=True)
+    if prefix is None:
+        return None
+    magic, header_len, payload_len = _PREFIX.unpack(prefix)
+    if magic != MAGIC:
+        raise ProtocolError(
+            "bad_magic",
+            f"expected frame magic {MAGIC!r}, got {magic!r}",
+        )
+    if header_len > max_header_bytes:
+        raise ProtocolError(
+            "oversized_header",
+            f"declared header of {header_len} bytes exceeds cap "
+            f"{max_header_bytes}",
+        )
+    if payload_len > max_payload_bytes:
+        raise ProtocolError(
+            "oversized_payload",
+            f"declared payload of {payload_len} bytes exceeds cap "
+            f"{max_payload_bytes}",
+        )
+    blob = _read_exact(read, header_len)
+    payload = _read_exact(read, payload_len) if payload_len else b""
+    try:
+        header = json.loads(blob.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(
+            "malformed_header", f"undecodable frame header: {exc}"
+        ) from exc
+    if not isinstance(header, dict) or "type" not in header:
+        raise ProtocolError(
+            "malformed_header",
+            f"frame header must be a dict with a 'type' key, got "
+            f"{header!r}",
+        )
+    return header, payload
+
+
+def unpack_frame(
+    buffer: bytes,
+    *,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_payload_bytes: int = MAX_PAYLOAD_BYTES,
+) -> tuple[dict, bytes]:
+    """Decode exactly one frame from an in-memory buffer.
+
+    Convenience for tests and journaled frames; trailing bytes after the
+    frame are a framing error (one buffer, one frame).
+    """
+    view = memoryview(buffer)
+    pos = 0
+
+    def read(n: int) -> bytes:
+        nonlocal pos
+        chunk = bytes(view[pos:pos + n])
+        pos += len(chunk)
+        return chunk
+
+    frame = read_frame(
+        read,
+        max_header_bytes=max_header_bytes,
+        max_payload_bytes=max_payload_bytes,
+    )
+    if frame is None:
+        raise ProtocolError("truncated", "empty buffer, expected a frame")
+    if pos != len(buffer):
+        raise ProtocolError(
+            "malformed_header",
+            f"{len(buffer) - pos} unexpected trailing byte(s) after the "
+            "frame",
+        )
+    return frame

@@ -1,0 +1,155 @@
+"""Worker-process lifecycle: spawn, watch, respawn, terminate.
+
+The supervisor owns the ``multiprocessing`` side of the fleet: it starts
+one OS process per worker slot (``spawn`` start method, so children
+inherit nothing but their spec and every respawn is identical to the
+first launch), detects exits via ``Process.is_alive``, and respawns
+crashed slots within a bounded budget so a persistent crash loop cannot
+spin forever.
+
+Connections and job dispatch live in :mod:`repro.cluster.broker`; the
+supervisor only deals in processes.  The two detect death independently
+-- the broker's reader thread sees the socket EOF within milliseconds of
+a SIGKILL, while :meth:`WorkerSupervisor.poll_dead` catches a process
+that died before ever connecting.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import os
+from dataclasses import asdict
+
+from repro.common.config import ServeConfig
+
+__all__ = ["WorkerSupervisor", "worker_spec"]
+
+_log = logging.getLogger("repro.cluster.supervisor")
+
+#: Respawns allowed per slot before the broker gives up on it.
+DEFAULT_RESPAWN_BUDGET = 2
+
+
+def worker_spec(
+    slot: int,
+    host: str,
+    port: int,
+    token: str,
+    config: ServeConfig,
+    journal_path: str | None,
+    heartbeat_interval: float,
+) -> dict:
+    """The plain-dict launch spec handed to ``worker_main``.
+
+    Primitives only: the spec crosses the ``spawn`` boundary as pickled
+    arguments, and the worker rebuilds its :class:`ServeConfig` from the
+    dict -- the same construction path as the broker's, so worker-side
+    simulators are configured identically to in-process ones.
+    """
+    return {
+        "slot": slot,
+        "host": host,
+        "port": port,
+        "token": token,
+        "config": asdict(config),
+        "journal_segment": (
+            f"{journal_path}.w{slot}.jsonl" if journal_path else None
+        ),
+        "heartbeat_interval": heartbeat_interval,
+    }
+
+
+class WorkerSupervisor:
+    """Spawns and tracks the fleet's worker processes by slot."""
+
+    def __init__(
+        self,
+        processes: int,
+        make_spec,
+        respawn_budget: int = DEFAULT_RESPAWN_BUDGET,
+    ) -> None:
+        if processes < 1:
+            raise ValueError(f"need at least 1 process, got {processes}")
+        self.processes = processes
+        #: ``make_spec(slot) -> dict`` builds the launch spec per slot
+        #: (the broker closes over its listener address and token).
+        self._make_spec = make_spec
+        self._ctx = multiprocessing.get_context("spawn")
+        self._procs: dict[int, multiprocessing.Process] = {}
+        self._respawns_left = {
+            slot: respawn_budget for slot in range(processes)
+        }
+        self.respawns = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    def spawn(self, slot: int) -> None:
+        """Launch (or relaunch) the worker process for ``slot``."""
+        from repro.cluster.worker import worker_main
+
+        proc = self._ctx.Process(
+            target=worker_main,
+            args=(self._make_spec(slot),),
+            name=f"repro-worker-{slot}",
+            daemon=True,
+        )
+        proc.start()
+        self._procs[slot] = proc
+        _log.info("worker slot %d spawned (pid %d)", slot, proc.pid)
+
+    def start_all(self) -> None:
+        for slot in range(self.processes):
+            if slot not in self._procs:
+                self.spawn(slot)
+
+    def respawn(self, slot: int) -> bool:
+        """Relaunch a dead slot if its budget allows; False when spent."""
+        if self._respawns_left.get(slot, 0) <= 0:
+            _log.warning(
+                "worker slot %d crashed and its respawn budget is spent",
+                slot,
+            )
+            return False
+        self._respawns_left[slot] -= 1
+        self.respawns += 1
+        self.spawn(slot)
+        return True
+
+    # -- inspection ----------------------------------------------------
+
+    def poll_dead(self) -> list[int]:
+        """Slots whose process has exited (caught even pre-connect)."""
+        return [
+            slot
+            for slot, proc in self._procs.items()
+            if not proc.is_alive()
+        ]
+
+    def pid(self, slot: int) -> int | None:
+        proc = self._procs.get(slot)
+        return proc.pid if proc is not None else None
+
+    @property
+    def alive(self) -> int:
+        return sum(1 for p in self._procs.values() if p.is_alive())
+
+    # -- teardown ------------------------------------------------------
+
+    def kill(self, slot: int) -> None:
+        """Hard-kill one slot (used when its heartbeat went stale)."""
+        proc = self._procs.get(slot)
+        if proc is not None and proc.is_alive():
+            proc.kill()
+
+    def terminate_all(self, grace_seconds: float = 5.0) -> None:
+        """Stop every worker: join briefly, then escalate to kill."""
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.terminate()
+        for proc in self._procs.values():
+            proc.join(timeout=grace_seconds)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.kill()
+                proc.join(timeout=grace_seconds)
+        self._procs.clear()

@@ -1,0 +1,131 @@
+"""Socket transport for the process fleet: loopback TCP, framed messages.
+
+The broker listens on an ephemeral loopback port; workers are handed the
+``(host, port, token)`` triple at spawn and connect back.  Loopback TCP
+(rather than inherited pipes) keeps the transport independent of the
+``multiprocessing`` start method -- ``spawn`` children inherit nothing
+but their arguments -- and makes every connection identical whether the
+worker is the original or a respawned replacement.
+
+:class:`Connection` is a thin blocking wrapper over one socket speaking
+:mod:`repro.cluster.protocol` frames.  Sends are serialized by a lock so
+the worker's heartbeat thread and its result sends never interleave
+bytes; receives are single-reader by construction (one reader thread per
+connection on the broker, the main loop on the worker).
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+
+from repro.cluster.protocol import (
+    MAX_PAYLOAD_BYTES,
+    pack_frame,
+    read_frame,
+)
+
+__all__ = ["Connection", "Listener", "connect"]
+
+
+class Connection:
+    """One framed, bidirectional message stream over a socket."""
+
+    def __init__(
+        self,
+        sock: socket.socket,
+        max_payload_bytes: int = MAX_PAYLOAD_BYTES,
+    ) -> None:
+        self._sock = sock
+        self.max_payload_bytes = max_payload_bytes
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        except OSError:  # pragma: no cover - not a TCP socket
+            pass
+        self._rfile = sock.makefile("rb")
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def send(self, header: dict, payload: bytes = b"") -> None:
+        """Send one message atomically (whole frame under the lock)."""
+        frame = pack_frame(
+            header, payload, max_payload_bytes=self.max_payload_bytes
+        )
+        with self._send_lock:
+            self._sock.sendall(frame)
+
+    def recv(self) -> tuple[dict, bytes] | None:
+        """Block for one message; None on clean EOF.
+
+        Raises :class:`~repro.common.errors.ProtocolError` on framing
+        corruption and ``OSError`` if the socket dies mid-read; callers
+        treat both as a dead peer.
+        """
+        return read_frame(
+            self._rfile.read, max_payload_bytes=self.max_payload_bytes
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._rfile.close()
+        except OSError:  # pragma: no cover
+            pass
+        self._sock.close()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Listener:
+    """Loopback TCP accept socket for the broker."""
+
+    def __init__(self, host: str = "127.0.0.1", backlog: int = 32) -> None:
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind((host, 0))
+        self._sock.listen(backlog)
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._closed = False
+
+    def accept(self, timeout: float | None = None) -> Connection | None:
+        """One incoming connection, or None on timeout/closed listener."""
+        self._sock.settimeout(timeout)
+        try:
+            sock, _addr = self._sock.accept()
+        except (socket.timeout, OSError):
+            return None
+        sock.settimeout(None)
+        return Connection(sock)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._sock.close()
+
+    def __enter__(self) -> "Listener":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(
+    host: str, port: int, timeout: float = 30.0
+) -> Connection:
+    """Worker-side connect-back to the broker's listener."""
+    sock = socket.create_connection((host, port), timeout=timeout)
+    sock.settimeout(None)
+    return Connection(sock)

@@ -94,6 +94,23 @@ class ServeError(ReproError):
     """Raised by the batch simulation service (:mod:`repro.serve`)."""
 
 
+class ProtocolError(ServeError):
+    """Raised for invalid cluster wire frames (:mod:`repro.cluster`).
+
+    Carries the machine-readable ``kind`` (``"truncated"``,
+    ``"bad_magic"``, ``"oversized_header"``, ``"oversized_payload"``,
+    ``"malformed_header"``, ``"array_mismatch"``) so the broker and the
+    tests can discriminate framing failures without parsing messages.
+    A malformed or truncated frame must always raise -- never hang or
+    silently resynchronize -- because a framing error means the stream
+    position is unrecoverable and the connection must be torn down.
+    """
+
+    def __init__(self, kind: str, message: str) -> None:
+        self.kind = kind
+        super().__init__(message)
+
+
 class AdmissionError(ServeError):
     """Raised when the job queue rejects a submission.
 

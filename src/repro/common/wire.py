@@ -1,0 +1,118 @@
+"""Serialization helpers shared by the serve and cluster layers.
+
+Everything that crosses a process boundary -- job specs, results, journal
+records, metadata -- must survive a JSON round trip.  Simulation metadata
+is *mostly* JSON-clean by construction (``metadata["obs"]`` is built from
+plain dicts), but numpy scalars leak in easily (``np.int64`` from an
+array index, ``np.float64`` from a timing mean), and ``json.dumps``
+rejects them.  :func:`json_safe` normalizes a value tree into plain
+Python types once, at the wire boundary, instead of relying on every
+producer to remember.
+
+:func:`array_to_bytes` / :func:`array_from_bytes` are the canonical
+encoding of a numpy array for transport: raw C-contiguous bytes plus a
+``{"dtype", "shape"}`` descriptor.  The cluster protocol ships the bytes
+as a binary frame payload; standalone serializers (``to_wire``) base64
+them instead.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import ProtocolError
+
+__all__ = [
+    "array_from_bytes",
+    "array_meta",
+    "array_to_bytes",
+    "b64_decode_array",
+    "b64_encode_array",
+    "json_safe",
+]
+
+
+def json_safe(value: Any) -> Any:
+    """Best-effort conversion of ``value`` into JSON-serializable types.
+
+    * numpy bools / integers / floats become their Python equivalents;
+    * numpy arrays become (nested) lists, elementwise converted;
+    * complex numbers become ``[real, imag]`` pairs;
+    * tuples/sets become lists, dict keys become strings;
+    * anything else unserializable falls back to ``repr()`` -- lossy but
+      loud in the output rather than a crash on the wire.
+    """
+    if value is None or isinstance(value, (bool, int, str)):
+        return value
+    if isinstance(value, float):
+        return value
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (complex, np.complexfloating)):
+        return [float(value.real), float(value.imag)]
+    if isinstance(value, np.ndarray):
+        return json_safe(value.tolist())
+    if isinstance(value, dict):
+        return {str(k): json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [json_safe(v) for v in value]
+    if isinstance(value, bytes):
+        return base64.b64encode(value).decode("ascii")
+    return repr(value)
+
+
+def array_meta(array: np.ndarray) -> dict:
+    """The ``{"dtype", "shape"}`` descriptor paired with the raw bytes."""
+    return {"dtype": str(array.dtype), "shape": list(array.shape)}
+
+
+def array_to_bytes(array: np.ndarray) -> tuple[dict, bytes]:
+    """Canonical wire form: descriptor dict + C-contiguous raw bytes."""
+    arr = np.ascontiguousarray(array)
+    return array_meta(arr), arr.tobytes()
+
+
+def array_from_bytes(meta: dict, payload: bytes) -> np.ndarray:
+    """Rebuild an array from :func:`array_to_bytes` output.
+
+    The byte count is validated against the descriptor so a mismatched
+    payload (framing bug, torn write) raises a structured
+    :class:`~repro.common.errors.ProtocolError` instead of producing a
+    silently reshaped wrong answer.
+    """
+    try:
+        dtype = np.dtype(meta["dtype"])
+        shape = tuple(int(d) for d in meta["shape"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolError(
+            "array_mismatch", f"bad array descriptor {meta!r}: {exc}"
+        ) from exc
+    expected = dtype.itemsize * int(np.prod(shape, dtype=np.int64))
+    if len(payload) != expected:
+        raise ProtocolError(
+            "array_mismatch",
+            f"array payload is {len(payload)} bytes, descriptor "
+            f"{meta!r} needs {expected}",
+        )
+    # .copy(): own the memory (frombuffer views are read-only and pin
+    # the whole received payload alive).
+    return np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
+
+
+def b64_encode_array(array: np.ndarray) -> dict:
+    """Self-contained JSON form of an array (descriptor + base64 data)."""
+    meta, raw = array_to_bytes(array)
+    meta["data_b64"] = base64.b64encode(raw).decode("ascii")
+    return meta
+
+
+def b64_decode_array(meta: dict) -> np.ndarray:
+    """Inverse of :func:`b64_encode_array`."""
+    return array_from_bytes(meta, base64.b64decode(meta["data_b64"]))

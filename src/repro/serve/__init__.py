@@ -24,6 +24,10 @@ layer (see docs/SERVING.md):
   it after a crash (DONE jobs become cache hits, the rest re-run).  See
   docs/RESILIENCE.md.
 
+For CPU-bound batches, :mod:`repro.cluster` swaps the thread pool for a
+fleet of worker *processes* behind the same service surface
+(``repro serve MANIFEST --processes N``); see docs/SERVING.md.
+
 Usage::
 
     from repro.circuits import get_circuit
@@ -37,7 +41,12 @@ Usage::
 
 from repro.serve.cache import CacheEntry, ResultCache
 from repro.serve.jobs import Job, JobResult, JobState, config_digest
-from repro.serve.journal import JobJournal, JournalRecovery, replay_journal
+from repro.serve.journal import (
+    JobJournal,
+    JournalRecovery,
+    journal_segments,
+    replay_journal,
+)
 from repro.serve.queue import JobQueue
 from repro.serve.scheduler import BatchGroup, BatchScheduler
 from repro.serve.service import (
@@ -68,6 +77,7 @@ __all__ = [
     "WorkerPool",
     "clamp_threads",
     "config_digest",
+    "journal_segments",
     "jobs_from_manifest",
     "load_manifest",
     "replay_journal",

@@ -25,6 +25,7 @@ final state).
 
 from __future__ import annotations
 
+import dataclasses
 import enum
 import hashlib
 from dataclasses import dataclass, field
@@ -35,6 +36,7 @@ import numpy as np
 from repro.circuits.circuit import Circuit
 from repro.common.config import FlatDDConfig, config_digest
 from repro.common.errors import ServeError
+from repro.common.wire import b64_decode_array, b64_encode_array, json_safe
 from repro.serve.trace import JobTraceContext
 
 __all__ = ["Job", "JobResult", "JobState", "config_digest"]
@@ -96,6 +98,51 @@ class JobResult:
     counts: dict[str, int] | None = None
     #: Backend metadata of the producing run (conversion point, obs, ...).
     metadata: dict = field(default_factory=dict)
+
+    def to_wire(self, include_state: bool = True) -> dict:
+        """JSON-serializable form of the result.
+
+        ``metadata`` is passed through :func:`repro.common.wire.json_safe`
+        so numpy scalars leaking out of a backend never poison the wire.
+        With ``include_state=False`` the (potentially huge) state array is
+        omitted -- the cluster protocol ships it as a raw binary payload
+        instead of base64.
+        """
+        out = {
+            "job_id": self.job_id,
+            "backend": self.backend,
+            "runtime_seconds": float(self.runtime_seconds),
+            "cache_hit": bool(self.cache_hit),
+            "attempts": int(self.attempts),
+            "counts": dict(self.counts) if self.counts is not None else None,
+            "metadata": json_safe(self.metadata),
+        }
+        if include_state:
+            out["state"] = b64_encode_array(self.state)
+        return out
+
+    @classmethod
+    def from_wire(
+        cls, data: dict, state: np.ndarray | None = None
+    ) -> "JobResult":
+        """Rebuild a result from :meth:`to_wire` output.
+
+        ``state`` overrides the embedded array (used when the state
+        traveled as a separate binary frame payload).
+        """
+        if state is None:
+            state = b64_decode_array(data["state"])
+        counts = data.get("counts")
+        return cls(
+            job_id=data["job_id"],
+            backend=data["backend"],
+            state=state,
+            runtime_seconds=float(data["runtime_seconds"]),
+            cache_hit=bool(data.get("cache_hit", False)),
+            attempts=int(data.get("attempts", 1)),
+            counts=dict(counts) if counts is not None else None,
+            metadata=dict(data.get("metadata") or {}),
+        )
 
 
 @dataclass(eq=False)
@@ -200,6 +247,62 @@ class Job:
             f"{self.circuit.fingerprint(params=row)};{self.backend};"
             f"{config_digest(self.config)}".encode("ascii")
         ).hexdigest()
+
+    def to_wire(self) -> dict:
+        """JSON-serializable job spec for dispatch to a worker process.
+
+        Carries everything a worker needs to *execute* the job -- the
+        circuit, backend, config, sampling request, and retry/deadline
+        envelope -- but none of the broker-side management state
+        (observers, trace context, result): those stay with the broker's
+        job object, and the worker's copy starts PENDING.
+        """
+        return {
+            "job_id": self.job_id,
+            "circuit": self.circuit.to_wire(),
+            "backend": self.backend,
+            "config": (
+                dataclasses.asdict(self.config)
+                if self.config is not None
+                else None
+            ),
+            "shots": self.shots,
+            "sample_seed": self.sample_seed,
+            "param_sets": (
+                [[float(x) for x in row] for row in self.param_sets]
+                if self.param_sets is not None
+                else None
+            ),
+            "priority": self.priority,
+            "deadline_seconds": self.deadline_seconds,
+            "max_retries": self.max_retries,
+            "seq": self.seq,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "Job":
+        """Rebuild a PENDING job from :meth:`to_wire` output."""
+        config = data.get("config")
+        param_sets = data.get("param_sets")
+        deadline = data.get("deadline_seconds")
+        job = cls(
+            circuit=Circuit.from_wire(data["circuit"]),
+            backend=data["backend"],
+            config=FlatDDConfig(**config) if config is not None else None,
+            shots=int(data.get("shots", 0)),
+            sample_seed=int(data.get("sample_seed", 0)),
+            param_sets=(
+                [tuple(float(x) for x in row) for row in param_sets]
+                if param_sets is not None
+                else None
+            ),
+            priority=int(data.get("priority", 0)),
+            deadline_seconds=float(deadline) if deadline is not None else None,
+            max_retries=int(data.get("max_retries", 2)),
+            job_id=data.get("job_id", ""),
+        )
+        job.seq = int(data.get("seq", -1))
+        return job
 
     def transition(self, new_state: JobState) -> None:
         """Move to ``new_state``, enforcing the lifecycle graph."""

@@ -23,6 +23,7 @@ since it means the file was edited or the disk lied.
 from __future__ import annotations
 
 import base64
+import glob
 import json
 import os
 import threading
@@ -34,7 +35,12 @@ import numpy as np
 from repro.common.errors import ServeError
 from repro.serve.jobs import Job, JobState
 
-__all__ = ["JobJournal", "JournalRecovery", "replay_journal"]
+__all__ = [
+    "JobJournal",
+    "JournalRecovery",
+    "journal_segments",
+    "replay_journal",
+]
 
 
 class JobJournal:
@@ -43,20 +49,39 @@ class JobJournal:
     ``resume=True`` opens the existing file for append (the continuation
     run's records land after the crashed run's); otherwise the file is
     truncated.  Thread-safe: workers transition jobs concurrently.
+
+    Every record is stamped with this journal's ``writer_id`` and a
+    monotonically increasing per-journal ``seq``, so a fleet of
+    journals -- the broker's plus one segment per worker process (see
+    :func:`journal_segments`) -- can later be merged into one
+    deterministic event order by :func:`replay_journal`.
     """
 
-    def __init__(self, path: str, resume: bool = False) -> None:
+    def __init__(
+        self, path: str, resume: bool = False, writer_id: str = "main"
+    ) -> None:
         self.path = path
+        self.writer_id = writer_id
         self._fh = open(path, "a" if resume else "w", encoding="utf-8")
         self._lock = threading.Lock()
         self._closed = False
+        self._seq = 0
 
     def append(self, record: dict) -> None:
-        """Write one event record durably (flushed before returning)."""
-        line = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        """Write one event record durably (flushed before returning).
+
+        Stamps ``writer_id`` and ``seq`` unless the caller already set
+        them; the seq counter advances under the write lock so record
+        order in the file and seq order always agree.
+        """
         with self._lock:
             if self._closed:
                 return
+            record = dict(record)
+            record.setdefault("writer_id", self.writer_id)
+            record.setdefault("seq", self._seq)
+            self._seq += 1
+            line = json.dumps(record, sort_keys=True, separators=(",", ":"))
             self._fh.write(line + "\n")
             self._fh.flush()
 
@@ -81,6 +106,16 @@ class JobJournal:
                 "ts_mono": time.perf_counter(),
             }
         )
+        job.observers.append(self._on_transition)
+
+    def observe(self, job: Job) -> None:
+        """Observe future transitions without writing a submission record.
+
+        Worker processes use this for their per-worker segments: the
+        broker's journal already holds the ``submitted`` record, the
+        worker only needs to journal the outcome (the DONE record with
+        its state payload) durably *before* the result crosses the wire.
+        """
         job.observers.append(self._on_transition)
 
     def _on_transition(
@@ -159,18 +194,26 @@ class JournalRecovery:
         }
 
 
-def replay_journal(path: str) -> JournalRecovery:
-    """Fold a journal back into per-job last-known state.
+def journal_segments(path: str) -> list[str]:
+    """Every on-disk journal segment for broker journal ``path``.
 
-    Later records win, so replaying a journal that spans several runs
-    (crash, resume, crash again...) converges on the newest outcome of
-    every job.
+    A process fleet writes the broker's journal at ``path`` plus one
+    per-worker segment named ``<path>.w<slot>.jsonl`` (written by the
+    worker process itself, so a result journaled there survives even
+    when the broker never saw it).  Returns the broker file first, then
+    the worker segments in sorted (slot) order; missing files are
+    skipped so a fleet that never dispatched to worker 3 still resumes.
     """
-    if not os.path.exists(path):
-        raise ServeError(f"journal {path!r} does not exist")
-    recovery = JournalRecovery(path=path)
+    segments = [path] if os.path.exists(path) else []
+    segments.extend(sorted(glob.glob(glob.escape(path) + ".w*.jsonl")))
+    return segments
+
+
+def _read_segment(path: str, recovery: JournalRecovery) -> list[dict]:
+    """Parse one journal file into records, folding error counts."""
     with open(path, encoding="utf-8") as fh:
         lines = fh.readlines()
+    records: list[dict] = []
     for index, raw in enumerate(lines):
         line = raw.strip()
         if not line:
@@ -190,6 +233,51 @@ def replay_journal(path: str) -> JournalRecovery:
             raise ServeError(
                 f"{path}:{index + 1}: malformed journal record"
             )
+        records.append(record)
+    return records
+
+
+def replay_journal(path: str | list[str]) -> JournalRecovery:
+    """Fold one or more journal segments into per-job last-known state.
+
+    Later records win, so replaying a journal that spans several runs
+    (crash, resume, crash again...) converges on the newest outcome of
+    every job.
+
+    A single path replays in file order (the order events happened in
+    that process).  A list of paths -- a broker journal plus per-worker
+    segments, see :func:`journal_segments` -- is merged into one
+    deterministic order sorted by ``(ts_mono, seq, writer_id)``:
+    ``ts_mono`` is ``time.perf_counter()``, CLOCK_MONOTONIC on Linux and
+    therefore comparable across the processes of one boot, ``seq``
+    preserves each writer's own ordering, and ``writer_id`` makes the
+    sort total.  The same segment files replay to the same recovery on
+    every resume attempt, regardless of filesystem listing order.
+    """
+    if isinstance(path, str):
+        paths = [path]
+        merge = False
+    else:
+        paths = list(path)
+        merge = True
+    if not paths:
+        raise ServeError("journal replay needs at least one segment")
+    for p in paths:
+        if not os.path.exists(p):
+            raise ServeError(f"journal {p!r} does not exist")
+    recovery = JournalRecovery(path=paths[0])
+    records: list[dict] = []
+    for p in paths:
+        records.extend(_read_segment(p, recovery))
+    if merge:
+        records.sort(
+            key=lambda r: (
+                float(r.get("ts_mono", 0.0)),
+                int(r.get("seq", -1)),
+                str(r.get("writer_id", "")),
+            )
+        )
+    for record in records:
         recovery.total_records += 1
         job_id = record.get("job_id", "")
         if record["type"] == "submitted":

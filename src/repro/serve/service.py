@@ -49,7 +49,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import Job, JobResult, JobState
-from repro.serve.journal import JobJournal, replay_journal
+from repro.serve.journal import JobJournal, journal_segments, replay_journal
 from repro.serve.queue import JobQueue
 from repro.serve.scheduler import BatchScheduler
 from repro.serve.workers import WorkerPool
@@ -100,6 +100,10 @@ class ServeReport:
     #: Cumulative over the service lifetime (histograms cannot be
     #: windowed per drain without losing their distribution).
     latency: dict | None = None
+    #: Process-fleet stats when the drain ran on a ClusterDispatcher
+    #: (dispatched/result counts, worker deaths, requeues, respawns);
+    #: None for the in-process thread pool.
+    cluster: dict | None = None
 
     @property
     def jobs_per_second(self) -> float:
@@ -130,6 +134,7 @@ class ServeReport:
             "recovery": self.recovery,
             "dmav": self.dmav,
             "latency": self.latency,
+            "cluster": self.cluster,
         }
 
     def format_text(self) -> str:
@@ -166,6 +171,15 @@ class ServeReport:
                     f"{k.lower()}={v}" for k, v in sorted(by_state.items())
                 )
                 + f"), cache_seeded={self.recovery.get('cache_seeded', 0)}"
+            )
+        if self.cluster is not None:
+            lines.append(
+                f"  cluster: processes={self.cluster['processes']} "
+                f"dispatched={self.cluster['dispatched']} "
+                f"results={self.cluster['results']} "
+                f"deaths={self.cluster['worker_deaths']} "
+                f"requeues={self.cluster['requeues']} "
+                f"respawns={self.cluster['respawns']}"
             )
         if self.dmav is not None:
             lines.append(
@@ -337,6 +351,9 @@ class SimulationService:
         )
         report.dmav = _aggregate_dmav(all_jobs)
         report.latency = self._latency_snapshot()
+        cluster_stats = getattr(self.pool, "cluster_stats", None)
+        if cluster_stats is not None:
+            report.cluster = cluster_stats()
         self.registry.gauge("serve.drain.jobs_per_second").set(
             report.jobs_per_second
         )
@@ -565,8 +582,16 @@ def run_manifest(
     recovery = None
     journal = None
     if journal_path is not None:
-        if resume and os.path.exists(journal_path):
-            recovery = replay_journal(journal_path)
+        if resume:
+            # A process fleet leaves one broker journal plus per-worker
+            # segments; merge every surviving segment so a result the
+            # broker never saw (worker journaled DONE, then the whole
+            # fleet was SIGKILLed) still seeds the cache.
+            segments = journal_segments(journal_path)
+            if len(segments) > 1:
+                recovery = replay_journal(segments)
+            elif segments:
+                recovery = replay_journal(journal_path)
         journal = JobJournal(journal_path, resume=resume)
     own_service = service is None
     svc = service or SimulationService(cfg, tracer=tracer)

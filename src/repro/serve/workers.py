@@ -45,7 +45,13 @@ from repro.sampling import sample_counts
 from repro.serve.cache import ResultCache
 from repro.serve.jobs import Job, JobResult, JobState
 
-__all__ = ["WorkerPool", "clamp_threads"]
+__all__ = [
+    "WorkerPool",
+    "clamp_threads",
+    "finalize_job_trace",
+    "finish_job",
+    "publish_sweep_rows",
+]
 
 _log = logging.getLogger("repro.serve.workers")
 
@@ -62,6 +68,85 @@ def clamp_threads(threads: int, num_qubits: int) -> int:
     while t & (t - 1):
         t &= t - 1  # clear lowest set bit until a power of two remains
     return t
+
+
+def finish_job(
+    job: Job,
+    state: np.ndarray,
+    runtime_seconds: float,
+    cache_hit: bool,
+    metadata: dict,
+    registry: MetricsRegistry,
+) -> None:
+    """Complete ``job`` with its final state: sample, attach, transition.
+
+    The single DONE path shared by the in-process :class:`WorkerPool`
+    and the cluster broker's fan-out -- shots are always (re)sampled
+    here from ``(state, job.sample_seed)``, so the counts a fleet
+    returns are bit-identical to the in-process ones regardless of
+    which process produced the state.
+    """
+    counts = None
+    if job.shots > 0:
+        counts = dict(
+            sample_counts(
+                state, job.shots, np.random.default_rng(job.sample_seed)
+            )
+        )
+    job.result = JobResult(
+        job_id=job.job_id,
+        backend=job.backend,
+        state=state,
+        runtime_seconds=runtime_seconds,
+        cache_hit=cache_hit,
+        attempts=max(job.attempts, 1),
+        counts=counts,
+        metadata=metadata,
+    )
+    job.transition(JobState.DONE)
+    registry.counter("serve.jobs.done").inc()
+
+
+def finalize_job_trace(job: Job, registry: MetricsRegistry, tracer) -> None:
+    """Fold a terminal job's trace into histograms and the span tree.
+
+    Cancelled jobs never ran, so they contribute no latency samples;
+    their (empty) lane is skipped too.
+    """
+    trace = job.trace
+    if trace is None or not job.done or job.state is JobState.CANCELLED:
+        return
+    trace.mark("complete")
+    trace.attempts = job.attempts
+    trace.observe(registry, priority=job.priority)
+    trace.emit_spans(tracer, seq=job.seq, state=job.state.value)
+
+
+def publish_sweep_rows(
+    job: Job,
+    states: np.ndarray,
+    runtime_seconds: float,
+    cache: ResultCache,
+    backend: str,
+) -> None:
+    """Publish each sweep row's state under its row cache key.
+
+    Duplicate rows publish once (first occurrence wins -- they are
+    bit-identical by construction).  Shared by the in-process pool and
+    the broker when a sweep result arrives from a worker process.
+    """
+    published: set[str] = set()
+    for row, row_state in zip(job.param_sets, states):
+        row_key = job.row_cache_key(row)
+        if row_key in published:
+            continue
+        published.add(row_key)
+        cache.put(
+            row_key,
+            row_state.copy(),
+            runtime_seconds,
+            metadata={"backend": backend, "producer": job.job_id},
+        )
 
 
 class WorkerPool:
@@ -101,6 +186,16 @@ class WorkerPool:
             ]
         )
 
+    def run_job(self, job: Job, cache: ResultCache) -> None:
+        """Execute one job to a terminal state (public single-job entry).
+
+        Cluster worker processes drive the pool through this: same retry,
+        deadline, cache, and sweep semantics as group execution, one job
+        at a time.
+        """
+        self._run_job(job, cache)
+        self._finalize_trace(job)
+
     def close(self) -> None:
         self.runner.close()
 
@@ -126,18 +221,7 @@ class WorkerPool:
                     self._finalize_trace(job)
 
     def _finalize_trace(self, job: Job) -> None:
-        """Fold a terminal job's trace into histograms and the span tree.
-
-        Cancelled jobs never ran, so they contribute no latency samples;
-        their (empty) lane is skipped too.
-        """
-        trace = job.trace
-        if trace is None or not job.done or job.state is JobState.CANCELLED:
-            return
-        trace.mark("complete")
-        trace.attempts = job.attempts
-        trace.observe(self.registry, priority=job.priority)
-        trace.emit_spans(self.tracer, seq=job.seq, state=job.state.value)
+        finalize_job_trace(job, self.registry, self.tracer)
 
     def _run_job(self, job: Job, cache: ResultCache) -> None:
         if job.state is JobState.CANCELLED:
@@ -203,17 +287,9 @@ class WorkerPool:
         result = self._execute_with_retry(job)
         if result is None:
             return  # already FAILED or TIMEOUT
-        published = set()
-        for row_key, row_state in zip(row_keys, result.states):
-            if row_key in published:
-                continue
-            published.add(row_key)
-            cache.put(
-                row_key,
-                row_state.copy(),
-                result.runtime_seconds,
-                metadata={"backend": result.backend, "producer": job.job_id},
-            )
+        publish_sweep_rows(
+            job, result.states, result.runtime_seconds, cache, result.backend
+        )
         metadata = dict(result.metadata)
         metadata.setdefault("mode", "sweep")
         self._finish(
@@ -232,25 +308,9 @@ class WorkerPool:
         cache_hit: bool,
         metadata: dict,
     ) -> None:
-        counts = None
-        if job.shots > 0:
-            counts = dict(
-                sample_counts(
-                    state, job.shots, np.random.default_rng(job.sample_seed)
-                )
-            )
-        job.result = JobResult(
-            job_id=job.job_id,
-            backend=job.backend,
-            state=state,
-            runtime_seconds=runtime_seconds,
-            cache_hit=cache_hit,
-            attempts=max(job.attempts, 1),
-            counts=counts,
-            metadata=metadata,
+        finish_job(
+            job, state, runtime_seconds, cache_hit, metadata, self.registry
         )
-        job.transition(JobState.DONE)
-        self.registry.counter("serve.jobs.done").inc()
 
     # -- one job, with retry/backoff/deadline -------------------------
 

@@ -199,7 +199,12 @@ class TestKernelEquivalence:
         pkg = DDPackage(N_QUBITS)
         m = build_gate_dd(pkg, gate)
         dense = matrix_to_dense(pkg, m)
-        assert mac_count(pkg, m) == np.count_nonzero(np.abs(dense) > 1e-9)
+        # Exact count, no magnitude cutoff: each matrix entry is the
+        # product of edge weights along its unique DD path, so a
+        # structural nonzero is a nonzero entry no matter how tiny the
+        # rotation angle (rx(1e-9) has 5e-10 off-diagonals that a 1e-9
+        # threshold would miscount).
+        assert mac_count(pkg, m) == np.count_nonzero(dense)
 
 
 # ---------------------------------------------------------------------------

@@ -11,6 +11,7 @@ from repro.serve import (
     Job,
     JobJournal,
     JobState,
+    journal_segments,
     replay_journal,
     run_manifest,
 )
@@ -221,3 +222,111 @@ class TestDurableManifestServing:
         run_manifest(manifest, journal_path=path)
         report, _ = run_manifest(manifest, journal_path=path, resume=True)
         assert "recovery: journal replayed" in report.format_text()
+
+
+class TestJournalSegments:
+    """writer_id/seq stamping and multi-segment deterministic merge."""
+
+    def test_records_carry_writer_id_and_monotonic_seq(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        job = Job(get_circuit("ghz", 3), job_id="j1")
+        with JobJournal(path, writer_id="w7") as journal:
+            journal.attach(job)
+            job.transition(JobState.RUNNING)
+            job.error = "boom"
+            job.transition(JobState.FAILED)
+        records = read_records(path)
+        assert [r["writer_id"] for r in records] == ["w7"] * 3
+        assert [r["seq"] for r in records] == [0, 1, 2]
+
+    def test_observe_journals_transitions_without_submission(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        job = Job(get_circuit("ghz", 3), job_id="j1")
+        with JobJournal(path) as journal:
+            journal.observe(job)
+            job.transition(JobState.RUNNING)
+        records = read_records(path)
+        assert [r["type"] for r in records] == ["transition"]
+
+    def test_segment_discovery_order(self, tmp_path):
+        base = str(tmp_path / "wal.jsonl")
+        for p in (base, base + ".w1.jsonl", base + ".w0.jsonl"):
+            with open(p, "w"):
+                pass
+        assert journal_segments(base) == [
+            base, base + ".w0.jsonl", base + ".w1.jsonl"
+        ]
+        # A missing broker file drops out instead of failing discovery.
+        import os
+
+        os.remove(base)
+        assert journal_segments(base) == [
+            base + ".w0.jsonl", base + ".w1.jsonl"
+        ]
+
+    def _write_segment(self, path, writer_id, records):
+        with JobJournal(path, writer_id=writer_id) as journal:
+            for record in records:
+                journal.append(record)
+
+    def test_merged_replay_is_later_wins_across_segments(self, tmp_path):
+        broker = str(tmp_path / "wal.jsonl")
+        worker = broker + ".w0.jsonl"
+        # Broker submits at t=1; the worker journals DONE at t=2; the
+        # broker never saw the result (killed before the frame landed).
+        self._write_segment(broker, "main", [
+            {"type": "submitted", "job_id": "a", "ts_mono": 1.0},
+        ])
+        self._write_segment(worker, "w0", [
+            {"type": "transition", "job_id": "a", "from": "PENDING",
+             "to": "RUNNING", "ts_mono": 2.0},
+            {"type": "transition", "job_id": "a", "from": "RUNNING",
+             "to": "DONE", "ts_mono": 3.0, "cache_key": "k"},
+        ])
+        recovery = replay_journal([broker, worker])
+        assert recovery.job_states == {"a": "DONE"}
+        assert recovery.done_payloads["a"]["cache_key"] == "k"
+
+    def test_merged_replay_deterministic_regardless_of_input_order(
+        self, tmp_path
+    ):
+        broker = str(tmp_path / "wal.jsonl")
+        w0 = broker + ".w0.jsonl"
+        w1 = broker + ".w1.jsonl"
+        self._write_segment(broker, "main", [
+            {"type": "submitted", "job_id": "a", "ts_mono": 1.0},
+            {"type": "submitted", "job_id": "b", "ts_mono": 1.5},
+        ])
+        self._write_segment(w0, "w0", [
+            {"type": "transition", "job_id": "a", "from": "RUNNING",
+             "to": "DONE", "ts_mono": 2.0},
+        ])
+        self._write_segment(w1, "w1", [
+            {"type": "transition", "job_id": "a", "from": "RUNNING",
+             "to": "FAILED", "ts_mono": 4.0},
+            {"type": "transition", "job_id": "b", "from": "RUNNING",
+             "to": "DONE", "ts_mono": 3.0},
+        ])
+        import itertools
+
+        outcomes = [
+            replay_journal(list(order)).job_states
+            for order in itertools.permutations([broker, w0, w1])
+        ]
+        assert all(o == outcomes[0] for o in outcomes)
+        # ts_mono 4.0 is the latest word on job "a".
+        assert outcomes[0] == {"a": "FAILED", "b": "DONE"}
+
+    def test_single_path_replay_keeps_file_order(self, tmp_path):
+        # Back-compat: one file replays in write order even when ts_mono
+        # is absent or out of order (pre-segment journals had no seq).
+        path = str(tmp_path / "wal.jsonl")
+        with open(path, "w") as fh:
+            fh.write(json.dumps({"type": "submitted", "job_id": "a"}) + "\n")
+            fh.write(json.dumps(
+                {"type": "transition", "job_id": "a", "from": "PENDING",
+                 "to": "RUNNING", "ts_mono": 9.0}) + "\n")
+            fh.write(json.dumps(
+                {"type": "transition", "job_id": "a", "from": "RUNNING",
+                 "to": "DONE", "ts_mono": 1.0}) + "\n")
+        assert replay_journal(path).job_states == {"a": "DONE"}
