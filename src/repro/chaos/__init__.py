@@ -1,0 +1,52 @@
+"""Deterministic chaos-injection harness for the serving fleet.
+
+``repro.chaos`` drives the serve/cluster stack through seeded fault
+schedules -- transport corruption, worker kills and stalls, disk
+failures -- and asserts the self-healing invariants after every run.
+See :mod:`repro.chaos.runner` for the campaign loop,
+:mod:`repro.chaos.schedule` for the fault vocabulary and JSON replay
+format, :mod:`repro.chaos.injectors` for the hook-point controller,
+:mod:`repro.chaos.invariants` for what must hold, and
+:mod:`repro.chaos.faults` for plantable recovery bugs.
+
+CLI: ``repro chaos --seed 0 --iterations 25`` (see ``repro chaos -h``).
+"""
+
+from repro.chaos.schedule import (
+    ChaosFault,
+    ChaosSchedule,
+    FAULT_KINDS,
+    REGIMES,
+    load_schedule,
+    schedule_for_iteration,
+    schedule_to_json,
+    shrink_schedule,
+)
+from repro.chaos.injectors import ChaosController
+from repro.chaos.runner import (
+    ChaosCampaignResult,
+    ChaosFailure,
+    ChaosRunOutcome,
+    run_chaos_campaign,
+    run_chaos_iteration,
+)
+from repro.chaos.faults import FAULTS, plant_fault
+
+__all__ = [
+    "ChaosCampaignResult",
+    "ChaosController",
+    "ChaosFailure",
+    "ChaosFault",
+    "ChaosRunOutcome",
+    "ChaosSchedule",
+    "FAULTS",
+    "FAULT_KINDS",
+    "REGIMES",
+    "load_schedule",
+    "plant_fault",
+    "run_chaos_campaign",
+    "run_chaos_iteration",
+    "schedule_for_iteration",
+    "schedule_to_json",
+    "shrink_schedule",
+]

@@ -1,0 +1,91 @@
+"""Planted recovery bugs: prove the chaos harness catches regressions.
+
+Mirrors :mod:`repro.verify.fuzz.faults` for the serving stack's fault
+*handling* instead of simulator numerics: each entry is a context
+manager that breaks one self-healing mechanism for the duration of a
+campaign, so ``repro chaos --plant-bug NAME`` demonstrates end to end
+that the invariant checker fails, and the shrinker reduces the failing
+schedule to the minimal fault sequence that exposes it.
+
+Every planted bug must be caught by at least one invariant:
+
+* ``respawn-accounting`` -- the breaker stops counting failures: no
+  sliding window, no quarantine, zero backoff.  A ``crashloop`` fault
+  then respawns the slot in a hot loop until the supervisor's last-ditch
+  budget runs out, tripping the bounded-respawn invariant.
+* ``resume-reexecute`` -- resume stops seeding the cache from journaled
+  DONE records (the journal silently drops the state payload), so every
+  journaled job re-executes on ``--resume``, tripping the
+  zero-re-execution invariant.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager, nullcontext
+
+__all__ = ["FAULTS", "plant_fault"]
+
+
+@contextmanager
+def _respawn_accounting():
+    """Breaker amnesia: deaths are logged but never windowed."""
+    from repro.cluster.breaker import SlotBreaker
+
+    original = SlotBreaker.record_failure
+
+    def broken(self, slot, now):
+        self.death_counts[slot] += 1
+        return 0.0  # no window, no quarantine, no backoff
+
+    SlotBreaker.record_failure = broken
+    try:
+        yield
+    finally:
+        SlotBreaker.record_failure = original
+
+
+@contextmanager
+def _resume_reexecute():
+    """Journal replay drops DONE state payloads: nothing seeds the cache.
+
+    Patched at the replay layer (not the writers: worker processes are
+    spawned fresh and never see an in-process monkey-patch), in both the
+    journal module and the service module that imported the name.
+    """
+    from repro.serve import journal as journal_mod
+    from repro.serve import service as service_mod
+
+    original = journal_mod.replay_journal
+
+    def broken(path):
+        recovery = original(path)
+        for record in recovery.done_payloads.values():
+            record.pop("state_b64", None)
+        return recovery
+
+    journal_mod.replay_journal = broken
+    service_mod.replay_journal = broken
+    try:
+        yield
+    finally:
+        journal_mod.replay_journal = original
+        service_mod.replay_journal = original
+
+
+FAULTS = {
+    "respawn-accounting": _respawn_accounting,
+    "resume-reexecute": _resume_reexecute,
+}
+
+
+def plant_fault(name: str | None):
+    """Context manager installing planted bug ``name`` (None = healthy)."""
+    if name is None:
+        return nullcontext()
+    try:
+        factory = FAULTS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown planted chaos bug {name!r} (have {sorted(FAULTS)})"
+        ) from None
+    return factory()

@@ -1,0 +1,240 @@
+"""Chaos injectors: the controller behind the broker's hook points.
+
+:class:`ChaosController` is the single object wired into a run.  It
+implements every hook the serving stack exposes for fault injection --
+all broker-side, because spawned worker processes inherit nothing and
+cannot be monkey-patched from the harness:
+
+* ``ClusterDispatcher.chaos`` -- the broker calls ``worker_up`` /
+  ``dispatch`` / ``result`` from inside its dispatch loop.  ``dispatch``
+  advances the global event counter and fires the schedule's faults for
+  that point; ``worker_up`` installs the transport filter on each new
+  connection (and re-kills crash-looping slots); ``result`` applies
+  armed result-frame corruption.
+* ``Connection.send_filter`` -- outbound frame rewriting (corrupt /
+  truncate / duplicate / delay / drop), installed per connection.
+* ``JobJournal.fault_hook`` -- injected ``OSError`` on broker-journal
+  appends (the runner installs :meth:`ChaosController.journal_hook`).
+
+Process faults act on real pids via ``os.kill`` (SIGKILL / SIGSTOP), so
+the broker sees exactly what a production crash looks like: socket EOF,
+a stale heartbeat, a silent pre-connect death.
+
+Every injection is recorded in :attr:`ChaosController.fired` and counted
+under ``cluster.chaos.*`` in the run's metrics registry, so a chaos
+report can show which faults actually landed (a scheduled point past the
+last dispatch never fires -- and shrinks away).
+"""
+
+from __future__ import annotations
+
+import errno
+import logging
+import os
+import signal
+import threading
+
+from repro.chaos.schedule import ChaosFault, ChaosSchedule
+
+__all__ = ["ChaosController"]
+
+_log = logging.getLogger("repro.chaos.injectors")
+
+
+class ChaosController:
+    """Fires one schedule's faults against a live cluster dispatcher."""
+
+    def __init__(self, schedule: ChaosSchedule, registry=None) -> None:
+        self.schedule = schedule
+        self.registry = registry
+        #: event point -> faults still waiting to fire there.
+        self._pending: dict[int, list[ChaosFault]] = {}
+        for fault in schedule.faults:
+            self._pending.setdefault(fault.at, []).append(fault)
+        self.dispatch_index = 0
+        #: Injection log: ``{"at": point, "kind": ..., "slot": ...}``.
+        self.fired: list[dict] = []
+        #: Slots being crash-looped (killed again on every respawn until
+        #: the breaker quarantines them).
+        self.crashloop_slots: set[int] = set()
+        #: SIGSTOPped pids, resumed in :meth:`cleanup` if the broker's
+        #: stale-heartbeat kill never reached them.
+        self.stopped_pids: set[int] = set()
+        #: Per-connection queues of armed frame operations.
+        self._frame_ops: dict[object, list[ChaosFault]] = {}
+        #: Armed ``corrupt_result`` count (consumed by the next DONE).
+        self._corrupt_results = 0
+        self._journal_errors = 0
+        #: True when the schedule asks for a torn WAL tail; the runner
+        #: applies it after the run, before the resume pass.
+        self.torn_wal = False
+        self._timers: list[threading.Timer] = []
+        self._lock = threading.Lock()
+
+    # -- broker hooks (called from the dispatch loop) -------------------
+
+    def worker_up(self, dispatcher, slot: int, conn) -> None:
+        """New connect-back: install the frame filter, honor crashloops."""
+        conn.send_filter = self._send_filter
+        if slot in self.crashloop_slots:
+            if dispatcher.breaker.is_quarantined(slot):
+                self.crashloop_slots.discard(slot)
+            else:
+                self._kill(dispatcher, slot, "crashloop")
+
+    def dispatch(self, dispatcher, slot: int, job) -> None:
+        """One MSG_JOB is about to be sent: fire this point's faults."""
+        point = self.dispatch_index
+        self.dispatch_index += 1
+        if slot in self.crashloop_slots:
+            # A crash-looping slot dies on every dispatch *and* every
+            # respawn until the breaker quarantines it.
+            if dispatcher.breaker.is_quarantined(slot):
+                self.crashloop_slots.discard(slot)
+            else:
+                self._kill(dispatcher, slot, "crashloop")
+        for fault in self._pending.pop(point, ()):
+            self._apply(fault, dispatcher, slot)
+
+    def result(self, dispatcher, slot: int, msg: dict, payload: bytes):
+        """Inbound result frame: apply armed result corruption."""
+        if self._corrupt_results > 0 and msg.get("state") == "DONE":
+            self._corrupt_results -= 1
+            msg = dict(msg)
+            msg["array"] = dict(msg.get("array") or {})
+            msg["array"]["dtype"] = "chaos-corrupt"
+            self._note("corrupt_result", slot)
+        return msg, payload
+
+    def journal_hook(self, journal, record: dict) -> None:
+        """``JobJournal.fault_hook``: fail broker-journal appends."""
+        if self._journal_errors > 0 and journal.writer_id == "main":
+            self._journal_errors -= 1
+            self._note("journal_error", -1)
+            raise OSError(errno.ENOSPC, "chaos: injected disk-full")
+
+    # -- fault application ---------------------------------------------
+
+    def _apply(self, fault: ChaosFault, dispatcher, slot: int) -> None:
+        kind = fault.kind
+        if kind in (
+            "corrupt_frame",
+            "truncate_frame",
+            "duplicate_frame",
+            "delay_frame",
+        ):
+            # Arm the op on the dispatched-to connection: the MSG_JOB
+            # send follows this hook immediately, on the same thread.
+            conn = dispatcher._conns.get(slot)
+            if conn is None:
+                return
+            with self._lock:
+                self._frame_ops.setdefault(conn, []).append(fault)
+        elif kind == "drop_conn":
+            conn = dispatcher._conns.get(slot)
+            if conn is not None:
+                self._note(kind, slot)
+                conn.close()
+        elif kind == "corrupt_result":
+            self._corrupt_results += 1
+        elif kind == "kill_worker":
+            self._kill(dispatcher, slot, kind)
+        elif kind == "stop_worker":
+            pid = dispatcher.supervisor.pid(slot)
+            if pid is not None:
+                self._note(kind, slot)
+                try:
+                    os.kill(pid, signal.SIGSTOP)
+                    self.stopped_pids.add(pid)
+                except OSError:  # pragma: no cover - raced an exit
+                    pass
+        elif kind == "crashloop":
+            self.crashloop_slots.add(slot)
+            self._kill(dispatcher, slot, kind)
+        elif kind == "journal_error":
+            self._journal_errors += 1
+        elif kind == "torn_wal":
+            self.torn_wal = True
+            self._note(kind, -1)
+        else:  # pragma: no cover - schedule validation rejects these
+            _log.warning("unknown chaos fault kind %r", kind)
+
+    def _kill(self, dispatcher, slot: int, kind: str) -> None:
+        pid = dispatcher.supervisor.pid(slot)
+        if pid is None:
+            return
+        self._note(kind, slot, pid=pid)
+        try:
+            os.kill(pid, signal.SIGKILL)
+        except OSError:  # pragma: no cover - already gone
+            pass
+
+    # -- transport filter (runs on whichever thread sends) --------------
+
+    def _send_filter(self, conn, header, payload, frame):
+        with self._lock:
+            ops = self._frame_ops.get(conn)
+            fault = ops.pop(0) if ops else None
+        if fault is None:
+            return frame
+        kind = fault.kind
+        self._note(kind, int(header.get("slot", -1)))
+        if kind == "corrupt_frame":
+            # Flip the magic: the worker sees deterministic, immediate
+            # framing corruption (not a stalled half-frame).
+            mangled = bytearray(frame)
+            mangled[0] ^= 0xFF
+            return bytes(mangled)
+        if kind == "truncate_frame":
+            # "Drop a connection mid-frame": half the bytes go out, then
+            # the link dies under the reader.
+            self._later(0.05, conn.close)
+            return frame[: max(1, len(frame) // 2)]
+        if kind == "duplicate_frame":
+            return [frame, frame]
+        if kind == "delay_frame":
+            self._later(fault.arg or 0.1, self._send_raw, conn, frame)
+            return None
+        return frame  # pragma: no cover - only frame ops are armed
+
+    @staticmethod
+    def _send_raw(conn, frame: bytes) -> None:
+        """Late delivery for ``delay_frame`` (bypasses the filter)."""
+        try:
+            with conn._send_lock:
+                conn._sock.sendall(frame)
+        except OSError:  # pragma: no cover - peer died while delayed
+            pass
+
+    def _later(self, delay: float, fn, *args) -> None:
+        timer = threading.Timer(delay, fn, args)
+        timer.daemon = True
+        timer.start()
+        self._timers.append(timer)
+
+    # -- bookkeeping ----------------------------------------------------
+
+    def _note(self, kind: str, slot: int, pid: int | None = None) -> None:
+        entry = {"at": self.dispatch_index, "kind": kind, "slot": slot}
+        if pid is not None:
+            entry["pid"] = pid
+        self.fired.append(entry)
+        if self.registry is not None:
+            self.registry.counter("cluster.chaos.injected").inc()
+            self.registry.counter(f"cluster.chaos.{kind}").inc()
+
+    def fired_counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for entry in self.fired:
+            out[entry["kind"]] = out.get(entry["kind"], 0) + 1
+        return out
+
+    def cleanup(self) -> None:
+        """Cancel delayed sends; resume any still-SIGSTOPped worker."""
+        for timer in self._timers:
+            timer.cancel()
+        for pid in self.stopped_pids:
+            try:
+                os.kill(pid, signal.SIGCONT)
+            except OSError:
+                pass

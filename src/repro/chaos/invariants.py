@@ -1,0 +1,200 @@
+"""The chaos harness's invariant checker.
+
+After every chaos run (and again after its resume pass) the harness
+asserts the properties the serving stack promises to keep *under any
+scheduled fault*:
+
+1. **Exactly-once terminal**: every submitted job reaches a terminal
+   state exactly once (the transition state machine admits no second
+   terminal edge; an observer counts them anyway -- belt and braces).
+2. **Completion**: every job ends DONE.  Schedules are capped (at most
+   one crashloop, bounded process faults, jobs carry a deep retry
+   budget) so the fleet always stays viable; anything short of DONE
+   means recovery lost or gave up on work it should have finished.
+3. **Bit-identity**: each DONE state vector (and sampled counts) equals
+   the in-process :class:`~repro.serve.service.SimulationService`
+   reference exactly -- the fleet under chaos must stay bit-identical
+   to a single quiet process.
+4. **Bounded respawns**: per-slot respawn counts never exceed the
+   breaker's trip point plus the schedule's own process-fault count.
+   Disabling the breaker's accounting (the planted
+   ``respawn-accounting`` bug) makes a crashloop blow through this.
+5. **Fleet recovery**: a started fleet ends with every non-quarantined
+   slot accounted for -- fully dead only if fully quarantined.  The
+   runner's wall-clock watchdog bounds the "within bounded time" half.
+6. **No orphans**: after teardown every pid the supervisor ever
+   launched is gone (zombies included, via ``/proc`` state).
+7. **Resume zero re-execution**: a resume over the surviving journal
+   segments completes every journaled-DONE job as a cache hit.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+__all__ = [
+    "check_no_orphans",
+    "check_resume",
+    "check_run",
+    "terminal_observer",
+]
+
+
+def terminal_observer(counts: dict[str, int]):
+    """A job observer that counts terminal transitions per job id."""
+
+    def observe(job, old_state, new_state) -> None:
+        if new_state.terminal:
+            counts[job.job_id] = counts.get(job.job_id, 0) + 1
+
+    return observe
+
+
+def check_run(
+    jobs,
+    terminal_counts: dict[str, int],
+    reference: dict,
+    stats: dict,
+    schedule,
+    timed_out: bool,
+    time_budget: float,
+    fired: list[dict] | None = None,
+) -> list[str]:
+    """Invariants 1-5 over one finished chaos run.
+
+    ``stats`` is the dispatcher's ``cluster_stats()`` plus ``alive`` and
+    ``started`` (captured before teardown); ``reference`` maps job_id ->
+    ``(state, counts)`` from the in-process reference run; ``fired`` is
+    the controller's injection log (used for the breaker-accounting
+    check: crashloop deaths are consecutive by construction, so enough
+    of them *must* trip quarantine).
+    """
+    violations: list[str] = []
+    if timed_out:
+        violations.append(
+            f"campaign run exceeded its {time_budget:.0f}s time budget "
+            "(fleet did not recover in bounded time)"
+        )
+    for job in jobs:
+        seen = terminal_counts.get(job.job_id, 0)
+        if seen != 1:
+            violations.append(
+                f"job {job.job_id}: {seen} terminal transition(s), "
+                "expected exactly 1"
+            )
+        if job.state.value != "DONE":
+            violations.append(
+                f"job {job.job_id}: ended {job.state.value}"
+                + (f" ({job.error})" if job.error else "")
+            )
+            continue
+        ref_state, ref_counts = reference[job.job_id]
+        if job.result is None or not np.array_equal(
+            job.result.state, ref_state
+        ):
+            violations.append(
+                f"job {job.job_id}: state vector differs from the "
+                "in-process reference"
+            )
+        elif (job.result.counts or None) != (ref_counts or None):
+            violations.append(
+                f"job {job.job_id}: sampled counts differ from the "
+                "in-process reference"
+            )
+    bound = stats["breaker_failures"] + schedule.process_fault_count()
+    for slot, count in stats.get("respawn_counts", {}).items():
+        if count > bound:
+            violations.append(
+                f"slot {slot}: {count} respawns exceeds the bound of "
+                f"{bound} (breaker_failures + scheduled process faults) "
+                "-- respawn backoff/quarantine accounting is broken"
+            )
+    if (
+        stats.get("started")
+        and stats.get("alive", 0) == 0
+        and len(stats.get("quarantined", ())) < stats.get("processes", 0)
+    ):
+        violations.append(
+            "fleet ended with zero live workers but is not fully "
+            "quarantined -- it should have recovered"
+        )
+    # Breaker accounting: crashloop kills are consecutive deaths with no
+    # intervening success (the worker dies before it can complete
+    # anything), so K of them inside one run *must* quarantine the slot.
+    crashloop_pids: dict[int, set] = {}
+    for entry in fired or ():
+        if entry.get("kind") == "crashloop":
+            # Unique pids, not kill attempts: the controller may fire at
+            # both dispatch and connect-back against one doomed pid, but
+            # the breaker (correctly) counts that death once.
+            crashloop_pids.setdefault(entry.get("slot", -1), set()).add(
+                entry.get("pid")
+            )
+    quarantined = set(stats.get("quarantined", ()))
+    for slot, pids in crashloop_pids.items():
+        kills = len(pids)
+        if kills >= stats["breaker_failures"] and slot not in quarantined:
+            violations.append(
+                f"slot {slot}: {kills} crashloop deaths reached the "
+                f"breaker threshold ({stats['breaker_failures']}) but the "
+                "slot was never quarantined -- breaker accounting is "
+                "broken"
+            )
+    return violations
+
+
+def check_resume(resume_jobs, journaled_done: set[str]) -> list[str]:
+    """Invariant 7: journaled-DONE jobs resume as cache hits, the rest
+    simply re-run -- and everything still completes."""
+    violations: list[str] = []
+    for job in resume_jobs:
+        if job.state.value != "DONE":
+            violations.append(
+                f"resume: job {job.job_id} ended {job.state.value}"
+            )
+            continue
+        if job.job_id in journaled_done and not (
+            job.result is not None and job.result.cache_hit
+        ):
+            violations.append(
+                f"resume: job {job.job_id} was journaled DONE but was "
+                "re-executed instead of served from the seeded cache"
+            )
+    return violations
+
+
+def _pid_running(pid: int) -> bool:
+    """Is ``pid`` still a live (non-zombie) process?"""
+    try:
+        with open(f"/proc/{pid}/stat", "r") as fh:
+            # Field 3 follows the parenthesized comm, which may itself
+            # contain spaces/parens -- split on the *last* ") ".
+            state = fh.read().rsplit(") ", 1)[1].split(" ", 1)[0]
+        return state not in ("Z", "X")
+    except (OSError, IndexError):
+        pass
+    try:
+        os.kill(pid, 0)
+    except OSError:
+        return False
+    return True  # pragma: no cover - non-/proc fallback
+
+
+def check_no_orphans(pids, timeout: float = 10.0) -> list[str]:
+    """Invariant 6: after teardown no launched pid survives.
+
+    Teardown is asynchronous (terminate -> join -> kill escalation), so
+    poll up to ``timeout`` before declaring an orphan.
+    """
+    deadline = time.monotonic() + timeout
+    remaining = [pid for pid in pids if _pid_running(pid)]
+    while remaining and time.monotonic() < deadline:
+        time.sleep(0.05)
+        remaining = [pid for pid in remaining if _pid_running(pid)]
+    return [
+        f"orphan worker process survived teardown (pid {pid})"
+        for pid in remaining
+    ]

@@ -1,0 +1,462 @@
+"""Seeded chaos campaigns over the serving fleet.
+
+:func:`run_chaos_campaign` mirrors the fuzz harness's
+:func:`repro.verify.fuzz.runner.run_campaign` shape for fault-tolerance
+instead of numerics.  Each iteration:
+
+1. draws a :class:`~repro.chaos.schedule.ChaosSchedule` from
+   ``(seed, iteration)`` (or replays one loaded from JSON),
+2. runs the fixed campaign workload on a fresh 2-process
+   :class:`~repro.cluster.broker.ClusterService` (journaled, tight
+   heartbeat/backoff intervals so recovery happens in test time) with a
+   :class:`~repro.chaos.injectors.ChaosController` firing the
+   schedule's faults,
+3. applies any scheduled torn-WAL tail, then runs a **resume pass**
+   over the surviving journal segments on an in-process service,
+4. asserts the full invariant set (:mod:`repro.chaos.invariants`):
+   exactly-once terminal states, completion, bit-identity against an
+   in-process reference, bounded respawns, fleet recovery, no orphan
+   processes, and zero re-execution of journaled work on resume.
+
+A failing schedule is shrunk to a minimal fault list with the fuzz
+harness's delta-debugging reducer (each shrink check is a full fleet
+run, so the check budget is small) and written out as a replayable JSON
+artifact -- the chaos analogue of a fuzz regression file.
+
+``plant_bug`` installs a known recovery bug (:mod:`repro.chaos.faults`)
+for the whole campaign to prove the harness catches it.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import shutil
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.chaos.injectors import ChaosController
+from repro.chaos.invariants import (
+    check_no_orphans,
+    check_resume,
+    check_run,
+    terminal_observer,
+)
+from repro.chaos.schedule import (
+    ChaosSchedule,
+    schedule_for_iteration,
+    schedule_to_json,
+    shrink_schedule,
+)
+from repro.chaos.faults import plant_fault
+from repro.circuits import get_circuit
+from repro.common.config import ServeConfig
+from repro.serve.jobs import Job
+from repro.serve.journal import JobJournal, journal_segments, replay_journal
+from repro.serve.service import SimulationService, run_jobs
+
+__all__ = [
+    "ChaosCampaignResult",
+    "ChaosFailure",
+    "ChaosRunOutcome",
+    "campaign_jobs",
+    "harness_config",
+    "run_chaos_campaign",
+    "run_chaos_iteration",
+]
+
+_log = logging.getLogger("repro.chaos.runner")
+
+#: Fleet timing for chaos runs: fast heartbeats and short backoffs so a
+#: worker death -> detection -> respawn cycle fits in test time, and an
+#: I/O deadline short enough that a wedged link fails the run, not CI.
+HEARTBEAT_INTERVAL = 0.1
+HEARTBEAT_TIMEOUT = 3.0
+
+#: The campaign workload: small circuits (spawned single-core workers
+#: must finish in milliseconds), one dedup pair (exercises cache
+#: fan-out under chaos), and sampled jobs (counts must stay
+#: bit-identical too).  ``(family, qubits, shots, sample_seed)``.
+_WORKLOAD = (
+    ("ghz", 4, 0, 0),
+    ("ghz", 4, 0, 0),  # dedup pair with the line above
+    ("qft", 4, 0, 0),
+    ("wstate", 4, 24, 7),
+    ("ghz", 5, 16, 3),
+    ("qft", 3, 0, 0),
+)
+
+#: Deep per-job retry budget: scheduled faults burn requeues, and the
+#: invariant is that jobs *complete* -- the budget must never be the
+#: reason a chaos run fails.
+_JOB_RETRIES = 10
+
+
+def harness_config(**overrides) -> ServeConfig:
+    """The chaos fleet's ServeConfig: tight recovery knobs."""
+    defaults = dict(
+        threads=1,
+        max_retries=_JOB_RETRIES,
+        io_deadline_seconds=10.0,
+        respawn_backoff_base=0.05,
+        respawn_backoff_max=0.4,
+        breaker_failures=3,
+        breaker_window_seconds=60.0,
+        brownout_min_alive_fraction=0.5,
+    )
+    defaults.update(overrides)
+    return ServeConfig(**defaults)
+
+
+def campaign_jobs(config: ServeConfig) -> list[Job]:
+    """A fresh copy of the campaign workload (jobs are stateful)."""
+    jobs = []
+    for index, (family, qubits, shots, sample_seed) in enumerate(_WORKLOAD):
+        jobs.append(
+            Job(
+                circuit=get_circuit(family, qubits),
+                backend=config.backend,
+                shots=shots,
+                sample_seed=sample_seed,
+                max_retries=_JOB_RETRIES,
+                job_id=f"c{index:04d}",
+            )
+        )
+    return jobs
+
+
+def reference_results(config: ServeConfig) -> dict:
+    """In-process golden results: job_id -> (state, counts)."""
+    jobs = campaign_jobs(config)
+    with SimulationService(config) as svc:
+        svc.submit_many(jobs)
+        svc.drain()
+    out = {}
+    for job in jobs:
+        if job.state.value != "DONE" or job.result is None:
+            raise RuntimeError(
+                f"reference run failed for job {job.job_id}: "
+                f"{job.state.value} {job.error}"
+            )
+        out[job.job_id] = (
+            job.result.state.copy(),
+            dict(job.result.counts) if job.result.counts else None,
+        )
+    return out
+
+
+@dataclass
+class ChaosRunOutcome:
+    """One chaos iteration's verdict."""
+
+    schedule: ChaosSchedule
+    violations: list[str] = field(default_factory=list)
+    fired: dict[str, int] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def run_chaos_iteration(
+    schedule: ChaosSchedule,
+    reference: dict,
+    config: ServeConfig | None = None,
+    processes: int = 2,
+    time_budget: float = 60.0,
+) -> ChaosRunOutcome:
+    """Run the campaign workload once under ``schedule``'s faults."""
+    from repro.cluster.broker import ClusterService
+
+    cfg = config or harness_config()
+    started_at = time.perf_counter()
+    tmpdir = tempfile.mkdtemp(prefix="repro-chaos-")
+    journal_path = os.path.join(tmpdir, "chaos.journal.jsonl")
+    jobs = campaign_jobs(cfg)
+    terminal_counts: dict[str, int] = {}
+    observer = terminal_observer(terminal_counts)
+    for job in jobs:
+        job.observers.append(observer)
+    controller = ChaosController(schedule)
+    timed_out = threading.Event()
+    violations: list[str] = []
+    old_hook = JobJournal.fault_hook
+    svc = ClusterService(
+        cfg,
+        processes=processes,
+        journal_path=journal_path,
+        heartbeat_interval=HEARTBEAT_INTERVAL,
+        heartbeat_timeout=HEARTBEAT_TIMEOUT,
+    )
+    controller.registry = svc.registry
+    svc.pool.chaos = controller
+
+    def unwedge() -> None:
+        # The watchdog: recovery must happen in bounded time.  Force
+        # the drain loop to conclude (drain + dead workers -> every
+        # in-flight entry resolves) so the harness can report instead
+        # of hanging with the fleet.
+        timed_out.set()
+        svc.request_drain()
+        svc.pool.supervisor.terminate_all()
+
+    watchdog = threading.Timer(time_budget, unwedge)
+    watchdog.daemon = True
+    try:
+        JobJournal.fault_hook = controller.journal_hook
+        watchdog.start()
+        try:
+            run_jobs(jobs, config=cfg, service=svc, journal_path=journal_path)
+        except Exception as exc:  # the harness must report, not die
+            violations.append(f"chaos run raised {type(exc).__name__}: {exc}")
+        stats = svc.pool.cluster_stats()
+        stats["alive"] = svc.pool.supervisor.alive
+        stats["started"] = svc.pool._started
+        stats["breaker_failures"] = cfg.breaker_failures
+        pids = svc.pool.supervisor.all_pids()
+    finally:
+        watchdog.cancel()
+        JobJournal.fault_hook = old_hook
+        controller.cleanup()
+        svc.close()
+    violations += check_run(
+        jobs,
+        terminal_counts,
+        reference,
+        stats,
+        schedule,
+        timed_out.is_set(),
+        time_budget,
+        fired=controller.fired,
+    )
+    violations += check_no_orphans(pids)
+    try:
+        if controller.torn_wal and os.path.exists(journal_path):
+            with open(journal_path, "a", encoding="utf-8") as fh:
+                fh.write('{"type":"transition","job_id":"c00')  # torn tail
+        segments = journal_segments(journal_path)
+        if segments:
+            recovery = replay_journal(
+                segments if len(segments) > 1 else journal_path
+            )
+            journaled_done = set(recovery.done_payloads)
+            resume_jobs = campaign_jobs(cfg)
+            try:
+                run_jobs(
+                    resume_jobs,
+                    config=cfg,
+                    journal_path=journal_path,
+                    resume=True,
+                )
+            except Exception as exc:
+                violations.append(
+                    f"resume pass raised {type(exc).__name__}: {exc}"
+                )
+            else:
+                violations += check_resume(resume_jobs, journaled_done)
+        else:
+            violations.append("no journal segment survived the run")
+    finally:
+        shutil.rmtree(tmpdir, ignore_errors=True)
+    return ChaosRunOutcome(
+        schedule=schedule,
+        violations=violations,
+        fired=controller.fired_counts(),
+        elapsed_seconds=time.perf_counter() - started_at,
+    )
+
+
+@dataclass
+class ChaosFailure:
+    """A failing iteration with its (shrunk) replayable schedule."""
+
+    iteration: int
+    violations: list[str]
+    schedule: dict
+    shrunk: dict
+    schedule_path: str | None = None
+    shrunk_path: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "iteration": self.iteration,
+            "violations": self.violations,
+            "schedule": self.schedule,
+            "shrunk": self.shrunk,
+            "schedule_path": self.schedule_path,
+            "shrunk_path": self.shrunk_path,
+        }
+
+
+@dataclass
+class ChaosCampaignResult:
+    """Everything one chaos campaign learned."""
+
+    seed: int
+    iterations: int
+    processes: int
+    regimes: list[str] | None
+    plant_bug: str | None
+    elapsed_seconds: float = 0.0
+    runs: int = 0
+    fault_counts: dict[str, int] = field(default_factory=dict)
+    failures: list[ChaosFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "runs": self.runs,
+            "processes": self.processes,
+            "regimes": self.regimes,
+            "plant_bug": self.plant_bug,
+            "elapsed_seconds": round(self.elapsed_seconds, 3),
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+            "failures": [f.to_dict() for f in self.failures],
+            "ok": self.ok,
+        }
+
+    def format_text(self) -> str:
+        lines = [
+            f"chaos: {self.runs} run(s) in {self.elapsed_seconds:.1f}s "
+            f"(seed={self.seed}, processes={self.processes}"
+            + (f", plant_bug={self.plant_bug}" if self.plant_bug else "")
+            + ")",
+            "  faults injected: "
+            + (
+                " ".join(
+                    f"{k}={v}" for k, v in sorted(self.fault_counts.items())
+                )
+                or "(none fired)"
+            ),
+        ]
+        if self.ok:
+            lines.append("  all invariants held")
+        for failure in self.failures:
+            lines.append(
+                f"  FAILURE iteration {failure.iteration}: "
+                f"{failure.violations[0]}"
+                + (
+                    f" (+{len(failure.violations) - 1} more)"
+                    if len(failure.violations) > 1
+                    else ""
+                )
+            )
+            shrunk = failure.shrunk.get("faults", [])
+            lines.append(
+                "    shrunk schedule: "
+                + (
+                    " ".join(f"{f['kind']}@{f['at']}" for f in shrunk)
+                    or "(empty)"
+                )
+                + (
+                    f" -> {failure.shrunk_path}"
+                    if failure.shrunk_path
+                    else ""
+                )
+            )
+        return "\n".join(lines)
+
+
+def run_chaos_campaign(
+    seed: int = 0,
+    iterations: int = 25,
+    processes: int = 2,
+    regimes: list[str] | None = None,
+    schedule: ChaosSchedule | None = None,
+    shrink: bool = True,
+    shrink_max_checks: int = 6,
+    out_dir: str | None = None,
+    plant_bug: str | None = None,
+    time_budget: float = 60.0,
+    progress=None,
+) -> ChaosCampaignResult:
+    """Run a seeded chaos campaign; returns the campaign result.
+
+    ``schedule`` replays one fixed schedule instead of drawing per
+    iteration.  ``plant_bug`` installs a known recovery bug for the
+    whole campaign (including shrink re-runs, so shrinking converges on
+    the minimal schedule that exposes it).  Failing schedules (original
+    and shrunk) are written to ``out_dir`` as replayable JSON when set.
+    """
+    cfg = harness_config()
+    result = ChaosCampaignResult(
+        seed=seed,
+        iterations=iterations,
+        processes=processes,
+        regimes=list(regimes) if regimes else None,
+        plant_bug=plant_bug,
+    )
+    started = time.perf_counter()
+    with plant_fault(plant_bug):
+        reference = reference_results(cfg)
+        for iteration in range(iterations):
+            sched = (
+                schedule
+                if schedule is not None
+                else schedule_for_iteration(seed, iteration, regimes=regimes)
+            )
+            outcome = run_chaos_iteration(
+                sched,
+                reference,
+                config=cfg,
+                processes=processes,
+                time_budget=time_budget,
+            )
+            result.runs += 1
+            for kind, count in outcome.fired.items():
+                result.fault_counts[kind] = (
+                    result.fault_counts.get(kind, 0) + count
+                )
+            status = (
+                f"iteration {iteration}: {sched.describe()} -> "
+                + ("ok" if outcome.ok else "FAIL")
+                + f" ({outcome.elapsed_seconds:.1f}s)"
+            )
+            _log.info("%s", status)
+            if progress is not None:
+                progress(status)
+            if outcome.ok:
+                continue
+            shrunk = sched
+            if shrink and sched.faults:
+                shrunk = shrink_schedule(
+                    sched,
+                    lambda s: bool(
+                        run_chaos_iteration(
+                            s,
+                            reference,
+                            config=cfg,
+                            processes=processes,
+                            time_budget=time_budget,
+                        ).violations
+                    ),
+                    max_checks=shrink_max_checks,
+                )
+            failure = ChaosFailure(
+                iteration=iteration,
+                violations=outcome.violations,
+                schedule=sched.to_dict(),
+                shrunk=shrunk.to_dict(),
+            )
+            if out_dir:
+                os.makedirs(out_dir, exist_ok=True)
+                stem = os.path.join(
+                    out_dir, f"chaos_seed{seed}_i{iteration}"
+                )
+                failure.schedule_path = schedule_to_json(
+                    sched, f"{stem}.json"
+                )
+                failure.shrunk_path = schedule_to_json(
+                    shrunk, f"{stem}_shrunk.json"
+                )
+            result.failures.append(failure)
+    result.elapsed_seconds = time.perf_counter() - started
+    return result

@@ -1,0 +1,253 @@
+"""Seeded chaos schedules: which fault fires at which dispatch event.
+
+A :class:`ChaosSchedule` is an ordered list of ``(event_point, fault)``
+pairs.  The *event point* is the broker's global dispatch counter: the
+n-th ``MSG_JOB`` handed to a worker is event ``n`` (requeues count, so a
+schedule can target a job's retry as well as its first dispatch).  The
+:class:`~repro.chaos.injectors.ChaosController` fires every fault whose
+point matches the current dispatch, against the slot being dispatched
+to -- deterministic given the schedule and the broker's deterministic
+lowest-slot-first placement.
+
+Schedules are drawn from a seeded ``numpy`` generator per
+``(seed, iteration)`` (:func:`schedule_for_iteration`), round-trip
+through JSON (:func:`schedule_to_json` / :func:`load_schedule`,
+format ``repro-chaos-schedule-v1``) for replay and CI artifacts, and
+shrink to a minimal failing fault list with the same delta-debugging
+reducer the fuzz harness uses (:func:`shrink_schedule`, built on
+:func:`repro.verify.fuzz.shrink.shrink_sequence`).
+
+Fault kinds by regime:
+
+========== =================================================================
+transport  ``corrupt_frame``   flip the magic of the next frame to the slot
+           ``truncate_frame``  send half the frame, then drop the connection
+           ``duplicate_frame`` send the job frame twice
+           ``delay_frame``     hold the frame back for ``arg`` seconds
+           ``drop_conn``       close the worker's connection mid-dispatch
+           ``corrupt_result``  mangle the next DONE result's array descriptor
+process    ``kill_worker``     SIGKILL the dispatched-to worker
+           ``stop_worker``     SIGSTOP it (stale-heartbeat path must kill it)
+           ``crashloop``       SIGKILL the slot on every respawn until the
+                               breaker quarantines it
+disk       ``journal_error``   next broker-journal append raises ENOSPC
+           ``torn_wal``        append a half-written record before resume
+========== =================================================================
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "ChaosFault",
+    "ChaosSchedule",
+    "FAULT_KINDS",
+    "REGIMES",
+    "load_schedule",
+    "schedule_for_iteration",
+    "schedule_from_dict",
+    "schedule_to_json",
+    "shrink_schedule",
+]
+
+SCHEDULE_FORMAT = "repro-chaos-schedule-v1"
+
+TRANSPORT_FAULTS = (
+    "corrupt_frame",
+    "truncate_frame",
+    "duplicate_frame",
+    "delay_frame",
+    "drop_conn",
+    "corrupt_result",
+)
+PROCESS_FAULTS = ("kill_worker", "stop_worker", "crashloop")
+DISK_FAULTS = ("journal_error", "torn_wal")
+
+FAULT_KINDS = TRANSPORT_FAULTS + PROCESS_FAULTS + DISK_FAULTS
+
+REGIMES: dict[str, tuple[str, ...]] = {
+    "transport": TRANSPORT_FAULTS,
+    "process": PROCESS_FAULTS,
+    "disk": DISK_FAULTS,
+    "mixed": FAULT_KINDS,
+}
+
+#: Event points are drawn from ``[0, MAX_EVENT_POINT)``.  The harness
+#: workload dispatches ~5 groups plus requeues; points past the last
+#: dispatch simply never fire (and shrink away).
+MAX_EVENT_POINT = 8
+
+#: At most this many process faults per schedule, and at most one
+#: ``crashloop``: the invariant "every job still completes" needs the
+#: fleet to stay viable, and a schedule that quarantines every slot
+#: would fail for a reason the harness *intends* (see
+#: ``docs/RESILIENCE.md``), not because recovery is broken.
+MAX_PROCESS_FAULTS = 3
+
+
+@dataclass(frozen=True)
+class ChaosFault:
+    """One scheduled fault: fire ``kind`` at dispatch event ``at``."""
+
+    at: int
+    kind: str
+    #: Kind-specific knob (currently only ``delay_frame``'s hold time).
+    arg: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown chaos fault kind {self.kind!r}")
+
+    def to_dict(self) -> dict:
+        return {"at": self.at, "kind": self.kind, "arg": self.arg}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ChaosFault":
+        arg = data.get("arg")
+        return cls(
+            at=int(data["at"]),
+            kind=data["kind"],
+            arg=float(arg) if arg is not None else None,
+        )
+
+
+@dataclass(frozen=True)
+class ChaosSchedule:
+    """A replayable fault plan for one chaos run."""
+
+    seed: int
+    iteration: int
+    regime: str
+    faults: tuple[ChaosFault, ...]
+
+    def process_fault_count(self) -> int:
+        return sum(1 for f in self.faults if f.kind in PROCESS_FAULTS)
+
+    def has(self, kind: str) -> bool:
+        return any(f.kind == kind for f in self.faults)
+
+    def with_faults(self, faults) -> "ChaosSchedule":
+        """The same schedule metadata over a different fault list."""
+        return ChaosSchedule(
+            seed=self.seed,
+            iteration=self.iteration,
+            regime=self.regime,
+            faults=tuple(faults),
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "format": SCHEDULE_FORMAT,
+            "seed": self.seed,
+            "iteration": self.iteration,
+            "regime": self.regime,
+            "faults": [f.to_dict() for f in self.faults],
+        }
+
+    def describe(self) -> str:
+        """One-line human form: ``kill_worker@2 corrupt_frame@4``."""
+        if not self.faults:
+            return "(no faults)"
+        return " ".join(f"{f.kind}@{f.at}" for f in self.faults)
+
+
+def schedule_from_dict(data: dict) -> ChaosSchedule:
+    """Rebuild a schedule from its JSON document (validates format)."""
+    if data.get("format") != SCHEDULE_FORMAT:
+        raise ValueError(
+            f"not a chaos schedule (format={data.get('format')!r})"
+        )
+    return ChaosSchedule(
+        seed=int(data.get("seed", 0)),
+        iteration=int(data.get("iteration", 0)),
+        regime=str(data.get("regime", "mixed")),
+        faults=tuple(ChaosFault.from_dict(f) for f in data["faults"]),
+    )
+
+
+def schedule_to_json(schedule: ChaosSchedule, path: str) -> str:
+    """Write the schedule as a replayable JSON file; returns ``path``."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(schedule.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_schedule(path: str) -> ChaosSchedule:
+    """Read a replayable schedule back from its JSON file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return schedule_from_dict(json.load(fh))
+
+
+def schedule_for_iteration(
+    seed: int,
+    iteration: int,
+    regimes: list[str] | None = None,
+    max_faults: int = 4,
+) -> ChaosSchedule:
+    """Draw iteration ``i``'s schedule deterministically from the seed.
+
+    Same ``(seed, iteration, regimes)`` -> same schedule, on any machine
+    (``numpy`` Generator streams are versioned and reproducible), so a
+    failure seen in CI replays locally from just the seed.
+    """
+    names = list(regimes) if regimes else list(REGIMES)
+    for name in names:
+        if name not in REGIMES:
+            raise ValueError(
+                f"unknown chaos regime {name!r} (have {sorted(REGIMES)})"
+            )
+    rng = np.random.default_rng(np.random.SeedSequence([seed, iteration]))
+    regime = names[int(rng.integers(0, len(names)))]
+    kinds = REGIMES[regime]
+    count = int(rng.integers(1, max_faults + 1))
+    faults: list[ChaosFault] = []
+    process_used = 0
+    crashloop_used = False
+    for _ in range(count):
+        kind = kinds[int(rng.integers(0, len(kinds)))]
+        if kind in PROCESS_FAULTS and process_used >= MAX_PROCESS_FAULTS:
+            continue
+        if kind == "crashloop" and crashloop_used:
+            kind = "kill_worker"
+        at = int(rng.integers(0, MAX_EVENT_POINT))
+        arg = None
+        if kind == "delay_frame":
+            arg = round(float(rng.uniform(0.02, 0.12)), 4)
+        if kind in PROCESS_FAULTS:
+            process_used += 1
+        if kind == "crashloop":
+            crashloop_used = True
+        faults.append(ChaosFault(at=at, kind=kind, arg=arg))
+    faults.sort(key=lambda f: (f.at, f.kind))
+    return ChaosSchedule(
+        seed=seed, iteration=iteration, regime=regime, faults=tuple(faults)
+    )
+
+
+def shrink_schedule(
+    schedule: ChaosSchedule,
+    still_fails,
+    max_checks: int = 8,
+) -> ChaosSchedule:
+    """Minimize a failing schedule's fault list.
+
+    ``still_fails(candidate_schedule) -> bool`` re-runs the chaos
+    iteration; every check is a full fleet run, so ``max_checks``
+    defaults far lower than circuit shrinking's.  Delegates the chunked
+    deletion to :func:`repro.verify.fuzz.shrink.shrink_sequence`.
+    """
+    from repro.verify.fuzz.shrink import shrink_sequence
+
+    if not schedule.faults:
+        return schedule
+    best = shrink_sequence(
+        list(schedule.faults),
+        lambda faults: still_fails(schedule.with_faults(faults)),
+        max_checks=max_checks,
+    )
+    return schedule.with_faults(best)

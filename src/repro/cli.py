@@ -16,6 +16,8 @@ Examples::
     python -m repro serve batch.jsonl --plant-bug transient-crash
     python -m repro serve batch.jsonl --telemetry tele.jsonl \\
         --prometheus metrics.prom --trace batch.json
+    python -m repro chaos --seed 0 --iterations 25
+    python -m repro chaos --plant-bug respawn-accounting --out-dir /tmp/chaos
     python -m repro report tele.jsonl
     python -m repro bench-compare BENCH_a.json BENCH_b.json --threshold 0.2
 
@@ -482,6 +484,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     if args.resume and not args.journal:
         raise ReproError("--resume requires --journal PATH")
+    if args.journal_fsync and not args.journal:
+        raise ReproError("--journal-fsync requires --journal PATH")
     tracer = _make_tracer(args)
     service = sampler = None
     if args.processes > 0:
@@ -523,6 +527,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
                 args.manifest, config=config, tracer=tracer,
                 service=service,
                 journal_path=args.journal, resume=args.resume,
+                journal_fsync=args.journal_fsync or None,
             )
     finally:
         if sampler is not None:
@@ -663,6 +668,45 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         if args.profile:
             print()
             print(format_summary_table(tracer, result.seconds))
+    return 0 if result.ok else 1
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Seeded chaos campaign against the process fleet (docs/RESILIENCE.md)."""
+    from repro.chaos import REGIMES, load_schedule, run_chaos_campaign
+
+    if args.list_faults:
+        for name, kinds in sorted(REGIMES.items()):
+            print(f"{name:12s} {' '.join(kinds)}")
+        return 0
+    regimes = args.regimes.split(",") if args.regimes else None
+    if regimes:
+        for name in regimes:
+            if name not in REGIMES:
+                raise ReproError(
+                    f"unknown chaos regime {name!r} "
+                    f"(have {sorted(REGIMES)})"
+                )
+    schedule = load_schedule(args.schedule) if args.schedule else None
+    try:
+        result = run_chaos_campaign(
+            seed=args.seed,
+            iterations=1 if schedule is not None else args.iterations,
+            processes=args.processes,
+            regimes=regimes,
+            schedule=schedule,
+            shrink=not args.no_shrink,
+            out_dir=args.out_dir,
+            plant_bug=args.plant_bug,
+            time_budget=args.time_budget,
+            progress=None if args.json else print,
+        )
+    except ValueError as exc:
+        raise ReproError(str(exc)) from exc
+    if args.json:
+        print(json.dumps(result.summary_dict(), indent=2))
+    else:
+        print(result.format_text())
     return 0 if result.ok else 1
 
 
@@ -855,6 +899,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_fuzz)
 
     p = sub.add_parser(
+        "chaos",
+        help="seeded chaos-injection campaign against the process fleet "
+             "(fault schedules + self-healing invariant checks; see "
+             "docs/RESILIENCE.md)",
+    )
+    p.add_argument("--seed", type=int, default=0,
+                   help="campaign seed (every iteration's schedule "
+                        "derives from it)")
+    p.add_argument("--iterations", type=int, default=25)
+    p.add_argument("--schedule", metavar="PATH", default=None,
+                   help="replay one fault schedule from JSON instead of "
+                        "drawing seeded schedules")
+    p.add_argument("--regimes", metavar="A,B,...",
+                   help="restrict fault regimes (transport, process, "
+                        "disk, mixed; default: all)")
+    p.add_argument("--list-faults", action="store_true",
+                   help="print the fault vocabulary per regime and exit")
+    p.add_argument("--processes", type=int, default=2,
+                   help="worker fleet size under test")
+    p.add_argument("--time-budget", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="per-iteration recovery deadline; exceeding it is "
+                        "an invariant violation")
+    p.add_argument("--no-shrink", action="store_true",
+                   help="keep failing schedules unminimized")
+    p.add_argument("--out-dir", default=None, metavar="DIR",
+                   help="write failing schedules (original and shrunk) "
+                        "here as replayable JSON")
+    p.add_argument("--plant-bug", metavar="NAME", default=None,
+                   help="install a named recovery bug (respawn-accounting, "
+                        "resume-reexecute) to demo the harness end to end")
+    p.add_argument("--json", action="store_true")
+    p.set_defaults(func=cmd_chaos)
+
+    p = sub.add_parser(
         "serve",
         help="run a JSONL batch manifest through the simulation service",
     )
@@ -892,6 +971,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--resume", action="store_true",
                    help="replay an existing --journal first: DONE jobs "
                         "complete from the result cache, the rest re-run")
+    p.add_argument("--journal-fsync", action="store_true",
+                   help="fsync the journal after every record (survives "
+                        "power loss, not just process crashes; slower)")
     p.add_argument("--telemetry", metavar="PATH", default=None,
                    help="sample the service metrics registry on an "
                         "interval into a JSONL time series "

@@ -9,6 +9,8 @@ instead of threads, escaping the GIL for CPU-bound simulation:
 * :mod:`~repro.cluster.transport` -- loopback-TCP connections.
 * :mod:`~repro.cluster.worker` -- the worker-process entry point.
 * :mod:`~repro.cluster.supervisor` -- process spawn/watch/respawn.
+* :mod:`~repro.cluster.breaker` -- respawn backoff + per-slot circuit
+  breaker (crash-looping slots are quarantined).
 * :mod:`~repro.cluster.broker` -- dispatch, fan-out, fault handling, and
   :class:`~repro.cluster.broker.ClusterService` (the drop-in service).
 
@@ -28,6 +30,7 @@ __all__ = [
     "MAX_PAYLOAD_BYTES",
     "ClusterDispatcher",
     "ClusterService",
+    "SlotBreaker",
     "pack_frame",
     "read_frame",
     "unpack_frame",
@@ -41,4 +44,8 @@ def __getattr__(name):
         from repro.cluster import broker
 
         return getattr(broker, name)
+    if name == "SlotBreaker":
+        from repro.cluster.breaker import SlotBreaker
+
+        return SlotBreaker
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,136 @@
+"""Per-slot failure accounting: respawn backoff and circuit breaking.
+
+PR 8's broker respawned a dead worker slot immediately and
+unconditionally (up to a small budget).  That is the wrong shape for a
+*crash-looping* slot -- a worker that dies on startup (bad interpreter
+state, poisoned cache directory, OOM-killer target) gets respawned in a
+hot loop, burning a process spawn (~0.35 s of interpreter start here)
+per iteration and flooding the journal with death records.
+
+:class:`SlotBreaker` gives every slot two independent guards:
+
+* **Jittered exponential backoff** -- the n-th *consecutive* death of a
+  slot delays its replacement by ``base * 2**(n-1)`` seconds (capped),
+  multiplied by a deterministic jitter in ``[0.5, 1.5)`` so a fleet
+  whose workers all died together does not respawn in lockstep.
+* **Circuit breaker** -- a slot that dies ``failures`` times inside a
+  sliding ``window_seconds`` window is *quarantined*: no further
+  respawns, and the broker subtracts its capacity from admission
+  control (see ``ClusterDispatcher.brownout_reason``).
+
+A slot that completes a job (``record_success``) resets both its
+consecutive-death count and its failure window: crash *looping* trips
+the breaker, an occasional death amid useful work does not.
+
+Determinism: the jitter is derived from ``(seed, slot, n)`` via
+``random.Random``, never from wall-clock entropy, so a chaos replay
+observes identical backoff decisions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = ["SlotBreaker"]
+
+
+class SlotBreaker:
+    """Failure window + backoff state for a fleet of worker slots.
+
+    Single-threaded by design: the broker's dispatch loop is the only
+    caller (reader threads publish events, they never touch the breaker
+    directly).
+    """
+
+    def __init__(
+        self,
+        slots: int,
+        failures: int = 3,
+        window_seconds: float = 60.0,
+        backoff_base: float = 0.25,
+        backoff_max: float = 10.0,
+        registry: "MetricsRegistry | None" = None,
+        seed: int = 0,
+    ) -> None:
+        self.slots = slots
+        self.failures = failures
+        self.window_seconds = window_seconds
+        self.backoff_base = backoff_base
+        self.backoff_max = backoff_max
+        self.registry = registry
+        self.seed = seed
+        #: Sliding window of death timestamps per slot.
+        self._window: dict[int, list[float]] = {s: [] for s in range(slots)}
+        #: Consecutive deaths since the last completed job, per slot.
+        self._consecutive: dict[int, int] = {s: 0 for s in range(slots)}
+        #: Lifetime death count per slot (never reset; for stats/tests).
+        self.death_counts: dict[int, int] = {s: 0 for s in range(slots)}
+        self._quarantined: set[int] = set()
+
+    # -- recording ---------------------------------------------------
+
+    def record_failure(self, slot: int, now: float) -> float | None:
+        """Note one death of ``slot`` at monotonic time ``now``.
+
+        Returns the backoff delay (seconds) before the slot may be
+        respawned, or ``None`` if this death tripped the breaker and the
+        slot is now quarantined (no respawn).  Idempotent per actual
+        death -- the caller dedupes EOF-vs-poll double reports.
+        """
+        if slot in self._quarantined:
+            return None
+        self.death_counts[slot] += 1
+        self._consecutive[slot] += 1
+        window = self._window[slot]
+        window.append(now)
+        cutoff = now - self.window_seconds
+        while window and window[0] < cutoff:
+            window.pop(0)
+        if self.registry is not None:
+            self.registry.counter("cluster.breaker.failures").inc()
+        if len(window) >= self.failures:
+            self._quarantined.add(slot)
+            if self.registry is not None:
+                self.registry.counter("cluster.breaker.trips").inc()
+                self.registry.gauge("cluster.breaker.quarantined").set(
+                    len(self._quarantined)
+                )
+            return None
+        if self.registry is not None:
+            self.registry.counter("cluster.breaker.backoffs").inc()
+        return self.backoff_delay(slot, self._consecutive[slot])
+
+    def record_success(self, slot: int) -> None:
+        """A worker on ``slot`` completed a job: reset its guards."""
+        self._consecutive[slot] = 0
+        self._window[slot].clear()
+
+    # -- queries -----------------------------------------------------
+
+    def backoff_delay(self, slot: int, consecutive: int) -> float:
+        """Jittered exponential delay for the n-th consecutive death."""
+        n = max(1, consecutive)
+        delay = min(self.backoff_max, self.backoff_base * 2 ** (n - 1))
+        rng = random.Random(f"{self.seed}:{slot}:{n}")
+        return delay * (0.5 + rng.random())
+
+    def is_quarantined(self, slot: int) -> bool:
+        return slot in self._quarantined
+
+    @property
+    def quarantined(self) -> frozenset[int]:
+        return frozenset(self._quarantined)
+
+    def healthy_slots(self) -> int:
+        """Slots not quarantined (alive, backing off, or respawnable)."""
+        return self.slots - len(self._quarantined)
+
+    def stats(self) -> dict:
+        return {
+            "quarantined": sorted(self._quarantined),
+            "death_counts": dict(self.death_counts),
+        }

@@ -28,11 +28,26 @@ Fault handling:
   (``max_retries``): each fatal dispatch burns one retry; past the
   budget the job FAILs permanently, exactly like a persistent transient
   fault in-process.
-* **Crashed slots respawn** within a small budget, so one bad worker
-  does not shrink the fleet for the rest of the batch.
+* **Crashed slots respawn** behind a :class:`~repro.cluster.breaker
+  .SlotBreaker`: each consecutive death delays the replacement by a
+  jittered exponential backoff, and a slot that dies K times inside a
+  window is *quarantined* -- no more respawns, capacity subtracted from
+  admission control.  So one bad worker neither shrinks the fleet for
+  the rest of the batch nor burns CPU in a spawn loop.
+* **Brownout**: when the fleet's healthy capacity falls below
+  ``ServeConfig.brownout_min_alive_fraction``, new submissions are shed
+  at admission (:meth:`ClusterDispatcher.brownout_reason`, consulted by
+  the job queue's ``shed_check``) with a structured reject-with-reason
+  instead of queuing work the fleet cannot absorb.
 * **Graceful drain** (:meth:`ClusterDispatcher.request_drain`, wired to
   SIGTERM by the CLI) stops new dispatch, lets in-flight jobs finish,
   and leaves the rest PENDING for ``--resume``.
+
+Chaos hook points: a :attr:`ClusterDispatcher.chaos` controller (see
+:mod:`repro.chaos.injectors`), when set, observes worker connect-backs
+(``worker_up``), job dispatches (``dispatch``), and result frames
+(``result``) from inside the dispatch loop.  Production leaves it None;
+the hooks cost one attribute check each.
 """
 
 from __future__ import annotations
@@ -47,6 +62,7 @@ from collections import deque
 import numpy as np
 
 from repro.cluster import protocol
+from repro.cluster.breaker import SlotBreaker
 from repro.cluster.supervisor import WorkerSupervisor, worker_spec
 from repro.cluster.transport import Connection, Listener
 from repro.common.config import ServeConfig
@@ -93,7 +109,7 @@ class ClusterDispatcher:
         self.processes = processes
         self.heartbeat_timeout = heartbeat_timeout
         self.internal_errors = 0
-        self.listener = Listener()
+        self.listener = Listener(io_timeout=self.config.io_deadline_seconds)
         #: Per-spawn secret: a connecting peer that cannot echo it is not
         #: one of our workers and is dropped at the handshake.
         self.token = secrets.token_hex(16)
@@ -118,11 +134,31 @@ class ClusterDispatcher:
         self._started = False
         self._closed = False
         self._draining = False
+        #: Backoff + quarantine accounting for crash-looping slots.
+        self.breaker = SlotBreaker(
+            processes,
+            failures=self.config.breaker_failures,
+            window_seconds=self.config.breaker_window_seconds,
+            backoff_base=self.config.respawn_backoff_base,
+            backoff_max=self.config.respawn_backoff_max,
+            registry=self.registry,
+        )
+        #: slot -> monotonic time its delayed respawn becomes due.
+        self._respawn_due: dict[int, float] = {}
+        #: Dead pids already run through the breaker: the EOF "down"
+        #: event and :meth:`WorkerSupervisor.poll_dead` both report the
+        #: same death; the breaker must count it once.
+        self._noted_dead_pids: set[int] = set()
+        self._last_maintenance = 0.0
+        #: Chaos controller hook (:mod:`repro.chaos.injectors`); None in
+        #: production.
+        self.chaos = None
         # Fleet stats surfaced in the serve report's ``cluster`` block.
         self.dispatched = 0
         self.results = 0
         self.worker_deaths = 0
         self.requeues = 0
+        self.brownout_rejections = 0
 
     # -- fleet lifecycle ----------------------------------------------
 
@@ -149,7 +185,7 @@ class ClusterDispatcher:
         for conn in conns:
             try:
                 conn.send({"type": protocol.MSG_DRAIN})
-            except OSError:
+            except (OSError, ProtocolError):
                 pass
         self.supervisor.terminate_all()
         for conn in conns:
@@ -232,13 +268,17 @@ class ClusterDispatcher:
                 self._fill_workers(pending, ready, inflight, dispatch_counts, cache)
             if not pending and not inflight:
                 break
+            # Time-based, not idle-based: a steady stream of heartbeats
+            # must not starve stale-detection or due respawns.
+            self._maintenance(pending, ready, inflight, dispatch_counts)
             try:
-                kind, slot, conn, msg, payload = self._events.get(timeout=0.2)
+                kind, slot, conn, msg, payload = self._events.get(timeout=0.05)
             except queue_mod.Empty:
-                self._on_idle_tick(pending, ready, inflight, dispatch_counts, cache)
                 continue
             if kind == "up":
                 self._last_beat[slot] = time.monotonic()
+                if self.chaos is not None:
+                    self.chaos.worker_up(self, slot, conn)
                 if slot not in inflight:
                     ready.add(slot)
             elif kind == "beat":
@@ -251,8 +291,17 @@ class ClusterDispatcher:
                 entry = inflight.get(slot)
                 if entry is None or entry[2] is not conn:
                     continue  # stale frame from a replaced connection
+                if msg.get("job_id") not in (None, entry[1].job_id):
+                    # A duplicated or delayed frame from an earlier
+                    # dispatch must not complete the job currently in
+                    # flight with the wrong state vector.
+                    self.registry.counter("cluster.stale_results").inc()
+                    continue
+                if self.chaos is not None:
+                    msg, payload = self.chaos.result(self, slot, msg, payload)
                 group, job, _ = inflight.pop(slot)
                 ready.add(slot)
+                self.breaker.record_success(slot)
                 self.registry.gauge(f"cluster.worker.w{slot}.inflight").set(0)
                 self._handle_result(
                     group, job, msg, payload, cache, pending
@@ -308,14 +357,18 @@ class ClusterDispatcher:
         if job.trace is not None:
             job.trace.mark("run")
         dispatch_counts[job.job_id] = dispatch_counts.get(job.job_id, 0) + 1
+        if self.chaos is not None:
+            self.chaos.dispatch(self, slot, job)
         try:
             conn.send(
                 {"type": protocol.MSG_JOB, "job": job.to_wire()},
                 b"",
             )
-        except OSError:
+        except (OSError, ProtocolError):
             # The reader thread will surface this as a "down" event,
-            # which requeues the job like any other dead worker.
+            # which requeues the job like any other dead worker.  A
+            # send deadline (ProtocolError "timeout") means the peer is
+            # wedged; the stale-heartbeat path kills it the same way.
             pass
         inflight[slot] = (group, job, conn)
         self.dispatched += 1
@@ -455,9 +508,7 @@ class ClusterDispatcher:
                 group, job, pending, dispatch_counts,
                 "worker process died while running the job",
             )
-        if (pending or inflight) and not self._draining and not self._closed:
-            if self.supervisor.respawn(slot):
-                self.registry.counter("cluster.respawns").inc()
+        self._note_death(slot)
 
     def _requeue_or_fail(
         self, group, job: Job, pending, dispatch_counts, reason: str
@@ -489,11 +540,52 @@ class ClusterDispatcher:
         # group's representative again on the next dispatch.
         pending.appendleft(group)
 
-    def _on_idle_tick(
-        self, pending, ready, inflight, dispatch_counts, cache
-    ) -> None:
-        """No events for a beat: check heartbeats and silent deaths."""
+    def _note_death(self, slot: int) -> None:
+        """Run one worker death through the breaker, once per pid.
+
+        Deaths reach the loop twice -- socket EOF and
+        :meth:`WorkerSupervisor.poll_dead` -- so this dedupes on the dead
+        pid before recording the failure and scheduling the (backed-off)
+        respawn.  A quarantine verdict cancels any scheduled respawn.
+        """
+        if self._draining or self._closed:
+            return
+        pid = self.supervisor.pid(slot)
+        if pid is None or pid in self._noted_dead_pids:
+            return
+        if self.supervisor.is_alive(slot):
+            # Connection dropped but the process lives: the stale
+            # heartbeat path will kill it, and that death is noted.
+            return
+        self._noted_dead_pids.add(pid)
         now = time.monotonic()
+        delay = self.breaker.record_failure(slot, now)
+        if delay is None:
+            self._respawn_due.pop(slot, None)
+            _log.warning(
+                "worker slot %d quarantined after %d deaths in %.0fs",
+                slot,
+                self.breaker.failures,
+                self.breaker.window_seconds,
+            )
+            return
+        self._respawn_due[slot] = now + delay
+        _log.info(
+            "worker slot %d death noted; respawn backed off %.2fs",
+            slot, delay,
+        )
+
+    def _maintenance(self, pending, ready, inflight, dispatch_counts) -> None:
+        """Stale heartbeats, silent deaths, due respawns, hopeless fleets.
+
+        Called on every dispatch-loop iteration (rate-limited), not just
+        when the event queue goes idle -- a fleet that heartbeats busily
+        must still detect a wedged worker among the chatter.
+        """
+        now = time.monotonic()
+        if now - self._last_maintenance < 0.05:
+            return
+        self._last_maintenance = now
         for slot, beat in list(self._last_beat.items()):
             if now - beat > self.heartbeat_timeout:
                 _log.warning(
@@ -501,6 +593,7 @@ class ClusterDispatcher:
                     slot, now - beat,
                 )
                 del self._last_beat[slot]
+                self.registry.counter("cluster.stale_heartbeats").inc()
                 self.supervisor.kill(slot)
                 with self._lock:
                     conn = self._conns.get(slot)
@@ -510,15 +603,26 @@ class ClusterDispatcher:
         with self._lock:
             connected = set(self._conns)
         for slot in self.supervisor.poll_dead():
-            if slot not in connected and pending:
-                if self.supervisor.respawn(slot):
-                    self.registry.counter("cluster.respawns").inc()
+            if slot not in connected:
+                self._note_death(slot)
+        if (pending or inflight) and not self._draining and not self._closed:
+            for slot, due in sorted(self._respawn_due.items()):
+                if now >= due:
+                    del self._respawn_due[slot]
+                    if self.supervisor.respawn(slot):
+                        self.registry.counter("cluster.respawns").inc()
         if (
             self._started
             and not ready
             and not inflight
             and pending
             and self.supervisor.alive == 0
+            and not self._respawn_due
+            and all(
+                self.breaker.is_quarantined(slot)
+                or not self.supervisor.can_respawn(slot)
+                for slot in range(self.processes)
+            )
         ):
             # The whole fleet is gone and cannot come back: fail what is
             # left instead of waiting forever.
@@ -536,6 +640,45 @@ class ClusterDispatcher:
                     self.registry.counter("serve.jobs.failed").inc()
                     finalize_job_trace(job, self.registry, self.tracer)
 
+    # -- admission / brownout ------------------------------------------
+
+    def healthy_capacity(self) -> int:
+        """Worker slots that are quarantine-free and alive or respawnable."""
+        healthy = 0
+        for slot in range(self.processes):
+            if self.breaker.is_quarantined(slot):
+                continue
+            if (
+                self._started
+                and not self.supervisor.is_alive(slot)
+                and not self.supervisor.can_respawn(slot)
+                and slot not in self._respawn_due
+            ):
+                continue
+            healthy += 1
+        return healthy
+
+    def brownout_reason(self) -> str | None:
+        """Admission-time shed check (wired to ``JobQueue.shed_check``).
+
+        Returns ``"brownout"`` while the fleet's healthy capacity sits
+        below ``brownout_min_alive_fraction`` of its nominal size, which
+        the queue turns into a structured
+        :class:`~repro.common.errors.AdmissionError` -- backpressure
+        with a reason, instead of queueing jobs the fleet cannot absorb.
+        """
+        fraction = self.config.brownout_min_alive_fraction
+        if fraction <= 0 or not self._started:
+            return None
+        healthy = self.healthy_capacity()
+        active = healthy < fraction * self.processes
+        self.registry.gauge("cluster.brownout.active").set(1 if active else 0)
+        if active:
+            self.brownout_rejections += 1
+            self.registry.counter("cluster.brownout.rejections").inc()
+            return "brownout"
+        return None
+
     # -- reporting -----------------------------------------------------
 
     def cluster_stats(self) -> dict:
@@ -550,6 +693,10 @@ class ClusterDispatcher:
             "worker_deaths": self.worker_deaths,
             "requeues": self.requeues,
             "respawns": self.supervisor.respawns,
+            "respawn_counts": dict(self.supervisor.respawn_counts),
+            "quarantined": sorted(self.breaker.quarantined),
+            "healthy_capacity": self.healthy_capacity(),
+            "brownout_rejections": self.brownout_rejections,
             "drained": self._draining,
         }
 
@@ -585,6 +732,8 @@ class ClusterService(SimulationService):
             heartbeat_interval=heartbeat_interval,
             heartbeat_timeout=heartbeat_timeout,
         )
+        # Brownout: admission consults the fleet's health before queuing.
+        self.queue.shed_check = self.pool.brownout_reason
 
     def request_drain(self) -> None:
         """Graceful SIGTERM path: finish in-flight work, keep the rest."""

@@ -12,6 +12,12 @@ supervisor only deals in processes.  The two detect death independently
 -- the broker's reader thread sees the socket EOF within milliseconds of
 a SIGKILL, while :meth:`WorkerSupervisor.poll_dead` catches a process
 that died before ever connecting.
+
+The respawn budget here is a last-ditch backstop; the *operative* guard
+against crash loops is the broker's :class:`~repro.cluster.breaker
+.SlotBreaker`, which quarantines a slot after K deaths in a window and
+spaces respawns with jittered exponential backoff.  The budget defaults
+high enough that the breaker always trips first.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ from __future__ import annotations
 import logging
 import multiprocessing
 import os
+import signal
 from dataclasses import asdict
 
 from repro.common.config import ServeConfig
@@ -27,8 +34,10 @@ __all__ = ["WorkerSupervisor", "worker_spec"]
 
 _log = logging.getLogger("repro.cluster.supervisor")
 
-#: Respawns allowed per slot before the broker gives up on it.
-DEFAULT_RESPAWN_BUDGET = 2
+#: Respawns allowed per slot before the broker gives up on it.  Set
+#: above the breaker's trip point (``ServeConfig.breaker_failures``) so
+#: quarantine -- not budget exhaustion -- is what stops a crash loop.
+DEFAULT_RESPAWN_BUDGET = 8
 
 
 def worker_spec(
@@ -81,6 +90,15 @@ class WorkerSupervisor:
             slot: respawn_budget for slot in range(processes)
         }
         self.respawns = 0
+        #: Respawns per slot (for bounded-respawn invariant checks).
+        self.respawn_counts: dict[int, int] = {
+            slot: 0 for slot in range(processes)
+        }
+        #: Every pid ever launched, per slot -- the chaos harness's
+        #: no-orphan invariant sweeps this after teardown.
+        self.pid_history: dict[int, list[int]] = {
+            slot: [] for slot in range(processes)
+        }
 
     # -- lifecycle -----------------------------------------------------
 
@@ -96,12 +114,16 @@ class WorkerSupervisor:
         )
         proc.start()
         self._procs[slot] = proc
+        self.pid_history[slot].append(proc.pid)
         _log.info("worker slot %d spawned (pid %d)", slot, proc.pid)
 
     def start_all(self) -> None:
         for slot in range(self.processes):
             if slot not in self._procs:
                 self.spawn(slot)
+
+    def can_respawn(self, slot: int) -> bool:
+        return self._respawns_left.get(slot, 0) > 0
 
     def respawn(self, slot: int) -> bool:
         """Relaunch a dead slot if its budget allows; False when spent."""
@@ -113,6 +135,7 @@ class WorkerSupervisor:
             return False
         self._respawns_left[slot] -= 1
         self.respawns += 1
+        self.respawn_counts[slot] = self.respawn_counts.get(slot, 0) + 1
         self.spawn(slot)
         return True
 
@@ -130,9 +153,17 @@ class WorkerSupervisor:
         proc = self._procs.get(slot)
         return proc.pid if proc is not None else None
 
+    def is_alive(self, slot: int) -> bool:
+        proc = self._procs.get(slot)
+        return proc is not None and proc.is_alive()
+
     @property
     def alive(self) -> int:
         return sum(1 for p in self._procs.values() if p.is_alive())
+
+    def all_pids(self) -> list[int]:
+        """Every pid this supervisor ever launched (dead or alive)."""
+        return [pid for pids in self.pid_history.values() for pid in pids]
 
     # -- teardown ------------------------------------------------------
 
@@ -146,6 +177,13 @@ class WorkerSupervisor:
         """Stop every worker: join briefly, then escalate to kill."""
         for proc in self._procs.values():
             if proc.is_alive():
+                # A SIGSTOPped worker cannot act on SIGTERM; resume it
+                # first so graceful shutdown has a chance before the
+                # SIGKILL escalation below.
+                try:
+                    os.kill(proc.pid, signal.SIGCONT)
+                except (OSError, TypeError):  # pragma: no cover
+                    pass
                 proc.terminate()
         for proc in self._procs.values():
             proc.join(timeout=grace_seconds)

@@ -12,20 +12,46 @@ worker is the original or a respawned replacement.
 the worker's heartbeat thread and its result sends never interleave
 bytes; receives are single-reader by construction (one reader thread per
 connection on the broker, the main loop on the worker).
+
+Both directions carry an I/O deadline (``io_timeout``): a peer that
+neither produces bytes nor accepts them within the window raises
+``ProtocolError("timeout", ...)`` instead of blocking forever.  A
+half-open TCP peer (e.g. a SIGSTOPped worker with a full receive
+buffer) otherwise wedges the sender for good -- the deadline turns that
+hang into a structured error the broker's fault paths already handle.
+
+For fault injection, a connection accepts an optional ``send_filter``
+hook: a callable seeing every outbound frame that may pass it through,
+rewrite it, duplicate it, or drop it.  The chaos harness
+(:mod:`repro.chaos`) is the only intended user; production code leaves
+it ``None``.
 """
 
 from __future__ import annotations
 
 import socket
 import threading
+from typing import Callable, Optional
 
+from repro.common.errors import ProtocolError
 from repro.cluster.protocol import (
     MAX_PAYLOAD_BYTES,
     pack_frame,
     read_frame,
 )
 
-__all__ = ["Connection", "Listener", "connect"]
+__all__ = ["Connection", "Listener", "connect", "DEFAULT_IO_TIMEOUT"]
+
+#: Default send/recv deadline.  Generous -- it exists to catch wedged
+#: peers, not slow ones; ServeConfig.io_deadline_seconds overrides it.
+DEFAULT_IO_TIMEOUT: float = 120.0
+
+#: Chaos hook signature: ``(conn, header, payload, frame) -> bytes |
+#: list[bytes] | None``.  Return the frame (possibly rewritten), a list
+#: of frames (duplication), or None to drop the send on the floor.
+SendFilter = Callable[
+    ["Connection", dict, bytes, bytes], "bytes | list[bytes] | None"
+]
 
 
 class Connection:
@@ -35,13 +61,17 @@ class Connection:
         self,
         sock: socket.socket,
         max_payload_bytes: int = MAX_PAYLOAD_BYTES,
+        io_timeout: float | None = DEFAULT_IO_TIMEOUT,
     ) -> None:
         self._sock = sock
         self.max_payload_bytes = max_payload_bytes
+        self.io_timeout = io_timeout
+        self.send_filter: Optional[SendFilter] = None
         try:
             sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         except OSError:  # pragma: no cover - not a TCP socket
             pass
+        sock.settimeout(io_timeout)
         self._rfile = sock.makefile("rb")
         self._send_lock = threading.Lock()
         self._closed = False
@@ -50,23 +80,49 @@ class Connection:
         return self._sock.fileno()
 
     def send(self, header: dict, payload: bytes = b"") -> None:
-        """Send one message atomically (whole frame under the lock)."""
-        frame = pack_frame(
+        """Send one message atomically (whole frame under the lock).
+
+        Raises ``ProtocolError("timeout", ...)`` when the peer stops
+        draining its receive buffer for ``io_timeout`` seconds, and
+        ``OSError`` if the socket dies outright.
+        """
+        frame: bytes | list[bytes] | None = pack_frame(
             header, payload, max_payload_bytes=self.max_payload_bytes
         )
+        if self.send_filter is not None:
+            frame = self.send_filter(self, header, payload, frame)
+            if frame is None:
+                return
+        frames = frame if isinstance(frame, list) else [frame]
         with self._send_lock:
-            self._sock.sendall(frame)
+            try:
+                for chunk in frames:
+                    self._sock.sendall(chunk)
+            except socket.timeout as exc:
+                raise ProtocolError(
+                    "timeout",
+                    f"send stalled for {self.io_timeout}s "
+                    f"(msg {header.get('msg', '?')!r}): peer not draining",
+                ) from exc
 
     def recv(self) -> tuple[dict, bytes] | None:
         """Block for one message; None on clean EOF.
 
         Raises :class:`~repro.common.errors.ProtocolError` on framing
-        corruption and ``OSError`` if the socket dies mid-read; callers
-        treat both as a dead peer.
+        corruption, ``ProtocolError("timeout", ...)`` when no complete
+        frame arrives within ``io_timeout`` seconds, and ``OSError`` if
+        the socket dies mid-read; callers treat all but the idle-timeout
+        case as a dead peer.
         """
-        return read_frame(
-            self._rfile.read, max_payload_bytes=self.max_payload_bytes
-        )
+        try:
+            return read_frame(
+                self._rfile.read, max_payload_bytes=self.max_payload_bytes
+            )
+        except socket.timeout as exc:
+            raise ProtocolError(
+                "timeout",
+                f"no frame within {self.io_timeout}s",
+            ) from exc
 
     def close(self) -> None:
         if self._closed:
@@ -92,12 +148,18 @@ class Connection:
 class Listener:
     """Loopback TCP accept socket for the broker."""
 
-    def __init__(self, host: str = "127.0.0.1", backlog: int = 32) -> None:
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        backlog: int = 32,
+        io_timeout: float | None = DEFAULT_IO_TIMEOUT,
+    ) -> None:
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         self._sock.bind((host, 0))
         self._sock.listen(backlog)
         self.host, self.port = self._sock.getsockname()[:2]
+        self.io_timeout = io_timeout
         self._closed = False
 
     def accept(self, timeout: float | None = None) -> Connection | None:
@@ -107,8 +169,7 @@ class Listener:
             sock, _addr = self._sock.accept()
         except (socket.timeout, OSError):
             return None
-        sock.settimeout(None)
-        return Connection(sock)
+        return Connection(sock, io_timeout=self.io_timeout)
 
     def close(self) -> None:
         if not self._closed:
@@ -123,9 +184,11 @@ class Listener:
 
 
 def connect(
-    host: str, port: int, timeout: float = 30.0
+    host: str,
+    port: int,
+    timeout: float = 30.0,
+    io_timeout: float | None = DEFAULT_IO_TIMEOUT,
 ) -> Connection:
     """Worker-side connect-back to the broker's listener."""
     sock = socket.create_connection((host, port), timeout=timeout)
-    sock.settimeout(None)
-    return Connection(sock)
+    return Connection(sock, io_timeout=io_timeout)

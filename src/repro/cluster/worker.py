@@ -69,7 +69,9 @@ def worker_main(spec: dict) -> None:
         format=f"[worker {slot}] %(levelname)s %(name)s: %(message)s",
     )
     config = ServeConfig(**spec["config"])
-    conn = connect(spec["host"], spec["port"])
+    conn = connect(
+        spec["host"], spec["port"], io_timeout=config.io_deadline_seconds
+    )
     registry = MetricsRegistry()
     pool = WorkerPool(config, registry=registry)
     #: Worker-local result cache.  The broker already dedups across the
@@ -83,7 +85,11 @@ def worker_main(spec: dict) -> None:
     journal = None
     if spec.get("journal_segment"):
         journal = JobJournal(
-            spec["journal_segment"], resume=True, writer_id=f"w{slot}"
+            spec["journal_segment"],
+            resume=True,
+            writer_id=f"w{slot}",
+            fsync=config.journal_fsync,
+            registry=registry,
         )
     stop = threading.Event()
 
@@ -92,7 +98,7 @@ def worker_main(spec: dict) -> None:
         while not stop.wait(interval):
             try:
                 conn.send({"type": protocol.MSG_HEARTBEAT, "slot": slot})
-            except OSError:
+            except (OSError, ProtocolError):
                 return  # broker is gone; the main loop will exit too
 
     try:
@@ -111,7 +117,22 @@ def worker_main(spec: dict) -> None:
         while True:
             try:
                 frame = conn.recv()
-            except (ProtocolError, OSError):
+            except ProtocolError as exc:
+                if exc.kind == "timeout":
+                    # Idle past the I/O deadline, not dead: probe the
+                    # link with a heartbeat and keep waiting.  A broker
+                    # that truly vanished fails the probe (or the next
+                    # recv) and the worker exits instead of lingering.
+                    try:
+                        conn.send(
+                            {"type": protocol.MSG_HEARTBEAT, "slot": slot}
+                        )
+                        continue
+                    except (OSError, ProtocolError):
+                        pass
+                _log.warning("broker connection lost; exiting")
+                return
+            except OSError:
                 _log.warning("broker connection lost; exiting")
                 return
             if frame is None:
@@ -120,7 +141,7 @@ def worker_main(spec: dict) -> None:
             if header["type"] in (protocol.MSG_DRAIN, protocol.MSG_BYE):
                 try:
                     conn.send({"type": protocol.MSG_BYE, "slot": slot})
-                except OSError:
+                except (OSError, ProtocolError):
                     pass
                 return
             if header["type"] != protocol.MSG_JOB:
@@ -146,7 +167,7 @@ def worker_main(spec: dict) -> None:
                 out_header["internal_error"] = True
             try:
                 conn.send(out_header, payload)
-            except OSError:
+            except (OSError, ProtocolError):
                 _log.warning("broker vanished mid-send; exiting")
                 return
     finally:

@@ -198,6 +198,29 @@ class ServeConfig:
     #: Result-cache bounds; entries are whole final states.
     cache_max_entries: int = 512
     cache_max_bytes: int = 256 * 1024 * 1024
+    #: Socket send/recv deadline for cluster connections (seconds).  A
+    #: peer that neither produces bytes nor accepts them within this
+    #: window raises ``ProtocolError("timeout", ...)`` instead of
+    #: blocking forever.  None restores the old fully blocking sockets.
+    io_deadline_seconds: float | None = 120.0
+    #: Respawn backoff for dead worker slots: the n-th consecutive death
+    #: of a slot delays its replacement by ``base * 2**n`` seconds
+    #: (jittered, capped at ``max``) instead of respawning in a hot loop.
+    respawn_backoff_base: float = 0.25
+    respawn_backoff_max: float = 10.0
+    #: Per-slot circuit breaker: a slot whose worker dies this many times
+    #: within ``breaker_window_seconds`` is quarantined -- no further
+    #: respawns, and its capacity is subtracted from admission control.
+    breaker_failures: int = 3
+    breaker_window_seconds: float = 60.0
+    #: Brownout threshold: when the fraction of healthy (non-quarantined)
+    #: worker slots falls below this, new submissions are shed with a
+    #: reject-with-reason instead of queuing unboundedly.  0 disables.
+    brownout_min_alive_fraction: float = 0.5
+    #: Journal durability: fsync the WAL after every append (survives
+    #: power loss, not just process death).  Off by default -- flush-only
+    #: matches the historic behavior and the crash-only test matrix.
+    journal_fsync: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in ("flatdd", "ddsim", "quantumpp"):
@@ -223,3 +246,21 @@ class ServeConfig:
             raise ValueError("retry delays must be non-negative")
         if self.cache_max_entries < 0 or self.cache_max_bytes < 0:
             raise ValueError("cache bounds must be non-negative")
+        if (
+            self.io_deadline_seconds is not None
+            and self.io_deadline_seconds <= 0
+        ):
+            raise ValueError("io_deadline_seconds must be positive or None")
+        if self.respawn_backoff_base < 0 or self.respawn_backoff_max < 0:
+            raise ValueError("respawn backoff delays must be non-negative")
+        if self.breaker_failures < 1:
+            raise ValueError(
+                f"breaker_failures must be >= 1, got {self.breaker_failures}"
+            )
+        if self.breaker_window_seconds <= 0:
+            raise ValueError("breaker_window_seconds must be positive")
+        if not 0.0 <= self.brownout_min_alive_fraction <= 1.0:
+            raise ValueError(
+                "brownout_min_alive_fraction must be in [0, 1], got "
+                f"{self.brownout_min_alive_fraction}"
+            )

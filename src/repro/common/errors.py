@@ -99,11 +99,15 @@ class ProtocolError(ServeError):
 
     Carries the machine-readable ``kind`` (``"truncated"``,
     ``"bad_magic"``, ``"oversized_header"``, ``"oversized_payload"``,
-    ``"malformed_header"``, ``"array_mismatch"``) so the broker and the
-    tests can discriminate framing failures without parsing messages.
-    A malformed or truncated frame must always raise -- never hang or
-    silently resynchronize -- because a framing error means the stream
-    position is unrecoverable and the connection must be torn down.
+    ``"malformed_header"``, ``"array_mismatch"``, ``"timeout"``) so the
+    broker and the tests can discriminate framing failures without
+    parsing messages.  A malformed or truncated frame must always raise
+    -- never hang or silently resynchronize -- because a framing error
+    means the stream position is unrecoverable and the connection must
+    be torn down.  ``"timeout"`` is the one soft kind: it reports a
+    peer that produced no bytes within the connection's I/O deadline,
+    which an idle receiver may treat as "probe and retry" rather than
+    tearing down (see :mod:`repro.cluster.transport`).
     """
 
     def __init__(self, kind: str, message: str) -> None:

@@ -54,6 +54,7 @@ from repro.serve.service import (
     SimulationService,
     jobs_from_manifest,
     load_manifest,
+    run_jobs,
     run_manifest,
 )
 from repro.serve.trace import JobTraceContext, latency_histogram_names
@@ -81,5 +82,6 @@ __all__ = [
     "jobs_from_manifest",
     "load_manifest",
     "replay_journal",
+    "run_jobs",
     "run_manifest",
 ]

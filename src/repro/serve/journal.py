@@ -6,9 +6,18 @@ admitted job writes a ``submitted`` record, and a transition observer on
 moment each state flips -- workers set ``result`` / ``error`` *before*
 transitioning, so the DONE record can carry the full outcome (cache key,
 runtime, and the final state vector itself, base64 of the raw complex128
-bytes).  Each record is flushed to the OS before the write returns: a
-SIGKILL loses at most the event being written, never an acknowledged one
-(the kernel page cache survives process death).
+bytes).
+
+Durability, precisely: each record is *flushed* to the OS before the
+write returns, so a SIGKILL (or any process death) loses at most the
+event being written -- the kernel page cache survives the process.  It
+does **not** survive a power failure or kernel crash; for that, opt in
+to ``JobJournal(fsync=True)`` (CLI: ``repro serve --journal-fsync``),
+which fsyncs after every append at a per-record latency cost.  A failing
+disk (``ENOSPC``, I/O error) does not take the service down either way:
+the journal degrades to disabled with a loud log line and a
+``serve.journal.write_errors`` counter, trading durability for
+availability.
 
 After a crash, :func:`replay_journal` folds the surviving records into a
 :class:`JournalRecovery`: last-known state per job, the DONE payloads
@@ -25,6 +34,7 @@ from __future__ import annotations
 import base64
 import glob
 import json
+import logging
 import os
 import threading
 import time
@@ -34,6 +44,8 @@ import numpy as np
 
 from repro.common.errors import ServeError
 from repro.serve.jobs import Job, JobState
+
+_log = logging.getLogger("repro.serve.journal")
 
 __all__ = [
     "JobJournal",
@@ -55,13 +67,34 @@ class JobJournal:
     journals -- the broker's plus one segment per worker process (see
     :func:`journal_segments`) -- can later be merged into one
     deterministic event order by :func:`replay_journal`.
+
+    ``fsync=True`` additionally fsyncs after every append (power-loss
+    durability; counted as ``serve.journal.fsyncs`` when a ``registry``
+    is passed).  A write that raises ``OSError`` (disk full, I/O error)
+    permanently degrades the journal to disabled -- the serve batch
+    keeps running without durability rather than crashing mid-flight --
+    with the failure logged and counted (``serve.journal.write_errors``).
     """
 
+    #: Chaos hook (:mod:`repro.chaos`): called as ``fault_hook(journal,
+    #: record)`` before each append's write; may raise ``OSError`` to
+    #: simulate a full or failing disk.  None in production.
+    fault_hook = None
+
     def __init__(
-        self, path: str, resume: bool = False, writer_id: str = "main"
+        self,
+        path: str,
+        resume: bool = False,
+        writer_id: str = "main",
+        fsync: bool = False,
+        registry=None,
     ) -> None:
         self.path = path
         self.writer_id = writer_id
+        self.fsync = fsync
+        self.registry = registry
+        self.write_errors = 0
+        self._degraded = False
         self._fh = open(path, "a" if resume else "w", encoding="utf-8")
         self._lock = threading.Lock()
         self._closed = False
@@ -75,15 +108,36 @@ class JobJournal:
         order in the file and seq order always agree.
         """
         with self._lock:
-            if self._closed:
+            if self._closed or self._degraded:
                 return
             record = dict(record)
             record.setdefault("writer_id", self.writer_id)
             record.setdefault("seq", self._seq)
             self._seq += 1
             line = json.dumps(record, sort_keys=True, separators=(",", ":"))
-            self._fh.write(line + "\n")
-            self._fh.flush()
+            try:
+                if JobJournal.fault_hook is not None:
+                    JobJournal.fault_hook(self, record)
+                self._fh.write(line + "\n")
+                self._fh.flush()
+                if self.fsync:
+                    os.fsync(self._fh.fileno())
+                    if self.registry is not None:
+                        self.registry.counter("serve.journal.fsyncs").inc()
+            except OSError as exc:
+                # Availability over durability: a dead disk must not
+                # kill the batch.  Disable the journal, loudly.
+                self.write_errors += 1
+                self._degraded = True
+                if self.registry is not None:
+                    self.registry.counter(
+                        "serve.journal.write_errors"
+                    ).inc()
+                _log.error(
+                    "journal %s write failed (%s); journaling disabled "
+                    "for the rest of this run -- resume coverage is now "
+                    "partial", self.path, exc,
+                )
 
     def attach(self, job: Job) -> None:
         """Record the submission and observe every future transition."""

@@ -52,10 +52,19 @@ class JobQueue:
         self._seq = itertools.count()
         #: Admission outcomes, by reason ("accepted", "queue_full", ...).
         self.admission_counts: Counter = Counter()
+        #: Optional load-shedding hook consulted *first* at admission:
+        #: ``() -> str | None`` returning a rejection reason (e.g.
+        #: ``"brownout"`` from the cluster broker when too few workers
+        #: are healthy) or None to admit normally.
+        self.shed_check = None
 
     # -- admission ----------------------------------------------------
 
     def _reject_reason(self, job: Job) -> str | None:
+        if self.shed_check is not None:
+            reason = self.shed_check()
+            if reason is not None:
+                return reason
         if len(self._heap) >= self.capacity:
             return "queue_full"
         if self.max_qubits is not None and job.circuit.num_qubits > self.max_qubits:

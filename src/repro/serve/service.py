@@ -59,6 +59,7 @@ __all__ = [
     "SimulationService",
     "jobs_from_manifest",
     "load_manifest",
+    "run_jobs",
     "run_manifest",
 ]
 
@@ -559,28 +560,62 @@ def run_manifest(
     service: SimulationService | None = None,
     journal_path: str | None = None,
     resume: bool = False,
+    journal_fsync: bool | None = None,
 ) -> tuple[ServeReport, list[Job]]:
     """Run a JSONL manifest end to end; returns (report, jobs).
 
-    Creates (and closes) a service unless one is passed in.  Rejected
-    submissions surface in the report's admission counts instead of
-    aborting the batch: the accepted jobs still run.
-
-    ``journal_path`` write-ahead-logs every job-state transition (JSONL,
-    see :mod:`repro.serve.journal`).  With ``resume=True`` an existing
-    journal is replayed first: DONE jobs seed the result cache (they
-    complete as cache hits, zero re-execution), PENDING/RUNNING jobs
-    simply re-run, and the report carries a recovery summary.  The
-    journal is opened for append on resume, so a crash-resume-crash
-    sequence keeps converging.
+    Materializes the manifest into jobs, then delegates to
+    :func:`run_jobs` (which owns journaling, resume, and draining).
     """
     cfg = config or ServeConfig()
     entries = load_manifest(path)
     jobs = jobs_from_manifest(
         entries, cfg, base_dir=os.path.dirname(os.path.abspath(path))
     )
+    return run_jobs(
+        jobs,
+        config=cfg,
+        tracer=tracer,
+        service=service,
+        journal_path=journal_path,
+        resume=resume,
+        journal_fsync=journal_fsync,
+    )
+
+
+def run_jobs(
+    jobs: list[Job],
+    config: ServeConfig | None = None,
+    tracer=None,
+    service: SimulationService | None = None,
+    journal_path: str | None = None,
+    resume: bool = False,
+    journal_fsync: bool | None = None,
+) -> tuple[ServeReport, list[Job]]:
+    """Submit prebuilt jobs and drain them; returns (report, jobs).
+
+    The core of :func:`run_manifest`, callable with :class:`Job` objects
+    directly (the chaos harness builds jobs itself so it can attach
+    transition observers before execution).  Creates (and closes) a
+    service unless one is passed in.  Rejected submissions surface in
+    the report's admission counts instead of aborting the batch: the
+    accepted jobs still run.
+
+    ``journal_path`` write-ahead-logs every job-state transition (JSONL,
+    see :mod:`repro.serve.journal`); ``journal_fsync`` selects the
+    fsync-per-record durability policy (None defers to
+    ``config.journal_fsync``).  With ``resume=True`` an existing journal
+    is replayed first: DONE jobs seed the result cache (they complete as
+    cache hits, zero re-execution), PENDING/RUNNING jobs simply re-run,
+    and the report carries a recovery summary.  The journal is opened
+    for append on resume, so a crash-resume-crash sequence keeps
+    converging.
+    """
+    cfg = config or ServeConfig()
     recovery = None
     journal = None
+    own_service = service is None
+    svc = service or SimulationService(cfg, tracer=tracer)
     if journal_path is not None:
         if resume:
             # A process fleet leaves one broker journal plus per-worker
@@ -592,9 +627,14 @@ def run_manifest(
                 recovery = replay_journal(segments)
             elif segments:
                 recovery = replay_journal(journal_path)
-        journal = JobJournal(journal_path, resume=resume)
-    own_service = service is None
-    svc = service or SimulationService(cfg, tracer=tracer)
+        journal = JobJournal(
+            journal_path,
+            resume=resume,
+            fsync=(
+                cfg.journal_fsync if journal_fsync is None else journal_fsync
+            ),
+            registry=svc.registry,
+        )
     try:
         cache_seeded = 0
         if recovery is not None:

@@ -31,6 +31,7 @@ __all__ = [
     "load_regression",
     "replay_regression",
     "shrink_circuit",
+    "shrink_sequence",
     "write_regression",
 ]
 
@@ -70,6 +71,53 @@ def _without_qubit(circuit: Circuit, qubit: int) -> Circuit | None:
     return _compact_qubits(
         Circuit(circuit.num_qubits, gates, name=circuit.name)
     )
+
+
+def shrink_sequence(
+    items: list,
+    still_fails: Callable[[list], bool],
+    max_checks: int = 400,
+) -> list:
+    """Delta-debugging chunk deletion over an arbitrary item sequence.
+
+    The reducer underneath :func:`shrink_circuit`'s gate pass, exposed
+    generically: chunk sizes halve from ``len/2`` down to 1, any deletion
+    that keeps ``still_fails`` True is kept, iterated to a fixed point.
+    The chaos harness reuses it to minimize failing fault schedules
+    (:func:`repro.chaos.schedule.shrink_schedule`) -- the items there are
+    ``(event_point, fault)`` pairs instead of gates.
+
+    ``still_fails`` must be True for ``items``; the returned subsequence
+    (original order preserved, possibly the input itself) satisfies it
+    too.  ``max_checks`` bounds predicate calls, trading minimality for
+    time -- never correctness.
+    """
+    checks = 0
+
+    def fails(candidate: list) -> bool:
+        nonlocal checks
+        if checks >= max_checks or not candidate:
+            return False
+        checks += 1
+        return still_fails(candidate)
+
+    best = list(items)
+    improved = True
+    while improved and checks < max_checks:
+        improved = False
+        chunk = max(len(best) // 2, 1)
+        while chunk >= 1 and checks < max_checks:
+            start = 0
+            while start < len(best):
+                candidate = best[:start] + best[start + chunk:]
+                if candidate and fails(candidate):
+                    best = candidate
+                    improved = True
+                    # Retry the same offset: the next chunk slid into it.
+                else:
+                    start += chunk
+            chunk //= 2
+    return best
 
 
 def shrink_circuit(

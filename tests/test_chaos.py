@@ -1,0 +1,256 @@
+"""Chaos harness tests: schedules, injectors, invariants, planted bugs.
+
+The fast tests pin down the deterministic parts (seeded schedule
+generation, JSON replay, shrinking, the planted-bug plumbing).  The
+fleet tests run one real chaos iteration per fault family and prove the
+two ends of the spectrum: a healthy stack survives the schedule with
+every invariant intact, and a planted recovery bug is *caught* by the
+invariant checker (and shrunk to the minimal schedule, in the slow
+tier).
+"""
+
+import json
+
+import pytest
+
+from repro.chaos import (
+    ChaosFault,
+    ChaosSchedule,
+    FAULT_KINDS,
+    REGIMES,
+    load_schedule,
+    plant_fault,
+    run_chaos_campaign,
+    run_chaos_iteration,
+    schedule_for_iteration,
+    schedule_to_json,
+    shrink_schedule,
+)
+from repro.chaos.runner import harness_config, reference_results
+from repro.chaos.schedule import PROCESS_FAULTS, TRANSPORT_FAULTS
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """In-process reference results for the harness workload (computed
+    once; every chaos iteration compares bit-for-bit against these)."""
+    return reference_results(harness_config())
+
+
+class TestScheduleGeneration:
+    def test_same_seed_same_schedule(self):
+        for iteration in range(5):
+            a = schedule_for_iteration(7, iteration)
+            b = schedule_for_iteration(7, iteration)
+            assert a == b
+
+    def test_iterations_draw_distinct_schedules(self):
+        schedules = {
+            schedule_for_iteration(0, it).describe() for it in range(10)
+        }
+        assert len(schedules) > 1
+
+    def test_regime_restriction_is_honored(self):
+        for iteration in range(10):
+            sched = schedule_for_iteration(
+                3, iteration, regimes=["transport"]
+            )
+            assert sched.regime == "transport"
+            for fault in sched.faults:
+                assert fault.kind in TRANSPORT_FAULTS
+
+    def test_process_fault_caps(self):
+        # Schedules stay survivable by construction: bounded process
+        # faults, at most one crashloop.
+        for iteration in range(50):
+            sched = schedule_for_iteration(11, iteration)
+            assert sched.process_fault_count() <= 3
+            crashloops = sum(
+                1 for f in sched.faults if f.kind == "crashloop"
+            )
+            assert crashloops <= 1
+
+    def test_every_regime_covers_only_known_kinds(self):
+        for kinds in REGIMES.values():
+            assert set(kinds) <= set(FAULT_KINDS)
+        assert set(PROCESS_FAULTS) <= set(FAULT_KINDS)
+
+
+class TestScheduleJson:
+    def test_round_trip(self, tmp_path):
+        sched = ChaosSchedule(
+            seed=5,
+            iteration=2,
+            regime="mixed",
+            faults=(
+                ChaosFault(at=0, kind="kill_worker"),
+                ChaosFault(at=3, kind="delay_frame", arg=0.05),
+            ),
+        )
+        path = schedule_to_json(sched, str(tmp_path / "sched.json"))
+        assert load_schedule(path) == sched
+        doc = json.loads((tmp_path / "sched.json").read_text())
+        assert doc["format"] == "repro-chaos-schedule-v1"
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ValueError, match="fault kind"):
+            ChaosFault(at=0, kind="meteor-strike")
+
+
+class TestShrinking:
+    def test_shrinks_to_the_guilty_fault(self):
+        sched = ChaosSchedule(
+            seed=0,
+            iteration=0,
+            regime="mixed",
+            faults=(
+                ChaosFault(at=0, kind="duplicate_frame"),
+                ChaosFault(at=1, kind="kill_worker"),
+                ChaosFault(at=2, kind="torn_wal"),
+                ChaosFault(at=3, kind="drop_conn"),
+            ),
+        )
+        shrunk = shrink_schedule(
+            sched,
+            lambda s: any(f.kind == "kill_worker" for f in s.faults),
+        )
+        assert [f.kind for f in shrunk.faults] == ["kill_worker"]
+
+
+class TestPlantFault:
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError, match="unknown planted chaos bug"):
+            plant_fault("not-a-bug").__enter__()
+
+    def test_none_is_a_noop_context(self):
+        with plant_fault(None):
+            pass
+
+    def test_respawn_accounting_patch_is_scoped(self):
+        from repro.cluster.breaker import SlotBreaker
+
+        original = SlotBreaker.record_failure
+        with plant_fault("respawn-accounting"):
+            assert SlotBreaker.record_failure is not original
+        assert SlotBreaker.record_failure is original
+
+    def test_resume_reexecute_patch_is_scoped(self):
+        from repro.serve import journal as journal_mod
+
+        original = journal_mod.replay_journal
+        with plant_fault("resume-reexecute"):
+            assert journal_mod.replay_journal is not original
+        assert journal_mod.replay_journal is original
+
+
+class TestChaosIteration:
+    def test_transport_schedule_all_invariants_hold(self, reference):
+        sched = ChaosSchedule(
+            seed=0,
+            iteration=0,
+            regime="transport",
+            faults=(
+                ChaosFault(at=0, kind="corrupt_frame"),
+                ChaosFault(at=1, kind="duplicate_frame"),
+                ChaosFault(at=2, kind="corrupt_result"),
+            ),
+        )
+        outcome = run_chaos_iteration(sched, reference)
+        assert outcome.ok, outcome.violations
+        assert outcome.fired.get("corrupt_frame", 0) >= 1
+        assert outcome.fired.get("duplicate_frame", 0) >= 1
+
+    def test_kill_worker_recovers_bit_identical(self, reference):
+        sched = ChaosSchedule(
+            seed=0,
+            iteration=0,
+            regime="process",
+            faults=(ChaosFault(at=0, kind="kill_worker"),),
+        )
+        outcome = run_chaos_iteration(sched, reference)
+        assert outcome.ok, outcome.violations
+        assert outcome.fired.get("kill_worker", 0) == 1
+
+    def test_disk_schedule_resume_still_converges(self, reference):
+        sched = ChaosSchedule(
+            seed=0,
+            iteration=0,
+            regime="disk",
+            faults=(
+                ChaosFault(at=0, kind="journal_error"),
+                ChaosFault(at=1, kind="torn_wal"),
+            ),
+        )
+        outcome = run_chaos_iteration(sched, reference)
+        assert outcome.ok, outcome.violations
+
+    def test_resume_reexecute_bug_is_caught(self, reference):
+        # The planted resume bug drops the journaled state payloads, so
+        # the iteration's resume pass re-executes journaled-DONE jobs --
+        # exactly what the zero-re-execution invariant exists to catch.
+        sched = ChaosSchedule(
+            seed=0, iteration=0, regime="mixed", faults=()
+        )
+        with plant_fault("resume-reexecute"):
+            outcome = run_chaos_iteration(sched, reference)
+        assert not outcome.ok
+        assert any("re-executed" in v for v in outcome.violations)
+
+
+class TestPlantedRespawnBug:
+    SCHEDULE = ChaosSchedule(
+        seed=0,
+        iteration=0,
+        regime="process",
+        faults=(
+            # stop_worker stalls slot 0's job past the heartbeat timeout
+            # (keeping work pending) while crashloop cycles slot 1; with
+            # a healthy breaker the slot quarantines after 3 deaths.
+            ChaosFault(at=0, kind="stop_worker"),
+            ChaosFault(at=1, kind="crashloop"),
+        ),
+    )
+
+    def test_respawn_accounting_bug_is_caught(self):
+        result = run_chaos_campaign(
+            seed=0,
+            iterations=1,
+            schedule=self.SCHEDULE,
+            shrink=False,
+            plant_bug="respawn-accounting",
+        )
+        assert not result.ok
+        (failure,) = result.failures
+        text = " ".join(failure.violations)
+        assert "respawns exceeds the bound" in text
+        assert "never quarantined" in text
+
+    @pytest.mark.slow
+    def test_caught_bug_shrinks_to_minimal_schedule(self, tmp_path):
+        padded = self.SCHEDULE.with_faults(
+            self.SCHEDULE.faults
+            + (
+                ChaosFault(at=2, kind="duplicate_frame"),
+                ChaosFault(at=3, kind="delay_frame", arg=0.05),
+            )
+        )
+        result = run_chaos_campaign(
+            seed=0,
+            iterations=1,
+            schedule=padded,
+            shrink=True,
+            shrink_max_checks=8,
+            plant_bug="respawn-accounting",
+            out_dir=str(tmp_path),
+        )
+        assert not result.ok
+        (failure,) = result.failures
+        shrunk_kinds = [f["kind"] for f in failure.shrunk["faults"]]
+        assert shrunk_kinds == ["stop_worker", "crashloop"]
+        # Both schedules landed as replayable JSON artifacts.
+        assert load_schedule(failure.schedule_path) == padded
+        assert [
+            f.kind for f in load_schedule(failure.shrunk_path).faults
+        ] == shrunk_kinds

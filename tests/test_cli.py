@@ -249,3 +249,64 @@ class TestReport:
         path = tmp_path / "junk.json"
         path.write_text("plain text, not a trace\n")
         assert main(["report", str(path)]) == 2
+
+
+class TestChaosCli:
+    def test_list_faults(self, capsys):
+        assert main(["chaos", "--list-faults"]) == 0
+        out = capsys.readouterr().out
+        assert "transport" in out and "kill_worker" in out
+
+    def test_unknown_regime_errors(self, capsys):
+        assert main(["chaos", "--regimes", "weather"]) == 2
+        assert "unknown chaos regime" in capsys.readouterr().err
+
+    def test_unknown_plant_bug_errors(self, capsys):
+        assert main(["chaos", "--plant-bug", "nope"]) == 2
+        assert "unknown planted chaos bug" in capsys.readouterr().err
+
+    @pytest.mark.serve
+    def test_schedule_replay_json_summary(self, tmp_path, capsys):
+        from repro.chaos import ChaosFault, ChaosSchedule, schedule_to_json
+
+        sched = ChaosSchedule(
+            seed=0, iteration=0, regime="transport",
+            faults=(ChaosFault(at=0, kind="duplicate_frame"),),
+        )
+        path = schedule_to_json(sched, str(tmp_path / "sched.json"))
+        assert main(["chaos", "--schedule", path, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["ok"] is True
+        assert summary["runs"] == 1
+        assert summary["fault_counts"].get("duplicate_frame") == 1
+
+
+class TestServeJournalFsyncFlag:
+    def test_requires_journal_path(self, tmp_path, capsys):
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text(
+            json.dumps({"family": "ghz", "qubits": 3}) + "\n"
+        )
+        assert main(["serve", str(manifest), "--journal-fsync"]) == 2
+        err = capsys.readouterr().err
+        assert "--journal-fsync requires --journal" in err
+
+    @pytest.mark.serve
+    def test_fsync_flag_journals_durably(self, tmp_path, capsys):
+        manifest = tmp_path / "m.jsonl"
+        manifest.write_text(
+            json.dumps({"family": "ghz", "qubits": 3}) + "\n"
+        )
+        journal = tmp_path / "wal.jsonl"
+        assert main([
+            "serve", str(manifest), "--threads", "1",
+            "--journal", str(journal), "--journal-fsync", "--json",
+        ]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["states"] == {"DONE": 1}
+        records = [
+            json.loads(line)
+            for line in journal.read_text().splitlines()
+            if line.strip()
+        ]
+        assert any(r.get("to") == "DONE" for r in records)

@@ -182,6 +182,138 @@ class TestClusterService:
         assert np.array_equal(job.result.state, ref.result.state)
 
 
+class TestFaultPaths:
+    def test_retry_budget_exhaustion_fails_the_job(self):
+        # Kill the worker after *every* dispatch: the job requeues once,
+        # then the budget (max_retries=1) is spent and it must FAIL with
+        # the structured retry-budget reason instead of looping forever.
+        svc = ClusterService(
+            ServeConfig(
+                threads=1,
+                max_retries=1,
+                respawn_backoff_base=0.01,
+                respawn_backoff_max=0.05,
+                breaker_failures=10,
+            ),
+            processes=1,
+        )
+        dispatcher = svc.pool
+        original_dispatch = dispatcher._dispatch
+        kills = []
+
+        def murderous_dispatch(slot, group, job, inflight, dispatch_counts):
+            ok = original_dispatch(
+                slot, group, job, inflight, dispatch_counts
+            )
+            if ok:
+                kills.append(slot)
+                os.kill(dispatcher.supervisor.pid(slot), signal.SIGKILL)
+            return ok
+
+        dispatcher._dispatch = murderous_dispatch
+        try:
+            job_id = svc.submit(get_circuit("ghz", 4))
+            report = svc.drain()
+            job = svc.poll(job_id)
+        finally:
+            svc.close()
+        assert len(kills) == 2  # initial dispatch + one retry
+        assert job.state is JobState.FAILED
+        assert "spent the retry budget" in job.error
+        assert report.states == {"FAILED": 1}
+
+    def test_corrupt_result_frame_requeues_and_completes(self):
+        # A result frame whose array descriptor does not decode is a
+        # transient fault: the broker discards it, requeues the job, and
+        # the retry produces the correct state.
+        class CorruptFirstResult:
+            corrupted = 0
+
+            def worker_up(self, dispatcher, slot, conn):
+                pass
+
+            def dispatch(self, dispatcher, slot, job):
+                pass
+
+            def result(self, dispatcher, slot, msg, payload):
+                if msg.get("state") == "DONE" and not self.corrupted:
+                    self.corrupted = 1
+                    msg = dict(msg)
+                    msg["array"] = dict(msg.get("array") or {})
+                    msg["array"]["dtype"] = "bogus"
+                return msg, payload
+
+        svc = ClusterService(ServeConfig(threads=1), processes=1)
+        svc.pool.chaos = CorruptFirstResult()
+        try:
+            job_id = svc.submit(get_circuit("ghz", 4), shots=10)
+            report = svc.drain()
+            job = svc.poll(job_id)
+        finally:
+            svc.close()
+        assert svc.pool.chaos.corrupted == 1
+        assert report.states == {"DONE": 1}
+        assert report.cluster["requeues"] >= 1
+        ref = get_circuit("ghz", 4)
+        from repro.core import FlatDDSimulator
+
+        expected = FlatDDSimulator(threads=1).run(ref).state
+        assert np.array_equal(job.result.state, expected)
+
+    def test_crashloop_trips_breaker_quarantine_and_brownout(self):
+        # The acceptance scenario: the same slot dies on every dispatch.
+        # Deaths 1 and 2 respawn (with backoff); death 3 trips the
+        # breaker, the slot is quarantined, its capacity is subtracted,
+        # and -- with every slot now unhealthy -- admission rejects new
+        # work with the structured "brownout" reason.
+        from repro.common.errors import AdmissionError
+
+        svc = ClusterService(
+            ServeConfig(
+                threads=1,
+                max_retries=10,
+                respawn_backoff_base=0.01,
+                respawn_backoff_max=0.05,
+                breaker_failures=3,
+                brownout_min_alive_fraction=0.5,
+            ),
+            processes=1,
+        )
+        dispatcher = svc.pool
+        original_dispatch = dispatcher._dispatch
+
+        def murderous_dispatch(slot, group, job, inflight, dispatch_counts):
+            ok = original_dispatch(
+                slot, group, job, inflight, dispatch_counts
+            )
+            if ok:
+                os.kill(dispatcher.supervisor.pid(slot), signal.SIGKILL)
+            return ok
+
+        dispatcher._dispatch = murderous_dispatch
+        try:
+            job_id = svc.submit(get_circuit("ghz", 4))
+            report = svc.drain()
+            job = svc.poll(job_id)
+            # Bounded respawns: exactly breaker_failures - 1 before the
+            # quarantine verdict cancels further respawns.
+            assert report.cluster["respawn_counts"] == {0: 2}
+            assert report.cluster["quarantined"] == [0]
+            assert report.cluster["healthy_capacity"] == 0
+            assert job.state is JobState.FAILED
+            # The whole (one-slot) fleet is quarantined: admission now
+            # sheds load with a reason instead of queueing the doomed.
+            assert dispatcher.brownout_reason() == "brownout"
+            with pytest.raises(AdmissionError) as excinfo:
+                svc.submit(get_circuit("ghz", 4))
+            assert excinfo.value.reason == "brownout"
+            assert report.cluster["brownout_rejections"] >= 1 or (
+                dispatcher.brownout_rejections >= 1
+            )
+        finally:
+            svc.close()
+
+
 class TestFleetKillAndResume:
     def test_sigkilled_fleet_finishes_on_resume(self, tmp_path):
         """SIGKILL broker+workers mid-batch; --resume completes the batch

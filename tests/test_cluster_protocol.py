@@ -273,3 +273,58 @@ class TestJobWire:
         meta, payload = array_to_bytes(state)
         back = JobResult.from_wire(wire, state=array_from_bytes(meta, payload))
         assert np.array_equal(back.state, state)
+
+
+class TestIoDeadlines:
+    """Transport send/recv deadlines: a stalled peer raises a structured
+    ProtocolError("timeout") instead of blocking forever (the regression
+    here was an unbounded ``settimeout(None)`` socket)."""
+
+    def _stalled_pair(self, io_timeout):
+        from repro.cluster.transport import Listener, connect
+
+        listener = Listener(io_timeout=io_timeout)
+        client = connect(
+            listener.host, listener.port, io_timeout=io_timeout
+        )
+        server = listener.accept(timeout=5.0)
+        assert server is not None
+        return listener, client, server
+
+    def test_recv_deadline_raises_structured_timeout(self):
+        listener, client, server = self._stalled_pair(io_timeout=0.2)
+        try:
+            with pytest.raises(ProtocolError) as excinfo:
+                server.recv()  # the client never sends a frame
+            assert excinfo.value.kind == "timeout"
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_send_deadline_raises_when_peer_stops_draining(self):
+        listener, client, server = self._stalled_pair(io_timeout=0.25)
+        try:
+            # The server never reads: once loopback buffers fill, sendall
+            # stalls and the deadline must surface as a ProtocolError.
+            payload = b"x" * (1 << 20)
+            with pytest.raises(ProtocolError) as excinfo:
+                for _ in range(64):
+                    client.send({"type": "blob"}, payload)
+            assert excinfo.value.kind == "timeout"
+            assert "not draining" in str(excinfo.value)
+        finally:
+            client.close()
+            server.close()
+            listener.close()
+
+    def test_live_traffic_is_unaffected_by_the_deadline(self):
+        listener, client, server = self._stalled_pair(io_timeout=0.5)
+        try:
+            client.send({"type": "ping", "n": 1})
+            header, payload = server.recv()
+            assert header["type"] == "ping" and payload == b""
+        finally:
+            client.close()
+            server.close()
+            listener.close()

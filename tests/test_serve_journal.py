@@ -330,3 +330,58 @@ class TestJournalSegments:
                 {"type": "transition", "job_id": "a", "from": "RUNNING",
                  "to": "DONE", "ts_mono": 1.0}) + "\n")
         assert replay_journal(path).job_states == {"a": "DONE"}
+
+
+class TestJournalDurabilityPolicy:
+    def test_fsync_opt_in_counts_and_persists(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        path = str(tmp_path / "wal.jsonl")
+        journal = JobJournal(path, fsync=True, registry=registry)
+        journal.append({"type": "transition", "job_id": "a", "to": "DONE"})
+        journal.append({"type": "transition", "job_id": "b", "to": "DONE"})
+        journal.close()
+        assert registry.counter("serve.journal.fsyncs").value == 2
+        assert len(read_records(path)) == 2
+
+    def test_default_skips_fsync(self, tmp_path):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        journal = JobJournal(
+            str(tmp_path / "wal.jsonl"), registry=registry
+        )
+        journal.append({"type": "transition", "job_id": "a", "to": "DONE"})
+        journal.close()
+        assert registry.counter("serve.journal.fsyncs").value == 0
+
+    def test_write_error_degrades_journal_not_the_batch(self, tmp_path):
+        # A failing disk (injected via the chaos fault hook) disables the
+        # journal -- loudly, with a counter -- instead of crashing the
+        # serve batch; later appends are silent no-ops.
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        path = str(tmp_path / "wal.jsonl")
+        journal = JobJournal(path, registry=registry)
+        journal.append({"type": "transition", "job_id": "a", "to": "DONE"})
+
+        def full_disk(j, record):
+            raise OSError(28, "injected disk-full")
+
+        JobJournal.fault_hook = full_disk
+        try:
+            journal.append(
+                {"type": "transition", "job_id": "b", "to": "DONE"}
+            )
+        finally:
+            JobJournal.fault_hook = None
+        journal.append({"type": "transition", "job_id": "c", "to": "DONE"})
+        journal.close()
+        assert journal.write_errors == 1
+        assert (
+            registry.counter("serve.journal.write_errors").value == 1
+        )
+        records = read_records(path)
+        assert [r["job_id"] for r in records] == ["a"]
