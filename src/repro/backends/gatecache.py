@@ -15,14 +15,24 @@ from repro.dd.package import DDPackage
 __all__ = ["GateDDCache", "build_gate_dd"]
 
 
-def build_gate_dd(pkg: DDPackage, gate: Gate) -> Edge:
-    """Construct the full ``2**n x 2**n`` DD of one circuit gate."""
+def build_gate_dd(pkg: DDPackage, gate: Gate, windowed: bool = False) -> Edge:
+    """Construct the matrix DD of one circuit gate.
+
+    ``windowed=True`` builds only the gate's active-qubit window (root at
+    ``max(gate.qubits)``; levels above it are implicit identity), which is
+    what identity-skipped application consumes.  ``windowed=False`` wraps
+    the same window subtree in weight-1 pass-through levels to full
+    height, bit-identical to the historic full-height construction.
+    """
     u = gate.matrix()
+    top = max(gate.qubits) if windowed else None
     if gate.controls:
-        return controlled_gate(pkg, u, gate.targets, gate.controls)
+        return controlled_gate(pkg, u, gate.targets, gate.controls, top=top)
     if len(gate.targets) == 1:
-        return single_qubit_gate(pkg, u, gate.targets[0])
-    return two_qubit_gate(pkg, u, gate.targets[0], gate.targets[1])
+        return single_qubit_gate(pkg, u, gate.targets[0], top=top)
+    return two_qubit_gate(
+        pkg, u, gate.targets[0], gate.targets[1], top=top
+    )
 
 
 class GateDDCache:
@@ -34,12 +44,12 @@ class GateDDCache:
         self.hits = 0
         self.misses = 0
 
-    def get(self, gate: Gate) -> Edge:
-        key = gate.signature
+    def get(self, gate: Gate, windowed: bool = False) -> Edge:
+        key = (gate.signature, windowed)
         edge = self._cache.get(key)
         if edge is None:
             self.misses += 1
-            edge = build_gate_dd(self.pkg, gate)
+            edge = build_gate_dd(self.pkg, gate, windowed=windowed)
             self._cache[key] = edge
         else:
             self.hits += 1
@@ -52,6 +62,17 @@ class GateDDCache:
     def clear(self) -> None:
         """Drop all cached gate DDs (checkpoint barrier support)."""
         self._cache.clear()
+
+    def drop_windowed(self) -> None:
+        """Drop every identity-skipped (windowed) entry.
+
+        Called right after DD-to-array conversion: the DD phase is over,
+        windowed gate DDs are never consulted again, and keeping them as
+        garbage-collection roots would pin their pass-through nodes in
+        memory through the whole array phase.
+        """
+        for key in [k for k in self._cache if k[1]]:
+            del self._cache[key]
 
     def mark(self) -> int:
         """Rewind point for :meth:`rewind` (the cache is insert-only)."""

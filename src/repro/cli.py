@@ -97,6 +97,8 @@ def _make_simulator(args: argparse.Namespace):
             memory_budget_bytes=getattr(args, "memory_budget", None),
             plan_cache=not getattr(args, "no_plan_cache", False),
             force_convert_at=getattr(args, "force_convert_at", None),
+            identity_skip=not getattr(args, "no_identity_skip", False),
+            qubit_order=getattr(args, "qubit_order", "natural"),
         )
     if args.backend == "ddsim":
         return DDSimulator()
@@ -111,6 +113,21 @@ def _add_circuit_args(p: argparse.ArgumentParser) -> None:
     p.add_argument("--qubits", type=int, default=8)
     p.add_argument("--seed", type=int, default=None,
                    help="generator seed (random families)")
+
+
+def _add_dd_shrink_args(p: argparse.ArgumentParser) -> None:
+    """DD-phase shrinking flags shared by simulate/sweep/compare."""
+    p.add_argument("--qubit-order", default="natural",
+                   choices=["natural", "interaction", "sift"],
+                   help="DD-phase variable order (flatdd only): "
+                        "'interaction' places frequently interacting "
+                        "qubits adjacent; 'sift' refines that order by "
+                        "local search; conversion restores canonical "
+                        "amplitude order (docs/PERFORMANCE.md)")
+    p.add_argument("--no-identity-skip", action="store_true",
+                   help="build full-height gate DDs instead of "
+                        "identity-skipped windows (flatdd only; "
+                        "bit-identical performance ablation)")
 
 
 def cmd_families(args: argparse.Namespace) -> int:
@@ -249,6 +266,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fusion=args.fusion,
         memory_budget_bytes=args.memory_budget,
         force_convert_at=args.force_convert_at,
+        identity_skip=not args.no_identity_skip,
+        qubit_order=args.qubit_order,
     )
     _log.info(
         "sweeping %s (%d qubits, %d gates) over %d row(s) on %s",
@@ -749,6 +768,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="disable the DMAV plan compiler / buffer arena "
                         "(flatdd only; bit-identical performance "
                         "ablation)")
+    _add_dd_shrink_args(p)
     p.add_argument("--force-convert-at", type=int, default=None,
                    metavar="GATE",
                    help="force DD-to-array conversion right after this "
@@ -784,6 +804,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--fusion", default="none",
                    choices=["none", "cost", "koperations"])
+    _add_dd_shrink_args(p)
     p.add_argument("--force-convert-at", type=int, default=None,
                    metavar="GATE",
                    help="force DD-to-array conversion right after this "
@@ -804,6 +825,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--threads", type=int, default=4)
     p.add_argument("--fusion", default="none",
                    choices=["none", "cost", "koperations"])
+    _add_dd_shrink_args(p)
     p.add_argument("--timeout", type=float, default=30.0)
     p.add_argument("--trace", metavar="PATH",
                    help="write one Chrome trace per backend "

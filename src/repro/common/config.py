@@ -104,6 +104,24 @@ class FlatDDConfig:
     #: this to check that early/late conversion points are semantically
     #: equivalent.
     force_convert_at: int | None = None
+    #: Build gate DDs over only their active-qubit window and apply them
+    #: with the identity-skipping mv rules (pass-through levels cross
+    #: without node creation or compute-table entries).  Bit-identical to
+    #: the full-height path by construction -- the windowed DD shares its
+    #: window subtree with the wrapped full-height DD and the skip rules
+    #: perform the same arithmetic (``1.0 * x == x``) -- and enforced by
+    #: the ``identity_skip_equivalence`` fuzz oracle, so this is an
+    #: execution-only knob; False is the ``--no-identity-skip`` ablation.
+    identity_skip: bool = True
+    #: Variable (qubit) order for the DD phase: "natural" keeps circuit
+    #: order; "interaction" places strongly interacting qubits adjacently
+    #: (greedy linear arrangement over the qubit-interaction graph);
+    #: "sift" refines that placement by single-qubit repositioning.  The
+    #: permutation is local to the DD phase -- conversion un-permutes, so
+    #: the array phase and all consumers see canonical amplitude order --
+    #: but it changes the conversion point and weight rounding, so it is
+    #: part of the config digest.
+    qubit_order: str = "natural"
     #: Memory budget for the whole run (None = unbounded).  Enforced by
     #: :class:`repro.resilience.guard.MemoryGuard`: a DD-phase breach forces
     #: early DD-to-array conversion (graceful degradation along the paper's
@@ -123,6 +141,8 @@ class FlatDDConfig:
             raise ValueError(f"unknown fusion mode {self.fusion!r}")
         if self.k_operations < 2:
             raise ValueError("k_operations must be at least 2")
+        if self.qubit_order not in ("natural", "interaction", "sift"):
+            raise ValueError(f"unknown qubit_order {self.qubit_order!r}")
         if self.force_convert_at is not None and self.force_convert_at < 0:
             raise ValueError(
                 f"force_convert_at must be >= 0 or None, "
@@ -144,7 +164,12 @@ class FlatDDConfig:
 #: conversion changes the conversion point, which is bit-level visible.
 #: ``plan_cache`` is execution-only by construction: the compiled plans
 #: replay the unplanned descents' arithmetic bit-for-bit.
-_EXECUTION_ONLY_FIELDS = ("use_thread_pool", "plan_cache")
+#: ``identity_skip`` is execution-only the same way: windowed gate DDs
+#: share their window subtree with the wrapped full-height DDs and the
+#: skip rules reproduce the pass-through arithmetic exactly (enforced by
+#: the ``identity_skip_equivalence`` fuzz oracle).  ``qubit_order`` stays
+#: in the digest: permuting the DD phase moves the conversion point.
+_EXECUTION_ONLY_FIELDS = ("use_thread_pool", "plan_cache", "identity_skip")
 
 
 def config_digest(config: "FlatDDConfig | None") -> str:

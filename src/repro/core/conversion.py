@@ -231,6 +231,7 @@ def convert_parallel(
     scalar_mult: bool = True,
     dense_level: int = DENSE_BLOCK_LEVEL,
     tracer=None,
+    unpermute: tuple[int, ...] | None = None,
 ) -> tuple[np.ndarray, ConversionReport]:
     """Convert a state-vector DD to a flat array with t threads.
 
@@ -238,6 +239,12 @@ def convert_parallel(
     ``tracer`` (a :class:`repro.obs.Tracer`) records the planning step,
     a per-thread fill span (category ``"convert"``), and the deferred
     scalar-fill pass.
+
+    ``unpermute`` is the transpose-axes tuple from
+    :func:`repro.core.reorder.unpermute_axes`: when the DD phase ran
+    under a reordered qubit permutation, the converted amplitudes are
+    mapped back to canonical order here (one reshape/transpose/ravel),
+    so every downstream consumer sees canonical amplitude order.
     """
     tr = tracer if tracer is not None else NULL_TRACER
     n = pkg.num_qubits
@@ -282,6 +289,15 @@ def convert_parallel(
             "convert.scalar_fills", "convert", s0, time.perf_counter(),
             fills=len(plan.scalar_fills),
         )
+    if unpermute is not None and unpermute != tuple(range(n)):
+        u0 = time.perf_counter()
+        out = np.ascontiguousarray(
+            out.reshape([2] * n).transpose(unpermute)
+        ).reshape(1 << n)
+        if tr.enabled:
+            tr.record(
+                "convert.unpermute", "convert", u0, time.perf_counter(),
+            )
     report = ConversionReport(
         seconds=time.perf_counter() - start,
         threads=threads,

@@ -32,6 +32,11 @@ from repro.core.dmav import dmav_cached, dmav_nocache
 from repro.core.ewma import EWMAMonitor
 from repro.core.plan import PlanCache
 from repro.core.fusion import FusionResult, fuse_cost_aware, fuse_k_operations
+from repro.core.reorder import (
+    permute_circuit,
+    plan_qubit_order,
+    unpermute_axes,
+)
 from repro.dd.io import deserialize_vector_dd
 from repro.dd.operations import mv_multiply
 from repro.dd.package import DDPackage
@@ -116,6 +121,18 @@ class FlatDDSimulator(Simulator):
         cfg = self.config
         n = circuit.num_qubits
         validate_thread_count(cfg.threads, n)
+        # DD-phase variable order (the Reorder Trick).  The plan depends
+        # only on gate structure, so it is recomputed identically on
+        # resume (the config digest pins cfg.qubit_order).  The permuted
+        # circuit drives *only* the DD phase; conversion un-permutes, and
+        # the DMAV tail below always uses the canonical circuit.
+        reorder = plan_qubit_order(circuit, cfg.qubit_order)
+        dd_circuit = (
+            circuit
+            if reorder.is_natural
+            else permute_circuit(circuit, reorder.order)
+        )
+        unperm = None if reorder.is_natural else unpermute_axes(reorder.order)
         if checkpoint_every is not None:
             if checkpoint_every < 1:
                 raise ValueError(
@@ -163,6 +180,16 @@ class FlatDDSimulator(Simulator):
             "forced_conversion": cfg.force_convert_at is not None,
             "resumed": resume is not None,
             "resume_phase": resume.phase if resume is not None else None,
+            "identity_skip": cfg.identity_skip,
+            "qubit_order": cfg.qubit_order,
+            "reorder": {
+                "mode": reorder.mode,
+                "applied": not reorder.is_natural,
+                "order": list(reorder.order),
+                "cost_natural": reorder.cost_natural,
+                "cost_selected": reorder.cost_selected,
+                "sift_moves": reorder.sift_moves,
+            },
         }
         start = time.perf_counter()
 
@@ -198,10 +225,12 @@ class FlatDDSimulator(Simulator):
                 state_dd = None
         else:
             state_dd = zero_state(pkg)
-        dd_gates = circuit.gates[dd_start:] if not skip_dd else []
+        dd_gates = dd_circuit.gates[dd_start:] if not skip_dd else []
         for i, gate in enumerate(dd_gates, start=dd_start):
             g0 = time.perf_counter()
-            state_dd = mv_multiply(pkg, gates.get(gate), state_dd)
+            state_dd = mv_multiply(
+                pkg, gates.get(gate, windowed=cfg.identity_skip), state_dd
+            )
             size = node_count(state_dd)
             triggered = monitor.update(size)
             if cfg.force_convert_at is not None:
@@ -298,6 +327,7 @@ class FlatDDSimulator(Simulator):
                 array, report = convert_parallel(
                     pkg, state_dd, cfg.threads, runner,
                     dense_level=cfg.dense_block_level, tracer=tr,
+                    unpermute=unperm,
                 )
                 metadata["conversion_report"] = report
                 meter.sample(dd_bytes(pkg) + array.nbytes)
@@ -322,10 +352,12 @@ class FlatDDSimulator(Simulator):
                     state, report = convert_parallel(
                         pkg, state_dd, cfg.threads, runner,
                         dense_level=cfg.dense_block_level, tracer=tr,
+                        unpermute=unperm,
                     )
                     metadata["converted"] = True
                     metadata["conversion_gate_index"] = convert_at
                     metadata["conversion_report"] = report
+                    gates.drop_windowed()
                     if checkpoint_every is not None or resume is not None:
                         # Conversion barrier: an array-phase resume rebuilds
                         # the DMAV gate list in a fresh package, so a run
@@ -556,6 +588,24 @@ class FlatDDSimulator(Simulator):
         metadata["gate_dd_cache_hits"] = gates.hits
         metadata["gate_dd_cache_misses"] = gates.misses
         metadata["dd_stats"] = pkg.stats.as_dict()
+        registry.counter("dd.identity.mv_skips").inc(
+            pkg.stats.identity_mv_skips
+        )
+        registry.counter("dd.identity.mm_skips").inc(
+            pkg.stats.identity_mm_skips
+        )
+        registry.counter("dd.identity.passthrough_skips").inc(
+            pkg.stats.identity_passthrough_skips
+        )
+        registry.counter("dd.identity.lift_steps").inc(
+            pkg.stats.identity_lift_steps
+        )
+        registry.gauge("dd.reorder.applied").set(
+            0 if reorder.is_natural else 1
+        )
+        registry.gauge("dd.reorder.cost_natural").set(reorder.cost_natural)
+        registry.gauge("dd.reorder.cost_selected").set(reorder.cost_selected)
+        registry.counter("dd.reorder.sift_moves").inc(reorder.sift_moves)
         metadata["checkpoints_written"] = checkpoints_written
         if guard.enabled:
             metadata["guard"] = guard.report.to_dict()

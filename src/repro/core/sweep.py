@@ -60,6 +60,11 @@ from repro.core.cost_model import CostModel
 from repro.core.dmav import dmav_cached, dmav_nocache, run_border_task_batch
 from repro.core.ewma import EWMAMonitor
 from repro.core.plan import GatePlan, PlanCache
+from repro.core.reorder import (
+    permute_circuit,
+    plan_qubit_order,
+    unpermute_axes,
+)
 from repro.dd.node import TERMINAL
 from repro.dd.operations import mv_multiply
 from repro.dd.package import DDPackage
@@ -327,7 +332,8 @@ def _batched_cached(pkg, plans, v3, w3, threads, dense_level, bufs, out_dirty):
             simd_add(w3[u], bufs[b][u])
 
 
-def _replay_prefix(sim, bound_circuit, convert_at, guard_enabled):
+def _replay_prefix(sim, cfg, bound_circuit, convert_at, guard_enabled,
+                   dd_order):
     """Replay one group's shared DD prefix in a fresh package.
 
     Gate-DD weight arithmetic is history-dependent: the commutative add
@@ -348,28 +354,44 @@ def _replay_prefix(sim, bound_circuit, convert_at, guard_enabled):
     edge-build state exactly; the guard-enabled GC that ``run()``
     performs post-conversion is replicated because it prunes the unique
     tables gate builds share against.
+
+    The replayed prefix applies the same DD-phase transforms ``run()``
+    uses -- the ``dd_order`` permutation and identity-skipped (windowed)
+    gate builds -- while the per-row tail builds done by the caller stay
+    canonical and full-height, exactly as ``run()``'s DMAV phase builds
+    them.
     """
     pkg = DDPackage(bound_circuit.num_qubits)
     gates = GateDDCache(pkg)
     state_dd = zero_state(pkg)
+    dd_circ = (
+        permute_circuit(bound_circuit, dd_order)
+        if dd_order is not None
+        else bound_circuit
+    )
     for i in range(convert_at + 1):
         state_dd = mv_multiply(
-            pkg, gates.get(bound_circuit.gates[i]), state_dd
+            pkg,
+            gates.get(dd_circ.gates[i], windowed=cfg.identity_skip),
+            state_dd,
         )
         if i < convert_at and pkg.unique_node_count > sim.GC_THRESHOLD:
             pkg.collect_garbage([state_dd, *gates.roots()])
+    gates.drop_windowed()
     if guard_enabled:
         pkg.collect_garbage(gates.roots())
     return pkg, gates
 
 
-def _dd_phase(sim, cfg, circuit, guard, meter):
+def _dd_phase(sim, cfg, circuit, guard, meter, dd_order):
     """Replicate ``FlatDDSimulator.run``'s DD phase on a fresh package.
 
     Trigger decisions (EWMA, ``force_convert_at``, guard breach, GC
     cadence) see exactly what a single-shot run sees -- the per-package
     DD working set, never the batch -- so the conversion point matches
-    every member row's own run bit-for-bit.
+    every member row's own run bit-for-bit.  ``dd_order`` and
+    ``cfg.identity_skip`` replicate the run's DD-phase qubit permutation
+    and windowed gate builds.
     """
     pkg = DDPackage(circuit.num_qubits)
     gates = GateDDCache(pkg)
@@ -377,8 +399,15 @@ def _dd_phase(sim, cfg, circuit, guard, meter):
     state_dd = zero_state(pkg)
     convert_at = None
     guard_forced = False
-    for i, gate in enumerate(circuit.gates):
-        state_dd = mv_multiply(pkg, gates.get(gate), state_dd)
+    dd_circ = (
+        permute_circuit(circuit, dd_order)
+        if dd_order is not None
+        else circuit
+    )
+    for i, gate in enumerate(dd_circ.gates):
+        state_dd = mv_multiply(
+            pkg, gates.get(gate, windowed=cfg.identity_skip), state_dd
+        )
         size = node_count(state_dd)
         triggered = monitor.update(size)
         if cfg.force_convert_at is not None:
@@ -434,6 +463,14 @@ def run_sweep(
             first_of[fp] = len(uniq)
             uniq.append(bound[i])
 
+    # One reorder plan for the whole sweep: the selector is structure-only
+    # (qubits, not parameter values), so the template and every bound row
+    # produce the same plan -- prefix grouping below stays valid because
+    # identical canonical prefixes map to identical permuted prefixes.
+    reorder = plan_qubit_order(circuit, cfg.qubit_order)
+    dd_order = None if reorder.is_natural else reorder.order
+    unperm = None if reorder.is_natural else unpermute_axes(reorder.order)
+
     registry = MetricsRegistry()
     registry.counter("dmav.sweep.rows").inc(num_rows)
     registry.counter("dmav.sweep.unique_rows").inc(len(uniq))
@@ -446,6 +483,9 @@ def run_sweep(
         "fusion": cfg.fusion,
         "rows": num_rows,
         "unique_rows": len(uniq),
+        "identity_skip": cfg.identity_skip,
+        "qubit_order": cfg.qubit_order,
+        "reorder_applied": not reorder.is_natural,
     }
 
     if cfg.fusion != "none":
@@ -491,7 +531,7 @@ def run_sweep(
                 break
         if not placed:
             pkg, gates, state_dd, convert_at, guard_forced = _dd_phase(
-                sim, cfg, bc, guard, meter
+                sim, cfg, bc, guard, meter, dd_order
             )
             if guard_forced:
                 metadata["guard_forced_conversion"] = True
@@ -531,6 +571,7 @@ def run_sweep(
             conv, report = convert_parallel(
                 pkg, g["state_dd"], cfg.threads, runner,
                 dense_level=cfg.dense_block_level,
+                unpermute=unperm,
             )
             conversions.append(report.seconds)
             if convert_at is None:
@@ -540,6 +581,7 @@ def run_sweep(
                 meter.sample(dd_bytes(pkg) + conv.nbytes)
                 ustates[members[0]] = conv
                 continue
+            gates.drop_windowed()
             if guard.enabled:
                 pkg.collect_garbage(gates.roots())
             # Per-row gate DDs, built in ONE package that replays the
@@ -553,7 +595,8 @@ def run_sweep(
             # the leader package hosts the per-node DMAV caches (ids
             # never collide while the edges pin the nodes).
             rpkg, rgates = _replay_prefix(
-                sim, uniq[members[0]], convert_at, guard.enabled
+                sim, cfg, uniq[members[0]], convert_at, guard.enabled,
+                dd_order,
             )
             build_mark = rpkg.build_mark()
             gate_mark = rgates.mark()

@@ -16,7 +16,7 @@ import numpy as np
 
 from repro.common.errors import DDError
 from repro.dd.node import TERMINAL, ZERO_EDGE, DDNode, Edge
-from repro.dd.operations import madd, mm_multiply, scale
+from repro.dd.operations import identity_extend, madd, mm_multiply, scale
 from repro.dd.package import DDPackage
 
 __all__ = [
@@ -34,14 +34,17 @@ _P1 = np.array([[0, 0], [0, 1]], dtype=np.complex128)
 
 
 def matrix_from_factors(pkg: DDPackage, factors: list[np.ndarray]) -> Edge:
-    """Build ``factors[n-1] (x) ... (x) factors[0]`` as a matrix DD.
+    """Build ``factors[k-1] (x) ... (x) factors[0]`` as a matrix DD.
 
     ``factors[k]`` is the 2x2 matrix acting on qubit ``k``.  Built bottom-up
     so identical tails share nodes (an identity tail is a single chain).
+    Fewer than ``num_qubits`` factors builds an identity-skipped (windowed)
+    DD whose root sits at level ``len(factors) - 1``; levels above it are
+    implicit identity.
     """
-    if len(factors) != pkg.num_qubits:
+    if not 1 <= len(factors) <= pkg.num_qubits:
         raise DDError(
-            f"need {pkg.num_qubits} factors, got {len(factors)}"
+            f"need 1..{pkg.num_qubits} factors, got {len(factors)}"
         )
     e = pkg.one_edge()
     for level, f in enumerate(factors):
@@ -58,13 +61,18 @@ def matrix_from_factors(pkg: DDPackage, factors: list[np.ndarray]) -> Edge:
     return e
 
 
-def single_qubit_gate(pkg: DDPackage, u: np.ndarray, target: int) -> Edge:
+def single_qubit_gate(
+    pkg: DDPackage, u: np.ndarray, target: int, top: int | None = None
+) -> Edge:
     """DD of ``I (x) ... (x) U_target (x) ... (x) I``.
 
     Built directly on the package's memoized identity chain, so only the
     target node and the pass-through nodes above it are (re)constructed.
+    ``top`` is the root level; the default is full height, ``top=target``
+    builds the identity-skipped window (no pass-through levels at all).
     """
     _check_qubit(pkg, target)
+    top = _resolve_top(pkg, top, target)
     u = np.asarray(u, dtype=np.complex128)
     if u.shape != (2, 2):
         raise DDError(f"single-qubit gate matrix must be 2x2: {u.shape}")
@@ -77,26 +85,33 @@ def single_qubit_gate(pkg: DDPackage, u: np.ndarray, target: int) -> Edge:
             for j in (0, 1)
         ),
     )
-    for level in range(target + 1, pkg.num_qubits):
-        e = pkg.make_mnode(level, (e, ZERO_EDGE, ZERO_EDGE, e))
-    return e
+    return identity_extend(pkg, e, top)
 
 
-def two_qubit_gate(pkg: DDPackage, u: np.ndarray, q_high: int, q_low: int) -> Edge:
+def two_qubit_gate(
+    pkg: DDPackage,
+    u: np.ndarray,
+    q_high: int,
+    q_low: int,
+    top: int | None = None,
+) -> Edge:
     """DD of an arbitrary 4x4 ``u`` acting on qubits ``(q_high, q_low)``.
 
     ``u`` is indexed so that the *first* qubit of its 2-bit index is
     ``q_high`` (the more significant of the pair in the state index).
     Decomposes ``u`` into its four 2x2 blocks:
-    ``u = sum_ij |i><j|_high (x) B_ij_low``.
+    ``u = sum_ij |i><j|_high (x) B_ij_low``.  ``top`` is the root level
+    (default full height; ``max(q_high, q_low)`` for the skipped window).
     """
     _check_qubit(pkg, q_high)
     _check_qubit(pkg, q_low)
     if q_high == q_low:
         raise DDError("two-qubit gate needs two distinct qubits")
+    top = _resolve_top(pkg, top, max(q_high, q_low))
     u = np.asarray(u, dtype=np.complex128)
     if u.shape != (4, 4):
         raise DDError(f"two-qubit gate matrix must be 4x4, got {u.shape}")
+    win = max(q_high, q_low)
     total = ZERO_EDGE
     for i in (0, 1):
         for j in (0, 1):
@@ -105,11 +120,11 @@ def two_qubit_gate(pkg: DDPackage, u: np.ndarray, q_high: int, q_low: int) -> Ed
                 continue
             outer = np.zeros((2, 2), dtype=np.complex128)
             outer[i, j] = 1.0
-            factors = [_I2] * pkg.num_qubits
+            factors = [_I2] * (win + 1)
             factors[q_high] = outer
             factors[q_low] = block
             total = madd(pkg, total, matrix_from_factors(pkg, factors))
-    return total
+    return identity_extend(pkg, total, top)
 
 
 def controlled_gate(
@@ -117,13 +132,15 @@ def controlled_gate(
     u: np.ndarray,
     targets: tuple[int, ...],
     controls: tuple[int, ...],
+    top: int | None = None,
 ) -> Edge:
     """DD of ``u`` on ``targets``, applied when all ``controls`` are |1>.
 
     ``u`` is 2x2 for one target or 4x4 for two (``targets[0]`` is the more
     significant index bit of ``u``).  Uses
     ``C(U) = I + P1(controls) (x) (U - I)(targets)``, so any control count
-    works (CCX is ``controls=(c1, c2)``).
+    works (CCX is ``controls=(c1, c2)``).  ``top`` is the root level
+    (default full height; the max active qubit for the skipped window).
     """
     for q in (*targets, *controls):
         _check_qubit(pkg, q)
@@ -134,18 +151,20 @@ def controlled_gate(
     u = np.asarray(u, dtype=np.complex128)
     if not controls:
         if len(targets) == 1:
-            return single_qubit_gate(pkg, u, targets[0])
+            return single_qubit_gate(pkg, u, targets[0], top=top)
         if len(targets) == 2:
-            return two_qubit_gate(pkg, u, targets[0], targets[1])
+            return two_qubit_gate(pkg, u, targets[0], targets[1], top=top)
         raise DDError("only 1- and 2-qubit target blocks are supported")
 
+    win = max(*targets, *controls)
+    top = _resolve_top(pkg, top, win)
     dim = 1 << len(targets)
     if u.shape != (dim, dim):
         raise DDError(
             f"matrix shape {u.shape} does not match {len(targets)} targets"
         )
     diff = u - np.eye(dim, dtype=np.complex128)
-    identity = pkg.identity_edge(pkg.num_qubits - 1)
+    identity = pkg.identity_edge(win)
     if len(targets) == 1:
         terms = [(diff, None)]
     else:
@@ -159,7 +178,7 @@ def controlled_gate(
                     terms.append((block, outer))
     total = identity
     for block, outer in terms:
-        factors = [_I2] * pkg.num_qubits
+        factors = [_I2] * (win + 1)
         for c in controls:
             factors[c] = _P1
         if outer is None:
@@ -168,7 +187,18 @@ def controlled_gate(
             factors[targets[0]] = outer
             factors[targets[1]] = block
         total = madd(pkg, total, matrix_from_factors(pkg, factors))
-    return total
+    return identity_extend(pkg, total, top)
+
+
+def _resolve_top(pkg: DDPackage, top: int | None, window_top: int) -> int:
+    """Validate/resolve a requested root level (default: full height)."""
+    if top is None:
+        return pkg.num_qubits - 1
+    if not window_top <= top < pkg.num_qubits:
+        raise DDError(
+            f"root level {top} outside [{window_top}, {pkg.num_qubits - 1}]"
+        )
+    return top
 
 
 def matrix_to_dense(pkg: DDPackage, e: Edge, num_qubits: int | None = None) -> np.ndarray:

@@ -17,6 +17,7 @@ behaviour on regular structures.
 from __future__ import annotations
 
 from repro.common.errors import DDError
+from repro.dd.analysis import is_identity
 from repro.dd.node import ONE_EDGE, TERMINAL, ZERO_EDGE, DDNode, Edge
 from repro.dd.package import DDPackage
 
@@ -26,9 +27,32 @@ __all__ = [
     "mv_multiply",
     "mm_multiply",
     "scale",
+    "identity_extend",
     "inner_product",
     "norm",
 ]
+
+
+def identity_extend(pkg: DDPackage, e: Edge, top: int) -> Edge:
+    """Identity-extend a matrix edge so its root sits at level ``top``.
+
+    Wraps the edge in weight-1 pass-through nodes ``(e, 0, 0, e)`` level
+    by level.  Each wrapper normalizes to exactly-1 child weights (the
+    normalization factor of a ``(x, 0, 0, x)`` node is ``x.w`` itself),
+    so the wrapped DD is bit-identical to building the same gate at full
+    height; this is what lets windowed and full-height gate DDs share
+    their window subtree.
+    """
+    if e.is_zero:
+        return e
+    while (e.n is TERMINAL and top >= 0) or (
+        e.n is not TERMINAL and e.n.level < top
+    ):
+        lv = 0 if e.n is TERMINAL else e.n.level + 1
+        sub = Edge(1.0, e.n)
+        wrap = pkg.make_mnode(lv, (sub, ZERO_EDGE, ZERO_EDGE, sub))
+        e = pkg.raw_edge(e.w * wrap.w, wrap.n)
+    return e
 
 
 def scale(pkg: DDPackage, e: Edge, s: complex) -> Edge:
@@ -65,6 +89,12 @@ def _add(pkg, a: Edge, b: Edge, cache: dict, make) -> Edge:
         return b
     if b.is_zero:
         return a
+    if a.n is b.n:
+        # Same (canonical) structure: the sum is a weight add on one edge.
+        # Shared identity chains below a gate window hit this on every
+        # level, making madd over the untouched tail O(1).
+        pkg.stats.add_same_node += 1
+        return pkg.raw_edge(a.w + b.w, a.n)
     # a + b == a.w * (n_a + (b.w / a.w) * n_b): cache on (n_a, n_b, ratio) so
     # hits are invariant under common rescaling.  Order operands for the
     # commutative case to double the hit rate.
@@ -110,13 +140,22 @@ def mv_multiply(pkg: DDPackage, m: Edge, v: Edge) -> Edge:
 
 
 def _mv(pkg: DDPackage, mn: DDNode, vn: DDNode) -> Edge:
-    if mn is TERMINAL:
-        if vn is not TERMINAL:
-            raise DDError("level mismatch in DD matrix-vector multiply")
+    if mn is TERMINAL and vn is TERMINAL:
         return ONE_EDGE
-    if mn.level != vn.level:
+    # Identity rule: an identity block leaves the vector untouched with an
+    # exact 1.0 weight -- no node creation, no compute-table entry.  This
+    # also covers a matrix DD whose root sits *below* the vector root
+    # (an identity-skipped gate whose active window ends early), and must
+    # run before the pass-through rule so full identity chains take the
+    # O(1) exit in both the windowed and full-height representations.
+    if is_identity(pkg, mn):
+        pkg.stats.identity_mv_skips += 1
+        return pkg.raw_edge(1.0, vn)
+    if vn is TERMINAL or mn.level > vn.level:
         raise DDError(
-            f"level mismatch in mv: matrix {mn.level} vs vector {vn.level}"
+            "level mismatch in mv: matrix "
+            f"{-1 if mn is TERMINAL else mn.level} vs vector "
+            f"{-1 if vn is TERMINAL else vn.level}"
         )
     key = (id(mn), id(vn))
     hit = pkg.cache_mv.get(key)
@@ -124,13 +163,49 @@ def _mv(pkg: DDPackage, mn: DDNode, vn: DDNode) -> Edge:
         pkg.stats.compute_hits += 1
         return hit
     pkg.stats.compute_misses += 1
-    children = []
-    for i in (0, 1):
-        # (M v)_i = M_i0 v_0 + M_i1 v_1 on the 2x2 block partition.
-        p0 = _mv_edge(pkg, mn.edges[2 * i], vn.edges[0])
-        p1 = _mv_edge(pkg, mn.edges[2 * i + 1], vn.edges[1])
-        children.append(vadd(pkg, p0, p1))
-    result = pkg.make_vnode(mn.level, children[0], children[1])
+    if mn.level < vn.level:
+        # Lift rule: the matrix acts as identity on this vector level (the
+        # gate DD spans only its active window).  Descend the vector
+        # structurally; arithmetic is bit-identical to recursing through
+        # an explicit weight-1 pass-through chain because ``1.0 * x == x``.
+        pkg.stats.identity_lift_steps += 1
+        children = []
+        for ev in vn.edges:
+            if ev.is_zero:
+                children.append(ZERO_EDGE)
+            else:
+                rel = _mv(pkg, mn, ev.n)
+                children.append(pkg.raw_edge(ev.w * rel.w, rel.n))
+        result = pkg.make_vnode(vn.level, children[0], children[1])
+    else:
+        e00, e01, e10, e11 = mn.edges
+        if (
+            e01.is_zero
+            and e10.is_zero
+            and e00.w == 1
+            and e11.w == 1
+            and e00.n is e11.n
+        ):
+            # Pass-through rule: an explicit weight-1 diagonal level
+            # (e.g. a full-height wrapper around a gate window) scales
+            # nothing -- skip the child multiplies and adds entirely.
+            pkg.stats.identity_passthrough_skips += 1
+            children = []
+            for ev in vn.edges:
+                if ev.is_zero:
+                    children.append(ZERO_EDGE)
+                else:
+                    rel = _mv(pkg, e00.n, ev.n)
+                    children.append(pkg.raw_edge(ev.w * rel.w, rel.n))
+            result = pkg.make_vnode(vn.level, children[0], children[1])
+        else:
+            children = []
+            for i in (0, 1):
+                # (M v)_i = M_i0 v_0 + M_i1 v_1 on the 2x2 block partition.
+                p0 = _mv_edge(pkg, mn.edges[2 * i], vn.edges[0])
+                p1 = _mv_edge(pkg, mn.edges[2 * i + 1], vn.edges[1])
+                children.append(vadd(pkg, p0, p1))
+            result = pkg.make_vnode(mn.level, children[0], children[1])
     pkg.cache_mv[key] = result
     return result
 
@@ -155,28 +230,57 @@ def mm_multiply(pkg: DDPackage, a: Edge, b: Edge) -> Edge:
 
 
 def _mm(pkg: DDPackage, an: DDNode, bn: DDNode) -> Edge:
-    if an is TERMINAL:
-        if bn is not TERMINAL:
-            raise DDError("level mismatch in DD matrix-matrix multiply")
+    if an is TERMINAL and bn is TERMINAL:
         return ONE_EDGE
-    if an.level != bn.level:
-        raise DDError(
-            f"level mismatch in mm: {an.level} vs {bn.level}"
-        )
+    # Identity rules: I @ B == B and A @ I == A with exact 1.0 weights.
+    # Fusion seeds its accumulator with a full identity chain, so the
+    # first DDMM of every fused group takes this exit instead of walking
+    # the whole chain; identity tails below a gate window exit level by
+    # level the same way.
+    if is_identity(pkg, an):
+        pkg.stats.identity_mm_skips += 1
+        return pkg.raw_edge(1.0, bn)
+    if is_identity(pkg, bn):
+        pkg.stats.identity_mm_skips += 1
+        return pkg.raw_edge(1.0, an)
+    if an is TERMINAL or bn is TERMINAL:
+        raise DDError("level mismatch in DD matrix-matrix multiply")
     key = (id(an), id(bn))
     hit = pkg.cache_mm.get(key)
     if hit is not None:
         pkg.stats.compute_hits += 1
         return hit
     pkg.stats.compute_misses += 1
-    children = []
-    for i in (0, 1):
-        for j in (0, 1):
-            # C_ij = A_i0 B_0j + A_i1 B_1j on the 2x2 block partition.
-            p0 = _mm_edge(pkg, an.edges[2 * i], bn.edges[j])
-            p1 = _mm_edge(pkg, an.edges[2 * i + 1], bn.edges[2 + j])
-            children.append(madd(pkg, p0, p1))
-    result = pkg.make_mnode(an.level, children)
+    if an.level != bn.level:
+        # Lift rule: the shorter (identity-skipped) operand acts as
+        # identity on the taller one's extra levels -- ``(I (x) A) @ B``
+        # has blocks ``A @ B_ij`` and symmetrically for ``A @ (I (x) B)``.
+        # Bit-identical to recursing through a weight-1 wrapper chain.
+        pkg.stats.identity_lift_steps += 1
+        lo_is_a = an.level < bn.level
+        tall = bn if lo_is_a else an
+        children = []
+        for e in tall.edges:
+            if e.is_zero:
+                children.append(ZERO_EDGE)
+            else:
+                rel = (
+                    _mm(pkg, an, e.n) if lo_is_a else _mm(pkg, e.n, bn)
+                )
+                # A nested identity shortcut can return a root below this
+                # node's child level; re-extend so children stay contiguous.
+                rel = identity_extend(pkg, rel, tall.level - 1)
+                children.append(pkg.raw_edge(e.w * rel.w, rel.n))
+        result = pkg.make_mnode(tall.level, children)
+    else:
+        children = []
+        for i in (0, 1):
+            for j in (0, 1):
+                # C_ij = A_i0 B_0j + A_i1 B_1j on the 2x2 block partition.
+                p0 = _mm_edge(pkg, an.edges[2 * i], bn.edges[j])
+                p1 = _mm_edge(pkg, an.edges[2 * i + 1], bn.edges[2 + j])
+                children.append(madd(pkg, p0, p1))
+        result = pkg.make_mnode(an.level, children)
     pkg.cache_mm[key] = result
     return result
 

@@ -55,6 +55,11 @@ class PackageStats:
         "compute_misses",
         "gc_runs",
         "gc_nodes_reclaimed",
+        "identity_mv_skips",
+        "identity_mm_skips",
+        "identity_passthrough_skips",
+        "identity_lift_steps",
+        "add_same_node",
     )
 
     def __init__(self) -> None:
@@ -70,6 +75,16 @@ class PackageStats:
         self.gc_runs = 0
         #: Total nodes reclaimed across all collections.
         self.gc_nodes_reclaimed = 0
+        #: mv/mm recursions that exited via the O(1) identity rule.
+        self.identity_mv_skips = 0
+        self.identity_mm_skips = 0
+        #: Weight-1 diagonal levels crossed without child multiplies/adds.
+        self.identity_passthrough_skips = 0
+        #: Levels where a shorter (identity-skipped) operand descended the
+        #: taller one structurally instead of via explicit identity nodes.
+        self.identity_lift_steps = 0
+        #: DD additions collapsed to a weight add on one shared node.
+        self.add_same_node = 0
 
     def as_dict(self) -> dict:
         """Plain-dict snapshot of all counters."""

@@ -34,6 +34,7 @@ and stress manifests).  See docs/SERVING.md.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import logging
 import os
@@ -69,7 +70,7 @@ _log = logging.getLogger("repro.serve.service")
 #: part of the circuit source).
 _JOB_KEYS = {
     "backend", "shots", "sample_seed", "priority", "deadline_seconds",
-    "max_retries", "job_id", "param_sets",
+    "max_retries", "job_id", "param_sets", "qubit_order", "identity_skip",
 }
 _SOURCE_KEYS = {"family", "qubits", "seed", "kwargs", "qasm", "qasm_file", "name"}
 _META_KEYS = {"repeat"}
@@ -513,6 +514,7 @@ def jobs_from_manifest(
         if repeat < 1:
             raise ServeError(f"manifest line {line}: repeat must be >= 1")
         circuit = _circuit_from_entry(entry, base_dir)
+        job_config = _entry_config(entry, config, circuit, flatdd_config)
         param_sets = entry.get("param_sets")
         if param_sets is not None:
             if not isinstance(param_sets, list) or not all(
@@ -538,7 +540,7 @@ def jobs_from_manifest(
                 Job(
                     circuit=circuit,
                     backend=entry.get("backend", config.backend),
-                    config=flatdd_config,
+                    config=job_config,
                     shots=int(entry.get("shots", 0)),
                     sample_seed=int(entry.get("sample_seed", 0)) + copy,
                     param_sets=param_sets,
@@ -551,6 +553,41 @@ def jobs_from_manifest(
                 )
             )
     return jobs
+
+
+def _entry_config(
+    entry: dict,
+    config: ServeConfig,
+    circuit: Circuit,
+    flatdd_config: FlatDDConfig | None,
+) -> FlatDDConfig | None:
+    """Per-job FlatDD config from manifest overrides.
+
+    ``qubit_order`` and ``identity_skip`` manifest keys override the
+    batch-wide ``flatdd_config`` (or the service defaults) for one
+    entry.  ``qubit_order`` participates in the config digest, so jobs
+    that only differ in order get distinct cache keys; ``identity_skip``
+    is execution-only and dedups against the default build.
+    """
+    qubit_order = entry.get("qubit_order")
+    identity_skip = entry.get("identity_skip")
+    if qubit_order is None and identity_skip is None:
+        return flatdd_config
+    from repro.serve.workers import clamp_threads
+
+    base = flatdd_config or FlatDDConfig(
+        threads=clamp_threads(config.threads, circuit.num_qubits)
+    )
+    overrides: dict = {}
+    if qubit_order is not None:
+        overrides["qubit_order"] = str(qubit_order)
+    if identity_skip is not None:
+        overrides["identity_skip"] = bool(identity_skip)
+    try:
+        return dataclasses.replace(base, **overrides)
+    except ValueError as exc:
+        line = entry.get("_line", "?")
+        raise ServeError(f"manifest line {line}: {exc}") from exc
 
 
 def run_manifest(

@@ -31,10 +31,10 @@ def _fault_t_phase() -> Iterator[None]:
 
     original = gatecache.build_gate_dd
 
-    def faulty(pkg, gate: Gate):
+    def faulty(pkg, gate: Gate, windowed: bool = False):
         if gate.base_name == "t":
             gate = Gate("tdg", gate.targets, gate.controls)
-        return original(pkg, gate)
+        return original(pkg, gate, windowed=windowed)
 
     gatecache.build_gate_dd = faulty
     try:
@@ -104,13 +104,13 @@ def _fault_transient_crash(times: int = 2) -> Iterator[None]:
     original = gatecache.build_gate_dd
     calls = {"n": 0}
 
-    def faulty(pkg, gate: Gate):
+    def faulty(pkg, gate: Gate, windowed: bool = False):
         calls["n"] += 1
         if calls["n"] <= times:
             raise RuntimeError(
                 f"injected transient fault ({calls['n']}/{times})"
             )
-        return original(pkg, gate)
+        return original(pkg, gate, windowed=windowed)
 
     gatecache.build_gate_dd = faulty
     try:
@@ -131,7 +131,7 @@ def _fault_permanent_crash() -> Iterator[None]:
 
     original = gatecache.build_gate_dd
 
-    def faulty(pkg, gate: Gate):
+    def faulty(pkg, gate: Gate, windowed: bool = False):
         raise RuntimeError("injected permanent fault")
 
     gatecache.build_gate_dd = faulty

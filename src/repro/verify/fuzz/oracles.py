@@ -10,8 +10,10 @@ Two families, both cheap relative to writing amplitude-level golden data:
 * **metamorphic** -- properties that must hold regardless of the circuit
   drawn: norm preservation, ``C . C^-1 = I`` round-trips, gate-fusion
   on/off equivalence, forced early/late conversion-point equivalence,
-  thread-count invariance of the parallel conversion + DMAV kernels, and
-  bit-identical checkpoint/resume (a run interrupted at a
+  thread-count invariance of the parallel conversion + DMAV kernels,
+  bit-identical identity-skip on/off equivalence, qubit-reorder
+  equivalence (any variable order un-permutes back to the natural-order
+  state), and bit-identical checkpoint/resume (a run interrupted at a
   fingerprint-derived gate and resumed from its snapshot must reproduce
   the uninterrupted run's amplitudes *exactly*, see docs/RESILIENCE.md).
 
@@ -164,13 +166,19 @@ class OracleContext:
         fusion: str = "none",
         force_convert_at: int | None = None,
         plan_cache: bool = True,
+        identity_skip: bool = True,
+        qubit_order: str = "natural",
     ) -> np.ndarray:
         t = self._effective_threads(threads)
-        key = ("flatdd", t, fusion, force_convert_at, plan_cache)
+        key = (
+            "flatdd", t, fusion, force_convert_at, plan_cache,
+            identity_skip, qubit_order,
+        )
         if key not in self._states:
             cfg = FlatDDConfig(
                 threads=t, fusion=fusion, force_convert_at=force_convert_at,
-                plan_cache=plan_cache,
+                plan_cache=plan_cache, identity_skip=identity_skip,
+                qubit_order=qubit_order,
             )
             self._states[key] = FlatDDSimulator(cfg).run(self.circuit).state
         return self._states[key]
@@ -378,6 +386,66 @@ def oracle_plan_cache_equivalence(
     )
 
 
+def oracle_identity_skip_equivalence(
+    circuit: Circuit, ctx: OracleContext
+) -> OracleOutcome:
+    """Identity-skipped gate DDs must be a pure performance optimization.
+
+    Runs the pipeline with ``identity_skip`` on and off.  Equality is
+    ``np.array_equal``, not a tolerance: windowed and full-height gate
+    DDs share the active-window subtree through hash-consing and the
+    pass-through levels carry exact ``1.0`` weights, so the two modes
+    multiply exactly the same complex values in exactly the same order
+    (:mod:`repro.dd.operations`).  Any drift is a real skip-rule bug,
+    not float noise.
+    """
+    t0 = time.perf_counter()
+    skipped = ctx.flatdd(identity_skip=True)
+    full = ctx.flatdd(identity_skip=False)
+    identical = bool(np.array_equal(skipped, full))
+    err = (
+        0.0 if identical
+        else float(np.max(np.abs(skipped - full)))
+    )
+    return OracleOutcome(
+        oracle="identity_skip",
+        family="metamorphic",
+        passed=identical,
+        max_error=err,
+        tier="tight" if identical else "violation",
+        detail=(
+            "identity_skip on vs off (EWMA-timed conversion), "
+            "bit-exact comparison"
+        ),
+        seconds=time.perf_counter() - t0,
+    )
+
+
+def oracle_reorder_equivalence(
+    circuit: Circuit, ctx: OracleContext
+) -> OracleOutcome:
+    """Qubit reordering must be semantically invisible.
+
+    The DD phase runs on a relabeled circuit and conversion un-permutes
+    the amplitudes back to canonical order, so any variable order must
+    reproduce the natural-order state.  The comparison goes through the
+    tolerance ladder (not bit-exact): a different order changes the
+    floating-point contraction order inside the DD phase, which is
+    allowed to perturb amplitudes at the ulp level but no further.
+    """
+    t0 = time.perf_counter()
+    base = ctx.flatdd(qubit_order="natural")
+    errs = [
+        phase_aligned_error(base, ctx.flatdd(qubit_order=mode))
+        for mode in ("interaction", "sift")
+    ]
+    return _ladder_outcome(
+        "reorder_equivalence", "metamorphic", max(errs),
+        "qubit_order interaction/sift vs natural (un-permuted at "
+        "conversion)", t0,
+    )
+
+
 def oracle_checkpoint_resume(
     circuit: Circuit, ctx: OracleContext
 ) -> OracleOutcome:
@@ -507,6 +575,8 @@ ORACLES: dict[str, tuple[str, callable]] = {
     "fusion_equivalence": ("metamorphic", oracle_fusion_equivalence),
     "inverse_roundtrip": ("metamorphic", oracle_inverse_roundtrip),
     "plan_cache": ("metamorphic", oracle_plan_cache_equivalence),
+    "identity_skip": ("metamorphic", oracle_identity_skip_equivalence),
+    "reorder_equivalence": ("metamorphic", oracle_reorder_equivalence),
     "checkpoint_resume": ("metamorphic", oracle_checkpoint_resume),
     "sweep_consistency": ("metamorphic", oracle_sweep_consistency),
 }

@@ -182,7 +182,20 @@ class TestFactorsAndEntries:
     def test_factor_count_mismatch_rejected(self):
         pkg = DDPackage(3)
         with pytest.raises(DDError):
-            matrix_from_factors(pkg, [X, H])
+            matrix_from_factors(pkg, [])
+        with pytest.raises(DDError):
+            matrix_from_factors(pkg, [X, H, Z, X])
+
+    def test_fewer_factors_builds_windowed_dd(self):
+        # 1 <= k < num_qubits factors is the identity-skipped (windowed)
+        # build: root at level k-1, levels above implicit identity.
+        pkg = DDPackage(3)
+        e = matrix_from_factors(pkg, [X, H])
+        assert e.n.level == 1
+        ref = np.kron(H, X)
+        np.testing.assert_allclose(
+            matrix_to_dense(pkg, e, num_qubits=2), ref, atol=1e-12
+        )
 
     def test_matrix_entry_matches_dense(self):
         pkg = DDPackage(3)

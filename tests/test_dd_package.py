@@ -240,3 +240,59 @@ class TestBuildMarkRewind:
         hits = cache.hits
         cache.get(Gate("h", (0,)))
         assert cache.hits == hits + 1
+
+    def test_rewind_rolls_back_windowed_builds(self):
+        # Identity-skipped (windowed) gate DDs must rewind exactly like
+        # full-height ones: a rebuild after rewind-plus-interference sees
+        # the same creation indices and weights.
+        from repro.backends.gatecache import build_gate_dd
+        from repro.circuits.gates import Gate
+
+        pkg = DDPackage(4)
+        g = Gate("cx", (1,), (0,))
+        mark = pkg.build_mark()
+        first = build_gate_dd(pkg, g, windowed=True)
+        assert first.n.level == 1  # root at max(gate.qubits), not n-1
+        first_idx = first.n.idx
+        first_w = self._dd_weights(first)
+        pkg.rewind_to_mark(mark)
+        build_gate_dd(pkg, Gate("ry", (3,), params=(0.7,)), windowed=True)
+        pkg.rewind_to_mark(mark)
+        again = build_gate_dd(pkg, g, windowed=True)
+        assert again.n.idx == first_idx
+        assert self._dd_weights(again) == first_w
+
+    def test_gate_cache_rewind_drops_windowed_entries(self):
+        # Windowed and full-height entries for the same gate are distinct
+        # keys; rewind drops both kinds added past the mark.
+        from repro.backends.gatecache import GateDDCache
+        from repro.circuits.gates import Gate
+
+        pkg = DDPackage(3)
+        cache = GateDDCache(pkg)
+        cache.get(Gate("h", (0,)), windowed=True)
+        m = cache.mark()
+        cache.get(Gate("h", (0,)))  # full-height: its own entry
+        cache.get(Gate("ry", (1,), params=(0.5,)), windowed=True)
+        assert len(cache) == m + 2
+        cache.rewind(m)
+        assert len(cache) == m
+        hits = cache.hits
+        cache.get(Gate("h", (0,)), windowed=True)
+        assert cache.hits == hits + 1
+
+    def test_drop_windowed_keeps_full_height_entries(self):
+        from repro.backends.gatecache import GateDDCache
+        from repro.circuits.gates import Gate
+
+        pkg = DDPackage(3)
+        cache = GateDDCache(pkg)
+        cache.get(Gate("h", (0,)), windowed=True)
+        cache.get(Gate("h", (0,)))
+        cache.get(Gate("cx", (1,), (0,)), windowed=True)
+        assert len(cache) == 3
+        cache.drop_windowed()
+        assert len(cache) == 1
+        hits = cache.hits
+        cache.get(Gate("h", (0,)))
+        assert cache.hits == hits + 1

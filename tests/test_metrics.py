@@ -147,6 +147,9 @@ class TestPackageStats:
         assert set(d) == {
             "unique_hits", "unique_misses", "compute_hits",
             "compute_misses", "gc_runs", "gc_nodes_reclaimed",
+            "identity_mv_skips", "identity_mm_skips",
+            "identity_passthrough_skips", "identity_lift_steps",
+            "add_same_node",
         }
 
 

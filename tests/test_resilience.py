@@ -151,7 +151,13 @@ class TestMemoryGuard:
         # growth: the run must force conversion early and still finish
         # with correct amplitudes.
         circuit = get_circuit("supremacy", 9)
-        cfg = FlatDDConfig(threads=2, memory_budget_bytes=60_000)
+        # identity_skip off: windowed gate DDs keep this circuit's DD
+        # phase under the budget, and the EWMA trigger would fire before
+        # the guard ever breaches -- the ablation keeps the historic
+        # DD-growth-breaches-first scenario this test exercises.
+        cfg = FlatDDConfig(
+            threads=2, memory_budget_bytes=60_000, identity_skip=False
+        )
         res = FlatDDSimulator(cfg).run(circuit)
         assert res.metadata.get("guard_forced_conversion") is True
         assert res.metadata["converted"] is True

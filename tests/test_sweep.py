@@ -200,6 +200,50 @@ def test_fusion_falls_back_to_per_row_runs():
 
 
 # ---------------------------------------------------------------------------
+# DD-phase shrinking (identity skip + qubit reorder)
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "identity_skip,qubit_order",
+    [
+        (True, "natural"),
+        (False, "natural"),
+        (True, "interaction"),
+        (False, "sift"),
+        (True, "sift"),
+    ],
+)
+def test_dd_shrink_rows_bit_identical(identity_skip, qubit_order):
+    """Identity-skipped, reordered sweeps keep the bit-identity contract."""
+    c = _template(n=4, layers=2)
+    sim = FlatDDSimulator(
+        threads=2, identity_skip=identity_skip, qubit_order=qubit_order
+    )
+    rows = _rows(c, 4, seed=13)
+    result = sim.simulate_sweep(c, rows)
+    _assert_rows_identical(sim, c, rows, result)
+    assert result.metadata["identity_skip"] is identity_skip
+    assert result.metadata["qubit_order"] == qubit_order
+
+
+def test_dd_shrink_rewind_rolls_back_windowed_prefix():
+    """Forced mid-prefix conversion replays the permuted, identity-skipped
+    DD prefix per group through build_mark()/rewind_to_mark(); bit-identity
+    against single-shot runs proves the rewind rolls windowed builds and
+    permuted gate DDs back exactly."""
+    c = _template(n=4, layers=2)
+    sim = FlatDDSimulator(
+        threads=2, force_convert_at=2, identity_skip=True, qubit_order="sift"
+    )
+    rows = _rows(c, 4, seed=17)
+    rows.append(rows[1])  # duplicate exercises the dedup fan-out too
+    result = sim.simulate_sweep(c, rows)
+    assert result.metadata["groups"] >= 1
+    _assert_rows_identical(sim, c, rows, result)
+
+
+# ---------------------------------------------------------------------------
 # Observability
 # ---------------------------------------------------------------------------
 
